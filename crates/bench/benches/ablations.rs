@@ -1,0 +1,132 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **reconcile**: set vs priority-queue reconciliation (§7.1.2) across
+//!   scan-range sizes — the set approach wins small ranges, the PQ approach
+//!   holds bounded memory for large ones;
+//! * **offset_bits**: offset-array width vs pure binary search (§4.2) —
+//!   wider arrays narrow the initial search range;
+//! * **merge_policy**: K/T sweep (§5.3) — leveling-like (K=1) vs
+//!   tiering-like (large K) total merge work;
+//! * **batch_sort**: batched sorted lookups (§7.2) vs one-by-one point
+//!   lookups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::sync::Arc;
+use umzi_bench::{bench_index, ingest_runs, lookup_batch, point_groups, scan_range};
+use umzi_core::{MergePolicy, ReconcileStrategy, UmziConfig, UmziIndex};
+use umzi_storage::TieredStorage;
+use umzi_workload::{IndexPreset, KeyDist, KeyGen};
+
+fn abl_reconcile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abl_reconcile");
+    g.sample_size(10);
+    let idx = bench_index(IndexPreset::I1, "abl-rec");
+    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 20, 20_000, true, 7);
+    for (name, strategy) in
+        [("set", ReconcileStrategy::Set), ("pq", ReconcileStrategy::PriorityQueue)]
+    {
+        for range in [10u64, 1_000, 100_000] {
+            let mut starts =
+                KeyGen::new(KeyDist::Random, total.saturating_sub(range).max(1), 99);
+            g.bench_with_input(
+                BenchmarkId::new(name, range),
+                &range,
+                |b, &range| {
+                    b.iter(|| {
+                        let start = starts.batch(1)[0];
+                        scan_range(&idx, start, range, u64::MAX, strategy)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn abl_offset_bits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abl_offset_bits");
+    g.sample_size(15);
+    for bits in [0u8, 4, 8, 12] {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let mut config = UmziConfig::two_zone(format!("abl-ob-{bits}"));
+        config.offset_bits = bits;
+        config.merge = MergePolicy { k: usize::MAX / 2, t: 4 };
+        let idx = UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create");
+        let total =
+            ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 10, 20_000, false, 7);
+        let mut qgen = KeyGen::new(KeyDist::Random, total, 99);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                let keys = qgen.query_batch(1000, total);
+                lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn abl_merge_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abl_merge_policy");
+    g.sample_size(10);
+    for (k, t) in [(1usize, 4u64), (4, 4), (8, 4), (4, 2), (4, 8)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("K{k}_T{t}")),
+            &(k, t),
+            |b, &(k, t)| {
+                b.iter_batched(
+                    || {
+                        let storage = Arc::new(TieredStorage::in_memory());
+                        let mut config =
+                            UmziConfig::two_zone(format!("abl-mp-{k}-{t}-{:p}", &storage));
+                        config.merge = MergePolicy { k, t };
+                        UmziIndex::create(storage, IndexPreset::I1.def(), config)
+                            .expect("create")
+                    },
+                    |idx| {
+                        // Total maintenance work for 16 grooms of 5000 keys.
+                        let mut gen = KeyGen::new(KeyDist::Sequential, 80_000, 7);
+                        for r in 0..16u64 {
+                            let keys = gen.batch(5_000);
+                            let entries =
+                                umzi_bench::point_entries(&idx, IndexPreset::I1, &keys, r * 5_000);
+                            idx.build_groomed_run(entries, r + 1, r + 1).expect("build");
+                            idx.drain_merges().expect("merge");
+                        }
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn abl_batch_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abl_batch_vs_individual");
+    g.sample_size(15);
+    let idx = bench_index(IndexPreset::I1, "abl-bs");
+    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 20, 20_000, false, 7);
+    let mut qgen = KeyGen::new(KeyDist::Random, total, 99);
+
+    g.bench_function("batched_sorted", |b| {
+        b.iter(|| {
+            let keys = qgen.query_batch(1000, total);
+            lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
+        })
+    });
+    g.bench_function("individual_lookups", |b| {
+        b.iter(|| {
+            let keys = qgen.query_batch(1000, total);
+            for k in keys {
+                let (eq, sort) = point_groups(IndexPreset::I1, k);
+                std::hint::black_box(
+                    idx.point_lookup(&eq, &sort, u64::MAX).expect("lookup"),
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, abl_reconcile, abl_offset_bits, abl_merge_policy, abl_batch_sort);
+criterion_main!(benches);

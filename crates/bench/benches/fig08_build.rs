@@ -1,0 +1,46 @@
+//! Criterion micro-bench for Figure 8: run-building time for I1/I2/I3
+//! across run sizes. Shape to verify: near-linear in run size, I3 slightly
+//! cheapest (one fewer key column), column count otherwise negligible
+//! against sort cost (§8.2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use umzi_bench::{bench_index, point_entries};
+use umzi_workload::{IndexPreset, KeyDist, KeyGen};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_build");
+    g.sample_size(10);
+    for preset in IndexPreset::ALL {
+        for size in [1_000u64, 10_000, 100_000] {
+            g.throughput(Throughput::Elements(size));
+            g.bench_with_input(
+                BenchmarkId::new(preset.label(), size),
+                &size,
+                |b, &size| {
+                    let mut round = 0u64;
+                    b.iter_batched(
+                        || {
+                            round += 1;
+                            let idx = bench_index(
+                                preset,
+                                &format!("b8-{}-{size}-{round}", preset.label()),
+                            );
+                            let mut gen = KeyGen::new(KeyDist::Sequential, size, 7);
+                            let keys = gen.batch(size as usize);
+                            let entries = point_entries(&idx, preset, &keys, 1);
+                            (idx, entries)
+                        },
+                        |(idx, entries)| {
+                            idx.build_groomed_run(entries, 1, 1).expect("build");
+                        },
+                        BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

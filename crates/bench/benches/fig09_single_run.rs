@@ -1,0 +1,38 @@
+//! Criterion micro-bench for Figure 9: batched lookups against a single
+//! run, varying run size, query distribution and index definition. Shape to
+//! verify: run size has limited impact (offset array + binary search); I2 is
+//! slower than I1/I3 (two equality columns make the offset array's
+//! narrowing less effective, §8.3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use umzi_bench::{bench_index, ingest_runs, lookup_batch};
+use umzi_workload::{IndexPreset, KeyDist, KeyGen};
+
+fn bench_single_run(c: &mut Criterion) {
+    let batch = 1000usize;
+    for qdist in [KeyDist::Sequential, KeyDist::Random] {
+        let mut g = c.benchmark_group(format!("fig09_single_run_{}", qdist.label()));
+        g.sample_size(20);
+        for preset in IndexPreset::ALL {
+            for size in [10_000u64, 100_000, 1_000_000] {
+                let idx = bench_index(
+                    preset,
+                    &format!("b9-{}-{}-{size}", qdist.label(), preset.label()),
+                );
+                ingest_runs(&idx, preset, KeyDist::Sequential, 1, size, false, 7);
+                let mut qgen = KeyGen::new(qdist, size, 99);
+                g.throughput(Throughput::Elements(batch as u64));
+                g.bench_with_input(BenchmarkId::new(preset.label(), size), &size, |b, &size| {
+                    b.iter(|| {
+                        let keys = qgen.query_batch(batch, size);
+                        lookup_batch(&idx, preset, &keys, u64::MAX)
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_single_run);
+criterion_main!(benches);

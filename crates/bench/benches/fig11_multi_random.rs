@@ -1,0 +1,55 @@
+//! Criterion micro-bench for Figure 11: multi-run lookups and scans with
+//! *randomly* ingested keys. Shape to verify (§8.3.3): random ingestion
+//! defeats the synopsis, so sequential query batches lose their advantage
+//! and converge to random-query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use umzi_bench::{bench_index, ingest_runs, lookup_batch, scan_range};
+use umzi_core::ReconcileStrategy;
+use umzi_workload::{IndexPreset, KeyDist, KeyGen};
+
+const PER_RUN: u64 = 20_000;
+
+fn bench_run_count_random_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11b_run_count_random_ingest");
+    g.sample_size(15);
+    for n_runs in [1usize, 10, 20, 40] {
+        let idx = bench_index(IndexPreset::I1, &format!("b11b-{n_runs}"));
+        let total =
+            ingest_runs(&idx, IndexPreset::I1, KeyDist::Random, n_runs, PER_RUN, false, 7);
+        for qdist in [KeyDist::Sequential, KeyDist::Random] {
+            let mut qgen = KeyGen::new(qdist, total, 99);
+            g.bench_with_input(
+                BenchmarkId::new(qdist.label(), n_runs),
+                &n_runs,
+                |b, _| {
+                    b.iter(|| {
+                        let keys = qgen.query_batch(1000, total);
+                        lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_scan_range_random_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11c_scan_range_random_ingest");
+    g.sample_size(10);
+    let idx = bench_index(IndexPreset::I1, "b11c");
+    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Random, 20, PER_RUN, true, 7);
+    for range in [1u64, 100, 10_000, 100_000] {
+        let mut starts = KeyGen::new(KeyDist::Random, total.saturating_sub(range).max(1), 99);
+        g.bench_with_input(BenchmarkId::from_parameter(range), &range, |b, &range| {
+            b.iter(|| {
+                let start = starts.batch(1)[0];
+                scan_range(&idx, start, range, u64::MAX, ReconcileStrategy::PriorityQueue)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_run_count_random_ingest, bench_scan_range_random_ingest);
+criterion_main!(benches);

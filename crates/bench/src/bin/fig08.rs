@@ -1,0 +1,8 @@
+//! Figure 8: index building performance. `UMZI_BENCH_SCALE=full` for
+//! paper-scale run sizes.
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 8 ({scale:?} scale)");
+    umzi_bench::figures::fig08(scale);
+}

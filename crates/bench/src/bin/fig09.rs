@@ -1,0 +1,7 @@
+//! Figure 9: single-run query performance (sequential and random batches).
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 9 ({scale:?} scale)");
+    umzi_bench::figures::fig09(scale);
+}

@@ -1,0 +1,10 @@
+//! Figure 10: multi-run query performance with sequentially ingested keys —
+//! (a) batch size, (b) number of runs, (c) scan ranges.
+
+use umzi_workload::KeyDist;
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 10 ({scale:?} scale)");
+    umzi_bench::figures::fig10_11(scale, KeyDist::Sequential);
+}

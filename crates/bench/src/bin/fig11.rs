@@ -1,0 +1,10 @@
+//! Figure 11: multi-run query performance with randomly ingested keys —
+//! (a) batch size, (b) number of runs, (c) scan ranges.
+
+use umzi_workload::KeyDist;
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 11 ({scale:?} scale)");
+    umzi_bench::figures::fig10_11(scale, KeyDist::Random);
+}

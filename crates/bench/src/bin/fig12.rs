@@ -1,0 +1,9 @@
+//! Figure 12: end-to-end lookup latency under concurrent readers. The
+//! lock-free reader design keeps latency flat as readers grow (up to the
+//! host's core count; see EXPERIMENTS.md for the oversubscription caveat).
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 12 ({scale:?} scale)");
+    umzi_bench::figures::fig12(scale);
+}

@@ -1,0 +1,8 @@
+//! Figure 13: end-to-end lookup latency while varying the update rate p
+//! (§8.4's IoT update mix).
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 13 ({scale:?} scale)");
+    umzi_bench::figures::fig13(scale);
+}

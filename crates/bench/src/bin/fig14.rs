@@ -1,0 +1,8 @@
+//! Figure 14: end-to-end lookup latency with purged runs (none / half /
+//! all), under a realistic SSD ≪ shared-storage latency gap.
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 14 ({scale:?} scale)");
+    umzi_bench::figures::fig14(scale);
+}

@@ -1,0 +1,8 @@
+//! Figure 15: end-to-end impact of index evolve operations (post-groomer
+//! enabled vs disabled).
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — Figure 15 ({scale:?} scale)");
+    umzi_bench::figures::fig15(scale);
+}

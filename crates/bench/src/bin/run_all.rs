@@ -1,0 +1,22 @@
+//! Regenerate every figure of the paper's evaluation in one go.
+//!
+//! `cargo run --release -p umzi-bench --bin run_all`
+//! (`UMZI_BENCH_SCALE=full` for paper-scale parameters.)
+
+use umzi_bench::figures;
+use umzi_workload::KeyDist;
+
+fn main() {
+    let scale = umzi_bench::Scale::from_env();
+    println!("# Umzi reproduction — all figures ({scale:?} scale)");
+    let t0 = std::time::Instant::now();
+    figures::fig08(scale);
+    figures::fig09(scale);
+    figures::fig10_11(scale, KeyDist::Sequential);
+    figures::fig10_11(scale, KeyDist::Random);
+    figures::fig12(scale);
+    figures::fig13(scale);
+    figures::fig14(scale);
+    figures::fig15(scale);
+    println!("\nall figures regenerated in {:?}", t0.elapsed());
+}

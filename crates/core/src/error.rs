@@ -1,0 +1,77 @@
+//! Error type for the Umzi index.
+
+use std::fmt;
+
+/// Errors from index operations.
+#[derive(Debug)]
+pub enum UmziError {
+    /// Underlying storage failure.
+    Storage(umzi_storage::StorageError),
+    /// Run-format failure.
+    Run(umzi_run::RunError),
+    /// Encoding failure.
+    Encoding(umzi_encoding::EncodingError),
+    /// Invalid configuration.
+    Config(String),
+    /// An evolve operation arrived out of order (PSN gaps are not allowed;
+    /// §5.4 requires the index to evolve in PSN order).
+    PsnOutOfOrder {
+        /// The PSN the index expects next.
+        expected: u64,
+        /// The PSN that was submitted.
+        got: u64,
+    },
+    /// A merge lost the race with a concurrent structural change (its input
+    /// runs are no longer consecutive in the list); the merge was abandoned
+    /// and can simply be retried.
+    MergeConflict,
+    /// Manifest missing or unreadable during recovery.
+    ManifestCorrupt(String),
+}
+
+impl fmt::Display for UmziError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UmziError::Storage(e) => write!(f, "storage error: {e}"),
+            UmziError::Run(e) => write!(f, "run error: {e}"),
+            UmziError::Encoding(e) => write!(f, "encoding error: {e}"),
+            UmziError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            UmziError::PsnOutOfOrder { expected, got } => {
+                write!(f, "post-groom sequence out of order: expected {expected}, got {got}")
+            }
+            UmziError::MergeConflict => {
+                write!(f, "merge abandoned: input runs changed concurrently")
+            }
+            UmziError::ManifestCorrupt(msg) => write!(f, "manifest corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UmziError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UmziError::Storage(e) => Some(e),
+            UmziError::Run(e) => Some(e),
+            UmziError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<umzi_storage::StorageError> for UmziError {
+    fn from(e: umzi_storage::StorageError) -> Self {
+        UmziError::Storage(e)
+    }
+}
+
+impl From<umzi_run::RunError> for UmziError {
+    fn from(e: umzi_run::RunError) -> Self {
+        UmziError::Run(e)
+    }
+}
+
+impl From<umzi_encoding::EncodingError> for UmziError {
+    fn from(e: umzi_encoding::EncodingError) -> Self {
+        UmziError::Encoding(e)
+    }
+}

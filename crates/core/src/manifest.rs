@@ -1,0 +1,200 @@
+//! Persisted index metadata (§5.5).
+//!
+//! *"After each index evolve operation, the maximum groomed blocked ID for
+//! the post-groomed run list and IndexedPSN are also persisted."*
+//!
+//! Shared storage offers no atomic rename, so manifests are written as new
+//! immutable objects with a monotonically increasing sequence number in the
+//! name; recovery picks the highest-sequence manifest whose checksum
+//! verifies, and older manifests are garbage collected. Runs themselves are
+//! self-describing — the manifest only carries state that cannot be derived
+//! from run headers.
+//!
+//! One watermark is stored per zone *boundary* (the paper's two-zone layout
+//! has a single groomed→post-groomed watermark; §3's arbitrary-zone
+//! extension needs one per adjacent pair).
+
+use bytes::Bytes;
+use umzi_encoding::hash64;
+use umzi_storage::SharedStorage;
+
+use crate::error::UmziError;
+use crate::Result;
+
+const MAGIC: &[u8; 8] = b"UMZIMAN1";
+const VERSION: u16 = 1;
+
+/// Durable index state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic manifest sequence number.
+    pub seq: u64,
+    /// Last post-groom sequence number whose evolve completed.
+    pub indexed_psn: u64,
+    /// Next run ID to allocate.
+    pub next_run_id: u64,
+    /// Cache-manager state: the current cached level (§6.2).
+    pub current_cached_level: u32,
+    /// Per-zone-boundary watermarks: `watermarks[i]` is the maximum groomed
+    /// block ID already covered by zones `> i`; runs of zone `i` whose end
+    /// ID is ≤ it are ignored by queries (§5.4).
+    pub watermarks: Vec<u64>,
+}
+
+impl Manifest {
+    fn serialize(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(64 + self.watermarks.len() * 8);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.indexed_psn.to_le_bytes());
+        buf.extend_from_slice(&self.next_run_id.to_le_bytes());
+        buf.extend_from_slice(&self.current_cached_level.to_le_bytes());
+        buf.extend_from_slice(&(self.watermarks.len() as u16).to_le_bytes());
+        for w in &self.watermarks {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        let checksum = hash64(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        Bytes::from(buf)
+    }
+
+    fn deserialize(buf: &[u8]) -> Result<Manifest> {
+        let min_len = 8 + 2 + 8 * 3 + 4 + 2 + 8;
+        if buf.len() < min_len {
+            return Err(UmziError::ManifestCorrupt(format!("too short: {} bytes", buf.len())));
+        }
+        if &buf[..8] != MAGIC {
+            return Err(UmziError::ManifestCorrupt("bad magic".into()));
+        }
+        let body = &buf[..buf.len() - 8];
+        let stored =
+            u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8 bytes"));
+        if hash64(body) != stored {
+            return Err(UmziError::ManifestCorrupt("checksum mismatch".into()));
+        }
+        let version = u16::from_le_bytes(buf[8..10].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(UmziError::ManifestCorrupt(format!("unsupported version {version}")));
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        let seq = u64_at(10);
+        let indexed_psn = u64_at(18);
+        let next_run_id = u64_at(26);
+        let current_cached_level =
+            u32::from_le_bytes(buf[34..38].try_into().expect("4 bytes"));
+        let n = u16::from_le_bytes(buf[38..40].try_into().expect("2 bytes")) as usize;
+        if buf.len() != min_len + n * 8 - 8 + 8 {
+            return Err(UmziError::ManifestCorrupt("length/watermark-count mismatch".into()));
+        }
+        let mut watermarks = Vec::with_capacity(n);
+        for i in 0..n {
+            watermarks.push(u64_at(40 + i * 8));
+        }
+        Ok(Manifest { seq, indexed_psn, next_run_id, current_cached_level, watermarks })
+    }
+
+    /// Persist this manifest as the object `name`.
+    pub fn persist(&self, shared: &SharedStorage, name: &str) -> Result<()> {
+        shared.put(name, self.serialize())?;
+        Ok(())
+    }
+
+    /// Load the newest valid manifest under `prefix`. Invalid (truncated or
+    /// checksum-failing) manifests are skipped — a crash mid-write must not
+    /// block recovery.
+    pub fn load_latest(shared: &SharedStorage, prefix: &str) -> Result<Option<Manifest>> {
+        let mut names = shared.list(prefix)?;
+        names.sort();
+        for name in names.iter().rev() {
+            let data = shared.get(name)?;
+            if let Ok(m) = Manifest::deserialize(&data) {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Delete all manifests under `prefix` except the `keep` newest.
+    pub fn gc(shared: &SharedStorage, prefix: &str, keep: usize) -> Result<usize> {
+        let mut names = shared.list(prefix)?;
+        names.sort();
+        let n = names.len().saturating_sub(keep);
+        for name in &names[..n] {
+            let _ = shared.delete(name);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> Manifest {
+        Manifest {
+            seq,
+            indexed_psn: 3,
+            next_run_id: 42,
+            current_cached_level: 7,
+            watermarks: vec![18],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample(5);
+        assert_eq!(Manifest::deserialize(&m.serialize()).unwrap(), m);
+        // Multiple watermarks (three-zone config).
+        let m3 = Manifest { watermarks: vec![18, 7, 0], ..sample(6) };
+        assert_eq!(Manifest::deserialize(&m3.serialize()).unwrap(), m3);
+        // No watermarks (single-zone config).
+        let m0 = Manifest { watermarks: vec![], ..sample(7) };
+        assert_eq!(Manifest::deserialize(&m0.serialize()).unwrap(), m0);
+    }
+
+    #[test]
+    fn persist_and_load_latest() {
+        let shared = SharedStorage::in_memory();
+        for seq in 1..=3 {
+            sample(seq)
+                .persist(&shared, &format!("idx/manifest/manifest-{seq:020}"))
+                .unwrap();
+        }
+        let latest = Manifest::load_latest(&shared, "idx/manifest/").unwrap().unwrap();
+        assert_eq!(latest.seq, 3);
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back() {
+        let shared = SharedStorage::in_memory();
+        sample(1).persist(&shared, "m/manifest-01").unwrap();
+        shared.put("m/manifest-02", Bytes::from_static(b"garbage")).unwrap();
+        let latest = Manifest::load_latest(&shared, "m/").unwrap().unwrap();
+        assert_eq!(latest.seq, 1, "corrupt newest manifest must be skipped");
+    }
+
+    #[test]
+    fn empty_prefix_gives_none() {
+        let shared = SharedStorage::in_memory();
+        assert!(Manifest::load_latest(&shared, "nothing/").unwrap().is_none());
+    }
+
+    #[test]
+    fn gc_keeps_newest() {
+        let shared = SharedStorage::in_memory();
+        for seq in 1..=5 {
+            sample(seq).persist(&shared, &format!("m/manifest-{seq:020}")).unwrap();
+        }
+        let deleted = Manifest::gc(&shared, "m/", 2).unwrap();
+        assert_eq!(deleted, 3);
+        assert_eq!(shared.list("m/").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut buf = sample(9).serialize().to_vec();
+        buf[20] ^= 1;
+        assert!(Manifest::deserialize(&buf).is_err());
+    }
+}

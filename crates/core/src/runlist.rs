@@ -1,0 +1,365 @@
+//! Lock-free run lists (§5.1).
+//!
+//! *"Umzi relies on atomic pointers and chains runs in each zone together
+//! into a linked list, where the header points to the most recent run. All
+//! maintenance operations are carefully designed so that each index
+//! modification, i.e., a pointer modification, always results in a valid
+//! state of the index. As a result, queries can always traverse run lists
+//! sequentially without locking."*
+//!
+//! Readers traverse under a `crossbeam` epoch guard and never lock. Writers
+//! (index build, merge, evolve, GC) serialize on one short
+//! [`parking_lot::Mutex`] per list and publish every structural change as a
+//! single pointer store:
+//!
+//! * **prepend** (§5.2): the new node's `next` is set to the current head
+//!   *before* the head pointer is swung;
+//! * **splice** (§5.3, Figure 4): the replacement node's `next` is set to
+//!   the node after the last merged run *before* the predecessor pointer is
+//!   swung;
+//! * **unlink** (§5.4 step 3): the predecessor pointer is swung past the
+//!   removed node.
+//!
+//! Unlinked nodes are reclaimed with epoch-deferred destruction; readers
+//! that already passed a swung pointer keep reading the old nodes, which is
+//! exactly the paper's *"it sees correct results no matter whether the old
+//! runs or the new run are accessed"*.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Atomic, Owned};
+use parking_lot::Mutex;
+use umzi_run::Run;
+
+struct Node {
+    run: Arc<Run>,
+    next: Atomic<Node>,
+}
+
+/// A lock-free (for readers) list of runs, newest first.
+pub struct RunList {
+    head: Atomic<Node>,
+    write_lock: Mutex<()>,
+    len: AtomicUsize,
+}
+
+impl Default for RunList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self { head: Atomic::null(), write_lock: Mutex::new(()), len: AtomicUsize::new(0) }
+    }
+
+    /// Number of runs (approximate under concurrent mutation).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lock-free snapshot of the current runs, newest first.
+    ///
+    /// This is the query-side entry point: it takes no locks and sees a
+    /// consistent list (every pointer store leaves the list valid).
+    pub fn snapshot(&self) -> Vec<Arc<Run>> {
+        let guard = epoch::pin();
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.head.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            out.push(Arc::clone(&node.run));
+            cur = node.next.load(Ordering::Acquire, &guard);
+        }
+        out
+    }
+
+    /// Prepend a run (index build, §5.2; evolve step 1, §5.4).
+    pub fn push_front(&self, run: Arc<Run>) {
+        let _w = self.write_lock.lock();
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let node = Owned::new(Node { run, next: Atomic::null() });
+        // Order matters for concurrent readers: the new node must point at
+        // the old head BEFORE it becomes reachable.
+        node.next.store(head, Ordering::Release);
+        self.head.store(node, Ordering::Release);
+        self.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Replace the consecutive nodes carrying `old_ids` (in list order) with
+    /// a single node for `new_run` (merge, §5.3 / Figure 4). Returns the
+    /// replaced runs, or `None` — with the list unchanged — if the expected
+    /// sequence is no longer present (a concurrent GC won the race).
+    pub fn replace_consecutive(
+        &self,
+        old_ids: &[u64],
+        new_run: Arc<Run>,
+    ) -> Option<Vec<Arc<Run>>> {
+        assert!(!old_ids.is_empty(), "replace_consecutive requires at least one run");
+        let _w = self.write_lock.lock();
+        let guard = epoch::pin();
+
+        // Find the atomic pointer that points at the first old node.
+        let mut prev = &self.head;
+        let mut cur = prev.load(Ordering::Acquire, &guard);
+        loop {
+            let node = unsafe { cur.as_ref() }?;
+            if node.run.run_id() == old_ids[0] {
+                break;
+            }
+            prev = &node.next;
+            cur = prev.load(Ordering::Acquire, &guard);
+        }
+
+        // Verify the full consecutive sequence and find the node after it.
+        let mut removed = Vec::with_capacity(old_ids.len());
+        let mut shared_nodes = Vec::with_capacity(old_ids.len());
+        let mut walk = cur;
+        for &expected in old_ids {
+            let node = unsafe { walk.as_ref() }?;
+            if node.run.run_id() != expected {
+                return None;
+            }
+            removed.push(Arc::clone(&node.run));
+            shared_nodes.push(walk);
+            walk = node.next.load(Ordering::Acquire, &guard);
+        }
+        let after = walk;
+
+        // Figure 4: step 1 — point the new run at the next run of the last
+        // merged run; step 2 — swing the predecessor pointer.
+        let node = Owned::new(Node { run: new_run, next: Atomic::null() });
+        node.next.store(after, Ordering::Release);
+        prev.store(node, Ordering::Release);
+
+        for s in shared_nodes {
+            unsafe { guard.defer_destroy(s) };
+        }
+        self.len.fetch_sub(old_ids.len() - 1, Ordering::AcqRel);
+        Some(removed)
+    }
+
+    /// Unlink every run for which `pred` returns true (evolve step 3 GC,
+    /// §5.4). Returns the removed runs (callers decide when the backing
+    /// objects can actually be deleted).
+    pub fn remove_matching(&self, mut pred: impl FnMut(&Run) -> bool) -> Vec<Arc<Run>> {
+        let _w = self.write_lock.lock();
+        let guard = epoch::pin();
+        let mut removed = Vec::new();
+
+        let mut prev = &self.head;
+        let mut cur = prev.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if pred(&node.run) {
+                // Single pointer store: readers past `prev` still see the
+                // old node (valid); new readers skip it.
+                prev.store(next, Ordering::Release);
+                removed.push(Arc::clone(&node.run));
+                unsafe { guard.defer_destroy(cur) };
+                // `prev` stays put: it now points at `next`.
+            } else {
+                prev = &node.next;
+            }
+            cur = next;
+        }
+        self.len.fetch_sub(removed.len(), Ordering::AcqRel);
+        removed
+    }
+}
+
+impl Drop for RunList {
+    fn drop(&mut self) {
+        // Exclusive access: free the chain directly.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.head.load(Ordering::Relaxed, guard);
+            while !cur.is_null() {
+                let owned = cur.into_owned();
+                cur = owned.next.load(Ordering::Relaxed, guard);
+                drop(owned);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use umzi_encoding::{ColumnType, IndexDef};
+    use umzi_run::{KeyLayout, RunBuilder, RunParams, ZoneId};
+    use umzi_storage::{Durability, TieredStorage};
+
+    fn test_run(storage: &Arc<TieredStorage>, run_id: u64, lo: u64, hi: u64) -> Arc<Run> {
+        let def = IndexDef::builder("t").equality("k", ColumnType::Int64).build().unwrap();
+        let layout = KeyLayout::new(Arc::new(def));
+        let b = RunBuilder::new(
+            layout,
+            RunParams {
+                run_id,
+                zone: ZoneId::GROOMED,
+                level: 0,
+                groomed_lo: lo,
+                groomed_hi: hi,
+                psn: 0,
+                offset_bits: 0,
+                ancestors: vec![],
+            },
+            storage.chunk_size(),
+        );
+        Arc::new(
+            b.finish(storage, &format!("runs/{run_id}"), Durability::Persisted, false).unwrap(),
+        )
+    }
+
+    fn ids(list: &RunList) -> Vec<u64> {
+        list.snapshot().iter().map(|r| r.run_id()).collect()
+    }
+
+    #[test]
+    fn push_front_orders_newest_first() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = RunList::new();
+        for i in 1..=4 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+        assert_eq!(ids(&list), vec![4, 3, 2, 1]);
+        assert_eq!(list.len(), 4);
+    }
+
+    #[test]
+    fn replace_consecutive_splices() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = RunList::new();
+        for i in 1..=5 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+        // List: 5 4 3 2 1. Merge 4,3,2 → 9.
+        let removed = list.replace_consecutive(&[4, 3, 2], test_run(&storage, 9, 2, 4)).unwrap();
+        assert_eq!(removed.iter().map(|r| r.run_id()).collect::<Vec<_>>(), vec![4, 3, 2]);
+        assert_eq!(ids(&list), vec![5, 9, 1]);
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn replace_at_head_and_tail() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = RunList::new();
+        for i in 1..=3 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+        // Head replace: 3,2 → 10 ⇒ [10, 1]
+        list.replace_consecutive(&[3, 2], test_run(&storage, 10, 2, 3)).unwrap();
+        assert_eq!(ids(&list), vec![10, 1]);
+        // Tail replace: 1 → 11 ⇒ [10, 11]
+        list.replace_consecutive(&[1], test_run(&storage, 11, 1, 1)).unwrap();
+        assert_eq!(ids(&list), vec![10, 11]);
+    }
+
+    #[test]
+    fn replace_fails_on_stale_sequence() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = RunList::new();
+        for i in 1..=3 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+        // Non-consecutive or missing sequences must leave the list intact.
+        assert!(list.replace_consecutive(&[3, 1], test_run(&storage, 9, 0, 0)).is_none());
+        assert!(list.replace_consecutive(&[7], test_run(&storage, 10, 0, 0)).is_none());
+        assert!(list
+            .replace_consecutive(&[2, 1, 99], test_run(&storage, 11, 0, 0))
+            .is_none());
+        assert_eq!(ids(&list), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn remove_matching_unlinks() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = RunList::new();
+        for i in 1..=6 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+        // GC runs whose groomed_hi ≤ 3 (evolve watermark semantics).
+        let removed = list.remove_matching(|r| r.groomed_range().1 <= 3);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(ids(&list), vec![6, 5, 4]);
+        assert_eq!(list.len(), 3);
+        // Removing nothing is a no-op.
+        assert!(list.remove_matching(|_| false).is_empty());
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn readers_survive_concurrent_maintenance() {
+        // Readers continuously snapshot while a writer churns the list with
+        // pushes, splices and removals; every snapshot must be internally
+        // consistent (descending recency, walkable, non-empty coverage).
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = Arc::new(RunList::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        for i in 1..=8 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = list.snapshot();
+                    assert!(!snap.is_empty());
+                    // Run IDs strictly decrease in recency order in this
+                    // test's construction (merges use fresh, larger IDs but
+                    // splice mid-list... so only check walkability + no dup).
+                    let mut seen = std::collections::HashSet::new();
+                    for r in &snap {
+                        assert!(seen.insert(r.run_id()), "duplicate run in snapshot");
+                    }
+                    snaps += 1;
+                }
+                snaps
+            }));
+        }
+
+        let mut next_id = 100u64;
+        for round in 0..200 {
+            list.push_front(test_run(&storage, next_id, next_id, next_id));
+            next_id += 1;
+            if round % 3 == 0 {
+                // Merge the two oldest runs into one.
+                let snap = list.snapshot();
+                if snap.len() >= 4 {
+                    let a = snap[snap.len() - 2].run_id();
+                    let b = snap[snap.len() - 1].run_id();
+                    list.replace_consecutive(&[a, b], test_run(&storage, next_id, 0, next_id));
+                    next_id += 1;
+                }
+            }
+            if round % 7 == 0 {
+                let snap = list.snapshot();
+                if snap.len() > 6 {
+                    let victim = snap[3].run_id();
+                    list.remove_matching(|r| r.run_id() == victim);
+                }
+            }
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let snaps = r.join().unwrap();
+            assert!(snaps > 0, "reader made no progress");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for encoding and schema operations.
+
+use std::fmt;
+
+use crate::datum::DatumKind;
+
+/// Errors produced while encoding/decoding datums or validating schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// The byte stream ended before a complete value could be decoded.
+    UnexpectedEof {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A decoded tag or terminator byte was not valid for the expected type.
+    Corrupt {
+        /// Description of the corruption.
+        context: &'static str,
+    },
+    /// A datum of one kind was supplied where another kind was required.
+    KindMismatch {
+        /// The kind required by the schema.
+        expected: DatumKind,
+        /// The kind that was actually supplied.
+        actual: DatumKind,
+    },
+    /// An index definition failed validation.
+    InvalidIndexDef(String),
+    /// A string contained invalid UTF-8 after decoding.
+    InvalidUtf8,
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            EncodingError::Corrupt { context } => {
+                write!(f, "corrupt encoding: {context}")
+            }
+            EncodingError::KindMismatch { expected, actual } => {
+                write!(f, "datum kind mismatch: expected {expected:?}, got {actual:?}")
+            }
+            EncodingError::InvalidIndexDef(msg) => write!(f, "invalid index definition: {msg}"),
+            EncodingError::InvalidUtf8 => write!(f, "decoded string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}

@@ -1,0 +1,179 @@
+//! The 64-bit hash applied to equality-column values.
+//!
+//! §4.1: *"If equality columns are specified, we also store the hash value of
+//! equality column values to speed-up index queries"*; §4.2 stores the hash
+//! as the leading key column, and the header's offset array maps the *most
+//! significant n bits* of the hash to entry offsets (§4.2, Figure 2b).
+//!
+//! The hash must therefore (a) be deterministic across processes and
+//! restarts — it is persisted inside index runs — and (b) distribute its
+//! *high* bits well, since those select offset-array buckets. We implement a
+//! self-contained 64-bit hash (xxHash64-style mixing; no external crates,
+//! no process-random seeds) over the order-preserving encoding of the
+//! equality columns, which makes hashing independent of how callers group
+//! their datum values.
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// Width of the stored hash column in bytes.
+pub const HASH_LEN: usize = 8;
+
+/// Deterministic seed: runs persist hash values, so the seed is a format
+/// constant (changing it is a breaking format change).
+const SEED: u64 = 0x554D_5A49_2019_0326; // "UMZI" + EDBT 2019 dates
+
+/// Hash an arbitrary byte string to 64 bits (xxHash64 algorithm).
+pub fn hash64(input: &[u8]) -> u64 {
+    let len = input.len() as u64;
+    let mut rest = input;
+    let mut acc: u64;
+
+    if rest.len() >= 32 {
+        let mut v1 = SEED.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = SEED.wrapping_add(PRIME64_2);
+        let mut v3 = SEED;
+        let mut v4 = SEED.wrapping_sub(PRIME64_1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..8]));
+            v2 = round(v2, read_u64(&rest[8..16]));
+            v3 = round(v3, read_u64(&rest[16..24]));
+            v4 = round(v4, read_u64(&rest[24..32]));
+            rest = &rest[32..];
+        }
+        acc = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        acc = merge_round(acc, v1);
+        acc = merge_round(acc, v2);
+        acc = merge_round(acc, v3);
+        acc = merge_round(acc, v4);
+    } else {
+        acc = SEED.wrapping_add(PRIME64_5);
+    }
+
+    acc = acc.wrapping_add(len);
+
+    while rest.len() >= 8 {
+        let k = round(0, read_u64(&rest[0..8]));
+        acc ^= k;
+        acc = acc.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        let k = u64::from(read_u32(&rest[0..4]));
+        acc ^= k.wrapping_mul(PRIME64_1);
+        acc = acc.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        acc ^= u64::from(b).wrapping_mul(PRIME64_5);
+        acc = acc.rotate_left(11).wrapping_mul(PRIME64_1);
+    }
+
+    // Final avalanche.
+    acc ^= acc >> 33;
+    acc = acc.wrapping_mul(PRIME64_2);
+    acc ^= acc >> 29;
+    acc = acc.wrapping_mul(PRIME64_3);
+    acc ^= acc >> 32;
+    acc
+}
+
+#[inline]
+fn round(mut acc: u64, input: u64) -> u64 {
+    acc = acc.wrapping_add(input.wrapping_mul(PRIME64_2));
+    acc = acc.rotate_left(31);
+    acc.wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(mut acc: u64, val: u64) -> u64 {
+    acc ^= round(0, val);
+    acc.wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8-byte slice"))
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4-byte slice"))
+}
+
+/// Extract the most significant `bits` bits of a hash — the offset-array
+/// bucket index (§4.2, Figure 2b). `bits` must be in `1..=32`.
+#[inline]
+pub fn hash_prefix(hash: u64, bits: u8) -> u32 {
+    debug_assert!((1..=32).contains(&bits), "offset array width out of range");
+    (hash >> (64 - u32::from(bits))) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"device-42"), hash64(b"device-42"));
+        assert_ne!(hash64(b"device-42"), hash64(b"device-43"));
+    }
+
+    #[test]
+    fn empty_and_small_inputs() {
+        // Exercise all tail paths: 0, 1..3, 4..7, 8..31, >=32 bytes.
+        let lens = [0usize, 1, 3, 4, 7, 8, 15, 31, 32, 33, 64, 100];
+        let mut seen = std::collections::HashSet::new();
+        for l in lens {
+            let data = vec![0xABu8; l];
+            assert!(seen.insert(hash64(&data)), "collision at len {l}");
+        }
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        let h = 0b1001_0001u64 << 56; // top byte = 1001 0001 as in Figure 2
+        assert_eq!(hash_prefix(h, 3), 0b100);
+        assert_eq!(hash_prefix(h, 8), 0b1001_0001);
+        assert_eq!(hash_prefix(u64::MAX, 1), 1);
+        assert_eq!(hash_prefix(0, 32), 0);
+    }
+
+    #[test]
+    fn high_bits_distribute() {
+        // The offset array uses high bits: check they spread over buckets.
+        let n_buckets = 256u32;
+        let mut counts = vec![0u32; n_buckets as usize];
+        let n = 64 * n_buckets;
+        for i in 0..n {
+            let h = hash64(&(i as u64).to_be_bytes());
+            counts[hash_prefix(h, 8) as usize] += 1;
+        }
+        let expected = (n / n_buckets) as f64;
+        // Chi-squared statistic; for 255 dof, < 400 is a very loose bound
+        // that still catches a hash which clumps high bits.
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 400.0, "high bits poorly distributed: chi2={chi2}");
+    }
+
+    #[test]
+    fn avalanche_on_single_bit_flip() {
+        let a = hash64(b"abcdefgh");
+        let b = hash64(b"abcdefgi");
+        let differing = (a ^ b).count_ones();
+        assert!(differing >= 16, "only {differing} bits changed");
+    }
+}

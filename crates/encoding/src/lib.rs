@@ -1,0 +1,35 @@
+//! Order-preserving key encoding, hashing and index schemas for the Umzi index.
+//!
+//! Umzi (Luo et al., EDBT 2019, §4.2) stores all ordering columns — the hash
+//! column, equality columns, sort columns and the (descending) `beginTS` — in
+//! *lexicographically comparable* formats, so that index keys can be compared
+//! with plain `memcmp` during query processing. This crate provides:
+//!
+//! * [`Datum`] / [`ColumnType`] — the typed values Umzi indexes,
+//! * [`keycodec`] — the order-preserving (memcmp-comparable) encoding,
+//! * [`hash`] — the 64-bit hash applied to equality columns, whose most
+//!   significant bits feed the per-run offset array,
+//! * [`IndexDef`] — index definitions combining equality columns, sort
+//!   columns and included columns (§4.1).
+//!
+//! The codec guarantees, for any two values `a`, `b` of the same type:
+//! `encode(a).cmp(&encode(b)) == a.cmp(&b)`, and for composite keys the
+//! concatenation of per-column encodings preserves tuple ordering (each
+//! column's encoding is *prefix-free* within its type).
+
+pub mod datum;
+pub mod error;
+pub mod hash;
+pub mod keycodec;
+pub mod schema;
+
+pub use datum::{Datum, DatumKind};
+pub use error::EncodingError;
+pub use hash::{hash64, hash_prefix, HASH_LEN};
+pub use keycodec::{
+    decode_datum, encode_datum, encode_datum_desc, encode_datums, KeyReader, KeyWriter,
+};
+pub use schema::{ColumnDef, ColumnType, IndexDef, IndexDefBuilder};
+
+/// Result alias for encoding operations.
+pub type Result<T> = std::result::Result<T, EncodingError>;

@@ -1,0 +1,307 @@
+//! Index definitions (§4.1).
+//!
+//! An Umzi index is defined by *key columns* — a composition of **equality
+//! columns** (for equality predicates) and **sort columns** (for range
+//! predicates) — plus optional **included columns** that enable index-only
+//! query plans. When equality columns are present, a hash of their values is
+//! stored as the leading ordering column, making Umzi a combined hash/range
+//! index; with no equality columns it degenerates to a pure range index, and
+//! with no sort columns to a pure hash index.
+
+use crate::datum::{Datum, DatumKind};
+use crate::error::EncodingError;
+use crate::hash::hash64;
+use crate::keycodec::encode_datum;
+use crate::Result;
+
+/// Column type — an alias of [`DatumKind`] used in schema positions.
+pub type ColumnType = DatumKind;
+
+/// A named, typed column in an index definition.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within the index definition).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Create a column definition.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// The role a column plays in an index definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// Equality predicate column (hashed).
+    Equality,
+    /// Range predicate column (sorted).
+    Sort,
+    /// Included (payload) column for index-only access.
+    Included,
+}
+
+/// An Umzi index definition (§4.1).
+///
+/// Immutable once built; construct with [`IndexDef::builder`]. The definition
+/// determines the key layout of every run of the index:
+///
+/// ```text
+/// key   = hash(equality values)  — 8 bytes, present iff equality columns exist
+///       ∥ enc(equality values)   — order-preserving
+///       ∥ enc(sort values)       — order-preserving
+///       ∥ ¬beginTS               — 8 bytes, descending
+/// value = RID ∥ enc(included values)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexDef {
+    name: String,
+    equality: Vec<ColumnDef>,
+    sort: Vec<ColumnDef>,
+    included: Vec<ColumnDef>,
+}
+
+impl IndexDef {
+    /// Start building an index definition.
+    pub fn builder(name: impl Into<String>) -> IndexDefBuilder {
+        IndexDefBuilder {
+            name: name.into(),
+            equality: Vec::new(),
+            sort: Vec::new(),
+            included: Vec::new(),
+        }
+    }
+
+    /// The index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Equality columns, in key order.
+    pub fn equality_columns(&self) -> &[ColumnDef] {
+        &self.equality
+    }
+
+    /// Sort columns, in key order.
+    pub fn sort_columns(&self) -> &[ColumnDef] {
+        &self.sort
+    }
+
+    /// Included columns.
+    pub fn included_columns(&self) -> &[ColumnDef] {
+        &self.included
+    }
+
+    /// Whether a hash column is stored (true iff equality columns exist).
+    pub fn has_hash(&self) -> bool {
+        !self.equality.is_empty()
+    }
+
+    /// Number of key columns (equality + sort), excluding hash and beginTS.
+    pub fn key_column_count(&self) -> usize {
+        self.equality.len() + self.sort.len()
+    }
+
+    /// All key columns in ordering position: equality then sort.
+    pub fn key_columns(&self) -> impl Iterator<Item = &ColumnDef> {
+        self.equality.iter().chain(self.sort.iter())
+    }
+
+    /// Hash the given equality values (must match the equality columns).
+    ///
+    /// Hashing is performed over the order-preserving encoding so that it is
+    /// insensitive to how callers produced the datums.
+    pub fn hash_equality(&self, values: &[Datum]) -> Result<u64> {
+        self.check_values(&self.equality, values, "equality")?;
+        let mut buf = Vec::with_capacity(values.len() * 9);
+        for v in values {
+            encode_datum(v, &mut buf);
+        }
+        Ok(hash64(&buf))
+    }
+
+    /// Validate that `values` matches the column list in arity and kinds.
+    pub fn check_values(
+        &self,
+        columns: &[ColumnDef],
+        values: &[Datum],
+        what: &str,
+    ) -> Result<()> {
+        if columns.len() != values.len() {
+            return Err(EncodingError::InvalidIndexDef(format!(
+                "index {:?}: expected {} {what} values, got {}",
+                self.name,
+                columns.len(),
+                values.len()
+            )));
+        }
+        for (c, v) in columns.iter().zip(values) {
+            if c.ty != v.kind() {
+                return Err(EncodingError::KindMismatch { expected: c.ty, actual: v.kind() });
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint of the definition, persisted in run headers so
+    /// that a run can never be opened under a different definition.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(self.name.as_bytes());
+        for (tag, cols) in [(1u8, &self.equality), (2, &self.sort), (3, &self.included)] {
+            for c in cols {
+                buf.push(tag);
+                buf.push(c.ty as u8);
+                buf.extend_from_slice(c.name.as_bytes());
+                buf.push(0);
+            }
+        }
+        hash64(&buf)
+    }
+}
+
+/// Builder for [`IndexDef`]; validates on [`IndexDefBuilder::build`].
+#[derive(Debug)]
+pub struct IndexDefBuilder {
+    name: String,
+    equality: Vec<ColumnDef>,
+    sort: Vec<ColumnDef>,
+    included: Vec<ColumnDef>,
+}
+
+impl IndexDefBuilder {
+    /// Add an equality column.
+    pub fn equality(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.equality.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Add a sort column.
+    pub fn sort(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.sort.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Add an included column.
+    pub fn included(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.included.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Validate and build the definition.
+    ///
+    /// Rules: at least one key column (equality or sort) and unique column
+    /// names across all roles. (§4.1: either role may be omitted, not both.)
+    pub fn build(self) -> Result<IndexDef> {
+        if self.equality.is_empty() && self.sort.is_empty() {
+            return Err(EncodingError::InvalidIndexDef(format!(
+                "index {:?} has no key columns",
+                self.name
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in self.equality.iter().chain(&self.sort).chain(&self.included) {
+            if !seen.insert(c.name.as_str()) {
+                return Err(EncodingError::InvalidIndexDef(format!(
+                    "duplicate column name {:?}",
+                    c.name
+                )));
+            }
+        }
+        Ok(IndexDef {
+            name: self.name,
+            equality: self.equality,
+            sort: self.sort,
+            included: self.included,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iot_def() -> IndexDef {
+        // The paper's running example: deviceID equality, msg sort.
+        IndexDef::builder("iot")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .included("payload", ColumnType::Int64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_shape() {
+        let def = iot_def();
+        assert!(def.has_hash());
+        assert_eq!(def.key_column_count(), 2);
+        assert_eq!(def.equality_columns().len(), 1);
+        assert_eq!(def.sort_columns().len(), 1);
+        assert_eq!(def.included_columns().len(), 1);
+        assert_eq!(def.key_columns().count(), 2);
+    }
+
+    #[test]
+    fn pure_range_and_pure_hash_indexes_allowed() {
+        let range_only = IndexDef::builder("r")
+            .sort("ts", ColumnType::Timestamp)
+            .build()
+            .unwrap();
+        assert!(!range_only.has_hash());
+
+        let hash_only = IndexDef::builder("h")
+            .equality("pk", ColumnType::UInt64)
+            .build()
+            .unwrap();
+        assert!(hash_only.has_hash());
+        assert!(hash_only.sort_columns().is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate() {
+        assert!(IndexDef::builder("none").build().is_err());
+        assert!(IndexDef::builder("dup")
+            .equality("a", ColumnType::Int64)
+            .sort("a", ColumnType::Int64)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn hash_equality_checks_kinds() {
+        let def = iot_def();
+        let ok = def.hash_equality(&[Datum::Int64(4)]);
+        assert!(ok.is_ok());
+        assert!(def.hash_equality(&[Datum::Str("4".into())]).is_err());
+        assert!(def.hash_equality(&[]).is_err());
+        // Deterministic.
+        assert_eq!(
+            def.hash_equality(&[Datum::Int64(4)]).unwrap(),
+            def.hash_equality(&[Datum::Int64(4)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_structure() {
+        let a = iot_def();
+        let b = IndexDef::builder("iot")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint(), "included col must matter");
+        // Role matters: same columns, different roles.
+        let c = IndexDef::builder("iot")
+            .equality("msg", ColumnType::Int64)
+            .sort("device", ColumnType::Int64)
+            .included("payload", ColumnType::Int64)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), iot_def().fingerprint());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the order-preserving key codec.
+//!
+//! The codec's contract is the foundation of the whole index: binary search,
+//! synopsis pruning and reconciliation all assume `memcmp(enc(a), enc(b))`
+//! equals the natural order of `(a, b)`.
+
+use proptest::prelude::*;
+use umzi_encoding::{
+    decode_datum, encode_datum, encode_datums, hash64, hash_prefix, Datum, DatumKind,
+};
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        any::<i64>().prop_map(Datum::Int64),
+        any::<u64>().prop_map(Datum::UInt64),
+        any::<f64>().prop_map(Datum::Float64),
+        ".{0,24}".prop_map(Datum::Str),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(Datum::Bytes),
+        any::<bool>().prop_map(Datum::Bool),
+        any::<i64>().prop_map(Datum::Timestamp),
+    ]
+}
+
+/// A pair of datums of the same kind, for order-preservation checks.
+fn arb_same_kind_pair() -> impl Strategy<Value = (Datum, Datum)> {
+    prop_oneof![
+        (any::<i64>(), any::<i64>()).prop_map(|(a, b)| (Datum::Int64(a), Datum::Int64(b))),
+        (any::<u64>(), any::<u64>()).prop_map(|(a, b)| (Datum::UInt64(a), Datum::UInt64(b))),
+        (any::<f64>(), any::<f64>()).prop_map(|(a, b)| (Datum::Float64(a), Datum::Float64(b))),
+        (".{0,16}", ".{0,16}").prop_map(|(a, b)| (Datum::Str(a), Datum::Str(b))),
+        (
+            proptest::collection::vec(any::<u8>(), 0..16),
+            proptest::collection::vec(any::<u8>(), 0..16)
+        )
+            .prop_map(|(a, b)| (Datum::Bytes(a), Datum::Bytes(b))),
+    ]
+}
+
+fn enc(d: &Datum) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_datum(d, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip(d in arb_datum()) {
+        let e = enc(&d);
+        let (back, used) = decode_datum(d.kind(), &e).unwrap();
+        prop_assert_eq!(used, e.len());
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn order_preserved((a, b) in arb_same_kind_pair()) {
+        prop_assert_eq!(enc(&a).cmp(&enc(&b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn composite_order_preserved(
+        a in proptest::collection::vec(any::<i64>().prop_map(Datum::Int64), 1..4),
+        b in proptest::collection::vec(any::<i64>().prop_map(Datum::Int64), 1..4),
+    ) {
+        // For equal-length tuples, concatenated encodings must order like tuples.
+        if a.len() == b.len() {
+            prop_assert_eq!(encode_datums(&a).cmp(&encode_datums(&b)), a.cmp(&b));
+        }
+    }
+
+    #[test]
+    fn string_composites_are_unambiguous(
+        a1 in ".{0,8}", a2 in ".{0,8}",
+        b1 in ".{0,8}", b2 in ".{0,8}",
+    ) {
+        let ka = encode_datums(&[Datum::Str(a1.clone()), Datum::Str(a2.clone())]);
+        let kb = encode_datums(&[Datum::Str(b1.clone()), Datum::Str(b2.clone())]);
+        let ta = (a1, a2);
+        let tb = (b1, b2);
+        prop_assert_eq!(ka.cmp(&kb), ta.cmp(&tb));
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(kind_sel in 0u8..7, bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let kind = match kind_sel {
+            0 => DatumKind::Int64,
+            1 => DatumKind::UInt64,
+            2 => DatumKind::Float64,
+            3 => DatumKind::Str,
+            4 => DatumKind::Bytes,
+            5 => DatumKind::Bool,
+            _ => DatumKind::Timestamp,
+        };
+        // Must return Ok or Err, never panic.
+        let _ = decode_datum(kind, &bytes);
+    }
+
+    #[test]
+    fn hash_prefix_is_high_bits(h in any::<u64>(), bits in 1u8..=32) {
+        let p = hash_prefix(h, bits);
+        prop_assert_eq!(u64::from(p), h >> (64 - u32::from(bits)));
+    }
+
+    #[test]
+    fn hash_is_pure(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(hash64(&data), hash64(&data));
+    }
+}

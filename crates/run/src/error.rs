@@ -1,0 +1,80 @@
+//! Error type for run-format operations.
+
+use std::fmt;
+
+/// Errors from building, reading or searching index runs.
+#[derive(Debug)]
+pub enum RunError {
+    /// Underlying storage failure.
+    Storage(umzi_storage::StorageError),
+    /// Encoding/decoding failure.
+    Encoding(umzi_encoding::EncodingError),
+    /// The run object is malformed (bad magic, checksum, truncation …).
+    Corrupt {
+        /// What failed to parse.
+        context: String,
+    },
+    /// Entries were pushed to a builder out of key order.
+    OutOfOrder {
+        /// Ordinal of the offending entry.
+        ordinal: u64,
+    },
+    /// An entry is too large to fit a single data block.
+    EntryTooLarge {
+        /// Encoded entry size.
+        size: usize,
+        /// Data block capacity.
+        capacity: usize,
+    },
+    /// A run was opened under a different index definition than it was
+    /// built with (fingerprint mismatch).
+    DefinitionMismatch {
+        /// Fingerprint stored in the run header.
+        stored: u64,
+        /// Fingerprint of the definition used to open the run.
+        opened_with: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Storage(e) => write!(f, "storage error: {e}"),
+            RunError::Encoding(e) => write!(f, "encoding error: {e}"),
+            RunError::Corrupt { context } => write!(f, "corrupt run: {context}"),
+            RunError::OutOfOrder { ordinal } => {
+                write!(f, "entry {ordinal} pushed out of key order")
+            }
+            RunError::EntryTooLarge { size, capacity } => {
+                write!(f, "entry of {size} bytes exceeds data block capacity {capacity}")
+            }
+            RunError::DefinitionMismatch { stored, opened_with } => write!(
+                f,
+                "index definition mismatch: run built with fingerprint {stored:#x}, \
+                 opened with {opened_with:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Storage(e) => Some(e),
+            RunError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<umzi_storage::StorageError> for RunError {
+    fn from(e: umzi_storage::StorageError) -> Self {
+        RunError::Storage(e)
+    }
+}
+
+impl From<umzi_encoding::EncodingError> for RunError {
+    fn from(e: umzi_encoding::EncodingError) -> Self {
+        RunError::Encoding(e)
+    }
+}

@@ -1,0 +1,441 @@
+//! Index-key construction and query-bound computation.
+//!
+//! §4.2: entries are ordered by *"the hash column, equality columns, sort
+//! columns, and descending order of beginTS"*, all in memcmp-comparable
+//! form. [`KeyLayout`] owns the mapping between typed column values and key
+//! bytes for one index definition, including:
+//!
+//! * full-key construction for writes,
+//! * lower/upper *prefix bound* construction for queries (§7.1.1's
+//!   "concatenated lower/upper bound"),
+//! * splitting a stored key back into per-column byte ranges (synopsis
+//!   bookkeeping and index-only result decoding).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use umzi_encoding::{
+    decode_datum, encode_datum, hash64, hash_prefix, Datum, DatumKind, IndexDef, KeyWriter,
+};
+
+use crate::error::RunError;
+use crate::Result;
+
+/// Width of the trailing (inverted) `beginTS` field in every key.
+pub const TS_LEN: usize = 8;
+
+/// A bound on the sort-column tuple of a query.
+///
+/// Bounds may cover a *prefix* of the sort columns (e.g. bound only `date`
+/// of `(date, seq)`), which the byte encoding supports naturally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SortBound {
+    /// No bound on this side.
+    Unbounded,
+    /// Inclusive bound on a prefix of the sort columns.
+    Included(Vec<Datum>),
+    /// Exclusive bound on a prefix of the sort columns.
+    Excluded(Vec<Datum>),
+}
+
+impl SortBound {
+    /// The bound's datums, if any.
+    pub fn values(&self) -> Option<&[Datum]> {
+        match self {
+            SortBound::Unbounded => None,
+            SortBound::Included(v) | SortBound::Excluded(v) => Some(v),
+        }
+    }
+}
+
+/// Key codec bound to one [`IndexDef`].
+#[derive(Debug, Clone)]
+pub struct KeyLayout {
+    def: Arc<IndexDef>,
+}
+
+impl KeyLayout {
+    /// Create a layout for the given definition.
+    pub fn new(def: Arc<IndexDef>) -> Self {
+        Self { def }
+    }
+
+    /// The index definition.
+    pub fn def(&self) -> &Arc<IndexDef> {
+        &self.def
+    }
+
+    /// Build the full key for an entry.
+    pub fn build_key(
+        &self,
+        eq_values: &[Datum],
+        sort_values: &[Datum],
+        begin_ts: u64,
+    ) -> Result<Vec<u8>> {
+        self.def.check_values(self.def.equality_columns(), eq_values, "equality")?;
+        self.def.check_values(self.def.sort_columns(), sort_values, "sort")?;
+        let mut w = KeyWriter::with_capacity(16 + 9 * (eq_values.len() + sort_values.len()));
+        if self.def.has_hash() {
+            w.put_u64(self.def.hash_equality(eq_values)?);
+        }
+        for v in eq_values {
+            w.put(v);
+        }
+        for v in sort_values {
+            w.put(v);
+        }
+        w.put_u64_desc(begin_ts);
+        Ok(w.finish())
+    }
+
+    /// Extract `beginTS` from a stored key (the inverted trailing 8 bytes).
+    pub fn begin_ts_of(key: &[u8]) -> Result<u64> {
+        if key.len() < TS_LEN {
+            return Err(RunError::Corrupt { context: "key shorter than beginTS field".into() });
+        }
+        let raw: [u8; TS_LEN] =
+            key[key.len() - TS_LEN..].try_into().expect("TS_LEN bytes");
+        Ok(!u64::from_be_bytes(raw))
+    }
+
+    /// The *logical key* — everything before the `beginTS` field. Two entries
+    /// with equal logical keys are versions of the same record.
+    pub fn logical_key(key: &[u8]) -> &[u8] {
+        &key[..key.len().saturating_sub(TS_LEN)]
+    }
+
+    /// Extract the stored hash column value, if the index has one.
+    pub fn hash_of(&self, key: &[u8]) -> Option<u64> {
+        if !self.def.has_hash() || key.len() < 8 {
+            return None;
+        }
+        Some(u64::from_be_bytes(key[..8].try_into().expect("8 bytes")))
+    }
+
+    /// The offset-array bucket of a stored key.
+    pub fn bucket_of(&self, key: &[u8], offset_bits: u8) -> Option<u32> {
+        self.hash_of(key).map(|h| hash_prefix(h, offset_bits))
+    }
+
+    /// Build the `hash ∥ equality` prefix shared by all sort values for the
+    /// given equality values (the starting point of every bound).
+    pub fn equality_prefix(&self, eq_values: &[Datum]) -> Result<Vec<u8>> {
+        self.def.check_values(self.def.equality_columns(), eq_values, "equality")?;
+        let mut w = KeyWriter::with_capacity(16 + 9 * eq_values.len());
+        if self.def.has_hash() {
+            w.put_u64(self.def.hash_equality(eq_values)?);
+        }
+        for v in eq_values {
+            w.put(v);
+        }
+        Ok(w.finish())
+    }
+
+    /// Compute the byte-range `[lower, upper)` of keys matching
+    /// `eq_values` and the sort bounds. `upper = None` means "to the end of
+    /// the run" (only possible when there are no equality columns and the
+    /// upper sort bound is unbounded, or when the successor overflows).
+    pub fn query_range(
+        &self,
+        eq_values: &[Datum],
+        lower: &SortBound,
+        upper: &SortBound,
+    ) -> Result<(Vec<u8>, Option<Vec<u8>>)> {
+        let prefix = self.equality_prefix(eq_values)?;
+
+        let lower_key = match lower {
+            SortBound::Unbounded => prefix.clone(),
+            SortBound::Included(vals) => {
+                self.check_sort_prefix(vals)?;
+                let mut k = prefix.clone();
+                for v in vals {
+                    encode_datum(v, &mut k);
+                }
+                k
+            }
+            SortBound::Excluded(vals) => {
+                self.check_sort_prefix(vals)?;
+                let mut k = prefix.clone();
+                for v in vals {
+                    encode_datum(v, &mut k);
+                }
+                // First key past every key starting with this prefix.
+                match prefix_successor(&k) {
+                    Some(s) => s,
+                    None => vec![0xFF; k.len() + 1], // degenerate: nothing above
+                }
+            }
+        };
+
+        let upper_key = match upper {
+            SortBound::Unbounded => {
+                if prefix.is_empty() {
+                    None
+                } else {
+                    prefix_successor(&prefix)
+                }
+            }
+            SortBound::Included(vals) => {
+                self.check_sort_prefix(vals)?;
+                let mut k = prefix.clone();
+                for v in vals {
+                    encode_datum(v, &mut k);
+                }
+                prefix_successor(&k)
+            }
+            SortBound::Excluded(vals) => {
+                self.check_sort_prefix(vals)?;
+                let mut k = prefix;
+                for v in vals {
+                    encode_datum(v, &mut k);
+                }
+                Some(k)
+            }
+        };
+
+        Ok((lower_key, upper_key))
+    }
+
+    fn check_sort_prefix(&self, vals: &[Datum]) -> Result<()> {
+        let cols = self.def.sort_columns();
+        if vals.len() > cols.len() {
+            return Err(RunError::Encoding(umzi_encoding::EncodingError::InvalidIndexDef(
+                format!("{} sort bound values but only {} sort columns", vals.len(), cols.len()),
+            )));
+        }
+        for (c, v) in cols.iter().zip(vals) {
+            if c.ty != v.kind() {
+                return Err(RunError::Encoding(umzi_encoding::EncodingError::KindMismatch {
+                    expected: c.ty,
+                    actual: v.kind(),
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Split a stored key into per-key-column encoded byte ranges
+    /// (equality columns first, then sort columns). Used for synopsis
+    /// maintenance during run builds and for decoding query results.
+    pub fn split_key_columns(&self, key: &[u8]) -> Result<Vec<Range<usize>>> {
+        let mut pos = if self.def.has_hash() { 8 } else { 0 };
+        let mut ranges = Vec::with_capacity(self.def.key_column_count());
+        for col in self.def.key_columns() {
+            let len = encoded_len(col.ty, &key[pos..])?;
+            ranges.push(pos..pos + len);
+            pos += len;
+        }
+        Ok(ranges)
+    }
+
+    /// Decode the typed key-column values from a stored key.
+    pub fn decode_key_columns(&self, key: &[u8]) -> Result<Vec<Datum>> {
+        let ranges = self.split_key_columns(key)?;
+        let mut out = Vec::with_capacity(ranges.len());
+        for (col, r) in self.def.key_columns().zip(ranges) {
+            let (d, _) = decode_datum(col.ty, &key[r])?;
+            out.push(d);
+        }
+        Ok(out)
+    }
+
+    /// Hash arbitrary equality values (helper for external batching code).
+    pub fn hash_equality(&self, eq_values: &[Datum]) -> Result<u64> {
+        Ok(self.def.hash_equality(eq_values)?)
+    }
+}
+
+/// Compute the encoded length of one datum of `kind` at the front of `buf`.
+fn encoded_len(kind: DatumKind, buf: &[u8]) -> Result<usize> {
+    if let Some(w) = kind.fixed_width() {
+        if buf.len() < w {
+            return Err(RunError::Corrupt { context: "key truncated mid-column".into() });
+        }
+        return Ok(w);
+    }
+    // Variable-width: scan for the 0x00 0x00 terminator, skipping escapes.
+    let mut i = 0;
+    loop {
+        match buf.get(i) {
+            None => return Err(RunError::Corrupt { context: "unterminated string column".into() }),
+            Some(0x00) => match buf.get(i + 1) {
+                Some(0x00) => return Ok(i + 2),
+                Some(0xFF) => i += 2,
+                _ => return Err(RunError::Corrupt { context: "bad escape in key".into() }),
+            },
+            Some(_) => i += 1,
+        }
+    }
+}
+
+/// The smallest byte string strictly greater than every string starting with
+/// `prefix`: increments the last non-0xFF byte and truncates. `None` when the
+/// prefix is all `0xFF` (no upper bound exists).
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(&last) = out.last() {
+        if last == 0xFF {
+            out.pop();
+        } else {
+            *out.last_mut().expect("non-empty") = last + 1;
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Re-export: deterministic hash used across the key layout.
+pub use umzi_encoding::hash64 as key_hash64;
+
+#[allow(unused_imports)]
+use hash64 as _; // referenced by doc text
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umzi_encoding::ColumnType;
+
+    fn layout() -> KeyLayout {
+        let def = IndexDef::builder("iot")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .included("val", ColumnType::Int64)
+            .build()
+            .unwrap();
+        KeyLayout::new(Arc::new(def))
+    }
+
+    #[test]
+    fn key_roundtrip_and_order() {
+        let l = layout();
+        let k1 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 100).unwrap();
+        let k2 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 97).unwrap();
+        let k3 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(2)], 50).unwrap();
+
+        // Same logical key, newer version first (Figure 2: beginTS desc).
+        assert_eq!(KeyLayout::logical_key(&k1), KeyLayout::logical_key(&k2));
+        assert!(k1 < k2, "beginTS 100 must sort before 97");
+        assert!(k2 < k3, "msg=1 sorts before msg=2 regardless of ts");
+
+        assert_eq!(KeyLayout::begin_ts_of(&k1).unwrap(), 100);
+        assert_eq!(KeyLayout::begin_ts_of(&k2).unwrap(), 97);
+        assert_eq!(
+            l.decode_key_columns(&k1).unwrap(),
+            vec![Datum::Int64(4), Datum::Int64(1)]
+        );
+    }
+
+    #[test]
+    fn same_device_shares_hash_prefix() {
+        let l = layout();
+        let k1 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 1).unwrap();
+        let k2 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(9)], 2).unwrap();
+        assert_eq!(l.hash_of(&k1), l.hash_of(&k2));
+        assert_eq!(k1[..8], k2[..8]);
+    }
+
+    #[test]
+    fn query_range_brackets_exactly_the_matches() {
+        let l = layout();
+        // Paper's example query: device = 4, 1 <= msg <= 3.
+        let (lo, hi) = l
+            .query_range(
+                &[Datum::Int64(4)],
+                &SortBound::Included(vec![Datum::Int64(1)]),
+                &SortBound::Included(vec![Datum::Int64(3)]),
+            )
+            .unwrap();
+        let hi = hi.unwrap();
+
+        for (msg, expect_in) in [(0i64, false), (1, true), (2, true), (3, true), (4, false)] {
+            let k = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 100).unwrap();
+            let inside = k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice();
+            assert_eq!(inside, expect_in, "msg={msg}");
+        }
+        // A different device never falls in the range (hash differs).
+        let other = l.build_key(&[Datum::Int64(5)], &[Datum::Int64(2)], 100).unwrap();
+        assert!(
+            !(other.as_slice() >= lo.as_slice() && other.as_slice() < hi.as_slice()),
+            "device=5 must be outside"
+        );
+    }
+
+    #[test]
+    fn exclusive_bounds() {
+        let l = layout();
+        let (lo, hi) = l
+            .query_range(
+                &[Datum::Int64(4)],
+                &SortBound::Excluded(vec![Datum::Int64(1)]),
+                &SortBound::Excluded(vec![Datum::Int64(3)]),
+            )
+            .unwrap();
+        let hi = hi.unwrap();
+        for (msg, expect_in) in [(1i64, false), (2, true), (3, false)] {
+            let k = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 7).unwrap();
+            let inside = k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice();
+            assert_eq!(inside, expect_in, "msg={msg}");
+        }
+    }
+
+    #[test]
+    fn unbounded_sort_covers_all_of_one_device() {
+        let l = layout();
+        let (lo, hi) = l
+            .query_range(&[Datum::Int64(4)], &SortBound::Unbounded, &SortBound::Unbounded)
+            .unwrap();
+        let hi = hi.unwrap();
+        for msg in [i64::MIN, -1, 0, 12345, i64::MAX] {
+            let k = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 3).unwrap();
+            assert!(k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice());
+        }
+    }
+
+    #[test]
+    fn prefix_successor_cases() {
+        assert_eq!(prefix_successor(&[1, 2, 3]), Some(vec![1, 2, 4]));
+        assert_eq!(prefix_successor(&[1, 0xFF]), Some(vec![2]));
+        assert_eq!(prefix_successor(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_successor(&[]), None);
+    }
+
+    #[test]
+    fn split_with_string_columns() {
+        let def = IndexDef::builder("s")
+            .equality("name", ColumnType::Str)
+            .sort("seq", ColumnType::Int64)
+            .build()
+            .unwrap();
+        let l = KeyLayout::new(Arc::new(def));
+        let k = l
+            .build_key(&[Datum::Str("ab\0c".into())], &[Datum::Int64(7)], 1)
+            .unwrap();
+        let cols = l.decode_key_columns(&k).unwrap();
+        assert_eq!(cols, vec![Datum::Str("ab\0c".into()), Datum::Int64(7)]);
+    }
+
+    #[test]
+    fn pure_range_index_has_no_hash() {
+        let def = IndexDef::builder("r").sort("ts", ColumnType::Int64).build().unwrap();
+        let l = KeyLayout::new(Arc::new(def));
+        let k = l.build_key(&[], &[Datum::Int64(5)], 9).unwrap();
+        assert_eq!(k.len(), 8 + 8); // sort col + beginTS, no hash
+        assert_eq!(l.hash_of(&k), None);
+        let (lo, hi) = l
+            .query_range(&[], &SortBound::Unbounded, &SortBound::Unbounded)
+            .unwrap();
+        assert!(lo.is_empty());
+        assert!(hi.is_none());
+    }
+
+    #[test]
+    fn sort_bound_arity_checked() {
+        let l = layout();
+        let err = l.query_range(
+            &[Datum::Int64(1)],
+            &SortBound::Included(vec![Datum::Int64(1), Datum::Int64(2)]),
+            &SortBound::Unbounded,
+        );
+        assert!(err.is_err(), "more bound values than sort columns");
+    }
+}

@@ -1,0 +1,420 @@
+//! Opening and reading index runs.
+//!
+//! A [`Run`] is an immutable, opened view of one run object. Entry access is
+//! by *ordinal*: the header's per-block entry-count prefix sums map an
+//! ordinal to `(block, slot)`, the block's offset trailer maps the slot to
+//! the entry bytes. All block reads go through the tiered storage, so cache
+//! residency (memory / SSD / shared) is transparent here and visible only in
+//! latency and statistics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use umzi_storage::{ObjectHandle, TieredStorage};
+
+use crate::entry::EntryRef;
+use crate::error::RunError;
+use crate::format::RunHeader;
+use crate::key::KeyLayout;
+use crate::rid::ZoneId;
+use crate::Result;
+
+/// An opened, immutable index run.
+pub struct Run {
+    storage: Arc<TieredStorage>,
+    handle: ObjectHandle,
+    header: RunHeader,
+    layout: KeyLayout,
+    name: String,
+    /// Merge-policy state (§5.3): the most recent run of a level is *active*
+    /// until it grows past the seal threshold. Not persisted — re-derived on
+    /// recovery from run sizes.
+    sealed: AtomicBool,
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Run")
+            .field("name", &self.name)
+            .field("run_id", &self.header.run_id)
+            .field("zone", &self.header.zone)
+            .field("level", &self.header.level)
+            .field("groomed", &(self.header.groomed_lo..=self.header.groomed_hi))
+            .field("entries", &self.header.entry_count)
+            .field("sealed", &self.sealed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Run {
+    /// Open a run by object name, validating the header and definition
+    /// fingerprint.
+    pub fn open(storage: Arc<TieredStorage>, name: &str, layout: KeyLayout) -> Result<Run> {
+        // Fetch the first chunk, learn the full header size, fetch the rest.
+        let handle = storage.open_object(name, 1)?;
+        let first = storage.read_chunk(handle, 0)?;
+        let header_len = RunHeader::peek_len(&first)?;
+        let header = if header_len <= first.len() {
+            RunHeader::deserialize(&first)?
+        } else {
+            let full = storage.read_range(handle, 0, header_len)?;
+            RunHeader::deserialize(&full)?
+        };
+        if header.index_fingerprint != layout.def().fingerprint() {
+            return Err(RunError::DefinitionMismatch {
+                stored: header.index_fingerprint,
+                opened_with: layout.def().fingerprint(),
+            });
+        }
+        // Pin the remaining header chunks now that we know how many.
+        let reopened = storage.open_object(name, header.header_chunks)?;
+        debug_assert_eq!(reopened, handle);
+        Ok(Run {
+            storage,
+            handle,
+            header,
+            layout,
+            name: name.to_owned(),
+            sealed: AtomicBool::new(false),
+        })
+    }
+
+    /// Construct from already-known parts (builder fast path).
+    pub(crate) fn from_parts(
+        storage: Arc<TieredStorage>,
+        handle: ObjectHandle,
+        header: RunHeader,
+        layout: KeyLayout,
+        name: &str,
+    ) -> Run {
+        Run {
+            storage,
+            handle,
+            header,
+            layout,
+            name: name.to_owned(),
+            sealed: AtomicBool::new(false),
+        }
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &RunHeader {
+        &self.header
+    }
+
+    /// Object name in storage.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Storage handle.
+    pub fn handle(&self) -> ObjectHandle {
+        self.handle
+    }
+
+    /// The key layout / index definition this run serves.
+    pub fn layout(&self) -> &KeyLayout {
+        &self.layout
+    }
+
+    /// Run ID.
+    pub fn run_id(&self) -> u64 {
+        self.header.run_id
+    }
+
+    /// Zone.
+    pub fn zone(&self) -> ZoneId {
+        self.header.zone
+    }
+
+    /// Merge level.
+    pub fn level(&self) -> u32 {
+        self.header.level
+    }
+
+    /// Covered groomed-block-ID range `(lo, hi)`.
+    pub fn groomed_range(&self) -> (u64, u64) {
+        (self.header.groomed_lo, self.header.groomed_hi)
+    }
+
+    /// Number of entries.
+    pub fn entry_count(&self) -> u64 {
+        self.header.entry_count
+    }
+
+    /// Number of data blocks.
+    pub fn data_block_count(&self) -> u32 {
+        self.header.n_data_blocks
+    }
+
+    /// Total object size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.storage.object_len(self.handle).unwrap_or(0)
+    }
+
+    /// Whether this run is sealed (inactive) for merge-policy purposes.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    /// Seal the run (it stops being the level's active run).
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// The storage hierarchy.
+    pub fn storage(&self) -> &Arc<TieredStorage> {
+        &self.storage
+    }
+
+    /// Fetch data block `b` (0-based) through the hierarchy.
+    pub fn data_block(&self, b: u32) -> Result<DataBlock> {
+        if b >= self.header.n_data_blocks {
+            return Err(RunError::Corrupt {
+                context: format!("block {b} out of range ({} blocks)", self.header.n_data_blocks),
+            });
+        }
+        let chunk = self.storage.read_chunk(self.handle, self.header.header_chunks + b)?;
+        DataBlock::parse(chunk)
+    }
+
+    /// Map an entry ordinal to `(block index, slot within block)`.
+    pub fn locate(&self, ordinal: u64) -> Result<(u32, u16)> {
+        if ordinal >= self.header.entry_count {
+            return Err(RunError::Corrupt {
+                context: format!(
+                    "ordinal {ordinal} out of range ({} entries)",
+                    self.header.entry_count
+                ),
+            });
+        }
+        let counts = &self.header.block_prefix_counts;
+        let b = counts.partition_point(|&c| c <= ordinal);
+        let base = if b == 0 { 0 } else { counts[b - 1] };
+        Ok((b as u32, (ordinal - base) as u16))
+    }
+
+    /// Read the entry at `ordinal`.
+    pub fn entry(&self, ordinal: u64) -> Result<EntryRef> {
+        let (b, slot) = self.locate(ordinal)?;
+        let block = self.data_block(b)?;
+        block.entry(slot)
+    }
+
+    /// The binary-search range `[lo, hi)` for a hash bucket, from the offset
+    /// array; the whole run when there is no offset array.
+    pub fn bucket_range(&self, bucket: Option<u32>) -> (u64, u64) {
+        match (bucket, self.header.offset_bits) {
+            (Some(bkt), bits) if bits > 0 => {
+                let oa = &self.header.offset_array;
+                let lo = oa[bkt as usize];
+                let hi = oa
+                    .get(bkt as usize + 1)
+                    .copied()
+                    .unwrap_or(self.header.entry_count);
+                (lo, hi)
+            }
+            _ => (0, self.header.entry_count),
+        }
+    }
+}
+
+/// A parsed data block: entries at the front, `u16` offset trailer at the
+/// back.
+#[derive(Debug, Clone)]
+pub struct DataBlock {
+    data: Bytes,
+    n_entries: u16,
+}
+
+impl DataBlock {
+    /// Parse a raw block.
+    pub fn parse(data: Bytes) -> Result<DataBlock> {
+        if data.len() < 2 {
+            return Err(RunError::Corrupt { context: "block shorter than trailer".into() });
+        }
+        let n = u16::from_le_bytes(data[data.len() - 2..].try_into().expect("2 bytes"));
+        let trailer = n as usize * 2 + 2;
+        if data.len() < trailer {
+            return Err(RunError::Corrupt { context: "block trailer truncated".into() });
+        }
+        Ok(DataBlock { data, n_entries: n })
+    }
+
+    /// Entries in this block.
+    pub fn entry_count(&self) -> u16 {
+        self.n_entries
+    }
+
+    /// Zero-copy view of the entry in `slot`.
+    pub fn entry(&self, slot: u16) -> Result<EntryRef> {
+        if slot >= self.n_entries {
+            return Err(RunError::Corrupt {
+                context: format!("slot {slot} out of range ({} entries)", self.n_entries),
+            });
+        }
+        let trailer_start = self.data.len() - 2 - self.n_entries as usize * 2;
+        let off_pos = trailer_start + slot as usize * 2;
+        let entry_off = u16::from_le_bytes(
+            self.data[off_pos..off_pos + 2].try_into().expect("2 bytes"),
+        ) as usize;
+
+        let read_u16 = |at: usize| -> Result<usize> {
+            self.data
+                .get(at..at + 2)
+                .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")) as usize)
+                .ok_or_else(|| RunError::Corrupt { context: "entry frame truncated".into() })
+        };
+        let key_len = read_u16(entry_off)?;
+        let key_start = entry_off + 2;
+        let val_len = read_u16(key_start + key_len)?;
+        let val_start = key_start + key_len + 2;
+        if val_start + val_len > trailer_start {
+            return Err(RunError::Corrupt { context: "entry overruns trailer".into() });
+        }
+        Ok(EntryRef {
+            key: self.data.slice(key_start..key_start + key_len),
+            value: self.data.slice(val_start..val_start + val_len),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{RunBuilder, RunParams};
+    use crate::entry::IndexEntry;
+    use crate::rid::Rid;
+    use umzi_encoding::{ColumnType, Datum, IndexDef};
+    use umzi_storage::Durability;
+
+    fn layout() -> KeyLayout {
+        let def = IndexDef::builder("iot")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .included("val", ColumnType::Int64)
+            .build()
+            .unwrap();
+        KeyLayout::new(Arc::new(def))
+    }
+
+    fn build_run(storage: &Arc<TieredStorage>, n: i64) -> Run {
+        let l = layout();
+        let mut entries: Vec<IndexEntry> = (0..n)
+            .map(|i| {
+                IndexEntry::new(
+                    &l,
+                    &[Datum::Int64(i % 10)],
+                    &[Datum::Int64(i / 10)],
+                    1000 + i as u64,
+                    Rid::new(ZoneId::GROOMED, i as u64, 0),
+                    &[Datum::Int64(i * 2)],
+                )
+                .unwrap()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut b = RunBuilder::new(
+            l,
+            RunParams {
+                run_id: 9,
+                zone: ZoneId::GROOMED,
+                level: 0,
+                groomed_lo: 3,
+                groomed_hi: 5,
+                psn: 0,
+                offset_bits: 6,
+                ancestors: vec![],
+            },
+            storage.chunk_size(),
+        );
+        for e in &entries {
+            b.push(e).unwrap();
+        }
+        b.finish(storage, "runs/t", Durability::Persisted, true).unwrap()
+    }
+
+    #[test]
+    fn entries_are_sorted_and_complete() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build_run(&storage, 5000);
+        assert_eq!(run.entry_count(), 5000);
+        let mut last: Option<Vec<u8>> = None;
+        for ord in 0..run.entry_count() {
+            let e = run.entry(ord).unwrap();
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() <= &e.key[..], "ordinal {ord} out of order");
+            }
+            last = Some(e.key.to_vec());
+        }
+    }
+
+    #[test]
+    fn locate_roundtrips_prefix_counts() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build_run(&storage, 3000);
+        let mut total = 0u64;
+        for b in 0..run.data_block_count() {
+            let blk = run.data_block(b).unwrap();
+            for s in 0..blk.entry_count() {
+                let (lb, ls) = run.locate(total).unwrap();
+                assert_eq!((lb, ls), (b, s));
+                total += 1;
+            }
+        }
+        assert_eq!(total, run.entry_count());
+        assert!(run.locate(total).is_err());
+    }
+
+    #[test]
+    fn values_decode() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build_run(&storage, 100);
+        let l = layout();
+        for ord in 0..run.entry_count() {
+            let e = run.entry(ord).unwrap();
+            let cols = l.decode_key_columns(&e.key).unwrap();
+            let inc = e.included_values(l.def()).unwrap();
+            let (device, msg) = (cols[0].as_i64().unwrap(), cols[1].as_i64().unwrap());
+            let i = msg * 10 + device;
+            assert_eq!(inc, vec![Datum::Int64(i * 2)]);
+            assert_eq!(e.begin_ts().unwrap(), 1000 + i as u64);
+            assert_eq!(e.rid().unwrap().block_id, i as u64);
+        }
+    }
+
+    #[test]
+    fn open_with_wrong_definition_fails() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        build_run(&storage, 10);
+        let other = IndexDef::builder("other")
+            .equality("x", ColumnType::Int64)
+            .build()
+            .unwrap();
+        let err = Run::open(storage, "runs/t", KeyLayout::new(Arc::new(other)));
+        assert!(matches!(err, Err(RunError::DefinitionMismatch { .. })));
+    }
+
+    #[test]
+    fn bucket_range_covers_all_entries() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build_run(&storage, 1000);
+        let l = layout();
+        for ord in 0..run.entry_count() {
+            let e = run.entry(ord).unwrap();
+            let bucket = l.bucket_of(&e.key, run.header().offset_bits).unwrap();
+            let (lo, hi) = run.bucket_range(Some(bucket));
+            assert!((lo..hi).contains(&ord));
+        }
+        // No hint ⇒ whole run.
+        assert_eq!(run.bucket_range(None), (0, 1000));
+    }
+
+    #[test]
+    fn block_access_out_of_range() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build_run(&storage, 10);
+        assert!(run.data_block(run.data_block_count()).is_err());
+    }
+}

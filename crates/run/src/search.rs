@@ -1,0 +1,406 @@
+//! Searching a single run (§7.1.1).
+//!
+//! *"The query first locates the first matching key using binary search with
+//! the concatenated lower bound ... If the offset array is available, the
+//! initial search range can be narrowed down by computing the most
+//! significant n bits of the hash value ... index entries are then iterated
+//! until the concatenated upper bound is reached. During the iteration, we
+//! further filter out entries failing the timestamp predicate beginTS ≤
+//! queryTS. For the remaining entries, we simply return for each key the
+//! entry with the largest beginTS, which is straightforward since entries
+//! are sorted on the index key and descending order of beginTS."*
+
+use bytes::Bytes;
+
+use crate::entry::EntryRef;
+use crate::key::KeyLayout;
+use crate::reader::{DataBlock, Run};
+use crate::rid::Rid;
+use crate::Result;
+
+/// One query result from a single run: the newest visible version of one
+/// logical key within that run.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// Full entry key.
+    pub key: Bytes,
+    /// Entry value (`RID ∥ included`).
+    pub value: Bytes,
+    /// The version timestamp.
+    pub begin_ts: u64,
+}
+
+impl SearchHit {
+    /// The logical key (shared by all versions of one record).
+    pub fn logical_key(&self) -> &[u8] {
+        KeyLayout::logical_key(&self.key)
+    }
+
+    /// Decode the RID.
+    pub fn rid(&self) -> Result<Rid> {
+        Rid::decode(&self.value)
+    }
+
+    /// View as an [`EntryRef`].
+    pub fn as_entry_ref(&self) -> EntryRef {
+        EntryRef { key: self.key.clone(), value: self.value.clone() }
+    }
+}
+
+/// Search operations over one opened run.
+pub struct RunSearcher<'a> {
+    run: &'a Run,
+}
+
+impl<'a> RunSearcher<'a> {
+    /// Wrap a run.
+    pub fn new(run: &'a Run) -> Self {
+        Self { run }
+    }
+
+    /// Ordinal of the first entry whose key is ≥ `target`, within the
+    /// offset-array bucket if a hint is given (the hint must be the bucket
+    /// of the *query's hash value*; see [`Run::bucket_range`]). Returns
+    /// `entry_count` when no such entry exists.
+    pub fn find_first_geq(&self, target: &[u8], bucket: Option<u32>) -> Result<u64> {
+        let (mut lo, mut hi) = self.run.bucket_range(bucket);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let e = self.run.entry(mid)?;
+            if e.key.as_ref() < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Stream the newest visible version of each logical key in
+    /// `[lower, upper)` (byte bounds from [`KeyLayout::query_range`]).
+    pub fn scan(
+        &self,
+        lower: &[u8],
+        upper: Option<&[u8]>,
+        bucket: Option<u32>,
+        query_ts: u64,
+    ) -> Result<RunRangeIter<'a>> {
+        let start = self.find_first_geq(lower, bucket)?;
+        Ok(RunRangeIter {
+            run: self.run,
+            ordinal: start,
+            end_of_bucket: self.run.bucket_range(bucket).1,
+            upper: upper.map(<[u8]>::to_vec),
+            query_ts,
+            cur_block: None,
+            last_group: Vec::new(),
+            group_done: false,
+            done: false,
+        })
+    }
+
+    /// Point lookup: the newest visible version of one logical key.
+    /// `logical_prefix` is the full `hash ∥ eq ∥ sort` prefix.
+    pub fn lookup(
+        &self,
+        logical_prefix: &[u8],
+        bucket: Option<u32>,
+        query_ts: u64,
+    ) -> Result<Option<SearchHit>> {
+        let upper = crate::key::prefix_successor(logical_prefix);
+        let mut iter = self.scan(logical_prefix, upper.as_deref(), bucket, query_ts)?;
+        match iter.next() {
+            Some(Ok(hit)) => {
+                // The scan's lower bound is a prefix; guard against a
+                // neighbour key when the exact key is absent.
+                if hit.key.starts_with(logical_prefix) {
+                    Ok(Some(hit))
+                } else {
+                    Ok(None)
+                }
+            }
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Streaming iterator over one run's matches; yields at most one (the
+/// newest visible) version per logical key.
+pub struct RunRangeIter<'a> {
+    run: &'a Run,
+    ordinal: u64,
+    /// End of the bucket's ordinal range — keys past it cannot match the
+    /// bucket-narrowed bounds, but the upper-bound key check remains the
+    /// authoritative stop condition.
+    end_of_bucket: u64,
+    upper: Option<Vec<u8>>,
+    query_ts: u64,
+    cur_block: Option<(u32, DataBlock)>,
+    last_group: Vec<u8>,
+    group_done: bool,
+    done: bool,
+}
+
+impl RunRangeIter<'_> {
+    fn fetch(&mut self, ordinal: u64) -> Result<EntryRef> {
+        let (b, slot) = self.run.locate(ordinal)?;
+        let reuse = matches!(&self.cur_block, Some((idx, _)) if *idx == b);
+        if !reuse {
+            self.cur_block = Some((b, self.run.data_block(b)?));
+        }
+        let (_, block) = self.cur_block.as_ref().expect("block just set");
+        block.entry(slot)
+    }
+}
+
+impl Iterator for RunRangeIter<'_> {
+    type Item = Result<SearchHit>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.ordinal >= self.run.entry_count() {
+                self.done = true;
+                return None;
+            }
+            let entry = match self.fetch(self.ordinal) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            if let Some(upper) = &self.upper {
+                if entry.key.as_ref() >= upper.as_slice() {
+                    self.done = true;
+                    return None;
+                }
+            } else if self.ordinal >= self.end_of_bucket {
+                // Unbounded scans without an upper key stop at the run (or
+                // bucket) end.
+                self.done = true;
+                return None;
+            }
+            self.ordinal += 1;
+
+            let logical = entry.logical_key();
+            if logical == self.last_group.as_slice() {
+                if self.group_done {
+                    continue; // newest visible version already emitted
+                }
+            } else {
+                self.last_group.clear();
+                self.last_group.extend_from_slice(logical);
+                self.group_done = false;
+            }
+
+            let begin_ts = match entry.begin_ts() {
+                Ok(ts) => ts,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            if begin_ts <= self.query_ts {
+                self.group_done = true;
+                return Some(Ok(SearchHit { key: entry.key, value: entry.value, begin_ts }));
+            }
+            // Version newer than the snapshot: try the next (older) version
+            // of the same logical key.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{RunBuilder, RunParams};
+    use crate::entry::IndexEntry;
+    use crate::key::SortBound;
+    use crate::rid::{Rid, ZoneId};
+    use std::sync::Arc;
+    use umzi_encoding::{ColumnType, Datum, IndexDef};
+    use umzi_storage::{Durability, TieredStorage};
+
+    fn layout() -> KeyLayout {
+        let def = IndexDef::builder("iot")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .build()
+            .unwrap();
+        KeyLayout::new(Arc::new(def))
+    }
+
+    /// Build a run from (device, msg, beginTS) rows.
+    fn build(storage: &Arc<TieredStorage>, rows: &[(i64, i64, u64)], name: &str) -> Run {
+        let l = layout();
+        let mut entries: Vec<IndexEntry> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(d, m, ts))| {
+                IndexEntry::new(
+                    &l,
+                    &[Datum::Int64(d)],
+                    &[Datum::Int64(m)],
+                    ts,
+                    Rid::new(ZoneId::GROOMED, i as u64, 0),
+                    &[],
+                )
+                .unwrap()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut b = RunBuilder::new(
+            l,
+            RunParams {
+                run_id: 1,
+                zone: ZoneId::GROOMED,
+                level: 0,
+                groomed_lo: 0,
+                groomed_hi: 0,
+                psn: 0,
+                offset_bits: 3, // as in Figure 2
+                ancestors: vec![],
+            },
+            storage.chunk_size(),
+        );
+        for e in &entries {
+            b.push(e).unwrap();
+        }
+        b.finish(storage, name, Durability::Persisted, true).unwrap()
+    }
+
+    fn scan_pairs(run: &Run, device: i64, lo: i64, hi: i64, ts: u64) -> Vec<(i64, i64, u64)> {
+        let l = layout();
+        let (lower, upper) = l
+            .query_range(
+                &[Datum::Int64(device)],
+                &SortBound::Included(vec![Datum::Int64(lo)]),
+                &SortBound::Included(vec![Datum::Int64(hi)]),
+            )
+            .unwrap();
+        let bucket = l
+            .hash_equality(&[Datum::Int64(device)])
+            .map(|h| umzi_encoding::hash_prefix(h, run.header().offset_bits))
+            .ok();
+        let searcher = RunSearcher::new(run);
+        searcher
+            .scan(&lower, upper.as_deref(), bucket, ts)
+            .unwrap()
+            .map(|r| {
+                let hit = r.unwrap();
+                let cols = l.decode_key_columns(&hit.key).unwrap();
+                (cols[0].as_i64().unwrap(), cols[1].as_i64().unwrap(), hit.begin_ts)
+            })
+            .collect()
+    }
+
+    /// The paper's §7.1.1 worked example (Figure 2): device = 4,
+    /// 1 ≤ msg ≤ 3, queryTS = 100 returns exactly the (4, 1, 97) version.
+    #[test]
+    fn figure_2_example() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let rows = [
+            (1, 1, 100),
+            (8, 2, 101),
+            (4, 1, 97),
+            (4, 1, 94),
+            (4, 2, 102),
+            (5, 1, 97),
+            (3, 0, 103),
+            (3, 1, 104),
+        ];
+        let run = build(&storage, &rows, "runs/fig2");
+        assert_eq!(scan_pairs(&run, 4, 1, 3, 100), vec![(4, 1, 97)]);
+        // With queryTS = 102 the (4,2) version becomes visible.
+        assert_eq!(scan_pairs(&run, 4, 1, 3, 102), vec![(4, 1, 97), (4, 2, 102)]);
+        // queryTS below every version: nothing.
+        assert_eq!(scan_pairs(&run, 4, 1, 3, 90), vec![]);
+    }
+
+    #[test]
+    fn newest_visible_version_wins() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let rows = [(7, 1, 10), (7, 1, 20), (7, 1, 30)];
+        let run = build(&storage, &rows, "runs/v");
+        assert_eq!(scan_pairs(&run, 7, 0, 9, 100), vec![(7, 1, 30)]);
+        assert_eq!(scan_pairs(&run, 7, 0, 9, 25), vec![(7, 1, 20)]);
+        assert_eq!(scan_pairs(&run, 7, 0, 9, 10), vec![(7, 1, 10)]);
+        assert_eq!(scan_pairs(&run, 7, 0, 9, 9), vec![]);
+    }
+
+    #[test]
+    fn point_lookup() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let rows = [(4, 1, 97), (4, 1, 94), (4, 2, 102), (5, 1, 97)];
+        let run = build(&storage, &rows, "runs/pl");
+        let l = layout();
+        let searcher = RunSearcher::new(&run);
+
+        let prefix = {
+            let mut p = l.equality_prefix(&[Datum::Int64(4)]).unwrap();
+            umzi_encoding::encode_datum(&Datum::Int64(1), &mut p);
+            p
+        };
+        let bucket = l
+            .hash_equality(&[Datum::Int64(4)])
+            .map(|h| umzi_encoding::hash_prefix(h, run.header().offset_bits))
+            .ok();
+        let hit = searcher.lookup(&prefix, bucket, 100).unwrap().unwrap();
+        assert_eq!(hit.begin_ts, 97);
+
+        // Missing key.
+        let missing = {
+            let mut p = l.equality_prefix(&[Datum::Int64(4)]).unwrap();
+            umzi_encoding::encode_datum(&Datum::Int64(99), &mut p);
+            p
+        };
+        assert!(searcher.lookup(&missing, bucket, 100).unwrap().is_none());
+    }
+
+    /// Exhaustive comparison against a naive oracle across range and ts.
+    #[test]
+    fn scan_matches_oracle() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        // Deterministic pseudo-random rows: 40 devices × versions.
+        let mut rows = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..800i64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let device = (x >> 33) as i64 % 8;
+            let msg = (x >> 17) as i64 % 10;
+            let ts = 1 + (i as u64 % 50);
+            rows.push((device, msg, ts));
+        }
+        let run = build(&storage, &rows, "runs/oracle");
+
+        for device in 0..8i64 {
+            for ts in [0u64, 10, 25, 50, 100] {
+                let got = scan_pairs(&run, device, 2, 7, ts);
+                // Oracle: group by (device, msg), max beginTS ≤ ts.
+                let mut best: std::collections::BTreeMap<i64, u64> = Default::default();
+                for &(d, m, t) in &rows {
+                    if d == device && (2..=7).contains(&m) && t <= ts {
+                        let e = best.entry(m).or_insert(0);
+                        *e = (*e).max(t);
+                    }
+                }
+                let want: Vec<(i64, i64, u64)> =
+                    best.into_iter().map(|(m, t)| (device, m, t)).collect();
+                assert_eq!(got, want, "device={device} ts={ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_run_scans_empty() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build(&storage, &[], "runs/empty");
+        assert_eq!(scan_pairs(&run, 1, 0, 100, u64::MAX), vec![]);
+        let searcher = RunSearcher::new(&run);
+        assert_eq!(searcher.find_first_geq(b"anything", None).unwrap(), 0);
+    }
+}

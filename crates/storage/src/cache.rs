@@ -1,0 +1,317 @@
+//! A capacity-bounded, block-granularity cache tier (memory or SSD).
+//!
+//! Entries are chunks of immutable objects, keyed by `(object handle, chunk
+//! number)`. Two residency classes exist:
+//!
+//! * **unpinned** — ordinary cached chunks, evicted LRU under pressure;
+//! * **pinned** — never evicted. Used for run *header* blocks (§6.2: purging
+//!   *"drops all data blocks from the SSD while only keeps the header block
+//!   for queries to locate data blocks"*) and for all chunks of runs in
+//!   non-persisted levels (§6.1), whose only copy lives in this tier.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::latency::LatencyModel;
+use crate::lru::LruMap;
+use crate::stats::{TierCounters, TierStats};
+
+/// Cache key: `(object handle, chunk number)`.
+pub type ChunkKey = (u64, u32);
+
+#[derive(Debug)]
+struct TierInner {
+    unpinned: LruMap<ChunkKey, Bytes>,
+    pinned: std::collections::HashMap<ChunkKey, Bytes>,
+    used_bytes: u64,
+    pinned_bytes: u64,
+}
+
+/// One cache tier of the storage hierarchy.
+pub struct CacheTier {
+    name: &'static str,
+    capacity: u64,
+    latency: LatencyModel,
+    inner: Mutex<TierInner>,
+    counters: TierCounters,
+}
+
+impl std::fmt::Debug for CacheTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheTier")
+            .field("name", &self.name)
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CacheTier {
+    /// Create a tier with a byte capacity and latency model.
+    ///
+    /// Pinned insertions may exceed capacity (the alternative — refusing to
+    /// hold a non-persisted run — would lose data); only unpinned entries
+    /// are evicted to make room.
+    pub fn new(name: &'static str, capacity: u64, latency: LatencyModel) -> Self {
+        Self {
+            name,
+            capacity,
+            latency,
+            inner: Mutex::new(TierInner {
+                unpinned: LruMap::new(),
+                pinned: std::collections::HashMap::new(),
+                used_bytes: 0,
+                pinned_bytes: 0,
+            }),
+            counters: TierCounters::default(),
+        }
+    }
+
+    /// Tier name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Look up a chunk; charges read latency on hit and refreshes recency.
+    pub fn get(&self, key: ChunkKey) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        let found = inner
+            .pinned
+            .get(&key)
+            .cloned()
+            .or_else(|| inner.unpinned.get(&key).cloned());
+        drop(inner);
+        match found {
+            Some(data) => {
+                self.counters.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                self.latency.apply(data.len());
+                Some(data)
+            }
+            None => {
+                self.counters.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether a chunk is resident (no latency charge, no recency effect).
+    pub fn contains(&self, key: ChunkKey) -> bool {
+        let inner = self.inner.lock();
+        inner.pinned.contains_key(&key) || inner.unpinned.contains(&key)
+    }
+
+    /// Insert a chunk, evicting LRU unpinned entries if needed.
+    /// Charges write latency.
+    pub fn insert(&self, key: ChunkKey, data: Bytes, pinned: bool) {
+        let len = data.len() as u64;
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.inner.lock();
+            // Replace any existing entry for this key first.
+            if let Some(old) = inner.unpinned.remove(&key) {
+                inner.used_bytes -= old.len() as u64;
+            } else if let Some(old) = inner.pinned.remove(&key) {
+                inner.used_bytes -= old.len() as u64;
+                inner.pinned_bytes -= old.len() as u64;
+            }
+            // Evict unpinned LRU entries until the new chunk fits.
+            while inner.used_bytes + len > self.capacity {
+                match inner.unpinned.pop_lru() {
+                    Some((_, old)) => {
+                        inner.used_bytes -= old.len() as u64;
+                        evicted += 1;
+                    }
+                    None => break, // only pinned remain; allow overflow
+                }
+            }
+            inner.used_bytes += len;
+            if pinned {
+                inner.pinned_bytes += len;
+                inner.pinned.insert(key, data);
+            } else {
+                inner.unpinned.insert(key, data);
+            }
+        }
+        self.counters.insertions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.counters.evictions.fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+        self.counters.bytes_written.fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        self.latency.apply(len as usize);
+    }
+
+    /// Remove one chunk (pinned or not). Returns whether it was resident.
+    pub fn remove(&self, key: ChunkKey) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.unpinned.remove(&key) {
+            inner.used_bytes -= old.len() as u64;
+            true
+        } else if let Some(old) = inner.pinned.remove(&key) {
+            inner.used_bytes -= old.len() as u64;
+            inner.pinned_bytes -= old.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove all chunks of an object with chunk number ≥ `from_chunk`.
+    /// Returns the number of chunks dropped. This implements run *purging*:
+    /// `from_chunk` is the first data chunk, so headers stay resident.
+    pub fn remove_object_chunks(&self, handle: u64, from_chunk: u32) -> usize {
+        let mut inner = self.inner.lock();
+        let dropped_unpinned =
+            inner.unpinned.drain_filter(|&(h, c), _| h == handle && c >= from_chunk);
+        let mut freed: u64 = dropped_unpinned.iter().map(|(_, b)| b.len() as u64).sum();
+        let mut count = dropped_unpinned.len();
+
+        let pinned_keys: Vec<ChunkKey> = inner
+            .pinned
+            .keys()
+            .filter(|&&(h, c)| h == handle && c >= from_chunk)
+            .copied()
+            .collect();
+        for k in pinned_keys {
+            if let Some(old) = inner.pinned.remove(&k) {
+                freed += old.len() as u64;
+                inner.pinned_bytes -= old.len() as u64;
+                count += 1;
+            }
+        }
+        inner.used_bytes -= freed;
+        count
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes
+    }
+
+    /// Drop everything (simulated node crash: local tiers are lost).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.unpinned.clear();
+        inner.pinned.clear();
+        inner.used_bytes = 0;
+        inner.pinned_bytes = 0;
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> TierStats {
+        let inner = self.inner.lock();
+        self.counters.snapshot(
+            inner.used_bytes,
+            inner.pinned_bytes,
+            (inner.unpinned.len() + inner.pinned.len()) as u64,
+        )
+    }
+
+    /// The tier's latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(n: usize) -> Bytes {
+        Bytes::from(vec![0xCD; n])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let tier = CacheTier::new("mem", 1024, LatencyModel::off());
+        tier.insert((1, 0), chunk(100), false);
+        assert_eq!(tier.get((1, 0)).unwrap().len(), 100);
+        assert!(tier.get((1, 1)).is_none());
+        let s = tier.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.used_bytes, 100);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let tier = CacheTier::new("mem", 300, LatencyModel::off());
+        tier.insert((1, 0), chunk(100), false);
+        tier.insert((1, 1), chunk(100), false);
+        tier.insert((1, 2), chunk(100), false);
+        // Touch (1,0) so (1,1) is LRU.
+        tier.get((1, 0));
+        tier.insert((1, 3), chunk(100), false);
+        assert!(tier.contains((1, 0)));
+        assert!(!tier.contains((1, 1)), "LRU chunk must have been evicted");
+        assert!(tier.contains((1, 2)));
+        assert!(tier.contains((1, 3)));
+        assert_eq!(tier.stats().evictions, 1);
+        assert!(tier.used_bytes() <= 300);
+    }
+
+    #[test]
+    fn pinned_chunks_survive_pressure() {
+        let tier = CacheTier::new("ssd", 250, LatencyModel::off());
+        tier.insert((7, 0), chunk(100), true); // header, pinned
+        tier.insert((7, 1), chunk(100), false);
+        tier.insert((7, 2), chunk(100), false); // forces eviction of (7,1)
+        assert!(tier.contains((7, 0)), "pinned chunk must never be evicted");
+        assert!(!tier.contains((7, 1)));
+        assert_eq!(tier.stats().pinned_bytes, 100);
+    }
+
+    #[test]
+    fn pinned_overflow_is_allowed() {
+        let tier = CacheTier::new("ssd", 100, LatencyModel::off());
+        tier.insert((1, 0), chunk(80), true);
+        tier.insert((2, 0), chunk(80), true);
+        // Over capacity, but both pinned chunks are resident.
+        assert!(tier.contains((1, 0)));
+        assert!(tier.contains((2, 0)));
+        assert_eq!(tier.used_bytes(), 160);
+    }
+
+    #[test]
+    fn purge_keeps_header_chunks() {
+        let tier = CacheTier::new("ssd", 10_000, LatencyModel::off());
+        tier.insert((3, 0), chunk(10), true); // header
+        for c in 1..=5u32 {
+            tier.insert((3, c), chunk(10), false);
+        }
+        tier.insert((4, 1), chunk(10), false); // other object untouched
+        let dropped = tier.remove_object_chunks(3, 1);
+        assert_eq!(dropped, 5);
+        assert!(tier.contains((3, 0)));
+        assert!(!tier.contains((3, 3)));
+        assert!(tier.contains((4, 1)));
+        assert_eq!(tier.used_bytes(), 20);
+    }
+
+    #[test]
+    fn replace_same_key_accounts_bytes_once() {
+        let tier = CacheTier::new("mem", 1000, LatencyModel::off());
+        tier.insert((1, 0), chunk(100), false);
+        tier.insert((1, 0), chunk(200), true); // replace + pin
+        assert_eq!(tier.used_bytes(), 200);
+        assert_eq!(tier.stats().pinned_bytes, 200);
+        tier.remove((1, 0));
+        assert_eq!(tier.used_bytes(), 0);
+        assert_eq!(tier.stats().pinned_bytes, 0);
+    }
+
+    #[test]
+    fn clear_simulates_crash() {
+        let tier = CacheTier::new("ssd", 1000, LatencyModel::off());
+        tier.insert((1, 0), chunk(10), true);
+        tier.insert((1, 1), chunk(10), false);
+        tier.clear();
+        assert_eq!(tier.used_bytes(), 0);
+        assert!(!tier.contains((1, 0)));
+    }
+}

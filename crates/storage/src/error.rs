@@ -1,0 +1,80 @@
+//! Error type for the storage hierarchy.
+
+use std::fmt;
+
+/// Errors from object stores and tiered storage.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The named object does not exist.
+    NotFound {
+        /// Object name.
+        name: String,
+    },
+    /// Attempted to create an object that already exists (objects are
+    /// immutable / create-once, matching append-only shared storage).
+    AlreadyExists {
+        /// Object name.
+        name: String,
+    },
+    /// A read range extended past the end of the object.
+    RangeOutOfBounds {
+        /// Object name.
+        name: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Actual object size.
+        size: u64,
+    },
+    /// A non-persisted object's data was lost (e.g. after a simulated crash);
+    /// it cannot be re-read from shared storage because it was never written
+    /// there (§6.1).
+    LostObject {
+        /// Object name.
+        name: String,
+    },
+    /// An object handle was used after the object was deleted or the handle
+    /// never existed.
+    StaleHandle {
+        /// The numeric handle value.
+        handle: u64,
+    },
+    /// Underlying filesystem error (filesystem-backed object store).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound { name } => write!(f, "object not found: {name}"),
+            StorageError::AlreadyExists { name } => {
+                write!(f, "object already exists (objects are immutable): {name}")
+            }
+            StorageError::RangeOutOfBounds { name, offset, len, size } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) out of bounds for {name} (size {size})"
+            ),
+            StorageError::LostObject { name } => {
+                write!(f, "non-persisted object lost (not in shared storage): {name}")
+            }
+            StorageError::StaleHandle { handle } => write!(f, "stale object handle {handle}"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

@@ -1,0 +1,354 @@
+//! Append-only object stores modeling shared storage back-ends.
+//!
+//! §1: *"most of these shared storage options are not good at random access
+//! and in-place update ... HDFS only supports append-only operations ...
+//! object storage on cloud allows neither random access inside an object nor
+//! update to an object."* Accordingly, [`ObjectStore`] exposes create-once
+//! immutable objects; mutation is modeled the way real systems do it — by
+//! writing new objects and deleting old ones.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// An append-only (create-once) object store.
+///
+/// Implementations must be thread-safe; Umzi's groomer, post-groomer and
+/// indexer daemons access shared storage concurrently.
+pub trait ObjectStore: Send + Sync + 'static {
+    /// Create an immutable object. Fails with [`StorageError::AlreadyExists`]
+    /// if the name is taken.
+    fn put(&self, name: &str, data: Bytes) -> Result<()>;
+
+    /// Read an entire object.
+    fn get(&self, name: &str) -> Result<Bytes>;
+
+    /// Read `len` bytes at `offset`. The range must lie fully inside the
+    /// object (shared storage serves block-aligned range reads; the caller
+    /// computes exact ranges from the object length).
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes>;
+
+    /// Object size in bytes.
+    fn len(&self, name: &str) -> Result<u64>;
+
+    /// Whether the object exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// List object names with the given prefix, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Delete an object. Deleting a missing object is an error (callers track
+    /// ownership; silent double-deletes hide GC bugs).
+    fn delete(&self, name: &str) -> Result<()>;
+}
+
+/// In-memory object store — the default simulation back-end.
+///
+/// Holds object payloads as [`Bytes`], so range reads are zero-copy slices
+/// of the stored buffer.
+#[derive(Debug, Default)]
+pub struct InMemoryObjectStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl InMemoryObjectStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl ObjectStore for InMemoryObjectStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        let mut objects = self.objects.write();
+        if objects.contains_key(name) {
+            return Err(StorageError::AlreadyExists { name: name.to_owned() });
+        }
+        objects.insert(name.to_owned(), data);
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes> {
+        let objects = self.objects.read();
+        let data = objects
+            .get(name)
+            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })?;
+        let end = offset as usize + len;
+        if end > data.len() {
+            return Err(StorageError::RangeOutOfBounds {
+                name: name.to_owned(),
+                offset,
+                len,
+                size: data.len() as u64,
+            });
+        }
+        Ok(data.slice(offset as usize..end))
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        self.objects
+            .read()
+            .get(name)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.objects.read().contains_key(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let objects = self.objects.read();
+        Ok(objects
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })
+    }
+}
+
+/// Filesystem-backed object store (one file per object under a root
+/// directory). Useful for durability across process restarts and for
+/// inspecting run files on disk.
+///
+/// Object names may contain `/`, which maps to subdirectories.
+#[derive(Debug)]
+pub struct FsObjectStore {
+    root: PathBuf,
+    /// Serializes create/delete so `put`'s exists-check + rename is atomic
+    /// with respect to other writers in this process.
+    write_lock: parking_lot::Mutex<()>,
+}
+
+impl FsObjectStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root, write_lock: parking_lot::Mutex::new(()) })
+    }
+
+    fn path_for(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl ObjectStore for FsObjectStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let path = self.path_for(name);
+        if path.exists() {
+            return Err(StorageError::AlreadyExists { name: name.to_owned() });
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write to a temp file then rename, so readers never observe a
+        // partially-written object (recovery treats partial objects as
+        // incomplete runs, but the local FS can do better).
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        match std::fs::read(self.path_for(name)) {
+            Ok(v) => Ok(Bytes::from(v)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound { name: name.to_owned() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes> {
+        let path = self.path_for(name);
+        let mut f = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StorageError::NotFound { name: name.to_owned() })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let size = f.metadata()?.len();
+        if offset + len as u64 > size {
+            return Err(StorageError::RangeOutOfBounds {
+                name: name.to_owned(),
+                offset,
+                len,
+                size,
+            });
+        }
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        match std::fs::metadata(self.path_for(name)) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound { name: name.to_owned() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path_for(name).exists()
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().map(|e| e == "tmp").unwrap_or(false) {
+                    continue; // in-flight writes are invisible
+                } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                    let name = rel.to_string_lossy().replace('\\', "/");
+                    if name.starts_with(prefix) {
+                        out.push(name);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        match std::fs::remove_file(self.path_for(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound { name: name.to_owned() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        store.put("runs/a", Bytes::from_static(b"hello world")).unwrap();
+        store.put("runs/b", Bytes::from_static(b"bye")).unwrap();
+        store.put("manifest/1", Bytes::from_static(b"m")).unwrap();
+
+        // create-once
+        assert!(matches!(
+            store.put("runs/a", Bytes::new()),
+            Err(StorageError::AlreadyExists { .. })
+        ));
+
+        assert_eq!(store.get("runs/a").unwrap(), Bytes::from_static(b"hello world"));
+        assert_eq!(store.get_range("runs/a", 6, 5).unwrap(), Bytes::from_static(b"world"));
+        assert_eq!(store.len("runs/a").unwrap(), 11);
+        assert!(store.exists("runs/b"));
+        assert!(!store.exists("runs/zzz"));
+
+        assert!(matches!(
+            store.get_range("runs/a", 8, 10),
+            Err(StorageError::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(store.get("nope"), Err(StorageError::NotFound { .. })));
+
+        let listed = store.list("runs/").unwrap();
+        assert_eq!(listed, vec!["runs/a".to_owned(), "runs/b".to_owned()]);
+
+        store.delete("runs/b").unwrap();
+        assert!(!store.exists("runs/b"));
+        assert!(matches!(store.delete("runs/b"), Err(StorageError::NotFound { .. })));
+    }
+
+    #[test]
+    fn in_memory_store_contract() {
+        let store = InMemoryObjectStore::new();
+        exercise(&store);
+        assert_eq!(store.object_count(), 2); // runs/a + manifest/1
+        assert_eq!(store.total_bytes(), 12);
+    }
+
+    #[test]
+    fn fs_store_contract() {
+        let dir = std::env::temp_dir().join(format!("umzi-fsstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FsObjectStore::open(&dir).unwrap();
+        exercise(&store);
+        // Survives reopen.
+        drop(store);
+        let store = FsObjectStore::open(&dir).unwrap();
+        assert_eq!(store.get("runs/a").unwrap(), Bytes::from_static(b"hello world"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_range_reads_are_zero_copy() {
+        let store = InMemoryObjectStore::new();
+        let payload = Bytes::from(vec![7u8; 1 << 16]);
+        store.put("big", payload.clone()).unwrap();
+        let slice = store.get_range("big", 1024, 4096).unwrap();
+        // Zero-copy: the slice points into the original allocation.
+        assert_eq!(slice.as_ptr(), unsafe { payload.as_ptr().add(1024) });
+    }
+
+    #[test]
+    fn list_is_prefix_scoped_and_sorted() {
+        let store = InMemoryObjectStore::new();
+        for name in ["z", "a/2", "a/1", "a1", "b/1"] {
+            store.put(name, Bytes::new()).unwrap();
+        }
+        assert_eq!(store.list("a/").unwrap(), vec!["a/1".to_owned(), "a/2".to_owned()]);
+        assert_eq!(store.list("").unwrap().len(), 5);
+    }
+}

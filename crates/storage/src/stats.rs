@@ -1,0 +1,148 @@
+//! Operation statistics for the storage hierarchy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters backing one cache tier's statistics.
+#[derive(Debug, Default)]
+pub(crate) struct TierCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub insertions: AtomicU64,
+    pub evictions: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+}
+
+impl TierCounters {
+    pub fn snapshot(&self, used_bytes: u64, pinned_bytes: u64, entries: u64) -> TierStats {
+        TierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            used_bytes,
+            pinned_bytes,
+            entries,
+        }
+    }
+}
+
+/// Point-in-time statistics of a cache tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Lookups served from this tier.
+    pub hits: u64,
+    /// Lookups that fell through to the next tier.
+    pub misses: u64,
+    /// Entries inserted (including promotions).
+    pub insertions: u64,
+    /// Entries evicted under capacity pressure.
+    pub evictions: u64,
+    /// Bytes served from this tier.
+    pub bytes_read: u64,
+    /// Bytes written into this tier.
+    pub bytes_written: u64,
+    /// Current resident bytes.
+    pub used_bytes: u64,
+    /// Bytes held by pinned (non-evictable) entries.
+    pub pinned_bytes: u64,
+    /// Current resident entries.
+    pub entries: u64,
+}
+
+impl TierStats {
+    /// Hit ratio in `[0, 1]`; `None` when no lookups happened.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Atomic counters for shared storage.
+#[derive(Debug, Default)]
+pub(crate) struct SharedCounters {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub deletes: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+}
+
+impl SharedCounters {
+    pub fn snapshot(&self, charged: Duration) -> SharedStats {
+        SharedStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            charged_latency: charged,
+        }
+    }
+}
+
+/// Point-in-time statistics of the shared storage layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Read operations (whole-object or range).
+    pub reads: u64,
+    /// Object creations.
+    pub writes: u64,
+    /// Object deletions.
+    pub deletes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Accumulated virtual latency charged by the latency model.
+    pub charged_latency: Duration,
+}
+
+/// Combined statistics across the full hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageStats {
+    /// Memory tier.
+    pub mem: TierStats,
+    /// SSD tier.
+    pub ssd: TierStats,
+    /// Shared storage.
+    pub shared: SharedStats,
+    /// Virtual latency charged by the SSD tier.
+    pub ssd_charged_latency: Duration,
+}
+
+impl StorageStats {
+    /// Total virtual latency charged across tiers.
+    pub fn total_charged_latency(&self) -> Duration {
+        self.ssd_charged_latency + self.shared.charged_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio() {
+        let mut s = TierStats::default();
+        assert_eq!(s.hit_ratio(), None);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.hit_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = TierCounters::default();
+        c.hits.fetch_add(5, Ordering::Relaxed);
+        c.bytes_read.fetch_add(100, Ordering::Relaxed);
+        let s = c.snapshot(10, 2, 1);
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(s.used_bytes, 10);
+        assert_eq!(s.pinned_bytes, 2);
+    }
+}

@@ -1,0 +1,561 @@
+//! The composed storage hierarchy: memory ← SSD ← shared storage.
+//!
+//! Objects are immutable and read in fixed-size chunks. The read path walks
+//! memory → SSD → shared, promoting chunks downward on miss (§7: purged runs
+//! are *"transferred from shared storage to the SSD cache on a block-basis"*).
+//! Objects come in two durabilities (§6.1):
+//!
+//! * [`Durability::Persisted`] — written to shared storage; local tiers are
+//!   pure caches. The leading *header* chunks are pinned in the SSD tier so
+//!   purging a run never evicts the metadata queries need to locate blocks.
+//! * [`Durability::NonPersisted`] — never written to shared storage; all
+//!   chunks are pinned in the SSD tier (the run's only home). A simulated
+//!   crash loses them, which is exactly the recovery scenario §6.1 designs
+//!   for via ancestor-run tracking.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::cache::CacheTier;
+use crate::error::StorageError;
+use crate::latency::{LatencyMode, LatencyModel, TierLatency};
+use crate::shared::SharedStorage;
+use crate::stats::StorageStats;
+use crate::Result;
+
+/// Opaque handle to a registered object; cheap to copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectHandle(pub(crate) u64);
+
+impl ObjectHandle {
+    /// The raw handle value (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Whether an object is backed by shared storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Durable in shared storage; local tiers are caches.
+    Persisted,
+    /// Lives only in the local SSD tier (non-persisted levels, §6.1).
+    NonPersisted,
+}
+
+/// Configuration of the tiered hierarchy.
+#[derive(Debug, Clone)]
+pub struct TieredConfig {
+    /// Chunk (block) size in bytes; the run format aligns its data blocks to
+    /// this. Default 8 KiB.
+    pub chunk_size: usize,
+    /// Memory-tier capacity in bytes.
+    pub mem_capacity: u64,
+    /// SSD-tier capacity in bytes.
+    pub ssd_capacity: u64,
+    /// SSD access latency.
+    pub ssd_latency: TierLatency,
+    /// Shared-storage access latency.
+    pub shared_latency: TierLatency,
+    /// Whether latencies sleep or only account.
+    pub latency_mode: LatencyMode,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        Self {
+            chunk_size: 8 * 1024,
+            mem_capacity: 256 * 1024 * 1024,
+            ssd_capacity: 4 * 1024 * 1024 * 1024,
+            ssd_latency: TierLatency::free(),
+            shared_latency: TierLatency::free(),
+            latency_mode: LatencyMode::Accounting,
+        }
+    }
+}
+
+impl TieredConfig {
+    /// A config with realistic (accounting-mode) tier latencies.
+    pub fn with_default_latencies(mut self) -> Self {
+        self.ssd_latency = TierLatency::micros(100, 1);
+        self.shared_latency = TierLatency::micros(2_000, 20);
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ObjectMeta {
+    name: Arc<str>,
+    len: u64,
+    durability: Durability,
+    header_chunks: u32,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    by_name: HashMap<Arc<str>, u64>,
+    by_handle: HashMap<u64, ObjectMeta>,
+    next_handle: u64,
+}
+
+/// The storage hierarchy used by every Umzi component.
+pub struct TieredStorage {
+    config: TieredConfig,
+    shared: SharedStorage,
+    mem: CacheTier,
+    ssd: CacheTier,
+    registry: RwLock<Registry>,
+}
+
+impl std::fmt::Debug for TieredStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStorage")
+            .field("chunk_size", &self.config.chunk_size)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TieredStorage {
+    /// Build a hierarchy over the given shared storage.
+    pub fn new(shared: SharedStorage, config: TieredConfig) -> Self {
+        let mem = CacheTier::new("mem", config.mem_capacity, LatencyModel::off());
+        let ssd = CacheTier::new(
+            "ssd",
+            config.ssd_capacity,
+            LatencyModel::new(config.ssd_latency, config.latency_mode),
+        );
+        Self { config, shared, mem, ssd, registry: RwLock::new(Registry::default()) }
+    }
+
+    /// An all-in-memory hierarchy with zero latencies (tests, microbenches).
+    pub fn in_memory() -> Self {
+        Self::new(SharedStorage::in_memory(), TieredConfig::default())
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.config.chunk_size
+    }
+
+    /// The shared-storage layer (manifests, listing, recovery).
+    pub fn shared(&self) -> &SharedStorage {
+        &self.shared
+    }
+
+    /// Create an immutable object and register it.
+    ///
+    /// * `header_chunks` — number of leading chunks pinned in the SSD tier.
+    /// * `write_through` — for persisted objects, whether to also populate
+    ///   the SSD tier with all data chunks (§6.2's write-through policy for
+    ///   new runs below the current cached level).
+    pub fn create_object(
+        &self,
+        name: &str,
+        data: Bytes,
+        durability: Durability,
+        header_chunks: u32,
+        write_through: bool,
+    ) -> Result<ObjectHandle> {
+        if durability == Durability::Persisted {
+            self.shared.put(name, data.clone())?;
+        } else if self.registry.read().by_name.contains_key(name) {
+            return Err(StorageError::AlreadyExists { name: name.to_owned() });
+        }
+
+        let handle = self.register(name, data.len() as u64, durability, header_chunks);
+        let n_chunks = self.chunk_count_for_len(data.len() as u64);
+        for c in 0..n_chunks {
+            let chunk = self.slice_chunk(&data, c);
+            let is_header = c < header_chunks;
+            match durability {
+                Durability::NonPersisted => {
+                    // Only home of the data: pin everything in the SSD tier.
+                    self.ssd.insert((handle.0, c), chunk, true);
+                }
+                Durability::Persisted => {
+                    if is_header {
+                        self.ssd.insert((handle.0, c), chunk, true);
+                    } else if write_through {
+                        self.ssd.insert((handle.0, c), chunk, false);
+                    }
+                }
+            }
+        }
+        Ok(handle)
+    }
+
+    /// Open an existing persisted object (e.g. during recovery), pinning its
+    /// header chunks into the SSD tier.
+    pub fn open_object(&self, name: &str, header_chunks: u32) -> Result<ObjectHandle> {
+        if let Some(&h) = self.registry.read().by_name.get(name) {
+            return Ok(ObjectHandle(h));
+        }
+        let len = self.shared.len(name)?;
+        let handle = self.register(name, len, Durability::Persisted, header_chunks);
+        for c in 0..header_chunks.min(self.chunk_count_for_len(len)) {
+            let chunk = self.fetch_from_shared(handle, c)?;
+            self.ssd.insert((handle.0, c), chunk, true);
+        }
+        Ok(handle)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        len: u64,
+        durability: Durability,
+        header_chunks: u32,
+    ) -> ObjectHandle {
+        let mut reg = self.registry.write();
+        let h = reg.next_handle;
+        reg.next_handle += 1;
+        let name: Arc<str> = Arc::from(name);
+        reg.by_name.insert(name.clone(), h);
+        reg.by_handle.insert(h, ObjectMeta { name, len, durability, header_chunks });
+        ObjectHandle(h)
+    }
+
+    fn meta(&self, handle: ObjectHandle) -> Result<ObjectMeta> {
+        self.registry
+            .read()
+            .by_handle
+            .get(&handle.0)
+            .cloned()
+            .ok_or(StorageError::StaleHandle { handle: handle.0 })
+    }
+
+    /// Object length in bytes.
+    pub fn object_len(&self, handle: ObjectHandle) -> Result<u64> {
+        Ok(self.meta(handle)?.len)
+    }
+
+    /// Object name.
+    pub fn object_name(&self, handle: ObjectHandle) -> Result<Arc<str>> {
+        Ok(self.meta(handle)?.name)
+    }
+
+    /// Object durability.
+    pub fn object_durability(&self, handle: ObjectHandle) -> Result<Durability> {
+        Ok(self.meta(handle)?.durability)
+    }
+
+    /// Number of chunks in an object.
+    pub fn chunk_count(&self, handle: ObjectHandle) -> Result<u32> {
+        Ok(self.chunk_count_for_len(self.meta(handle)?.len))
+    }
+
+    fn chunk_count_for_len(&self, len: u64) -> u32 {
+        len.div_ceil(self.config.chunk_size as u64) as u32
+    }
+
+    fn slice_chunk(&self, data: &Bytes, chunk_no: u32) -> Bytes {
+        let cs = self.config.chunk_size;
+        let start = chunk_no as usize * cs;
+        let end = (start + cs).min(data.len());
+        data.slice(start..end)
+    }
+
+    fn fetch_from_shared(&self, handle: ObjectHandle, chunk_no: u32) -> Result<Bytes> {
+        let meta = self.meta(handle)?;
+        if meta.durability == Durability::NonPersisted {
+            return Err(StorageError::LostObject { name: meta.name.to_string() });
+        }
+        let cs = self.config.chunk_size as u64;
+        let offset = u64::from(chunk_no) * cs;
+        let len = cs.min(meta.len - offset) as usize;
+        self.shared.get_range(&meta.name, offset, len)
+    }
+
+    /// Read one chunk through the hierarchy (memory → SSD → shared),
+    /// promoting on miss.
+    pub fn read_chunk(&self, handle: ObjectHandle, chunk_no: u32) -> Result<Bytes> {
+        let key = (handle.0, chunk_no);
+        if let Some(data) = self.mem.get(key) {
+            return Ok(data);
+        }
+        if let Some(data) = self.ssd.get(key) {
+            self.mem.insert(key, data.clone(), false);
+            return Ok(data);
+        }
+        // Miss in both local tiers: go to shared storage (block-basis
+        // transfer into the SSD cache, then memory).
+        let data = self.fetch_from_shared(handle, chunk_no)?;
+        let pinned = chunk_no < self.meta(handle)?.header_chunks;
+        self.ssd.insert(key, data.clone(), pinned);
+        self.mem.insert(key, data.clone(), false);
+        Ok(data)
+    }
+
+    /// Read an arbitrary byte range, assembled from chunks.
+    pub fn read_range(&self, handle: ObjectHandle, offset: u64, len: usize) -> Result<Bytes> {
+        let meta = self.meta(handle)?;
+        if offset + len as u64 > meta.len {
+            return Err(StorageError::RangeOutOfBounds {
+                name: meta.name.to_string(),
+                offset,
+                len,
+                size: meta.len,
+            });
+        }
+        let cs = self.config.chunk_size as u64;
+        let first = (offset / cs) as u32;
+        let last = ((offset + len as u64 - 1) / cs) as u32;
+        if first == last {
+            let chunk = self.read_chunk(handle, first)?;
+            let start = (offset - u64::from(first) * cs) as usize;
+            return Ok(chunk.slice(start..start + len));
+        }
+        let mut out = Vec::with_capacity(len);
+        for c in first..=last {
+            let chunk = self.read_chunk(handle, c)?;
+            let chunk_start = u64::from(c) * cs;
+            let s = offset.max(chunk_start) - chunk_start;
+            let e = (offset + len as u64).min(chunk_start + chunk.len() as u64) - chunk_start;
+            out.extend_from_slice(&chunk[s as usize..e as usize]);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Drop an object's *data* chunks from the local tiers, keeping its
+    /// header chunks (run purge, §6.2). Non-persisted objects cannot be
+    /// purged — their data has no other home.
+    pub fn purge_object(&self, handle: ObjectHandle) -> Result<usize> {
+        let meta = self.meta(handle)?;
+        if meta.durability == Durability::NonPersisted {
+            return Err(StorageError::LostObject { name: meta.name.to_string() });
+        }
+        self.mem.remove_object_chunks(handle.0, meta.header_chunks);
+        Ok(self.ssd.remove_object_chunks(handle.0, meta.header_chunks))
+    }
+
+    /// Load all of an object's chunks into the SSD tier (cache warm-up /
+    /// §6.2 "load" direction). Returns the number of chunks fetched from
+    /// shared storage.
+    pub fn load_object(&self, handle: ObjectHandle) -> Result<usize> {
+        let n = self.chunk_count(handle)?;
+        let meta = self.meta(handle)?;
+        let mut fetched = 0;
+        for c in 0..n {
+            if !self.ssd.contains((handle.0, c)) {
+                let data = self.fetch_from_shared(handle, c)?;
+                self.ssd.insert((handle.0, c), data, c < meta.header_chunks);
+                fetched += 1;
+            }
+        }
+        Ok(fetched)
+    }
+
+    /// Whether every chunk of the object is resident in the SSD tier.
+    pub fn is_fully_cached(&self, handle: ObjectHandle) -> Result<bool> {
+        let n = self.chunk_count(handle)?;
+        Ok((0..n).all(|c| self.ssd.contains((handle.0, c))))
+    }
+
+    /// Delete an object everywhere: local tiers, registry, and shared
+    /// storage (if persisted).
+    pub fn delete_object(&self, handle: ObjectHandle) -> Result<()> {
+        let meta = self.meta(handle)?;
+        self.mem.remove_object_chunks(handle.0, 0);
+        self.ssd.remove_object_chunks(handle.0, 0);
+        {
+            let mut reg = self.registry.write();
+            reg.by_handle.remove(&handle.0);
+            reg.by_name.remove(&meta.name);
+        }
+        if meta.durability == Durability::Persisted {
+            self.shared.delete(&meta.name)?;
+        }
+        Ok(())
+    }
+
+    /// Simulate a node crash: all local state (caches, registry) is lost;
+    /// shared storage survives. Recovery re-opens objects from shared.
+    pub fn simulate_crash(&self) {
+        self.mem.clear();
+        self.ssd.clear();
+        let mut reg = self.registry.write();
+        reg.by_name.clear();
+        reg.by_handle.clear();
+        // Handles are not reused even across the crash, so stale handles
+        // held by survivors fail loudly instead of aliasing new objects.
+    }
+
+    /// Statistics across all tiers.
+    pub fn stats(&self) -> StorageStats {
+        StorageStats {
+            mem: self.mem.stats(),
+            ssd: self.ssd.stats(),
+            shared: self.shared.stats(),
+            ssd_charged_latency: self.ssd.latency().charged(),
+        }
+    }
+
+    /// Direct access to the memory tier (tests / cache manager).
+    pub fn mem_tier(&self) -> &CacheTier {
+        &self.mem
+    }
+
+    /// Direct access to the SSD tier (tests / cache manager).
+    pub fn ssd_tier(&self) -> &CacheTier {
+        &self.ssd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from((0..n).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    fn small_config() -> TieredConfig {
+        TieredConfig {
+            chunk_size: 64,
+            mem_capacity: 10_000,
+            ssd_capacity: 100_000,
+            ..TieredConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_and_read_chunks() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let data = payload(200); // 4 chunks of 64 (last = 8 bytes)
+        let h = ts
+            .create_object("runs/r1", data.clone(), Durability::Persisted, 1, false)
+            .unwrap();
+        assert_eq!(ts.chunk_count(h).unwrap(), 4);
+        assert_eq!(ts.read_chunk(h, 0).unwrap(), data.slice(0..64));
+        assert_eq!(ts.read_chunk(h, 3).unwrap(), data.slice(192..200));
+        assert_eq!(ts.read_range(h, 60, 10).unwrap(), data.slice(60..70));
+        assert_eq!(ts.read_range(h, 0, 200).unwrap(), data);
+    }
+
+    #[test]
+    fn read_path_promotes_through_tiers() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("r", payload(128), Durability::Persisted, 0, false)
+            .unwrap();
+        // Nothing cached: first read goes to shared.
+        let before = ts.stats().shared.reads;
+        ts.read_chunk(h, 1).unwrap();
+        assert_eq!(ts.stats().shared.reads, before + 1);
+        // Second read is a memory hit.
+        ts.read_chunk(h, 1).unwrap();
+        assert_eq!(ts.stats().shared.reads, before + 1);
+        assert!(ts.stats().mem.hits >= 1);
+    }
+
+    #[test]
+    fn write_through_populates_ssd() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("r", payload(256), Durability::Persisted, 1, true)
+            .unwrap();
+        assert!(ts.is_fully_cached(h).unwrap());
+        // Reads never touch shared.
+        for c in 0..4 {
+            ts.read_chunk(h, c).unwrap();
+        }
+        assert_eq!(ts.stats().shared.reads, 0);
+    }
+
+    #[test]
+    fn purge_then_read_refetches_from_shared() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("r", payload(256), Durability::Persisted, 1, true)
+            .unwrap();
+        let dropped = ts.purge_object(h).unwrap();
+        assert_eq!(dropped, 3, "3 data chunks dropped, header kept");
+        assert!(ts.ssd_tier().contains((h.raw(), 0)), "header survives purge");
+        assert!(!ts.is_fully_cached(h).unwrap());
+
+        let before = ts.stats().shared.reads;
+        ts.read_chunk(h, 2).unwrap();
+        assert_eq!(ts.stats().shared.reads, before + 1);
+        // Promoted back on block basis.
+        assert!(ts.ssd_tier().contains((h.raw(), 2)));
+    }
+
+    #[test]
+    fn load_warms_the_ssd_cache() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("r", payload(256), Durability::Persisted, 1, false)
+            .unwrap();
+        assert!(!ts.is_fully_cached(h).unwrap());
+        let fetched = ts.load_object(h).unwrap();
+        assert_eq!(fetched, 3, "header was already pinned");
+        assert!(ts.is_fully_cached(h).unwrap());
+    }
+
+    #[test]
+    fn non_persisted_objects_never_touch_shared() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("np", payload(128), Durability::NonPersisted, 1, false)
+            .unwrap();
+        assert_eq!(ts.stats().shared.writes, 0);
+        assert_eq!(ts.read_chunk(h, 1).unwrap().len(), 64);
+        assert!(ts.purge_object(h).is_err(), "purging a non-persisted run loses data");
+        // Crash loses it entirely.
+        ts.simulate_crash();
+        assert!(matches!(
+            ts.read_chunk(h, 0),
+            Err(StorageError::StaleHandle { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_then_reopen_persisted_object() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let data = payload(256);
+        ts.create_object("r", data.clone(), Durability::Persisted, 1, true).unwrap();
+        ts.simulate_crash();
+        let h = ts.open_object("r", 1).unwrap();
+        assert_eq!(ts.read_range(h, 0, 256).unwrap(), data);
+        // Header re-pinned on open.
+        assert!(ts.ssd_tier().contains((h.raw(), 0)));
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("r", payload(128), Durability::Persisted, 1, true)
+            .unwrap();
+        ts.delete_object(h).unwrap();
+        assert!(!ts.shared().exists("r"));
+        assert!(matches!(ts.read_chunk(h, 0), Err(StorageError::StaleHandle { .. })));
+        // Name can be reused after deletion.
+        ts.create_object("r", payload(64), Durability::Persisted, 0, false).unwrap();
+    }
+
+    #[test]
+    fn duplicate_create_rejected_for_both_durabilities() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        ts.create_object("p", payload(10), Durability::Persisted, 0, false).unwrap();
+        assert!(ts.create_object("p", payload(10), Durability::Persisted, 0, false).is_err());
+        ts.create_object("n", payload(10), Durability::NonPersisted, 0, false).unwrap();
+        assert!(ts
+            .create_object("n", payload(10), Durability::NonPersisted, 0, false)
+            .is_err());
+    }
+
+    #[test]
+    fn open_is_idempotent() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h1 = ts
+            .create_object("r", payload(64), Durability::Persisted, 0, false)
+            .unwrap();
+        let h2 = ts.open_object("r", 0).unwrap();
+        assert_eq!(h1, h2);
+    }
+}

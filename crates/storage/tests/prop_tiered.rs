@@ -1,0 +1,85 @@
+//! Property tests for the tiered storage: chunked reads must be exactly
+//! equivalent to slicing the original payload, across cache states.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use umzi_storage::{Durability, SharedStorage, TieredConfig, TieredStorage};
+
+fn small_tiers(chunk_size: usize) -> TieredStorage {
+    TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size,
+            mem_capacity: 4096,
+            ssd_capacity: 1 << 20,
+            ..TieredConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn read_range_equals_slice(
+        payload in proptest::collection::vec(any::<u8>(), 1..2000),
+        chunk_pow in 4u32..9, // 16..256-byte chunks
+        ranges in proptest::collection::vec((0usize..2000, 0usize..300), 1..8),
+        write_through in any::<bool>(),
+        purge in any::<bool>(),
+    ) {
+        let ts = small_tiers(1 << chunk_pow);
+        let data = Bytes::from(payload.clone());
+        let h = ts
+            .create_object("obj", data, Durability::Persisted, 1, write_through)
+            .unwrap();
+        if purge {
+            ts.purge_object(h).unwrap();
+        }
+        for (start, len) in ranges {
+            let start = start.min(payload.len().saturating_sub(1));
+            let len = len.min(payload.len() - start);
+            if len == 0 {
+                continue;
+            }
+            let got = ts.read_range(h, start as u64, len).unwrap();
+            prop_assert_eq!(&got[..], &payload[start..start + len]);
+        }
+        // Whole-object read too.
+        let all = ts.read_range(h, 0, payload.len()).unwrap();
+        prop_assert_eq!(&all[..], &payload[..]);
+    }
+
+    #[test]
+    fn chunked_reads_after_crash_and_reopen(
+        payload in proptest::collection::vec(any::<u8>(), 1..1000),
+        chunk_pow in 4u32..8,
+    ) {
+        let ts = small_tiers(1 << chunk_pow);
+        ts.create_object("obj", Bytes::from(payload.clone()), Durability::Persisted, 1, true)
+            .unwrap();
+        ts.simulate_crash();
+        let h = ts.open_object("obj", 1).unwrap();
+        let n = ts.chunk_count(h).unwrap();
+        let mut reassembled = Vec::new();
+        for c in 0..n {
+            reassembled.extend_from_slice(&ts.read_chunk(h, c).unwrap());
+        }
+        prop_assert_eq!(reassembled, payload);
+    }
+
+    #[test]
+    fn non_persisted_objects_roundtrip_locally(
+        payload in proptest::collection::vec(any::<u8>(), 1..1000),
+    ) {
+        let ts = small_tiers(64);
+        let h = ts
+            .create_object("np", Bytes::from(payload.clone()), Durability::NonPersisted, 0, false)
+            .unwrap();
+        let got = ts.read_range(h, 0, payload.len()).unwrap();
+        prop_assert_eq!(&got[..], &payload[..]);
+        prop_assert_eq!(ts.stats().shared.writes, 0);
+    }
+}

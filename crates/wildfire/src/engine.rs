@@ -1,0 +1,657 @@
+//! The multi-shard Wildfire engine with its background daemons.
+//!
+//! Ties the substrate together (Figure 1): transactions append to per-shard
+//! committed logs (live zone); a groomer daemon grooms every shard
+//! periodically (default 1 s, §2.1); a post-groomer daemon re-organizes
+//! groomed data (default 20 s, matching §8.4's experiment setup); an indexer
+//! daemon polls MaxPSN and applies evolve operations (Figure 5); and a
+//! per-shard [`umzi_core::Maintainer`] runs the per-level merge threads and
+//! the janitor.
+//!
+//! Queries route by sharding key when it is bound, otherwise fan out; shard
+//! key spaces are disjoint, so cross-shard results concatenate without
+//! reconciliation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use umzi_core::{Maintainer, MaintainerConfig, QueryOutput, RangeQuery, ReconcileStrategy};
+use umzi_encoding::Datum;
+use umzi_run::{Rid, SortBound};
+use umzi_storage::TieredStorage;
+
+use crate::shard::{Shard, ShardConfig};
+use crate::table::TableDef;
+use crate::Result;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of table shards.
+    pub n_shards: usize,
+    /// Per-shard configuration template (index names are derived per shard).
+    pub shard: ShardConfig,
+    /// Groomer period (§2.1 suggests every second).
+    pub groom_interval: Duration,
+    /// Post-groomer period (§8.4 uses 20 seconds).
+    pub post_groom_interval: Duration,
+    /// Indexer PSN poll period.
+    pub evolve_poll_interval: Duration,
+    /// Per-shard index maintenance (merge threads + janitor); `None`
+    /// disables background maintenance (manual [`WildfireEngine::quiesce`]).
+    pub maintenance: Option<MaintainerConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 1,
+            shard: ShardConfig::default(),
+            groom_interval: Duration::from_secs(1),
+            post_groom_interval: Duration::from_secs(20),
+            evolve_poll_interval: Duration::from_millis(50),
+            maintenance: Some(MaintainerConfig::default()),
+        }
+    }
+}
+
+/// Read-freshness levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// Snapshot at an explicit timestamp (time travel).
+    Snapshot(u64),
+    /// Latest indexed (groomed) data — the engine's default read view.
+    Latest,
+    /// Latest indexed data overlaid with the un-groomed live zone.
+    Freshest,
+}
+
+/// A resolved record: full row plus version metadata. Live-zone rows have
+/// no `beginTS`/RID yet (those are assigned at groom time, §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordView {
+    /// The row.
+    pub row: Vec<Datum>,
+    /// Version timestamp (`None` for live-zone rows).
+    pub begin_ts: Option<u64>,
+    /// Record ID (`None` for live-zone rows).
+    pub rid: Option<Rid>,
+}
+
+/// The Wildfire engine.
+pub struct WildfireEngine {
+    table: Arc<TableDef>,
+    shards: Vec<Arc<Shard>>,
+    storage: Arc<TieredStorage>,
+    config: EngineConfig,
+}
+
+impl std::fmt::Debug for WildfireEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WildfireEngine")
+            .field("table", &self.table.name())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl WildfireEngine {
+    /// Create a fresh engine (one Umzi index per shard).
+    pub fn create(
+        storage: Arc<TieredStorage>,
+        table: Arc<TableDef>,
+        config: EngineConfig,
+    ) -> Result<Arc<WildfireEngine>> {
+        assert!(config.n_shards >= 1, "at least one shard");
+        let mut shards = Vec::with_capacity(config.n_shards);
+        for i in 0..config.n_shards {
+            let mut sc = config.shard.clone();
+            sc.umzi.name = String::new(); // derived per shard
+            shards.push(Shard::create(Arc::clone(&storage), Arc::clone(&table), i, sc)?);
+        }
+        Ok(Arc::new(WildfireEngine { table, shards, storage, config }))
+    }
+
+    /// Recover an engine after a crash (per-shard index + block recovery).
+    pub fn recover(
+        storage: Arc<TieredStorage>,
+        table: Arc<TableDef>,
+        config: EngineConfig,
+    ) -> Result<Arc<WildfireEngine>> {
+        let mut shards = Vec::with_capacity(config.n_shards);
+        for i in 0..config.n_shards {
+            let mut sc = config.shard.clone();
+            sc.umzi.name = String::new();
+            shards.push(Shard::recover(Arc::clone(&storage), Arc::clone(&table), i, sc)?);
+        }
+        Ok(Arc::new(WildfireEngine { table, shards, storage, config }))
+    }
+
+    /// The table definition.
+    pub fn table(&self) -> &Arc<TableDef> {
+        &self.table
+    }
+
+    /// The shards.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The storage hierarchy.
+    pub fn storage(&self) -> &Arc<TieredStorage> {
+        &self.storage
+    }
+
+    /// The current engine-wide read snapshot (max assigned `beginTS`).
+    pub fn read_ts(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_ts()).max().unwrap_or(0)
+    }
+
+    /// Upsert one row (routed by sharding key).
+    pub fn upsert(&self, row: Vec<Datum>) -> Result<()> {
+        let shard = self.table.shard_of(&row, self.shards.len());
+        self.shards[shard].upsert(vec![row])?;
+        Ok(())
+    }
+
+    /// Upsert a batch, grouped per shard (each shard's group commits as one
+    /// transaction).
+    pub fn upsert_many(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
+        let mut per_shard: Vec<Vec<Vec<Datum>>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for row in rows {
+            per_shard[self.table.shard_of(&row, self.shards.len())].push(row);
+        }
+        for (i, group) in per_shard.into_iter().enumerate() {
+            if !group.is_empty() {
+                self.shards[i].upsert(group)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Groom every shard once (manual ticking; daemons call this too).
+    pub fn groom_all(&self) -> Result<usize> {
+        let mut n = 0;
+        for s in &self.shards {
+            if s.groom()?.is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Post-groom every shard once.
+    pub fn post_groom_all(&self) -> Result<usize> {
+        let mut n = 0;
+        for s in &self.shards {
+            if s.post_groom()?.is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Apply pending evolve operations on every shard.
+    pub fn evolve_all(&self) -> Result<usize> {
+        let mut n = 0;
+        for s in &self.shards {
+            n += s.apply_pending_evolves()?;
+        }
+        Ok(n)
+    }
+
+    /// Drain the whole pipeline synchronously: groom, post-groom, evolve,
+    /// merge and GC until quiescent. Deterministic tests and examples.
+    pub fn quiesce(&self) -> Result<()> {
+        loop {
+            let mut progressed = false;
+            progressed |= self.groom_all()? > 0;
+            progressed |= self.post_groom_all()? > 0;
+            progressed |= self.evolve_all()? > 0;
+            for s in &self.shards {
+                progressed |= s.index().drain_merges()? > 0;
+                s.index().collect_garbage()?;
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn resolve_ts(&self, freshness: Freshness) -> u64 {
+        match freshness {
+            Freshness::Snapshot(ts) => ts,
+            Freshness::Latest | Freshness::Freshest => self.read_ts(),
+        }
+    }
+
+    /// Point lookup by full index key (equality + sort values), resolving
+    /// the record row.
+    pub fn get(
+        &self,
+        eq: &[Datum],
+        sort: &[Datum],
+        freshness: Freshness,
+    ) -> Result<Option<RecordView>> {
+        // Freshest reads consult the live zone first (§3: the live zone is
+        // small and un-indexed; queries scan it directly).
+        let shard = match self.table.sharding_values_from_index(eq, sort) {
+            Some(vals) => {
+                Some(&self.shards[self.table.shard_of_sharding_values(&vals, self.shards.len())])
+            }
+            None => None,
+        };
+
+        if freshness == Freshness::Freshest {
+            let probe = |s: &Arc<Shard>| {
+                s.live().find_latest(|row| {
+                    let (req, rsort, _) = self.table.index_groups(row);
+                    req == eq && rsort == sort
+                })
+            };
+            let live = match shard {
+                Some(s) => probe(s),
+                None => self.shards.iter().find_map(probe),
+            };
+            if let Some(row) = live {
+                return Ok(Some(RecordView { row, begin_ts: None, rid: None }));
+            }
+        }
+
+        let ts = self.resolve_ts(freshness);
+        let lookup = |s: &Arc<Shard>| -> Result<Option<RecordView>> {
+            match s.index().point_lookup(eq, sort, ts)? {
+                Some(out) => {
+                    let rid = out.rid()?;
+                    let (row, begin_ts, _, _) = s.fetch_row(rid)?;
+                    Ok(Some(RecordView { row, begin_ts: Some(begin_ts), rid: Some(rid) }))
+                }
+                None => Ok(None),
+            }
+        };
+        match shard {
+            Some(s) => lookup(s),
+            None => {
+                for s in &self.shards {
+                    if let Some(v) = lookup(s)? {
+                        return Ok(Some(v));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Index-only range scan (§4.1's index-only plans): returns index
+    /// entries without fetching rows. Fans out unless the equality values
+    /// pin the shard.
+    pub fn scan_index(
+        &self,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+        strategy: ReconcileStrategy,
+    ) -> Result<Vec<QueryOutput>> {
+        let ts = self.resolve_ts(freshness);
+        let query = RangeQuery { equality: eq, lower, upper, query_ts: ts };
+        let single = self.table.sharding_within_equality().then(|| {
+            self.table
+                .sharding_values_from_index(&query.equality, &[])
+                .map(|vals| self.table.shard_of_sharding_values(&vals, self.shards.len()))
+        });
+        match single.flatten() {
+            Some(i) => Ok(self.shards[i].index().range_scan(&query, strategy)?),
+            None => {
+                let mut out = Vec::new();
+                for s in &self.shards {
+                    out.extend(s.index().range_scan(&query, strategy)?);
+                }
+                // Shards hold disjoint keys; merge for deterministic order.
+                out.sort_by(|a, b| a.key.cmp(&b.key));
+                Ok(out)
+            }
+        }
+    }
+
+    /// Range scan resolving full records.
+    pub fn scan_records(
+        &self,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+    ) -> Result<Vec<RecordView>> {
+        let eq_for_route = eq.clone();
+        let outs =
+            self.scan_index(eq, lower, upper, freshness, ReconcileStrategy::PriorityQueue)?;
+        let mut views = Vec::with_capacity(outs.len());
+        for out in outs {
+            let rid = out.rid()?;
+            // Resolve against the owning shard (RIDs are shard-local; with a
+            // pinned shard this loop hits it immediately).
+            let shard = match self.table.sharding_values_from_index(&eq_for_route, &[]) {
+                Some(vals) if self.table.sharding_within_equality() => {
+                    &self.shards[self.table.shard_of_sharding_values(&vals, self.shards.len())]
+                }
+                _ => {
+                    // Fan-out scans: find the shard that owns the row.
+                    let cols = out.key_columns(self.shards[0].index().layout())?;
+                    let n_eq = self.table.index_equality().len();
+                    let (eqv, sortv) = cols.split_at(n_eq);
+                    let vals = self
+                        .table
+                        .sharding_values_from_index(eqv, sortv)
+                        .expect("full key binds the sharding key");
+                    &self.shards[self.table.shard_of_sharding_values(&vals, self.shards.len())]
+                }
+            };
+            let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
+            views.push(RecordView { row, begin_ts: Some(begin_ts), rid: Some(rid) });
+        }
+        Ok(views)
+    }
+
+    /// Scan a secondary index (§10 future work) by name: equality values
+    /// plus bounds over the *user* sort columns (the primary-key suffix that
+    /// makes logical keys unique is internal). Results resolve to full
+    /// records and are **validated against the primary index**: a version
+    /// whose secondary-key value was later updated still matches its old
+    /// key in the secondary index, so each hit is kept only if it is the
+    /// record's newest visible version.
+    pub fn scan_secondary(
+        &self,
+        index_name: &str,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+    ) -> Result<Vec<RecordView>> {
+        let ts = self.resolve_ts(freshness);
+        let query = RangeQuery { equality: eq, lower, upper, query_ts: ts };
+        let mut views = Vec::new();
+        for shard in &self.shards {
+            let Some(sidx) = shard.secondary_index(index_name) else {
+                return Err(crate::error::WildfireError::InvalidTable(format!(
+                    "no secondary index named {index_name:?}"
+                )));
+            };
+            for hit in sidx.range_scan(&query, ReconcileStrategy::PriorityQueue)? {
+                let rid = hit.rid()?;
+                let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
+                // Validation: is this still the record's current version?
+                let (peq, psort, _) = self.table.index_groups(&row);
+                let current = shard
+                    .index()
+                    .point_lookup(&peq, &psort, ts)?
+                    .map(|o| o.begin_ts == begin_ts)
+                    .unwrap_or(false);
+                if current {
+                    views.push(RecordView { row, begin_ts: Some(begin_ts), rid: Some(rid) });
+                }
+            }
+        }
+        Ok(views)
+    }
+
+    /// Spawn the background daemons; they stop when the handle drops.
+    pub fn start_daemons(self: &Arc<Self>) -> EngineDaemons {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let spawn_loop = |name: &str,
+                          interval: Duration,
+                          stop: Arc<AtomicBool>,
+                          f: Box<dyn Fn() + Send>| {
+            std::thread::Builder::new()
+                .name(name.to_owned())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        f();
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn daemon")
+        };
+
+        {
+            let engine = Arc::clone(self);
+            threads.push(spawn_loop(
+                "wildfire-groomer",
+                self.config.groom_interval,
+                Arc::clone(&stop),
+                Box::new(move || {
+                    let _ = engine.groom_all();
+                }),
+            ));
+        }
+        {
+            let engine = Arc::clone(self);
+            threads.push(spawn_loop(
+                "wildfire-postgroomer",
+                self.config.post_groom_interval,
+                Arc::clone(&stop),
+                Box::new(move || {
+                    let _ = engine.post_groom_all();
+                }),
+            ));
+        }
+        {
+            let engine = Arc::clone(self);
+            threads.push(spawn_loop(
+                "wildfire-indexer",
+                self.config.evolve_poll_interval,
+                Arc::clone(&stop),
+                Box::new(move || {
+                    let _ = engine.evolve_all();
+                }),
+            ));
+        }
+
+        let maintainers = match &self.config.maintenance {
+            Some(mc) => self
+                .shards
+                .iter()
+                .map(|s| Maintainer::spawn(Arc::clone(s.index()), mc.clone()))
+                .collect(),
+            None => Vec::new(),
+        };
+
+        EngineDaemons { stop, threads, _maintainers: maintainers }
+    }
+}
+
+/// Handle owning the engine's background threads.
+pub struct EngineDaemons {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    _maintainers: Vec<Maintainer>,
+}
+
+impl EngineDaemons {
+    /// Stop and join all daemons (maintainers stop on drop).
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EngineDaemons {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::iot_table;
+
+    fn row(device: i64, msg: i64, date: i64, payload: i64) -> Vec<Datum> {
+        vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(date), Datum::Int64(payload)]
+    }
+
+    fn engine(n_shards: usize) -> Arc<WildfireEngine> {
+        let storage = Arc::new(TieredStorage::in_memory());
+        WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig { n_shards, maintenance: None, ..EngineConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn freshest_reads_see_live_zone() {
+        let e = engine(1);
+        e.upsert(row(1, 1, 100, 7)).unwrap();
+        // Not groomed yet: Latest misses, Freshest hits.
+        assert!(e.get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Latest).unwrap().is_none());
+        let live = e
+            .get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Freshest)
+            .unwrap()
+            .unwrap();
+        assert_eq!(live.begin_ts, None);
+        assert_eq!(live.row[3], Datum::Int64(7));
+
+        e.groom_all().unwrap();
+        let indexed = e
+            .get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Latest)
+            .unwrap()
+            .unwrap();
+        assert!(indexed.begin_ts.is_some());
+    }
+
+    #[test]
+    fn multi_shard_routing_and_fanout() {
+        let e = engine(4);
+        let rows: Vec<_> = (0..40).map(|d| row(d, 1, 100, d)).collect();
+        e.upsert_many(rows).unwrap();
+        e.groom_all().unwrap();
+        // Every device resolves through its own shard.
+        for d in 0..40 {
+            let v = e
+                .get(&[Datum::Int64(d)], &[Datum::Int64(1)], Freshness::Latest)
+                .unwrap()
+                .unwrap();
+            assert_eq!(v.row[0], Datum::Int64(d));
+        }
+        // Device-pinned scan (equality binds the sharding key).
+        let out = e
+            .scan_index(
+                vec![Datum::Int64(3)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn full_pipeline_quiesce() {
+        let e = engine(2);
+        for d in 0..10 {
+            for m in 0..5 {
+                e.upsert(row(d, m, 100 + m % 2, d * 10 + m)).unwrap();
+            }
+        }
+        e.quiesce().unwrap();
+        // Everything evolved into the post-groomed zone.
+        for s in e.shards() {
+            assert_eq!(s.index().zones()[0].list.len(), 0, "groomed zone drained");
+            assert!(s.index().zones()[1].list.len() >= 1);
+        }
+        // Unified view intact.
+        for d in 0..10 {
+            let recs = e
+                .scan_records(
+                    vec![Datum::Int64(d)],
+                    SortBound::Unbounded,
+                    SortBound::Unbounded,
+                    Freshness::Latest,
+                )
+                .unwrap();
+            assert_eq!(recs.len(), 5, "device {d}");
+        }
+    }
+
+    #[test]
+    fn daemons_drive_pipeline() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let e = WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig {
+                n_shards: 1,
+                groom_interval: Duration::from_millis(10),
+                post_groom_interval: Duration::from_millis(40),
+                evolve_poll_interval: Duration::from_millis(10),
+                maintenance: Some(MaintainerConfig {
+                    merge_poll_interval: Duration::from_millis(10),
+                    janitor_interval: Duration::from_millis(20),
+                    adaptive_cache: false,
+                }),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let daemons = e.start_daemons();
+        for m in 0..50 {
+            e.upsert(row(1, m, 100, m)).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Wait for the pipeline to ingest everything.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let out = e
+                .scan_index(
+                    vec![Datum::Int64(1)],
+                    SortBound::Unbounded,
+                    SortBound::Unbounded,
+                    Freshness::Latest,
+                    ReconcileStrategy::PriorityQueue,
+                )
+                .unwrap();
+            if out.len() == 50 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "pipeline stalled at {}", out.len());
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn engine_recovery() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let table = Arc::new(iot_table());
+        let cfg = EngineConfig { n_shards: 2, maintenance: None, ..EngineConfig::default() };
+        let e = WildfireEngine::create(Arc::clone(&storage), Arc::clone(&table), cfg.clone())
+            .unwrap();
+        for d in 0..10 {
+            e.upsert(row(d, 1, 100, d)).unwrap();
+        }
+        e.quiesce().unwrap();
+        drop(e);
+        storage.simulate_crash();
+
+        let e = WildfireEngine::recover(storage, table, cfg).unwrap();
+        for d in 0..10 {
+            let v = e
+                .get(&[Datum::Int64(d)], &[Datum::Int64(1)], Freshness::Latest)
+                .unwrap()
+                .unwrap();
+            assert_eq!(v.row[3], Datum::Int64(d));
+        }
+    }
+}

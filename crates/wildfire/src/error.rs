@@ -1,0 +1,75 @@
+//! Error type for the Wildfire substrate.
+
+use std::fmt;
+
+/// Errors from the Wildfire engine.
+#[derive(Debug)]
+pub enum WildfireError {
+    /// Index failure.
+    Index(umzi_core::UmziError),
+    /// Storage failure.
+    Storage(umzi_storage::StorageError),
+    /// Run-format failure.
+    Run(umzi_run::RunError),
+    /// Encoding failure.
+    Encoding(umzi_encoding::EncodingError),
+    /// Invalid table definition.
+    InvalidTable(String),
+    /// A row does not match the table schema.
+    RowMismatch(String),
+    /// An RID referenced a block or row that does not exist.
+    DanglingRid(String),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for WildfireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WildfireError::Index(e) => write!(f, "index error: {e}"),
+            WildfireError::Storage(e) => write!(f, "storage error: {e}"),
+            WildfireError::Run(e) => write!(f, "run error: {e}"),
+            WildfireError::Encoding(e) => write!(f, "encoding error: {e}"),
+            WildfireError::InvalidTable(m) => write!(f, "invalid table: {m}"),
+            WildfireError::RowMismatch(m) => write!(f, "row mismatch: {m}"),
+            WildfireError::DanglingRid(m) => write!(f, "dangling RID: {m}"),
+            WildfireError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for WildfireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WildfireError::Index(e) => Some(e),
+            WildfireError::Storage(e) => Some(e),
+            WildfireError::Run(e) => Some(e),
+            WildfireError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<umzi_core::UmziError> for WildfireError {
+    fn from(e: umzi_core::UmziError) -> Self {
+        WildfireError::Index(e)
+    }
+}
+
+impl From<umzi_storage::StorageError> for WildfireError {
+    fn from(e: umzi_storage::StorageError) -> Self {
+        WildfireError::Storage(e)
+    }
+}
+
+impl From<umzi_run::RunError> for WildfireError {
+    fn from(e: umzi_run::RunError) -> Self {
+        WildfireError::Run(e)
+    }
+}
+
+impl From<umzi_encoding::EncodingError> for WildfireError {
+    fn from(e: umzi_encoding::EncodingError) -> Self {
+        WildfireError::Encoding(e)
+    }
+}

@@ -1,0 +1,858 @@
+//! A table shard: the unit of grooming, post-grooming and indexing (§2.1).
+//!
+//! Each shard owns a live zone (committed log), the groomed and post-groomed
+//! data blocks, and one Umzi index instance (§3: *"each Umzi index structure
+//! instance serves a single table shard"*). The groom and post-groom
+//! operations live here; background scheduling is in [`crate::engine`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use umzi_core::{EvolveNotice, UmziConfig, UmziIndex};
+use umzi_encoding::{encode_datums, Datum};
+use umzi_run::{IndexEntry, Rid, ZoneId};
+use umzi_storage::{Durability, TieredStorage};
+
+use crate::colblock::{serialize_deltas, ColumnBlock, EndTsDelta};
+use crate::error::WildfireError;
+use crate::livezone::CommittedLog;
+use crate::table::TableDef;
+use crate::timestamps::{compose_begin_ts, MAX_COMMIT_SEQ};
+use crate::Result;
+
+/// Shard configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Umzi index configuration (its `name` should be unique per shard; the
+    /// shard constructor derives it from the prefix when left empty).
+    pub umzi: UmziConfig,
+    /// Maximum committed-log records consumed per groom cycle (bounds the
+    /// commit-sequence bits of `beginTS`).
+    pub groom_batch_limit: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self { umzi: UmziConfig::two_zone(""), groom_batch_limit: 200_000 }
+    }
+}
+
+/// Outcome of one groom operation (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroomReport {
+    /// The new groomed block's ID.
+    pub block_id: u64,
+    /// Rows groomed.
+    pub rows: usize,
+    /// Largest `beginTS` assigned.
+    pub max_begin_ts: u64,
+}
+
+/// Outcome of one post-groom operation (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostGroomReport {
+    /// Post-groom sequence number.
+    pub psn: u64,
+    /// Consumed groomed-block range.
+    pub groomed_range: (u64, u64),
+    /// Rows re-organized.
+    pub rows: usize,
+    /// Post-groomed blocks written (one per partition).
+    pub blocks: usize,
+    /// Replaced older versions whose `endTS` was set.
+    pub closed_versions: usize,
+}
+
+struct BlockEntry {
+    block: Arc<ColumnBlock>,
+    object: String,
+}
+
+#[derive(Default)]
+struct Registry {
+    blocks: HashMap<(ZoneId, u64), BlockEntry>,
+    /// Groomed blocks deprecated by a post-groom, keyed by the PSN whose
+    /// evolve makes them unreachable for new queries; deleted one PSN later
+    /// (grace period for in-flight queries holding pre-evolve run lists).
+    deprecated: BTreeMap<u64, Vec<(ZoneId, u64)>>,
+}
+
+/// One table shard.
+pub struct Shard {
+    shard_id: usize,
+    table: Arc<TableDef>,
+    storage: Arc<TieredStorage>,
+    index: Arc<UmziIndex>,
+    /// Secondary indexes (§10 future work), in table-definition order;
+    /// maintained by the same groom/post-groom/evolve pipeline.
+    secondary: Vec<Arc<UmziIndex>>,
+    config: ShardConfig,
+    prefix: String,
+    live: CommittedLog,
+    registry: Mutex<Registry>,
+    /// Next groomed-block ID (block IDs start at 1).
+    groom_epoch: AtomicU64,
+    /// Last created groomed-block ID (0 = none yet).
+    groomed_hi: AtomicU64,
+    /// Last groomed-block ID consumed by a post-groom.
+    post_groomed_hi: AtomicU64,
+    next_psn: AtomicU64,
+    pg_block_seq: AtomicU64,
+    /// Published but not yet evolved notices, by PSN (the "metadata" the
+    /// post-groomer publishes and the indexer polls, Figure 5). One notice
+    /// per index: primary first, then secondaries in table order.
+    pending_evolves: Mutex<BTreeMap<u64, Vec<EvolveNotice>>>,
+    /// Highest published PSN (MaxPSN in Figure 5).
+    max_psn: AtomicU64,
+    /// Largest assigned `beginTS` — the default snapshot for reads.
+    current_ts: AtomicU64,
+    /// Serializes groom cycles (one groomer per shard, §2.1).
+    groom_lock: Mutex<()>,
+    /// Serializes post-groom cycles.
+    post_groom_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.shard_id)
+            .field("table", &self.table.name())
+            .field("groomed_hi", &self.groomed_hi.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Shard {
+    /// Create a fresh shard with its Umzi index.
+    pub fn create(
+        storage: Arc<TieredStorage>,
+        table: Arc<TableDef>,
+        shard_id: usize,
+        mut config: ShardConfig,
+    ) -> Result<Arc<Shard>> {
+        let prefix = format!("{}/s{shard_id}", table.name());
+        if config.umzi.name.is_empty() {
+            config.umzi.name = format!("{prefix}/index");
+        }
+        config.groom_batch_limit = config.groom_batch_limit.min(MAX_COMMIT_SEQ as usize);
+        let index = UmziIndex::create(Arc::clone(&storage), table.index_def(), config.umzi.clone())?;
+        let mut secondary = Vec::new();
+        for (i, s) in table.secondary_indexes().iter().enumerate() {
+            let mut cfg = config.umzi.clone();
+            cfg.name = format!("{prefix}/sidx-{}", s.name);
+            secondary.push(UmziIndex::create(
+                Arc::clone(&storage),
+                table.secondary_index_def(i),
+                cfg,
+            )?);
+        }
+        Ok(Arc::new(Shard {
+            shard_id,
+            table,
+            storage,
+            index,
+            secondary,
+            config,
+            prefix,
+            live: CommittedLog::new(),
+            registry: Mutex::new(Registry::default()),
+            groom_epoch: AtomicU64::new(1),
+            groomed_hi: AtomicU64::new(0),
+            post_groomed_hi: AtomicU64::new(0),
+            next_psn: AtomicU64::new(1),
+            pg_block_seq: AtomicU64::new(1),
+            pending_evolves: Mutex::new(BTreeMap::new()),
+            max_psn: AtomicU64::new(0),
+            current_ts: AtomicU64::new(0),
+            groom_lock: Mutex::new(()),
+            post_groom_lock: Mutex::new(()),
+        }))
+    }
+
+    /// Shard ID.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// The table definition.
+    pub fn table(&self) -> &Arc<TableDef> {
+        &self.table
+    }
+
+    /// The shard's primary Umzi index.
+    pub fn index(&self) -> &Arc<UmziIndex> {
+        &self.index
+    }
+
+    /// The shard's secondary indexes, in table-definition order.
+    pub fn secondary_indexes(&self) -> &[Arc<UmziIndex>] {
+        &self.secondary
+    }
+
+    /// Look up a secondary index by name.
+    pub fn secondary_index(&self, name: &str) -> Option<&Arc<UmziIndex>> {
+        let (i, _) = self.table.secondary_index(name)?;
+        self.secondary.get(i)
+    }
+
+    /// The storage hierarchy.
+    pub fn storage(&self) -> &Arc<TieredStorage> {
+        &self.storage
+    }
+
+    /// The live zone (committed log).
+    pub fn live(&self) -> &CommittedLog {
+        &self.live
+    }
+
+    /// The largest assigned `beginTS` — the default read snapshot.
+    pub fn read_ts(&self) -> u64 {
+        self.current_ts.load(Ordering::Acquire)
+    }
+
+    /// Highest published post-groom sequence number (MaxPSN, Figure 5).
+    pub fn max_psn(&self) -> u64 {
+        self.max_psn.load(Ordering::Acquire)
+    }
+
+    /// Last created groomed-block ID.
+    pub fn groomed_hi(&self) -> u64 {
+        self.groomed_hi.load(Ordering::Acquire)
+    }
+
+    /// Commit a batch of upserts as one transaction.
+    pub fn upsert(&self, rows: Vec<Vec<Datum>>) -> Result<u64> {
+        for row in &rows {
+            self.table.check_row(row)?;
+        }
+        Ok(self.live.commit(rows))
+    }
+
+    // ------------------------------------------------------------------
+    // Groom (§2.1)
+    // ------------------------------------------------------------------
+
+    /// One groom cycle: drain the committed log, assign monotonic `beginTS`,
+    /// write a groomed columnar block, and build a level-0 index run (§5.2).
+    pub fn groom(&self) -> Result<Option<GroomReport>> {
+        let _g = self.groom_lock.lock();
+        let batch = self.live.drain(self.config.groom_batch_limit);
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        let block_id = self.groom_epoch.fetch_add(1, Ordering::AcqRel);
+
+        let rows: Vec<Vec<Datum>> = batch.iter().map(|r| r.row.clone()).collect();
+        // beginTS: groom epoch high bits, within-cycle commit order low bits.
+        let begin_ts: Vec<u64> =
+            (0..rows.len()).map(|i| compose_begin_ts(block_id, i as u64)).collect();
+        let max_begin_ts = *begin_ts.last().expect("non-empty batch");
+
+        let kinds = self.table.columns().iter().map(|c| c.ty).collect();
+        let block = Arc::new(ColumnBlock::build(
+            kinds,
+            &rows,
+            begin_ts.clone(),
+            vec![None; rows.len()],
+        )?);
+        let object = format!("{}/blocks/g-{block_id:020}", self.prefix);
+        self.storage.create_object(&object, block.serialize(), Durability::Persisted, 0, true)?;
+        self.registry
+            .lock()
+            .blocks
+            .insert((ZoneId::GROOMED, block_id), BlockEntry { block: Arc::clone(&block), object });
+
+        // The groomer also builds indexes over the groomed data (§2.1).
+        let mut entries = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let (eq, sort, included) = self.table.index_groups(row);
+            entries.push(IndexEntry::new(
+                self.index.layout(),
+                &eq,
+                &sort,
+                begin_ts[i],
+                Rid::new(ZoneId::GROOMED, block_id, i as u32),
+                &included,
+            )?);
+        }
+        self.index.build_groomed_run(entries, block_id, block_id)?;
+        // Secondary indexes follow the same build path (§10 future work).
+        for (si, sidx) in self.secondary.iter().enumerate() {
+            let mut entries = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let (eq, sort, included) = self.table.secondary_groups(si, row);
+                entries.push(IndexEntry::new(
+                    sidx.layout(),
+                    &eq,
+                    &sort,
+                    begin_ts[i],
+                    Rid::new(ZoneId::GROOMED, block_id, i as u32),
+                    &included,
+                )?);
+            }
+            sidx.build_groomed_run(entries, block_id, block_id)?;
+        }
+
+        self.groomed_hi.store(block_id, Ordering::Release);
+        self.current_ts.fetch_max(max_begin_ts, Ordering::AcqRel);
+        Ok(Some(GroomReport { block_id, rows: rows.len(), max_begin_ts }))
+    }
+
+    // ------------------------------------------------------------------
+    // Post-groom (§2.1)
+    // ------------------------------------------------------------------
+
+    /// One post-groom cycle: re-organize all groomed blocks since the last
+    /// cycle into partition-ordered post-groomed blocks, set `prevRID` on
+    /// the new records and `endTS` on the versions they replace, and publish
+    /// the evolve notice for the indexer (Figure 5).
+    pub fn post_groom(&self) -> Result<Option<PostGroomReport>> {
+        let _g = self.post_groom_lock.lock();
+        let lo = self.post_groomed_hi.load(Ordering::Acquire) + 1;
+        let hi = self.groomed_hi.load(Ordering::Acquire);
+        if lo > hi {
+            return Ok(None);
+        }
+
+        // Gather the batch in beginTS order.
+        struct Rec {
+            row: Vec<Datum>,
+            begin_ts: u64,
+        }
+        let mut recs: Vec<Rec> = Vec::new();
+        {
+            let reg = self.registry.lock();
+            for block_id in lo..=hi {
+                let Some(entry) = reg.blocks.get(&(ZoneId::GROOMED, block_id)) else {
+                    continue; // an empty groom cycle produced no block
+                };
+                for i in 0..entry.block.n_rows() {
+                    recs.push(Rec { row: entry.block.row(i)?, begin_ts: entry.block.begin_ts(i) });
+                }
+            }
+        }
+
+        // Partition by the OLAP-friendly partition key, preserving beginTS
+        // order within each partition; assign post-groomed RIDs.
+        let mut partitions: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
+        for (i, rec) in recs.iter().enumerate() {
+            partitions.entry(self.table.partition_of(&rec.row)).or_default().push(i);
+        }
+        let mut rid_of: Vec<Rid> = vec![Rid::new(ZoneId::POST_GROOMED, 0, 0); recs.len()];
+        let mut block_ids: Vec<u64> = Vec::with_capacity(partitions.len());
+        for members in partitions.values() {
+            let block_id = self.pg_block_seq.fetch_add(1, Ordering::AcqRel);
+            block_ids.push(block_id);
+            for (offset, &i) in members.iter().enumerate() {
+                rid_of[i] = Rid::new(ZoneId::POST_GROOMED, block_id, offset as u32);
+            }
+        }
+
+        // Version chains: link prevRID within the batch, then consult the
+        // index for each chain head's predecessor (§2.1: the post-groomer
+        // uses the post-groomed portion of the index for the RIDs of
+        // replaced records).
+        let mut prev_of: Vec<Option<Rid>> = vec![None; recs.len()];
+        let mut end_of: Vec<Option<u64>> = vec![None; recs.len()];
+        let mut by_pk: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        for (i, rec) in recs.iter().enumerate() {
+            let pk: Vec<Datum> =
+                self.table.primary_key_of(&rec.row).into_iter().cloned().collect();
+            by_pk.entry(encode_datums(&pk)).or_default().push(i);
+        }
+        let mut deltas: Vec<EndTsDelta> = Vec::new();
+        let mut closed_versions = 0usize;
+        for chain in by_pk.values_mut() {
+            chain.sort_by_key(|&i| recs[i].begin_ts);
+            for w in chain.windows(2) {
+                let (older, newer) = (w[0], w[1]);
+                prev_of[newer] = Some(rid_of[older]);
+                end_of[older] = Some(recs[newer].begin_ts);
+                closed_versions += 1;
+            }
+            let head = chain[0];
+            let head_ts = recs[head].begin_ts;
+            if head_ts > 0 {
+                let (eq, sort, _) = self.table.index_groups(&recs[head].row);
+                if let Some(prev) = self.index.point_lookup(&eq, &sort, head_ts - 1)? {
+                    let prev_rid = prev.rid()?;
+                    prev_of[head] = Some(prev_rid);
+                    deltas.push(EndTsDelta { rid: prev_rid, end_ts: head_ts });
+                    closed_versions += 1;
+                    // Apply to the in-memory image if the block is resident.
+                    let reg = self.registry.lock();
+                    if let Some(entry) = reg.blocks.get(&(prev_rid.zone, prev_rid.block_id)) {
+                        entry.block.set_end_ts(prev_rid.offset as usize, head_ts);
+                    }
+                }
+            }
+        }
+
+        // Write one (large) post-groomed block per partition.
+        let kinds: Vec<_> = self.table.columns().iter().map(|c| c.ty).collect();
+        let psn = self.next_psn.fetch_add(1, Ordering::AcqRel);
+        let mut entries: Vec<IndexEntry> = Vec::with_capacity(recs.len());
+        {
+            let mut reg = self.registry.lock();
+            for (members, block_id) in partitions.values().zip(&block_ids) {
+                let rows: Vec<Vec<Datum>> = members.iter().map(|&i| recs[i].row.clone()).collect();
+                let begin: Vec<u64> = members.iter().map(|&i| recs[i].begin_ts).collect();
+                let prev: Vec<Option<Rid>> = members.iter().map(|&i| prev_of[i]).collect();
+                let block = ColumnBlock::build(kinds.clone(), &rows, begin, prev)?;
+                for (offset, &i) in members.iter().enumerate() {
+                    if let Some(end) = end_of[i] {
+                        block.set_end_ts(offset, end);
+                    }
+                }
+                let object = format!("{}/blocks/p-{block_id:020}", self.prefix);
+                self.storage.create_object(
+                    &object,
+                    block.serialize(),
+                    Durability::Persisted,
+                    0,
+                    true,
+                )?;
+                reg.blocks.insert(
+                    (ZoneId::POST_GROOMED, *block_id),
+                    BlockEntry { block: Arc::new(block), object },
+                );
+            }
+            // Deprecate the consumed groomed blocks; deletion is deferred
+            // until one PSN after the evolve lands (in-flight query grace).
+            let dep: Vec<(ZoneId, u64)> =
+                (lo..=hi).map(|b| (ZoneId::GROOMED, b)).collect();
+            reg.deprecated.insert(psn, dep);
+        }
+
+        // Persist cross-batch endTS closures as a sidecar delta object.
+        if !deltas.is_empty() {
+            let name = format!("{}/deltas/d-{psn:020}", self.prefix);
+            self.storage.shared().put(&name, serialize_deltas(&deltas))?;
+        }
+
+        // Index entries over the post-groomed rows (same beginTS, new RIDs).
+        for (i, rec) in recs.iter().enumerate() {
+            let (eq, sort, included) = self.table.index_groups(&rec.row);
+            entries.push(IndexEntry::new(
+                self.index.layout(),
+                &eq,
+                &sort,
+                rec.begin_ts,
+                rid_of[i],
+                &included,
+            )?);
+        }
+        let mut notices =
+            vec![EvolveNotice { psn, groomed_lo: lo, groomed_hi: hi, entries }];
+        for (si, sidx) in self.secondary.iter().enumerate() {
+            let mut entries = Vec::with_capacity(recs.len());
+            for (i, rec) in recs.iter().enumerate() {
+                let (eq, sort, included) = self.table.secondary_groups(si, &rec.row);
+                entries.push(IndexEntry::new(
+                    sidx.layout(),
+                    &eq,
+                    &sort,
+                    rec.begin_ts,
+                    rid_of[i],
+                    &included,
+                )?);
+            }
+            notices.push(EvolveNotice { psn, groomed_lo: lo, groomed_hi: hi, entries });
+        }
+
+        // Publish for the indexer (Figure 5): metadata first, then MaxPSN.
+        self.pending_evolves.lock().insert(psn, notices);
+        self.max_psn.store(psn, Ordering::Release);
+        self.post_groomed_hi.store(hi, Ordering::Release);
+
+        Ok(Some(PostGroomReport {
+            psn,
+            groomed_range: (lo, hi),
+            rows: recs.len(),
+            blocks: block_ids.len(),
+            closed_versions,
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Indexer side (Figure 5)
+    // ------------------------------------------------------------------
+
+    /// Apply every pending evolve whose PSN is next in order (the indexer's
+    /// poll loop body: `evolve while IndexedPSN < MaxPSN`). Returns how many
+    /// evolve operations ran.
+    pub fn apply_pending_evolves(&self) -> Result<usize> {
+        let mut applied = 0;
+        while self.index.indexed_psn() < self.max_psn() {
+            let next = self.index.indexed_psn() + 1;
+            let Some(notices) = self.pending_evolves.lock().remove(&next) else {
+                break; // published but not yet enqueued (racing post-groom)
+            };
+            let mut notices = notices.into_iter();
+            let primary_notice = notices.next().expect("primary notice");
+            // Secondaries evolve FIRST: the primary's IndexedPSN gates both
+            // post-groom resumption and deprecated-block cleanup, so after a
+            // crash the secondaries can only be AHEAD, and a regenerated
+            // notice they already applied is safely skipped below.
+            for (sidx, notice) in self.secondary.iter().zip(notices) {
+                match sidx.evolve(notice) {
+                    Ok(_) => {}
+                    Err(umzi_core::UmziError::PsnOutOfOrder { expected, got })
+                        if expected > got => {} // already applied pre-crash
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            self.index.evolve(primary_notice)?;
+            applied += 1;
+            self.cleanup_deprecated(next.saturating_sub(1))?;
+        }
+        Ok(applied)
+    }
+
+    /// Delete deprecated groomed blocks whose deprecating PSN is ≤ `up_to`.
+    fn cleanup_deprecated(&self, up_to: u64) -> Result<()> {
+        let victims: Vec<BlockEntry> = {
+            let mut reg = self.registry.lock();
+            let psns: Vec<u64> = reg.deprecated.range(..=up_to).map(|(p, _)| *p).collect();
+            let mut out = Vec::new();
+            for psn in psns {
+                for key in reg.deprecated.remove(&psn).unwrap_or_default() {
+                    if let Some(entry) = reg.blocks.remove(&key) {
+                        out.push(entry);
+                    }
+                }
+            }
+            out
+        };
+        for entry in victims {
+            if let Ok(h) = self.storage.open_object(&entry.object, 0) {
+                self.storage.delete_object(h)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Record access
+    // ------------------------------------------------------------------
+
+    /// Fetch the row a RID points at, with its hidden columns
+    /// `(row, beginTS, endTS, prevRID)`.
+    pub fn fetch_row(&self, rid: Rid) -> Result<(Vec<Datum>, u64, u64, Option<Rid>)> {
+        let reg = self.registry.lock();
+        let entry = reg
+            .blocks
+            .get(&(rid.zone, rid.block_id))
+            .ok_or_else(|| WildfireError::DanglingRid(format!("{rid}")))?;
+        let i = rid.offset as usize;
+        if i >= entry.block.n_rows() {
+            return Err(WildfireError::DanglingRid(format!("{rid}")));
+        }
+        Ok((
+            entry.block.row(i)?,
+            entry.block.begin_ts(i),
+            entry.block.end_ts(i),
+            entry.block.prev_rid(i),
+        ))
+    }
+
+    /// Number of registered data blocks per zone `(groomed, post-groomed)`.
+    pub fn block_counts(&self) -> (usize, usize) {
+        let reg = self.registry.lock();
+        let g = reg.blocks.keys().filter(|(z, _)| *z == ZoneId::GROOMED).count();
+        let p = reg.blocks.keys().filter(|(z, _)| *z == ZoneId::POST_GROOMED).count();
+        (g, p)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    /// Rebuild a shard from shared storage: recover the index, reopen data
+    /// blocks, and replay `endTS` deltas. Un-groomed live-zone data and
+    /// unpublished post-grooms are lost, exactly as in Wildfire (the log is
+    /// replicated there; replication is out of scope here).
+    pub fn recover(
+        storage: Arc<TieredStorage>,
+        table: Arc<TableDef>,
+        shard_id: usize,
+        mut config: ShardConfig,
+    ) -> Result<Arc<Shard>> {
+        let prefix = format!("{}/s{shard_id}", table.name());
+        if config.umzi.name.is_empty() {
+            config.umzi.name = format!("{prefix}/index");
+        }
+        config.groom_batch_limit = config.groom_batch_limit.min(MAX_COMMIT_SEQ as usize);
+        let index =
+            UmziIndex::recover(Arc::clone(&storage), table.index_def(), config.umzi.clone())?;
+        let mut secondary = Vec::new();
+        for (i, s) in table.secondary_indexes().iter().enumerate() {
+            let mut cfg = config.umzi.clone();
+            cfg.name = format!("{prefix}/sidx-{}", s.name);
+            secondary.push(UmziIndex::recover(
+                Arc::clone(&storage),
+                table.secondary_index_def(i),
+                cfg,
+            )?);
+        }
+
+        let mut registry = Registry::default();
+        let mut groomed_max = 0u64;
+        let mut pg_max = 0u64;
+        for object in storage.shared().list(&format!("{prefix}/blocks/"))? {
+            let data = storage.shared().get(&object)?;
+            let block = Arc::new(ColumnBlock::deserialize(&data)?);
+            let file = object.rsplit('/').next().unwrap_or("");
+            let (zone, id) = match file.split_once('-') {
+                Some(("g", id)) => (ZoneId::GROOMED, id.parse::<u64>().map_err(|_| {
+                    WildfireError::DanglingRid(format!("bad block name {object}"))
+                })?),
+                Some(("p", id)) => (ZoneId::POST_GROOMED, id.parse::<u64>().map_err(|_| {
+                    WildfireError::DanglingRid(format!("bad block name {object}"))
+                })?),
+                _ => continue,
+            };
+            match zone {
+                ZoneId::GROOMED => groomed_max = groomed_max.max(id),
+                _ => pg_max = pg_max.max(id),
+            }
+            registry.blocks.insert((zone, id), BlockEntry { block, object });
+        }
+        // Replay endTS closures.
+        for object in storage.shared().list(&format!("{prefix}/deltas/"))? {
+            let data = storage.shared().get(&object)?;
+            for delta in crate::colblock::deserialize_deltas(&data)? {
+                if let Some(entry) = registry.blocks.get(&(delta.rid.zone, delta.rid.block_id)) {
+                    if (delta.rid.offset as usize) < entry.block.n_rows() {
+                        entry.block.set_end_ts(delta.rid.offset as usize, delta.end_ts);
+                    }
+                }
+            }
+        }
+
+        let covered = index.covered_groomed_hi(0).unwrap_or(0);
+        let indexed_psn = index.indexed_psn();
+        let max_ts = compose_begin_ts(groomed_max, MAX_COMMIT_SEQ);
+        Ok(Arc::new(Shard {
+            shard_id,
+            table,
+            storage,
+            index,
+            secondary,
+            config,
+            prefix,
+            live: CommittedLog::new(),
+            registry: Mutex::new(registry),
+            groom_epoch: AtomicU64::new(groomed_max + 1),
+            groomed_hi: AtomicU64::new(groomed_max),
+            post_groomed_hi: AtomicU64::new(covered.max(0)),
+            next_psn: AtomicU64::new(indexed_psn + 1),
+            pg_block_seq: AtomicU64::new(pg_max + 1),
+            pending_evolves: Mutex::new(BTreeMap::new()),
+            max_psn: AtomicU64::new(indexed_psn),
+            current_ts: AtomicU64::new(if groomed_max > 0 { max_ts } else { 0 }),
+            groom_lock: Mutex::new(()),
+            post_groom_lock: Mutex::new(()),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::iot_table;
+    use umzi_core::ReconcileStrategy;
+    use umzi_run::SortBound;
+
+    fn row(device: i64, msg: i64, date: i64, payload: i64) -> Vec<Datum> {
+        vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(date), Datum::Int64(payload)]
+    }
+
+    fn shard() -> Arc<Shard> {
+        let storage = Arc::new(TieredStorage::in_memory());
+        Shard::create(storage, Arc::new(iot_table()), 0, ShardConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn groom_builds_block_and_run() {
+        let s = shard();
+        s.upsert(vec![row(1, 1, 100, 10), row(2, 1, 100, 20)]).unwrap();
+        let report = s.groom().unwrap().unwrap();
+        assert_eq!(report.block_id, 1);
+        assert_eq!(report.rows, 2);
+        assert_eq!(s.block_counts(), (1, 0));
+        assert_eq!(s.index().run_count(), 1);
+        // Empty groom is a no-op.
+        assert!(s.groom().unwrap().is_none());
+
+        // Index points at the block; fetch resolves the row.
+        let hit = s
+            .index()
+            .point_lookup(&[Datum::Int64(2)], &[Datum::Int64(1)], s.read_ts())
+            .unwrap()
+            .unwrap();
+        let (r, begin, end, prev) = s.fetch_row(hit.rid().unwrap()).unwrap();
+        assert_eq!(r, row(2, 1, 100, 20));
+        assert_eq!(begin, hit.begin_ts);
+        assert_eq!(end, crate::timestamps::OPEN_END_TS);
+        assert_eq!(prev, None);
+    }
+
+    #[test]
+    fn last_writer_wins_within_groom() {
+        let s = shard();
+        s.upsert(vec![row(1, 1, 100, 10)]).unwrap();
+        s.upsert(vec![row(1, 1, 100, 99)]).unwrap(); // same PK, later commit
+        s.groom().unwrap().unwrap();
+        let hit = s
+            .index()
+            .point_lookup(&[Datum::Int64(1)], &[Datum::Int64(1)], s.read_ts())
+            .unwrap()
+            .unwrap();
+        let (r, ..) = s.fetch_row(hit.rid().unwrap()).unwrap();
+        assert_eq!(r[3], Datum::Int64(99), "later commit wins");
+    }
+
+    #[test]
+    fn post_groom_partitions_and_links_versions() {
+        let s = shard();
+        // Two grooms; second updates (1,1).
+        s.upsert(vec![row(1, 1, 100, 10), row(2, 1, 200, 20)]).unwrap();
+        s.groom().unwrap().unwrap();
+        s.upsert(vec![row(1, 1, 100, 11)]).unwrap();
+        s.groom().unwrap().unwrap();
+
+        let report = s.post_groom().unwrap().unwrap();
+        assert_eq!(report.psn, 1);
+        assert_eq!(report.groomed_range, (1, 2));
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.blocks, 2, "partitioned by date: 100 and 200");
+        assert_eq!(report.closed_versions, 1, "(1,1)@g1 replaced by (1,1)@g2");
+
+        // Evolve applies in order.
+        assert_eq!(s.apply_pending_evolves().unwrap(), 1);
+        assert_eq!(s.index().indexed_psn(), 1);
+
+        // All groomed runs are covered: the index now answers from the
+        // post-groomed zone.
+        let hit = s
+            .index()
+            .point_lookup(&[Datum::Int64(1)], &[Datum::Int64(1)], s.read_ts())
+            .unwrap()
+            .unwrap();
+        let rid = hit.rid().unwrap();
+        assert_eq!(rid.zone, ZoneId::POST_GROOMED);
+        let (r, _, end, prev) = s.fetch_row(rid).unwrap();
+        assert_eq!(r[3], Datum::Int64(11));
+        assert_eq!(end, crate::timestamps::OPEN_END_TS);
+        // prevRID chains to the replaced version, whose endTS is closed.
+        let prev_rid = prev.expect("version chain");
+        let (old_row, old_begin, old_end, _) = s.fetch_row(prev_rid).unwrap();
+        assert_eq!(old_row[3], Datum::Int64(10));
+        assert_eq!(old_end, hit.begin_ts, "replaced version closed at successor's beginTS");
+        assert!(old_begin < hit.begin_ts);
+    }
+
+    #[test]
+    fn time_travel_after_post_groom() {
+        let s = shard();
+        s.upsert(vec![row(7, 1, 100, 1)]).unwrap();
+        s.groom().unwrap().unwrap();
+        let ts_v1 = s.read_ts();
+        s.upsert(vec![row(7, 1, 100, 2)]).unwrap();
+        s.groom().unwrap().unwrap();
+        s.post_groom().unwrap().unwrap();
+        s.apply_pending_evolves().unwrap();
+
+        // Latest sees v2; a snapshot at ts_v1 sees v1.
+        let latest = s
+            .index()
+            .point_lookup(&[Datum::Int64(7)], &[Datum::Int64(1)], s.read_ts())
+            .unwrap()
+            .unwrap();
+        let (r, ..) = s.fetch_row(latest.rid().unwrap()).unwrap();
+        assert_eq!(r[3], Datum::Int64(2));
+
+        let old = s
+            .index()
+            .point_lookup(&[Datum::Int64(7)], &[Datum::Int64(1)], ts_v1)
+            .unwrap()
+            .unwrap();
+        let (r, ..) = s.fetch_row(old.rid().unwrap()).unwrap();
+        assert_eq!(r[3], Datum::Int64(1));
+    }
+
+    #[test]
+    fn range_scan_spans_zones_consistently() {
+        let s = shard();
+        s.upsert((0..20).map(|m| row(5, m, 100 + m % 2, m)).collect()).unwrap();
+        s.groom().unwrap().unwrap();
+        s.post_groom().unwrap().unwrap();
+        s.apply_pending_evolves().unwrap();
+        // New groomed data on top of the post-groomed zone.
+        s.upsert((20..30).map(|m| row(5, m, 100, m)).collect()).unwrap();
+        s.groom().unwrap().unwrap();
+
+        let out = s
+            .index()
+            .range_scan(
+                &umzi_core::RangeQuery {
+                    equality: vec![Datum::Int64(5)],
+                    lower: SortBound::Unbounded,
+                    upper: SortBound::Unbounded,
+                    query_ts: s.read_ts(),
+                },
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 30, "unified view across groomed + post-groomed zones");
+    }
+
+    #[test]
+    fn deprecated_blocks_cleaned_after_grace() {
+        let s = shard();
+        s.upsert(vec![row(1, 1, 100, 1)]).unwrap();
+        s.groom().unwrap().unwrap();
+        s.post_groom().unwrap().unwrap();
+        s.apply_pending_evolves().unwrap();
+        // Grace: groomed block of psn 1 still present until psn 2 evolves.
+        assert_eq!(s.block_counts().0, 1);
+
+        s.upsert(vec![row(1, 2, 100, 2)]).unwrap();
+        s.groom().unwrap().unwrap();
+        s.post_groom().unwrap().unwrap();
+        s.apply_pending_evolves().unwrap();
+        assert_eq!(s.block_counts().0, 1, "psn-1 groomed block deleted, psn-2's in grace");
+    }
+
+    #[test]
+    fn shard_recovery_preserves_queries() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let table = Arc::new(iot_table());
+        let s = Shard::create(Arc::clone(&storage), Arc::clone(&table), 0, ShardConfig::default())
+            .unwrap();
+        s.upsert((0..10).map(|m| row(3, m, 100, m * 10)).collect()).unwrap();
+        s.groom().unwrap().unwrap();
+        s.upsert(vec![row(3, 0, 100, 999)]).unwrap();
+        s.groom().unwrap().unwrap();
+        s.post_groom().unwrap().unwrap();
+        s.apply_pending_evolves().unwrap();
+        let snapshot_ts = s.read_ts();
+        drop(s);
+        storage.simulate_crash();
+
+        let s = Shard::recover(storage, table, 0, ShardConfig::default()).unwrap();
+        let hit = s
+            .index()
+            .point_lookup(&[Datum::Int64(3)], &[Datum::Int64(0)], snapshot_ts)
+            .unwrap()
+            .unwrap();
+        let (r, ..) = s.fetch_row(hit.rid().unwrap()).unwrap();
+        assert_eq!(r[3], Datum::Int64(999), "updated payload survives recovery");
+        // New grooms don't collide with recovered block IDs.
+        s.upsert(vec![row(3, 100, 100, 1)]).unwrap();
+        s.groom().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! Wildfire timestamps (§2.1).
+//!
+//! *"The beginTS set by the groomer is composed of two parts. The higher
+//! order part is based on the groomer's timestamp, while the lower order
+//! part is the transaction commit time in the shard replica. Thus, the
+//! commit time of transactions in Wildfire is effectively postponed to the
+//! groom time."*
+
+/// Bits of a `beginTS` reserved for the per-groom commit sequence.
+pub const COMMIT_BITS: u32 = 20;
+/// Maximum commit sequence representable within one groom cycle.
+pub const MAX_COMMIT_SEQ: u64 = (1 << COMMIT_BITS) - 1;
+
+/// Compose a `beginTS` from the groom epoch (monotonic per shard) and the
+/// transaction's commit sequence within the cycle.
+#[inline]
+pub fn compose_begin_ts(groom_epoch: u64, commit_seq: u64) -> u64 {
+    debug_assert!(commit_seq <= MAX_COMMIT_SEQ, "commit sequence overflow");
+    (groom_epoch << COMMIT_BITS) | (commit_seq & MAX_COMMIT_SEQ)
+}
+
+/// Decompose a `beginTS` into `(groom_epoch, commit_seq)`.
+#[inline]
+pub fn decompose_begin_ts(ts: u64) -> (u64, u64) {
+    (ts >> COMMIT_BITS, ts & MAX_COMMIT_SEQ)
+}
+
+/// The `endTS` of a live (not yet replaced) record version.
+pub const OPEN_END_TS: u64 = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let ts = compose_begin_ts(42, 17);
+        assert_eq!(decompose_begin_ts(ts), (42, 17));
+    }
+
+    #[test]
+    fn groom_epochs_dominate_ordering() {
+        // Any commit in groom N+1 is newer than every commit in groom N.
+        let last_of_n = compose_begin_ts(5, MAX_COMMIT_SEQ);
+        let first_of_n1 = compose_begin_ts(6, 0);
+        assert!(first_of_n1 > last_of_n);
+    }
+
+    #[test]
+    fn commit_sequence_orders_within_groom() {
+        assert!(compose_begin_ts(5, 2) > compose_begin_ts(5, 1));
+    }
+}

@@ -1,0 +1,163 @@
+//! The §8.4 IoT update model.
+//!
+//! *"The ingested data for the latest groom cycle updates p% of data from
+//! the last groom cycle, and 0.1×p% of data from the last 50 cycles, and
+//! 0.01×p% of data in the last 100 cycles. By default, we set p% = 10%."*
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three update strata of §8.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateMix {
+    /// Fraction of the batch updating keys from the previous cycle.
+    pub last_cycle: f64,
+    /// Fraction updating keys from the last 50 cycles.
+    pub last_50: f64,
+    /// Fraction updating keys from the last 100 cycles.
+    pub last_100: f64,
+}
+
+impl UpdateMix {
+    /// The paper's parametrization for a given `p` (fraction, e.g. `0.10`).
+    pub fn for_p(p: f64) -> Self {
+        Self { last_cycle: p, last_50: 0.1 * p, last_100: 0.01 * p }
+    }
+}
+
+/// Generates per-cycle ingestion batches with the paper's update strata;
+/// keys are dense u64s, new keys continuing where the previous cycle ended.
+#[derive(Debug, Clone)]
+pub struct IotUpdateModel {
+    mix: UpdateMix,
+    records_per_cycle: usize,
+    next_new_key: u64,
+    cycle: u64,
+    rng: StdRng,
+    /// First key of each past cycle (index = cycle number).
+    cycle_starts: Vec<u64>,
+}
+
+impl IotUpdateModel {
+    /// Create the model. `p` is the update fraction (0.0–1.0).
+    pub fn new(p: f64, records_per_cycle: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p out of range");
+        Self {
+            mix: UpdateMix::for_p(p),
+            records_per_cycle,
+            next_new_key: 0,
+            cycle: 0,
+            rng: StdRng::seed_from_u64(seed),
+            cycle_starts: Vec::new(),
+        }
+    }
+
+    /// The configured mix.
+    pub fn mix(&self) -> UpdateMix {
+        self.mix
+    }
+
+    /// Total distinct keys created so far.
+    pub fn keys_created(&self) -> u64 {
+        self.next_new_key
+    }
+
+    /// Cycles generated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    fn sample_from_cycles_back(&mut self, back: u64) -> Option<u64> {
+        if self.cycle == 0 {
+            return None;
+        }
+        let first_cycle = self.cycle.saturating_sub(back);
+        let lo = self.cycle_starts[first_cycle as usize];
+        let hi = self.next_new_key;
+        (lo < hi).then(|| self.rng.random_range(lo..hi))
+    }
+
+    /// Generate the next cycle's keys: mostly fresh inserts plus the three
+    /// update strata. Returns `(key, is_update)` pairs.
+    pub fn next_cycle(&mut self) -> Vec<(u64, bool)> {
+        let n = self.records_per_cycle;
+        let n_last = (n as f64 * self.mix.last_cycle) as usize;
+        let n_50 = (n as f64 * self.mix.last_50) as usize;
+        let n_100 = (n as f64 * self.mix.last_100) as usize;
+
+        let mut out = Vec::with_capacity(n);
+        for stratum in [(n_last, 1u64), (n_50, 50), (n_100, 100)] {
+            for _ in 0..stratum.0 {
+                if let Some(k) = self.sample_from_cycles_back(stratum.1) {
+                    out.push((k, true));
+                }
+            }
+        }
+        self.cycle_starts.push(self.next_new_key);
+        while out.len() < n {
+            out.push((self.next_new_key, false));
+            self.next_new_key += 1;
+        }
+        self.cycle += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cycle_is_all_inserts() {
+        let mut m = IotUpdateModel::new(0.10, 1000, 1);
+        let batch = m.next_cycle();
+        assert_eq!(batch.len(), 1000);
+        assert!(batch.iter().all(|(_, upd)| !upd));
+        assert_eq!(m.keys_created(), 1000);
+    }
+
+    #[test]
+    fn update_fraction_close_to_p() {
+        let mut m = IotUpdateModel::new(0.10, 10_000, 1);
+        for _ in 0..10 {
+            m.next_cycle();
+        }
+        let batch = m.next_cycle();
+        let updates = batch.iter().filter(|(_, u)| *u).count();
+        // p + 0.1p + 0.01p = 11.1% of 10_000 = 1110.
+        assert!((1000..=1300).contains(&updates), "updates = {updates}");
+        // Updated keys must already exist.
+        let max_existing = m.keys_created();
+        for (k, upd) in batch {
+            if upd {
+                assert!(k < max_existing);
+            }
+        }
+    }
+
+    #[test]
+    fn p_zero_is_read_only_inserts() {
+        let mut m = IotUpdateModel::new(0.0, 100, 1);
+        for _ in 0..5 {
+            assert!(m.next_cycle().iter().all(|(_, u)| !u));
+        }
+    }
+
+    #[test]
+    fn p_one_updates_everything_after_warmup() {
+        let mut m = IotUpdateModel::new(1.0, 100, 1);
+        m.next_cycle();
+        let batch = m.next_cycle();
+        let updates = batch.iter().filter(|(_, u)| *u).count();
+        assert!(updates >= 100, "p=100%: the whole batch is updates, got {updates}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = IotUpdateModel::new(0.2, 500, 9);
+        let mut b = IotUpdateModel::new(0.2, 500, 9);
+        for _ in 0..5 {
+            assert_eq!(a.next_cycle(), b.next_cycle());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's index definitions (§8.1):
+//!
+//! * **I1**: one equality column, one sort column, one included column;
+//! * **I2**: two equality columns, one included column;
+//! * **I3**: one equality column, one included column.
+//!
+//! Each column is an 8-byte `long`.
+
+use std::sync::Arc;
+
+use umzi_encoding::{ColumnType, Datum, IndexDef};
+
+/// One of the paper's three index shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPreset {
+    /// One equality + one sort + one included column (the default, §8.1).
+    I1,
+    /// Two equality columns + one included column.
+    I2,
+    /// One equality column + one included column.
+    I3,
+}
+
+impl IndexPreset {
+    /// All presets, in paper order.
+    pub const ALL: [IndexPreset; 3] = [IndexPreset::I1, IndexPreset::I2, IndexPreset::I3];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexPreset::I1 => "I1",
+            IndexPreset::I2 => "I2",
+            IndexPreset::I3 => "I3",
+        }
+    }
+
+    /// Build the index definition.
+    pub fn def(self) -> Arc<IndexDef> {
+        let b = IndexDef::builder(self.label());
+        let b = match self {
+            IndexPreset::I1 => b
+                .equality("eq0", ColumnType::Int64)
+                .sort("sort0", ColumnType::Int64),
+            IndexPreset::I2 => b
+                .equality("eq0", ColumnType::Int64)
+                .equality("eq1", ColumnType::Int64),
+            IndexPreset::I3 => b.equality("eq0", ColumnType::Int64),
+        };
+        Arc::new(b.included("inc0", ColumnType::Int64).build().expect("presets are valid"))
+    }
+
+    /// Split a scalar key `k` into this preset's (equality, sort) groups.
+    ///
+    /// A single `u64` key space keeps generators index-shape-agnostic:
+    /// * I1: equality = high 32 bits, sort = low 32 bits;
+    /// * I2: two equality columns from the same split;
+    /// * I3: the whole key as the single equality column.
+    pub fn split_key(self, k: u64) -> (Vec<Datum>, Vec<Datum>) {
+        let hi = (k >> 32) as i64;
+        let lo = (k & 0xFFFF_FFFF) as i64;
+        match self {
+            IndexPreset::I1 => (vec![Datum::Int64(hi)], vec![Datum::Int64(lo)]),
+            IndexPreset::I2 => (vec![Datum::Int64(hi), Datum::Int64(lo)], vec![]),
+            IndexPreset::I3 => (vec![Datum::Int64(k as i64)], vec![]),
+        }
+    }
+
+    /// The included-column payload for key `k`.
+    pub fn included_of(self, k: u64) -> Vec<Datum> {
+        vec![Datum::Int64((k ^ 0x5DEE_CE66) as i64)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let i1 = IndexPreset::I1.def();
+        assert_eq!((i1.equality_columns().len(), i1.sort_columns().len(), i1.included_columns().len()), (1, 1, 1));
+        let i2 = IndexPreset::I2.def();
+        assert_eq!((i2.equality_columns().len(), i2.sort_columns().len(), i2.included_columns().len()), (2, 0, 1));
+        let i3 = IndexPreset::I3.def();
+        assert_eq!((i3.equality_columns().len(), i3.sort_columns().len(), i3.included_columns().len()), (1, 0, 1));
+    }
+
+    #[test]
+    fn split_key_is_deterministic_and_injective_per_preset() {
+        for preset in IndexPreset::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for k in [0u64, 1, 42, 1 << 33, u64::MAX] {
+                let (eq, sort) = preset.split_key(k);
+                assert_eq!(preset.split_key(k), (eq.clone(), sort.clone()));
+                assert!(seen.insert(format!("{eq:?}|{sort:?}")), "{preset:?} collided at {k}");
+            }
+        }
+    }
+}

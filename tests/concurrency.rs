@@ -1,0 +1,237 @@
+//! Concurrency invariants (§5.1): queries are lock-free and always see a
+//! consistent index while builds, merges, evolves and GC run concurrently.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use umzi::prelude::*;
+use umzi_core::{EvolveNotice, ReconcileStrategy};
+
+fn entry(idx: &UmziIndex, zone: ZoneId, device: i64, msg: i64, ts: u64) -> IndexEntry {
+    IndexEntry::new(
+        idx.layout(),
+        &[Datum::Int64(device)],
+        &[Datum::Int64(msg)],
+        ts,
+        Rid::new(zone, ts, 0),
+        &[],
+    )
+    .unwrap()
+}
+
+/// Readers must always observe: (a) every key ever fully published up to
+/// their snapshot, (b) no duplicates, while a writer thread churns builds,
+/// merges and evolves.
+#[test]
+fn readers_see_consistent_unified_view_under_maintenance() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let def = Arc::new(
+        IndexDef::builder("c")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .build()
+            .unwrap(),
+    );
+    let mut config = UmziConfig::two_zone("conc");
+    config.merge = MergePolicy { k: 2, t: 4 };
+    let idx = UmziIndex::create(storage, def, config).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Keys 0..published (msg = key, device = key % 4) are fully visible.
+    let published = Arc::new(AtomicU64::new(0));
+
+    let mut readers = Vec::new();
+    for r in 0..3 {
+        let idx = Arc::clone(&idx);
+        let stop = Arc::clone(&stop);
+        let published = Arc::clone(&published);
+        readers.push(std::thread::spawn(move || {
+            let mut checks = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let visible = published.load(Ordering::Acquire);
+                if visible == 0 {
+                    continue;
+                }
+                let device = (checks % 4) as i64;
+                let out = idx
+                    .range_scan(
+                        &umzi_core::RangeQuery {
+                            equality: vec![Datum::Int64(device)],
+                            lower: SortBound::Unbounded,
+                            upper: SortBound::Unbounded,
+                            query_ts: u64::MAX,
+                        },
+                        if r % 2 == 0 {
+                            ReconcileStrategy::PriorityQueue
+                        } else {
+                            ReconcileStrategy::Set
+                        },
+                    )
+                    .expect("scan never fails under maintenance");
+                // No duplicates.
+                let mut keys: Vec<&[u8]> =
+                    out.iter().map(|o| &o.key[..o.key.len() - 8]).collect();
+                keys.sort();
+                keys.dedup();
+                assert_eq!(keys.len(), out.len(), "duplicate logical keys in scan");
+                // Coverage: at least ⌊visible/4⌋ keys of this device exist.
+                let expect_min = visible / 4;
+                assert!(
+                    out.len() as u64 >= expect_min,
+                    "device {device}: saw {} < {expect_min} of published {visible}",
+                    out.len()
+                );
+                checks += 1;
+            }
+            checks
+        }));
+    }
+
+    // Writer: builds, occasional evolve, continuous merges via drain.
+    let mut key = 0u64;
+    for block in 1..=40u64 {
+        let entries: Vec<IndexEntry> = (0..25)
+            .map(|_| {
+                let k = key;
+                key += 1;
+                entry(&idx, ZoneId::GROOMED, (k % 4) as i64, k as i64, k + 1)
+            })
+            .collect();
+        idx.build_groomed_run(entries, block, block).unwrap();
+        published.store(key, Ordering::Release);
+        idx.drain_merges().unwrap();
+
+        if block % 10 == 0 {
+            // Evolve everything groomed so far into the post-groomed zone.
+            let psn = idx.indexed_psn() + 1;
+            let pg_entries: Vec<IndexEntry> =
+                (0..key).map(|k| entry(&idx, ZoneId::POST_GROOMED, (k % 4) as i64, k as i64, k + 1)).collect();
+            idx.evolve(EvolveNotice {
+                psn,
+                groomed_lo: 1,
+                groomed_hi: block,
+                entries: pg_entries,
+            })
+            .unwrap();
+        }
+        idx.collect_garbage().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        let checks = r.join().unwrap();
+        assert!(checks > 0, "reader made no progress");
+    }
+
+    // Final integrity: all 1000 keys, once each.
+    let total: usize = (0..4)
+        .map(|d| {
+            idx.range_scan(
+                &umzi_core::RangeQuery {
+                    equality: vec![Datum::Int64(d)],
+                    lower: SortBound::Unbounded,
+                    upper: SortBound::Unbounded,
+                    query_ts: u64::MAX,
+                },
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap()
+            .len()
+        })
+        .sum();
+    assert_eq!(total, 1000);
+}
+
+/// The full engine under daemons: concurrent writers and readers, then a
+/// final consistency check after quiescing.
+#[test]
+fn engine_daemons_with_concurrent_clients() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let engine = WildfireEngine::create(
+        storage,
+        Arc::new(iot_table()),
+        EngineConfig {
+            n_shards: 2,
+            groom_interval: Duration::from_millis(15),
+            post_groom_interval: Duration::from_millis(60),
+            evolve_poll_interval: Duration::from_millis(10),
+            maintenance: Some(MaintainerConfig {
+                merge_poll_interval: Duration::from_millis(10),
+                janitor_interval: Duration::from_millis(30),
+                adaptive_cache: false,
+            }),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let daemons = engine.start_daemons();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut n = 0i64;
+            while !stop.load(Ordering::Acquire) {
+                let rows: Vec<Vec<Datum>> = (0..50)
+                    .map(|i| {
+                        let k = n * 50 + i;
+                        vec![
+                            Datum::Int64(k % 20),
+                            Datum::Int64(k / 20),
+                            Datum::Int64(k % 5),
+                            Datum::Int64(k),
+                        ]
+                    })
+                    .collect();
+                engine.upsert_many(rows).unwrap();
+                n += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            n * 50
+        })
+    };
+
+    let reader = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                for d in 0..20i64 {
+                    let _ = engine
+                        .get(&[Datum::Int64(d)], &[Datum::Int64(0)], Freshness::Latest)
+                        .unwrap();
+                    reads += 1;
+                }
+            }
+            reads
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(800));
+    stop.store(true, Ordering::Release);
+    let written = writer.join().unwrap();
+    let reads = reader.join().unwrap();
+    daemons.shutdown();
+    assert!(reads > 0);
+
+    engine.quiesce().unwrap();
+    let visible: usize = (0..20i64)
+        .map(|d| {
+            engine
+                .scan_index(
+                    vec![Datum::Int64(d)],
+                    SortBound::Unbounded,
+                    SortBound::Unbounded,
+                    Freshness::Latest,
+                    ReconcileStrategy::PriorityQueue,
+                )
+                .unwrap()
+                .len()
+        })
+        .sum();
+    assert_eq!(visible as i64, written, "every committed row visible after quiesce");
+}

@@ -1,0 +1,137 @@
+//! §3's N-zone extension: *"It is straightforward to extend Umzi to support
+//! other HTAP systems with arbitrary number of zones. To this end, one needs
+//! to structure Umzi with multiple run lists, each of which corresponds to
+//! one zone of data."* This exercises a three-zone configuration with two
+//! evolve boundaries.
+
+use std::sync::Arc;
+
+use umzi::prelude::*;
+use umzi_core::{EvolveNotice, ReconcileStrategy, ZoneConfig};
+
+fn three_zone_config() -> UmziConfig {
+    let mut c = UmziConfig::two_zone("three");
+    c.zones = vec![
+        ZoneConfig { zone: ZoneId(0), min_level: 0, max_level: 2 },
+        ZoneConfig { zone: ZoneId(1), min_level: 3, max_level: 5 },
+        ZoneConfig { zone: ZoneId(2), min_level: 6, max_level: 8 },
+    ];
+    c
+}
+
+fn entry(idx: &UmziIndex, zone: u8, k: i64, ts: u64) -> IndexEntry {
+    IndexEntry::new(
+        idx.layout(),
+        &[Datum::Int64(k % 5)],
+        &[Datum::Int64(k)],
+        ts,
+        Rid::new(ZoneId(zone), ts, 0),
+        &[],
+    )
+    .unwrap()
+}
+
+fn visible_keys(idx: &UmziIndex) -> usize {
+    (0..5)
+        .map(|d| {
+            idx.range_scan(
+                &umzi_core::RangeQuery {
+                    equality: vec![Datum::Int64(d)],
+                    lower: SortBound::Unbounded,
+                    upper: SortBound::Unbounded,
+                    query_ts: u64::MAX,
+                },
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap()
+            .len()
+        })
+        .sum()
+}
+
+#[test]
+fn three_zones_evolve_twice() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let def = Arc::new(
+        IndexDef::builder("t")
+            .equality("d", ColumnType::Int64)
+            .sort("k", ColumnType::Int64)
+            .build()
+            .unwrap(),
+    );
+    let idx = UmziIndex::create(Arc::clone(&storage), def, three_zone_config()).unwrap();
+
+    // Zone 0 receives four builds of 25 keys each.
+    for b in 1..=4u64 {
+        let entries: Vec<IndexEntry> = (0..25)
+            .map(|i| entry(&idx, 0, (b as i64 - 1) * 25 + i, b * 100 + i as u64))
+            .collect();
+        idx.build_groomed_run(entries, b, b).unwrap();
+    }
+    assert_eq!(visible_keys(&idx), 100);
+
+    // Evolve zone 0 → zone 1 (covering blocks 1–2).
+    let pg: Vec<IndexEntry> =
+        (0..50).map(|i| entry(&idx, 1, i, (1 + (i as u64 / 25)) * 100 + (i as u64 % 25))).collect();
+    idx.evolve_between(0, EvolveNotice { psn: 1, groomed_lo: 1, groomed_hi: 2, entries: pg })
+        .unwrap();
+    assert_eq!(idx.zones()[1].list.len(), 1);
+    assert_eq!(idx.zones()[0].list.len(), 2, "blocks 1-2 GC'd from zone 0");
+    assert_eq!(visible_keys(&idx), 100, "unified view across three zones");
+
+    // Evolve zone 1 → zone 2 for the same range.
+    let z2: Vec<IndexEntry> =
+        (0..50).map(|i| entry(&idx, 2, i, (1 + (i as u64 / 25)) * 100 + (i as u64 % 25))).collect();
+    idx.evolve_between(1, EvolveNotice { psn: 2, groomed_lo: 1, groomed_hi: 2, entries: z2 })
+        .unwrap();
+    assert_eq!(idx.zones()[2].list.len(), 1);
+    assert_eq!(idx.zones()[1].list.len(), 0, "zone 1 drained");
+    assert_eq!(visible_keys(&idx), 100);
+
+    // Watermarks are independent per boundary.
+    assert_eq!(idx.covered_groomed_hi(0), Some(2));
+    assert_eq!(idx.covered_groomed_hi(1), Some(2));
+
+    // Recovery restores all three zones.
+    drop(idx);
+    storage.simulate_crash();
+    let def = Arc::new(
+        IndexDef::builder("t")
+            .equality("d", ColumnType::Int64)
+            .sort("k", ColumnType::Int64)
+            .build()
+            .unwrap(),
+    );
+    let idx = UmziIndex::recover(storage, def, three_zone_config()).unwrap();
+    assert_eq!(visible_keys(&idx), 100);
+    assert_eq!(idx.zones()[2].list.len(), 1);
+}
+
+#[test]
+fn merges_stay_within_zone_boundaries() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let def = Arc::new(
+        IndexDef::builder("t")
+            .equality("d", ColumnType::Int64)
+            .sort("k", ColumnType::Int64)
+            .build()
+            .unwrap(),
+    );
+    let mut config = three_zone_config();
+    config.merge = MergePolicy { k: 2, t: 2 };
+    let idx = UmziIndex::create(storage, def, config).unwrap();
+
+    for b in 1..=16u64 {
+        let entries: Vec<IndexEntry> =
+            (0..10).map(|i| entry(&idx, 0, i, b * 100 + i as u64)).collect();
+        idx.build_groomed_run(entries, b, b).unwrap();
+    }
+    idx.drain_merges().unwrap();
+    // Everything must still be in zone 0 (levels ≤ 2): merges never cross
+    // the zone-2→3 boundary, even at the zone's top level.
+    for run in idx.zones()[0].list.snapshot() {
+        assert!(run.level() <= 2, "run escaped its zone: level {}", run.level());
+    }
+    assert_eq!(idx.zones()[1].list.len(), 0);
+    assert_eq!(idx.zones()[2].list.len(), 0);
+}

@@ -1,0 +1,198 @@
+//! End-to-end pipeline consistency: the engine's indexed view must agree
+//! with a naive model database under interleaved upserts, grooms,
+//! post-grooms, evolves and merges — including historical snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use umzi::prelude::*;
+use umzi_core::ReconcileStrategy;
+
+fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
+    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(device % 3), Datum::Int64(payload)]
+}
+
+/// Model: (device, msg) → list of (begin_ts, payload) versions.
+type Model = BTreeMap<(i64, i64), Vec<(u64, i64)>>;
+
+fn model_get(model: &Model, device: i64, msg: i64, ts: u64) -> Option<i64> {
+    model
+        .get(&(device, msg))?
+        .iter()
+        .filter(|(b, _)| *b <= ts)
+        .max_by_key(|(b, _)| *b)
+        .map(|(_, p)| *p)
+}
+
+#[test]
+fn engine_matches_model_through_full_lifecycle() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let engine = WildfireEngine::create(
+        storage,
+        Arc::new(iot_table()),
+        EngineConfig { maintenance: None, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let shard = &engine.shards()[0];
+
+    let mut model: Model = BTreeMap::new();
+    let mut snapshots: Vec<u64> = Vec::new();
+    let mut x = 0xDEADBEEFu64;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 33
+    };
+
+    // 30 groom cycles with updates; post-groom every 7 cycles; merges as
+    // the policy dictates.
+    for cycle in 0..30u64 {
+        let mut batch = Vec::new();
+        for _ in 0..40 {
+            let device = (next() % 8) as i64;
+            let msg = (next() % 25) as i64;
+            let payload = (next() % 100_000) as i64;
+            batch.push((device, msg, payload));
+        }
+        // Commit in order; model applies the same last-writer-wins order.
+        for &(d, m, p) in &batch {
+            engine.upsert(row(d, m, p)).unwrap();
+        }
+        let report = shard.groom().unwrap().expect("non-empty groom");
+        // Reconstruct beginTS assignment: commit order within the cycle.
+        for (i, &(d, m, p)) in batch.iter().enumerate() {
+            let ts = umzi::wildfire::compose_begin_ts(report.block_id, i as u64);
+            model.entry((d, m)).or_default().push((ts, p));
+        }
+        snapshots.push(engine.read_ts());
+
+        if cycle % 7 == 6 {
+            shard.post_groom().unwrap();
+            shard.apply_pending_evolves().unwrap();
+        }
+        shard.index().drain_merges().unwrap();
+        shard.index().collect_garbage().unwrap();
+    }
+
+    // Check every (device, msg) at several snapshots, including historic.
+    for &ts in snapshots.iter().step_by(5).chain([engine.read_ts()].iter()) {
+        for device in 0..8i64 {
+            for msg in 0..25i64 {
+                let expect = model_get(&model, device, msg, ts);
+                let got = engine
+                    .get(&[Datum::Int64(device)], &[Datum::Int64(msg)], Freshness::Snapshot(ts))
+                    .unwrap()
+                    .map(|v| v.row[3].as_i64().unwrap());
+                assert_eq!(got, expect, "device={device} msg={msg} ts={ts}");
+            }
+        }
+    }
+
+    // Range scans agree with the model too.
+    let ts = engine.read_ts();
+    for device in 0..8i64 {
+        let scanned: Vec<(i64, i64)> = engine
+            .scan_index(
+                vec![Datum::Int64(device)],
+                SortBound::Included(vec![Datum::Int64(5)]),
+                SortBound::Included(vec![Datum::Int64(19)]),
+                Freshness::Snapshot(ts),
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap()
+            .iter()
+            .map(|o| {
+                let cols = o.key_columns(shard.index().layout()).unwrap();
+                (cols[0].as_i64().unwrap(), cols[1].as_i64().unwrap())
+            })
+            .collect();
+        let expected: Vec<(i64, i64)> = (5..=19)
+            .filter(|&m| model_get(&model, device, m, ts).is_some())
+            .map(|m| (device, m))
+            .collect();
+        assert_eq!(scanned, expected, "scan device={device}");
+    }
+}
+
+#[test]
+fn set_and_pq_reconciliation_agree_end_to_end() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let engine = WildfireEngine::create(
+        storage,
+        Arc::new(iot_table()),
+        EngineConfig { maintenance: None, ..EngineConfig::default() },
+    )
+    .unwrap();
+    for c in 0..10i64 {
+        for d in 0..6i64 {
+            for m in 0..10i64 {
+                engine.upsert(row(d, m * c % 17, d * 100 + m + c)).unwrap();
+            }
+        }
+        engine.groom_all().unwrap();
+        if c == 5 {
+            engine.post_groom_all().unwrap();
+            engine.evolve_all().unwrap();
+        }
+    }
+    let ts = engine.read_ts();
+    for d in 0..6i64 {
+        let mut a = engine
+            .scan_index(
+                vec![Datum::Int64(d)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Snapshot(ts),
+                ReconcileStrategy::Set,
+            )
+            .unwrap();
+        let mut b = engine
+            .scan_index(
+                vec![Datum::Int64(d)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Snapshot(ts),
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap();
+        a.sort_by(|x, y| x.key.cmp(&y.key));
+        b.sort_by(|x, y| x.key.cmp(&y.key));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.begin_ts, y.begin_ts);
+        }
+    }
+}
+
+#[test]
+fn index_only_plans_avoid_record_fetches() {
+    let storage = Arc::new(TieredStorage::in_memory());
+    let engine = WildfireEngine::create(
+        storage,
+        Arc::new(iot_table()),
+        EngineConfig { maintenance: None, ..EngineConfig::default() },
+    )
+    .unwrap();
+    for m in 0..100 {
+        engine.upsert(row(1, m, m * 2)).unwrap();
+    }
+    engine.quiesce().unwrap();
+
+    // The included payload column answers the query from the index alone.
+    let out = engine
+        .scan_index(
+            vec![Datum::Int64(1)],
+            SortBound::Included(vec![Datum::Int64(10)]),
+            SortBound::Included(vec![Datum::Int64(13)]),
+            Freshness::Latest,
+            ReconcileStrategy::PriorityQueue,
+        )
+        .unwrap();
+    let payloads: Vec<i64> = out
+        .iter()
+        .map(|o| {
+            o.included(engine.shards()[0].index().def()).unwrap()[0].as_i64().unwrap()
+        })
+        .collect();
+    assert_eq!(payloads, vec![20, 22, 24, 26]);
+}

@@ -1,0 +1,228 @@
+//! Property-based whole-index tests: arbitrary interleavings of builds,
+//! merges and evolves must preserve the multi-version query semantics
+//! against a BTreeMap oracle.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use umzi::prelude::*;
+use umzi_core::{EvolveNotice, ReconcileStrategy};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Groom a batch of (device, msg) upserts.
+    Build(Vec<(i64, i64)>),
+    /// Merge whatever the policy allows.
+    Merge,
+    /// Post-groom + evolve everything groomed so far.
+    Evolve,
+    /// GC the graveyard.
+    Collect,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let build = proptest::collection::vec((0i64..4, 0i64..12), 1..20).prop_map(Op::Build);
+    let op = prop_oneof![
+        4 => build,
+        2 => Just(Op::Merge),
+        1 => Just(Op::Evolve),
+        1 => Just(Op::Collect),
+    ];
+    proptest::collection::vec(op, 1..24)
+}
+
+fn entry(idx: &UmziIndex, zone: ZoneId, d: i64, m: i64, ts: u64) -> IndexEntry {
+    IndexEntry::new(
+        idx.layout(),
+        &[Datum::Int64(d)],
+        &[Datum::Int64(m)],
+        ts,
+        Rid::new(zone, ts, 0),
+        &[],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn index_matches_oracle_under_arbitrary_maintenance(ops in arb_ops()) {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let def = Arc::new(
+            IndexDef::builder("p")
+                .equality("d", ColumnType::Int64)
+                .sort("m", ColumnType::Int64)
+                .build()
+                .unwrap(),
+        );
+        let mut config = UmziConfig::two_zone("prop");
+        config.merge = MergePolicy { k: 2, t: 2 };
+        let idx = UmziIndex::create(storage, def, config).unwrap();
+
+        // Oracle: (d, m) → versions (ts, still-counted).
+        let mut oracle: BTreeMap<(i64, i64), Vec<u64>> = BTreeMap::new();
+        // All versions ever created, for rebuilding evolve entries.
+        let mut history: Vec<(i64, i64, u64)> = Vec::new();
+        let mut block = 0u64;
+        let mut ts = 0u64;
+        let mut evolved_hi = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Build(batch) => {
+                    block += 1;
+                    let mut entries = Vec::new();
+                    for &(d, m) in batch {
+                        ts += 1;
+                        entries.push(entry(&idx, ZoneId::GROOMED, d, m, ts));
+                        oracle.entry((d, m)).or_default().push(ts);
+                        history.push((d, m, ts));
+                    }
+                    idx.build_groomed_run(entries, block, block).unwrap();
+                }
+                Op::Merge => {
+                    idx.drain_merges().unwrap();
+                }
+                Op::Evolve => {
+                    if block > evolved_hi {
+                        let psn = idx.indexed_psn() + 1;
+                        // A post-groom over ALL groomed-so-far versions
+                        // (covering blocks evolved_hi+1..=block).
+                        let entries: Vec<IndexEntry> = history
+                            .iter()
+                            .map(|&(d, m, t)| entry(&idx, ZoneId::POST_GROOMED, d, m, t))
+                            .collect();
+                        idx.evolve(EvolveNotice {
+                            psn,
+                            groomed_lo: evolved_hi + 1,
+                            groomed_hi: block,
+                            entries,
+                        })
+                        .unwrap();
+                        evolved_hi = block;
+                    }
+                }
+                Op::Collect => {
+                    idx.collect_garbage().unwrap();
+                }
+            }
+
+            // Invariant: point lookups agree with the oracle at the latest
+            // snapshot and at one historical snapshot.
+            for &(d, m) in &[(0i64, 0i64), (1, 3), (3, 11)] {
+                let expect = oracle.get(&(d, m)).and_then(|v| v.iter().max()).copied();
+                let got = idx
+                    .point_lookup(&[Datum::Int64(d)], &[Datum::Int64(m)], u64::MAX)
+                    .unwrap()
+                    .map(|o| o.begin_ts);
+                prop_assert_eq!(got, expect, "latest lookup ({}, {})", d, m);
+
+                if ts > 2 {
+                    let snap = ts / 2;
+                    let expect_old = oracle
+                        .get(&(d, m))
+                        .map(|v| v.iter().copied().filter(|&t| t <= snap).max())
+                        .unwrap_or(None);
+                    let got_old = idx
+                        .point_lookup(&[Datum::Int64(d)], &[Datum::Int64(m)], snap)
+                        .unwrap()
+                        .map(|o| o.begin_ts);
+                    prop_assert_eq!(got_old, expect_old, "snapshot lookup ({}, {})@{}", d, m, snap);
+                }
+            }
+        }
+
+        // Final exhaustive check: every key, both strategies, full scan.
+        for d in 0..4i64 {
+            let expect: Vec<(i64, u64)> = (0..12i64)
+                .filter_map(|m| {
+                    oracle.get(&(d, m)).and_then(|v| v.iter().max()).map(|&t| (m, t))
+                })
+                .collect();
+            for strategy in [ReconcileStrategy::Set, ReconcileStrategy::PriorityQueue] {
+                let got: Vec<(i64, u64)> = idx
+                    .range_scan(
+                        &umzi_core::RangeQuery {
+                            equality: vec![Datum::Int64(d)],
+                            lower: SortBound::Unbounded,
+                            upper: SortBound::Unbounded,
+                            query_ts: u64::MAX,
+                        },
+                        strategy,
+                    )
+                    .unwrap()
+                    .iter()
+                    .map(|o| {
+                        let cols = o.key_columns(idx.layout()).unwrap();
+                        (cols[1].as_i64().unwrap(), o.begin_ts)
+                    })
+                    .collect();
+                prop_assert_eq!(&got, &expect, "device {} via {:?}", d, strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_is_faithful_after_arbitrary_maintenance(ops in arb_ops()) {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let def = Arc::new(
+            IndexDef::builder("p")
+                .equality("d", ColumnType::Int64)
+                .sort("m", ColumnType::Int64)
+                .build()
+                .unwrap(),
+        );
+        let mut config = UmziConfig::two_zone("prop-rec");
+        config.merge = MergePolicy { k: 2, t: 2 };
+        let idx = UmziIndex::create(Arc::clone(&storage), Arc::clone(&def), config.clone()).unwrap();
+
+        let mut oracle: BTreeMap<(i64, i64), Vec<u64>> = BTreeMap::new();
+        let mut history: Vec<(i64, i64, u64)> = Vec::new();
+        let mut block = 0u64;
+        let mut ts = 0u64;
+        let mut evolved_hi = 0u64;
+        for op in &ops {
+            match op {
+                Op::Build(batch) => {
+                    block += 1;
+                    let mut entries = Vec::new();
+                    for &(d, m) in batch {
+                        ts += 1;
+                        entries.push(entry(&idx, ZoneId::GROOMED, d, m, ts));
+                        oracle.entry((d, m)).or_default().push(ts);
+                        history.push((d, m, ts));
+                    }
+                    idx.build_groomed_run(entries, block, block).unwrap();
+                }
+                Op::Merge => { idx.drain_merges().unwrap(); }
+                Op::Evolve => {
+                    if block > evolved_hi {
+                        let psn = idx.indexed_psn() + 1;
+                        let entries: Vec<IndexEntry> = history
+                            .iter()
+                            .map(|&(d, m, t)| entry(&idx, ZoneId::POST_GROOMED, d, m, t))
+                            .collect();
+                        idx.evolve(EvolveNotice { psn, groomed_lo: evolved_hi + 1, groomed_hi: block, entries }).unwrap();
+                        evolved_hi = block;
+                    }
+                }
+                Op::Collect => { idx.collect_garbage().unwrap(); }
+            }
+        }
+        drop(idx);
+
+        // Crash at an arbitrary point in the maintenance schedule.
+        storage.simulate_crash();
+        let idx = UmziIndex::recover(storage, def, config).unwrap();
+        for ((d, m), versions) in &oracle {
+            let expect = versions.iter().max().copied();
+            let got = idx
+                .point_lookup(&[Datum::Int64(*d)], &[Datum::Int64(*m)], u64::MAX)
+                .unwrap()
+                .map(|o| o.begin_ts);
+            prop_assert_eq!(got, expect, "({}, {}) after recovery", d, m);
+        }
+    }
+}
