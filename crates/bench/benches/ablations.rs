@@ -21,23 +21,27 @@ fn abl_reconcile(c: &mut Criterion) {
     let mut g = c.benchmark_group("abl_reconcile");
     g.sample_size(10);
     let idx = bench_index(IndexPreset::I1, "abl-rec");
-    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 20, 20_000, true, 7);
-    for (name, strategy) in
-        [("set", ReconcileStrategy::Set), ("pq", ReconcileStrategy::PriorityQueue)]
-    {
+    let total = ingest_runs(
+        &idx,
+        IndexPreset::I1,
+        KeyDist::Sequential,
+        20,
+        20_000,
+        true,
+        7,
+    );
+    for (name, strategy) in [
+        ("set", ReconcileStrategy::Set),
+        ("pq", ReconcileStrategy::PriorityQueue),
+    ] {
         for range in [10u64, 1_000, 100_000] {
-            let mut starts =
-                KeyGen::new(KeyDist::Random, total.saturating_sub(range).max(1), 99);
-            g.bench_with_input(
-                BenchmarkId::new(name, range),
-                &range,
-                |b, &range| {
-                    b.iter(|| {
-                        let start = starts.batch(1)[0];
-                        scan_range(&idx, start, range, u64::MAX, strategy)
-                    })
-                },
-            );
+            let mut starts = KeyGen::new(KeyDist::Random, total.saturating_sub(range).max(1), 99);
+            g.bench_with_input(BenchmarkId::new(name, range), &range, |b, &range| {
+                b.iter(|| {
+                    let start = starts.batch(1)[0];
+                    scan_range(&idx, start, range, u64::MAX, strategy)
+                })
+            });
         }
     }
     g.finish();
@@ -50,10 +54,20 @@ fn abl_offset_bits(c: &mut Criterion) {
         let storage = Arc::new(TieredStorage::in_memory());
         let mut config = UmziConfig::two_zone(format!("abl-ob-{bits}"));
         config.offset_bits = bits;
-        config.merge = MergePolicy { k: usize::MAX / 2, t: 4 };
+        config.merge = MergePolicy {
+            k: usize::MAX / 2,
+            t: 4,
+        };
         let idx = UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create");
-        let total =
-            ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 10, 20_000, false, 7);
+        let total = ingest_runs(
+            &idx,
+            IndexPreset::I1,
+            KeyDist::Sequential,
+            10,
+            20_000,
+            false,
+            7,
+        );
         let mut qgen = KeyGen::new(KeyDist::Random, total, 99);
         g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
             b.iter(|| {
@@ -79,8 +93,7 @@ fn abl_merge_policy(c: &mut Criterion) {
                         let mut config =
                             UmziConfig::two_zone(format!("abl-mp-{k}-{t}-{:p}", &storage));
                         config.merge = MergePolicy { k, t };
-                        UmziIndex::create(storage, IndexPreset::I1.def(), config)
-                            .expect("create")
+                        UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create")
                     },
                     |idx| {
                         // Total maintenance work for 16 grooms of 5000 keys.
@@ -105,7 +118,15 @@ fn abl_batch_sort(c: &mut Criterion) {
     let mut g = c.benchmark_group("abl_batch_vs_individual");
     g.sample_size(15);
     let idx = bench_index(IndexPreset::I1, "abl-bs");
-    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 20, 20_000, false, 7);
+    let total = ingest_runs(
+        &idx,
+        IndexPreset::I1,
+        KeyDist::Sequential,
+        20,
+        20_000,
+        false,
+        7,
+    );
     let mut qgen = KeyGen::new(KeyDist::Random, total, 99);
 
     g.bench_function("batched_sorted", |b| {
@@ -119,14 +140,18 @@ fn abl_batch_sort(c: &mut Criterion) {
             let keys = qgen.query_batch(1000, total);
             for k in keys {
                 let (eq, sort) = point_groups(IndexPreset::I1, k);
-                std::hint::black_box(
-                    idx.point_lookup(&eq, &sort, u64::MAX).expect("lookup"),
-                );
+                std::hint::black_box(idx.point_lookup(&eq, &sort, u64::MAX).expect("lookup"));
             }
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, abl_reconcile, abl_offset_bits, abl_merge_policy, abl_batch_sort);
+criterion_group!(
+    benches,
+    abl_reconcile,
+    abl_offset_bits,
+    abl_merge_policy,
+    abl_batch_sort
+);
 criterion_main!(benches);

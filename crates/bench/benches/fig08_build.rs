@@ -13,30 +13,24 @@ fn bench_build(c: &mut Criterion) {
     for preset in IndexPreset::ALL {
         for size in [1_000u64, 10_000, 100_000] {
             g.throughput(Throughput::Elements(size));
-            g.bench_with_input(
-                BenchmarkId::new(preset.label(), size),
-                &size,
-                |b, &size| {
-                    let mut round = 0u64;
-                    b.iter_batched(
-                        || {
-                            round += 1;
-                            let idx = bench_index(
-                                preset,
-                                &format!("b8-{}-{size}-{round}", preset.label()),
-                            );
-                            let mut gen = KeyGen::new(KeyDist::Sequential, size, 7);
-                            let keys = gen.batch(size as usize);
-                            let entries = point_entries(&idx, preset, &keys, 1);
-                            (idx, entries)
-                        },
-                        |(idx, entries)| {
-                            idx.build_groomed_run(entries, 1, 1).expect("build");
-                        },
-                        BatchSize::PerIteration,
-                    )
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(preset.label(), size), &size, |b, &size| {
+                let mut round = 0u64;
+                b.iter_batched(
+                    || {
+                        round += 1;
+                        let idx =
+                            bench_index(preset, &format!("b8-{}-{size}-{round}", preset.label()));
+                        let mut gen = KeyGen::new(KeyDist::Sequential, size, 7);
+                        let keys = gen.batch(size as usize);
+                        let entries = point_entries(&idx, preset, &keys, 1);
+                        (idx, entries)
+                    },
+                    |(idx, entries)| {
+                        idx.build_groomed_run(entries, 1, 1).expect("build");
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
         }
     }
     g.finish();

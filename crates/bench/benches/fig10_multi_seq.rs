@@ -15,7 +15,15 @@ fn bench_batch_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10a_batch_size_seq_ingest");
     g.sample_size(15);
     let idx = bench_index(IndexPreset::I1, "b10a");
-    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 20, PER_RUN, false, 7);
+    let total = ingest_runs(
+        &idx,
+        IndexPreset::I1,
+        KeyDist::Sequential,
+        20,
+        PER_RUN,
+        false,
+        7,
+    );
     for qdist in [KeyDist::Sequential, KeyDist::Random] {
         for batch in [1usize, 10, 100, 1000] {
             let mut qgen = KeyGen::new(qdist, total, 99);
@@ -40,20 +48,23 @@ fn bench_run_count(c: &mut Criterion) {
     g.sample_size(15);
     for n_runs in [1usize, 10, 20, 40] {
         let idx = bench_index(IndexPreset::I1, &format!("b10b-{n_runs}"));
-        let total =
-            ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, n_runs, PER_RUN, false, 7);
+        let total = ingest_runs(
+            &idx,
+            IndexPreset::I1,
+            KeyDist::Sequential,
+            n_runs,
+            PER_RUN,
+            false,
+            7,
+        );
         for qdist in [KeyDist::Sequential, KeyDist::Random] {
             let mut qgen = KeyGen::new(qdist, total, 99);
-            g.bench_with_input(
-                BenchmarkId::new(qdist.label(), n_runs),
-                &n_runs,
-                |b, _| {
-                    b.iter(|| {
-                        let keys = qgen.query_batch(1000, total);
-                        lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(qdist.label(), n_runs), &n_runs, |b, _| {
+                b.iter(|| {
+                    let keys = qgen.query_batch(1000, total);
+                    lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
+                })
+            });
         }
     }
     g.finish();
@@ -63,14 +74,28 @@ fn bench_scan_range(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10c_scan_range_seq_ingest");
     g.sample_size(10);
     let idx = bench_index(IndexPreset::I1, "b10c");
-    let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 20, PER_RUN, true, 7);
+    let total = ingest_runs(
+        &idx,
+        IndexPreset::I1,
+        KeyDist::Sequential,
+        20,
+        PER_RUN,
+        true,
+        7,
+    );
     for range in [1u64, 100, 10_000, 100_000] {
         let mut starts = KeyGen::new(KeyDist::Random, total.saturating_sub(range).max(1), 99);
         g.throughput(Throughput::Elements(range));
         g.bench_with_input(BenchmarkId::from_parameter(range), &range, |b, &range| {
             b.iter(|| {
                 let start = starts.batch(1)[0];
-                scan_range(&idx, start, range, u64::MAX, ReconcileStrategy::PriorityQueue)
+                scan_range(
+                    &idx,
+                    start,
+                    range,
+                    u64::MAX,
+                    ReconcileStrategy::PriorityQueue,
+                )
             })
         });
     }

@@ -15,20 +15,23 @@ fn bench_run_count_random_ingest(c: &mut Criterion) {
     g.sample_size(15);
     for n_runs in [1usize, 10, 20, 40] {
         let idx = bench_index(IndexPreset::I1, &format!("b11b-{n_runs}"));
-        let total =
-            ingest_runs(&idx, IndexPreset::I1, KeyDist::Random, n_runs, PER_RUN, false, 7);
+        let total = ingest_runs(
+            &idx,
+            IndexPreset::I1,
+            KeyDist::Random,
+            n_runs,
+            PER_RUN,
+            false,
+            7,
+        );
         for qdist in [KeyDist::Sequential, KeyDist::Random] {
             let mut qgen = KeyGen::new(qdist, total, 99);
-            g.bench_with_input(
-                BenchmarkId::new(qdist.label(), n_runs),
-                &n_runs,
-                |b, _| {
-                    b.iter(|| {
-                        let keys = qgen.query_batch(1000, total);
-                        lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(qdist.label(), n_runs), &n_runs, |b, _| {
+                b.iter(|| {
+                    let keys = qgen.query_batch(1000, total);
+                    lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX)
+                })
+            });
         }
     }
     g.finish();
@@ -44,12 +47,22 @@ fn bench_scan_range_random_ingest(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(range), &range, |b, &range| {
             b.iter(|| {
                 let start = starts.batch(1)[0];
-                scan_range(&idx, start, range, u64::MAX, ReconcileStrategy::PriorityQueue)
+                scan_range(
+                    &idx,
+                    start,
+                    range,
+                    u64::MAX,
+                    ReconcileStrategy::PriorityQueue,
+                )
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_run_count_random_ingest, bench_scan_range_random_ingest);
+criterion_group!(
+    benches,
+    bench_run_count_random_ingest,
+    bench_scan_range_random_ingest
+);
 criterion_main!(benches);

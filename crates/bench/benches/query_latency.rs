@@ -1,0 +1,242 @@
+//! Read-path query micro-benchmark: point lookup, range scan and batch
+//! lookup at three run-count settings, plus a before/after comparison of
+//! the run-search hot path (pre-change: per-entry binary search with no
+//! decoded-block cache; post-change: fence index + decoded-block cache).
+//!
+//! Emits `BENCH_query.json` (override the path with `UMZI_BENCH_QUERY_OUT`)
+//! with ops/sec and blocks-read-per-op so successive PRs can track the
+//! read-path trajectory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use umzi_bench::{bench_index, ingest_runs, point_groups, POINT_SPAN};
+use umzi_core::{MergePolicy, RangeQuery, ReconcileStrategy, UmziConfig, UmziIndex};
+use umzi_encoding::Datum;
+use umzi_run::{RunSearcher, SortBound};
+use umzi_storage::{SharedStorage, TieredConfig, TieredStorage};
+use umzi_workload::IndexPreset;
+
+const PER_RUN: u64 = 20_000;
+const RUN_COUNTS: [usize; 3] = [1, 8, 32];
+
+struct Measurement {
+    workload: &'static str,
+    runs: usize,
+    ops: u64,
+    secs: f64,
+    blocks_per_op: f64,
+}
+
+impl Measurement {
+    fn ops_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.ops as f64 / self.secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Time `ops` executions of `f` against `idx`, reading the storage block
+/// counter around the loop.
+fn measure(
+    workload: &'static str,
+    runs: usize,
+    idx: &UmziIndex,
+    ops: u64,
+    mut f: impl FnMut(u64),
+) -> Measurement {
+    f(0); // warm-up op, uncounted
+    let blocks_before = idx.storage().stats().chunk_reads;
+    let t0 = Instant::now();
+    for i in 0..ops {
+        f(i);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let blocks = idx.storage().stats().chunk_reads - blocks_before;
+    Measurement {
+        workload,
+        runs,
+        ops,
+        secs,
+        blocks_per_op: blocks as f64 / ops as f64,
+    }
+}
+
+/// An index whose storage matches the pre-change world: no decoded-block
+/// cache, so every block touch is a chunk read.
+fn index_without_decoded_cache(name: &str) -> Arc<UmziIndex> {
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            mem_capacity: 8 << 30,
+            ssd_capacity: 64 << 30,
+            decoded_cache_bytes: 0,
+            ..TieredConfig::default()
+        },
+    ));
+    let mut config = UmziConfig::two_zone(name);
+    config.merge = MergePolicy {
+        k: usize::MAX / 2,
+        t: 4,
+    };
+    UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        "    {{\"workload\": \"{}\", \"runs\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, \"blocks_read_per_op\": {:.3}}}",
+        m.workload,
+        m.runs,
+        m.ops,
+        m.ops_per_sec(),
+        m.blocks_per_op
+    )
+}
+
+fn main() {
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut rng_state = 0x9E3779B97F4A7C15u64;
+    let mut next = |bound: u64| {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state % bound.max(1)
+    };
+
+    for &rc in &RUN_COUNTS {
+        let idx = bench_index(IndexPreset::I1, &format!("qlat-{rc}"));
+        let domain = ingest_runs(
+            &idx,
+            IndexPreset::I1,
+            umzi_workload::KeyDist::Random,
+            rc,
+            PER_RUN,
+            false,
+            7,
+        );
+
+        // Point lookups: single random key per op.
+        let keys: Vec<u64> = (0..4096).map(|_| next(domain)).collect();
+        results.push(measure("point_lookup", rc, &idx, 2000, |i| {
+            let (eq, sort) = point_groups(IndexPreset::I1, keys[(i as usize) % keys.len()]);
+            std::hint::black_box(idx.point_lookup(&eq, &sort, u64::MAX).expect("lookup"));
+        }));
+
+        // Range scans: all versions of one device (≤ POINT_SPAN keys).
+        results.push(measure("range_scan_device", rc, &idx, 400, |i| {
+            let d = (keys[(i as usize) % keys.len()] / POINT_SPAN) as i64;
+            let query = RangeQuery {
+                equality: vec![Datum::Int64(d)],
+                lower: SortBound::Unbounded,
+                upper: SortBound::Unbounded,
+                query_ts: u64::MAX,
+            };
+            std::hint::black_box(
+                idx.range_scan(&query, ReconcileStrategy::PriorityQueue)
+                    .expect("scan"),
+            );
+        }));
+
+        // Batch lookups: 256 random keys per op.
+        let batches: Vec<Vec<(Vec<Datum>, Vec<Datum>)>> = (0..16)
+            .map(|_| {
+                (0..256)
+                    .map(|_| point_groups(IndexPreset::I1, next(domain)))
+                    .collect()
+            })
+            .collect();
+        results.push(measure("batch_lookup_256", rc, &idx, 64, |i| {
+            let batch = &batches[(i as usize) % batches.len()];
+            std::hint::black_box(idx.batch_lookup(batch, u64::MAX).expect("batch"));
+        }));
+    }
+
+    // Before/after on the run-search hot path itself: one 20k-entry run,
+    // searched 2000 times. "Before" = per-entry binary search, decoded
+    // cache off (the pre-change read path); "after" = fence index +
+    // decoded cache.
+    let before_idx = index_without_decoded_cache("qlat-before");
+    ingest_runs(
+        &before_idx,
+        IndexPreset::I1,
+        umzi_workload::KeyDist::Random,
+        1,
+        PER_RUN,
+        false,
+        7,
+    );
+    let before_run = before_idx.zones()[0].list.snapshot()[0].clone();
+    let target = {
+        let (eq, sort) = point_groups(IndexPreset::I1, next(PER_RUN));
+        let mut full = before_idx.layout().build_key(&eq, &sort, 0).expect("key");
+        full.truncate(full.len() - 8);
+        full
+    };
+    let before = measure("search_before_scalar_nocache", 1, &before_idx, 2000, |_| {
+        std::hint::black_box(
+            RunSearcher::new(&before_run)
+                .find_first_geq_scalar(&target, None)
+                .expect("search"),
+        );
+    });
+
+    let after_idx = bench_index(IndexPreset::I1, "qlat-after");
+    ingest_runs(
+        &after_idx,
+        IndexPreset::I1,
+        umzi_workload::KeyDist::Random,
+        1,
+        PER_RUN,
+        false,
+        7,
+    );
+    let after_run = after_idx.zones()[0].list.snapshot()[0].clone();
+    let after = measure("search_after_fence_cached", 1, &after_idx, 2000, |_| {
+        std::hint::black_box(
+            RunSearcher::new(&after_run)
+                .find_first_geq(&target, None)
+                .expect("search"),
+        );
+    });
+
+    // Report.
+    eprintln!("\n== query_latency ==");
+    eprintln!(
+        "{:<28} {:>5} {:>14} {:>18}",
+        "workload", "runs", "ops/sec", "blocks-read/op"
+    );
+    for m in results.iter().chain([&before, &after]) {
+        eprintln!(
+            "{:<28} {:>5} {:>14.0} {:>18.3}",
+            m.workload,
+            m.runs,
+            m.ops_per_sec(),
+            m.blocks_per_op
+        );
+    }
+    let speedup = after.ops_per_sec() / before.ops_per_sec().max(1e-9);
+    eprintln!(
+        "\nrun-search before→after: {:.1}x ops/sec, {:.2} → {:.2} blocks/op",
+        speedup, before.blocks_per_op, after.blocks_per_op
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"query_latency\",\n  \"results\": [\n");
+    let lines: Vec<String> = results
+        .iter()
+        .chain([&before, &after])
+        .map(json_entry)
+        .collect();
+    let _ = writeln!(json, "{}", lines.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"search_speedup_ops_per_sec\": {speedup:.2}");
+    json.push_str("}\n");
+
+    let out_path = std::env::var("UMZI_BENCH_QUERY_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json").to_string()
+    });
+    std::fs::write(&out_path, json).expect("write BENCH_query.json");
+    eprintln!("wrote {out_path}");
+}

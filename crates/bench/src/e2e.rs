@@ -114,7 +114,10 @@ fn key_row(k: u64) -> Vec<Datum> {
 
 /// The index probe for a workload key.
 fn key_probe(k: u64) -> (Vec<Datum>, Vec<Datum>) {
-    (vec![Datum::Int64((k % 1000) as i64)], vec![Datum::Int64((k / 1000) as i64)])
+    (
+        vec![Datum::Int64((k % 1000) as i64)],
+        vec![Datum::Int64((k / 1000) as i64)],
+    )
 }
 
 /// Run one end-to-end experiment.
@@ -183,8 +186,7 @@ pub fn run_e2e(cfg: &E2eConfig) -> E2eOutcome {
                 engine.upsert_many(rows).expect("upsert");
                 ingested.fetch_add(n, Ordering::Relaxed);
                 keys_created.store(model.keys_created(), Ordering::Release);
-                if let Some(rest) = Duration::from_millis(100).checked_sub(tick_start.elapsed())
-                {
+                if let Some(rest) = Duration::from_millis(100).checked_sub(tick_start.elapsed()) {
                     std::thread::sleep(rest);
                 }
             }
@@ -239,12 +241,16 @@ pub fn run_e2e(cfg: &E2eConfig) -> E2eOutcome {
                     std::thread::sleep(Duration::from_millis(5));
                     continue;
                 }
-                let probes: Vec<(Vec<Datum>, Vec<Datum>)> =
-                    (0..batch).map(|_| key_probe(rng.random_range(0..domain))).collect();
+                let probes: Vec<(Vec<Datum>, Vec<Datum>)> = (0..batch)
+                    .map(|_| key_probe(rng.random_range(0..domain)))
+                    .collect();
                 let shard = &engine.shards()[0];
                 let ts = shard.read_ts();
                 let q0 = Instant::now();
-                let out = shard.index().batch_lookup(&probes, ts).expect("batch lookup");
+                let out = shard
+                    .index()
+                    .batch_lookup(&probes, ts)
+                    .expect("batch lookup");
                 let dt = q0.elapsed();
                 std::hint::black_box(&out);
                 local.push((t0.elapsed().as_secs_f64(), dt.as_secs_f64()));

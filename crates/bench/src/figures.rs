@@ -17,7 +17,7 @@ use crate::{
 fn reps_for(size: u64) -> usize {
     match size {
         0..=100_000 => 5,
-        0..=1_000_000 => 3,
+        100_001..=1_000_000 => 3,
         _ => 1,
     }
 }
@@ -43,7 +43,10 @@ pub fn fig08(scale: Scale) {
             }
             points.push((size.to_string(), secs(t)));
         }
-        series.push(Series { label: preset.label().into(), points });
+        series.push(Series {
+            label: preset.label().into(),
+            points,
+        });
     }
     print_figure(
         "Figure 8: index building performance (normalized time)",
@@ -77,10 +80,16 @@ pub fn fig09(scale: Scale) {
                 }
                 points.push((size.to_string(), secs(t)));
             }
-            series.push(Series { label: preset.label().into(), points });
+            series.push(Series {
+                label: preset.label().into(),
+                points,
+            });
         }
         print_figure(
-            &format!("Figure 9{panel}: single-run lookups, {} queries", qdist.label()),
+            &format!(
+                "Figure 9{panel}: single-run lookups, {} queries",
+                qdist.label()
+            ),
             "#tuples",
             &series,
             base.expect("base set"),
@@ -92,7 +101,11 @@ pub fn fig09(scale: Scale) {
 /// multi-run query performance — (a) batch size, (b) number of runs,
 /// (c) scan range.
 pub fn fig10_11(scale: Scale, ingest: KeyDist) {
-    let fig = if ingest == KeyDist::Sequential { "10" } else { "11" };
+    let fig = if ingest == KeyDist::Sequential {
+        "10"
+    } else {
+        "11"
+    };
     let per_run = scale.entries_per_run();
 
     // Panel (a): per-key lookup time vs batch size, 20 runs.
@@ -117,10 +130,16 @@ pub fn fig10_11(scale: Scale, ingest: KeyDist) {
                 }
                 points.push((batch.to_string(), per_key));
             }
-            series.push(Series { label: format!("{} query", qdist.label()), points });
+            series.push(Series {
+                label: format!("{} query", qdist.label()),
+                points,
+            });
         }
         print_figure(
-            &format!("Figure {fig}a: time per key vs batch size ({} ingestion)", ingest.label()),
+            &format!(
+                "Figure {fig}a: time per key vs batch size ({} ingestion)",
+                ingest.label()
+            ),
             "batch size",
             &series,
             base.expect("base"),
@@ -149,10 +168,16 @@ pub fn fig10_11(scale: Scale, ingest: KeyDist) {
                 }
                 points.push((n_runs.to_string(), secs(t)));
             }
-            series.push(Series { label: format!("{} query", qdist.label()), points });
+            series.push(Series {
+                label: format!("{} query", qdist.label()),
+                points,
+            });
         }
         print_figure(
-            &format!("Figure {fig}b: lookup time vs #runs ({} ingestion)", ingest.label()),
+            &format!(
+                "Figure {fig}b: lookup time vs #runs ({} ingestion)",
+                ingest.label()
+            ),
             "#index runs",
             &series,
             base.expect("base"),
@@ -173,8 +198,13 @@ pub fn fig10_11(scale: Scale, ingest: KeyDist) {
             for &range in &scale.scan_ranges() {
                 let t = median_time(3, || {
                     let start = starts.query_batch(1, total.saturating_sub(range).max(1))[0];
-                    let (dt, _) =
-                        scan_range(&idx, start, range, u64::MAX, ReconcileStrategy::PriorityQueue);
+                    let (dt, _) = scan_range(
+                        &idx,
+                        start,
+                        range,
+                        u64::MAX,
+                        ReconcileStrategy::PriorityQueue,
+                    );
                     dt
                 });
                 if base.is_none() {
@@ -182,10 +212,16 @@ pub fn fig10_11(scale: Scale, ingest: KeyDist) {
                 }
                 points.push((range.to_string(), secs(t)));
             }
-            series.push(Series { label: format!("{} query", qdist.label()), points });
+            series.push(Series {
+                label: format!("{} query", qdist.label()),
+                points,
+            });
         }
         print_figure(
-            &format!("Figure {fig}c: scan time vs range size ({} ingestion)", ingest.label()),
+            &format!(
+                "Figure {fig}c: scan time vs range size ({} ingestion)",
+                ingest.label()
+            ),
             "scan range",
             &series,
             base.expect("base"),
@@ -205,7 +241,10 @@ fn windows_series(label: &str, outcome: &[f64]) -> Series {
 }
 
 fn first_finite(xs: &[f64]) -> f64 {
-    xs.iter().copied().find(|v| v.is_finite() && *v > 0.0).unwrap_or(1.0)
+    xs.iter()
+        .copied()
+        .find(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or(1.0)
 }
 
 /// Figure 12: lookup latency over time with varying concurrent readers.
@@ -226,7 +265,10 @@ pub fn fig12(scale: Scale) {
         if base.is_none() {
             base = Some(first_finite(&outcome.window_latency));
         }
-        series.push(windows_series(&format!("{r} readers"), &outcome.window_latency));
+        series.push(windows_series(
+            &format!("{r} readers"),
+            &outcome.window_latency,
+        ));
     }
     print_figure(
         "Figure 12: lookup latency under concurrent readers (lock-free reads ⇒ flat)",
@@ -252,7 +294,10 @@ pub fn fig13(scale: Scale) {
         if base.is_none() {
             base = Some(first_finite(&outcome.window_latency));
         }
-        series.push(windows_series(&format!("{}%", (p * 100.0) as u32), &outcome.window_latency));
+        series.push(windows_series(
+            &format!("{}%", (p * 100.0) as u32),
+            &outcome.window_latency,
+        ));
     }
     print_figure(
         "Figure 13: lookup latency vs update rate (limited impact)",
@@ -266,8 +311,8 @@ pub fn fig13(scale: Scale) {
 /// between the SSD tier and shared storage.
 pub fn fig14(scale: Scale) {
     let latency = Some((
-        TierLatency::micros(50, 1),    // SSD ≈ 50 µs + 1 µs/KiB
-        TierLatency::micros(2_000, 20) // shared ≈ 2 ms + 20 µs/KiB
+        TierLatency::micros(50, 1),     // SSD ≈ 50 µs + 1 µs/KiB
+        TierLatency::micros(2_000, 20), // shared ≈ 2 ms + 20 µs/KiB
     ));
     let mut series = Vec::new();
     let mut base = None;
@@ -310,7 +355,11 @@ pub fn fig15(scale: Scale) {
             base = Some(first_finite(&outcome.window_latency)); // post-groom on, t0
         }
         series.push(windows_series(
-            if post_groom { "post-groom" } else { "no post-groom" },
+            if post_groom {
+                "post-groom"
+            } else {
+                "no post-groom"
+            },
             &outcome.window_latency,
         ));
     }

@@ -45,8 +45,16 @@ impl Scale {
         match self {
             Scale::Quick => vec![1_000, 10_000, 100_000, 1_000_000],
             Scale::Full => vec![
-                1_000, 10_000, 100_000, 1_000_000, 10_000_000, 20_000_000, 40_000_000,
-                60_000_000, 80_000_000, 100_000_000,
+                1_000,
+                10_000,
+                100_000,
+                1_000_000,
+                10_000_000,
+                20_000_000,
+                40_000_000,
+                60_000_000,
+                80_000_000,
+                100_000_000,
             ],
         }
     }
@@ -128,7 +136,10 @@ pub fn bench_index(preset: IndexPreset, name: &str) -> Arc<UmziIndex> {
     ));
     let mut config = UmziConfig::two_zone(name);
     // Micro-benches control the run structure explicitly: disable merging.
-    config.merge = MergePolicy { k: usize::MAX / 2, t: 4 };
+    config.merge = MergePolicy {
+        k: usize::MAX / 2,
+        t: 4,
+    };
     UmziIndex::create(storage, preset.def(), config).expect("create index")
 }
 
@@ -196,18 +207,14 @@ pub fn ingest_runs(
         } else {
             point_entries(idx, preset, &keys, ts_base)
         };
-        idx.build_groomed_run(entries, r as u64 + 1, r as u64 + 1).expect("build run");
+        idx.build_groomed_run(entries, r as u64 + 1, r as u64 + 1)
+            .expect("build run");
     }
     domain
 }
 
 /// Execute one batched point lookup and return the elapsed wall time.
-pub fn lookup_batch(
-    idx: &UmziIndex,
-    preset: IndexPreset,
-    keys: &[u64],
-    query_ts: u64,
-) -> Duration {
+pub fn lookup_batch(idx: &UmziIndex, preset: IndexPreset, keys: &[u64], query_ts: u64) -> Duration {
     let probes: Vec<(Vec<Datum>, Vec<Datum>)> =
         keys.iter().map(|&k| point_groups(preset, k)).collect();
     let t0 = Instant::now();
@@ -290,14 +297,25 @@ mod tests {
     #[test]
     fn harness_builds_and_queries() {
         let idx = bench_index(IndexPreset::I1, "h1");
-        let total = ingest_runs(&idx, IndexPreset::I1, KeyDist::Sequential, 3, 1000, false, 1);
+        let total = ingest_runs(
+            &idx,
+            IndexPreset::I1,
+            KeyDist::Sequential,
+            3,
+            1000,
+            false,
+            1,
+        );
         assert_eq!(total, 3000);
         assert_eq!(idx.zones()[0].list.len(), 3);
         let keys: Vec<u64> = (0..100).collect();
         let d = lookup_batch(&idx, IndexPreset::I1, &keys, u64::MAX);
         assert!(d > Duration::ZERO);
         // All looked-up keys exist.
-        let probes: Vec<_> = keys.iter().map(|&k| point_groups(IndexPreset::I1, k)).collect();
+        let probes: Vec<_> = keys
+            .iter()
+            .map(|&k| point_groups(IndexPreset::I1, k))
+            .collect();
         let out = idx.batch_lookup(&probes, u64::MAX).unwrap();
         assert!(out.iter().all(Option::is_some));
     }

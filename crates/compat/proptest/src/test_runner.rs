@@ -1,0 +1,37 @@
+//! Deterministic RNG for property tests.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The generator handed to strategies. Seeded from the test name, so a
+/// failing case reproduces by re-running the same test binary.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from an arbitrary string (the test path).
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `u64` below `bound` (> 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}

@@ -44,6 +44,7 @@ impl UmziIndex {
     /// Shared run-construction path for build, merge and evolve. The `fill`
     /// closure pushes entries in ascending key order; durability and
     /// write-through policy are derived from the target level (§6.1, §6.2).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build_run_sorted(
         &self,
         zone_idx: usize,
@@ -128,7 +129,12 @@ mod tests {
         assert_eq!(snap[0].run_id(), r2.run_id(), "newest run at head");
         assert_eq!(snap[1].run_id(), r1.run_id());
         assert!(r1.is_sealed() && r2.is_sealed());
-        assert_eq!(idx.counters().builds.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(
+            idx.counters()
+                .builds
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
     }
 
     #[test]

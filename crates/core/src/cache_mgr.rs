@@ -39,7 +39,9 @@ impl UmziIndex {
 
     /// Purge every persisted run at exactly `level`. Returns runs purged.
     pub fn purge_level(&self, level: u32) -> Result<usize> {
-        let Some(zi) = self.config.zone_of_level(level) else { return Ok(0) };
+        let Some(zi) = self.config.zone_of_level(level) else {
+            return Ok(0);
+        };
         let mut purged = 0;
         for run in self.zones[zi].list.snapshot() {
             if run.level() == level && self.config.is_persisted_level(level) {
@@ -52,7 +54,9 @@ impl UmziIndex {
 
     /// Load every run at exactly `level` fully into the SSD cache.
     pub fn load_level(&self, level: u32) -> Result<usize> {
-        let Some(zi) = self.config.zone_of_level(level) else { return Ok(0) };
+        let Some(zi) = self.config.zone_of_level(level) else {
+            return Ok(0);
+        };
         let mut loaded = 0;
         for run in self.zones[zi].list.snapshot() {
             if run.level() == level {
@@ -69,7 +73,10 @@ impl UmziIndex {
     pub fn set_cached_level(&self, target: u32) -> Result<CacheMaintainReport> {
         let max = self.config.max_level();
         let target = target.min(max);
-        let mut report = CacheMaintainReport { cached_level: target, ..Default::default() };
+        let mut report = CacheMaintainReport {
+            cached_level: target,
+            ..Default::default()
+        };
         for level in 0..=max {
             if level <= target {
                 report.loaded_runs += self.load_level(level)?;
@@ -136,7 +143,11 @@ mod tests {
     fn setup(ssd_capacity: u64) -> Arc<UmziIndex> {
         let storage = Arc::new(TieredStorage::new(
             SharedStorage::in_memory(),
-            TieredConfig { ssd_capacity, mem_capacity: 1 << 20, ..TieredConfig::default() },
+            TieredConfig {
+                ssd_capacity,
+                mem_capacity: 1 << 20,
+                ..TieredConfig::default()
+            },
         ));
         let def = Arc::new(
             IndexDef::builder("t")
@@ -222,7 +233,11 @@ mod tests {
         idx.set_cached_level(0).unwrap();
         assert_eq!(idx.current_cached_level(), 0);
         let report = idx.cache_maintain().unwrap();
-        assert_eq!(report.cached_level, idx.config().max_level(), "plenty of space: load all");
+        assert_eq!(
+            report.cached_level,
+            idx.config().max_level(),
+            "plenty of space: load all"
+        );
     }
 
     #[test]

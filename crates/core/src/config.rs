@@ -14,7 +14,7 @@ use crate::Result;
 /// `K` bounds the number of inactive runs per level, `T` is the size ratio
 /// at which a level's active run is sealed. `K = 1` degenerates to leveling,
 /// large `K` approaches tiering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergePolicy {
     /// Maximum number of inactive (sealed) runs a level may hold before
     /// they are merged into the next level's active run.
@@ -42,8 +42,8 @@ pub struct ZoneConfig {
     pub max_level: u32,
 }
 
-/// Cache-manager thresholds (§6.2).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Cache-manager thresholds (§6.2) and read-path cache sizing.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
     /// SSD-utilization fraction above which the manager purges runs,
     /// starting from the highest (oldest) levels.
@@ -51,11 +51,24 @@ pub struct CacheConfig {
     /// SSD-utilization fraction below which the manager loads runs back,
     /// starting from the lowest purged level.
     pub ssd_low_watermark: f64,
+    /// Override for the storage hierarchy's decoded-block cache capacity in
+    /// bytes, applied when the index is created or recovered. `None` (the
+    /// default) keeps the capacity the [`umzi_storage::TieredConfig`] was
+    /// built with. **The decoded cache is shared by every index on the same
+    /// `TieredStorage`** — setting this reconfigures that shared cache, and
+    /// when several indexes specify different values the last one created
+    /// wins; prefer sizing it once in `TieredConfig` and reserve this knob
+    /// for single-index deployments and tests.
+    pub decoded_cache_bytes: Option<u64>,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        Self { ssd_high_watermark: 0.90, ssd_low_watermark: 0.70 }
+        Self {
+            ssd_high_watermark: 0.90,
+            ssd_low_watermark: 0.70,
+            decoded_cache_bytes: None,
+        }
     }
 }
 
@@ -88,8 +101,16 @@ impl UmziConfig {
             offset_bits: 10,
             merge: MergePolicy::default(),
             zones: vec![
-                ZoneConfig { zone: ZoneId::GROOMED, min_level: 0, max_level: 5 },
-                ZoneConfig { zone: ZoneId::POST_GROOMED, min_level: 6, max_level: 9 },
+                ZoneConfig {
+                    zone: ZoneId::GROOMED,
+                    min_level: 0,
+                    max_level: 5,
+                },
+                ZoneConfig {
+                    zone: ZoneId::POST_GROOMED,
+                    min_level: 6,
+                    max_level: 9,
+                },
             ],
             non_persisted_levels: Vec::new(),
             cache: CacheConfig::default(),
@@ -102,7 +123,9 @@ impl UmziConfig {
             return Err(UmziError::Config("at least one zone is required".into()));
         }
         if self.zones[0].min_level != 0 {
-            return Err(UmziError::Config("the first zone must start at level 0".into()));
+            return Err(UmziError::Config(
+                "the first zone must start at level 0".into(),
+            ));
         }
         let mut expected_next = 0;
         for z in &self.zones {
@@ -141,13 +164,17 @@ impl UmziConfig {
             }
         }
         if self.merge.k == 0 || self.merge.t == 0 {
-            return Err(UmziError::Config("merge policy requires K ≥ 1 and T ≥ 1".into()));
+            return Err(UmziError::Config(
+                "merge policy requires K ≥ 1 and T ≥ 1".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.cache.ssd_low_watermark)
             || !(0.0..=1.0).contains(&self.cache.ssd_high_watermark)
             || self.cache.ssd_low_watermark > self.cache.ssd_high_watermark
         {
-            return Err(UmziError::Config("cache watermarks must satisfy 0 ≤ low ≤ high ≤ 1".into()));
+            return Err(UmziError::Config(
+                "cache watermarks must satisfy 0 ≤ low ≤ high ≤ 1".into(),
+            ));
         }
         if self.offset_bits > 24 {
             return Err(UmziError::Config("offset_bits must be ≤ 24".into()));
@@ -157,7 +184,9 @@ impl UmziConfig {
 
     /// The zone index owning `level`, if any.
     pub fn zone_of_level(&self, level: u32) -> Option<usize> {
-        self.zones.iter().position(|z| (z.min_level..=z.max_level).contains(&level))
+        self.zones
+            .iter()
+            .position(|z| (z.min_level..=z.max_level).contains(&level))
     }
 
     /// Whether runs at `level` are persisted to shared storage.

@@ -37,7 +37,10 @@ impl fmt::Display for UmziError {
             UmziError::Encoding(e) => write!(f, "encoding error: {e}"),
             UmziError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             UmziError::PsnOutOfOrder { expected, got } => {
-                write!(f, "post-groom sequence out of order: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "post-groom sequence out of order: expected {expected}, got {got}"
+                )
             }
             UmziError::MergeConflict => {
                 write!(f, "merge abandoned: input runs changed concurrently")

@@ -65,7 +65,11 @@ impl UmziIndex {
     }
 
     /// Generalized evolve between adjacent zones (§3's N-zone extension).
-    pub fn evolve_between(&self, from_zone: usize, mut notice: EvolveNotice) -> Result<EvolveReport> {
+    pub fn evolve_between(
+        &self,
+        from_zone: usize,
+        mut notice: EvolveNotice,
+    ) -> Result<EvolveReport> {
         let to_zone = from_zone + 1;
         assert!(to_zone < self.zones.len(), "no zone after {from_zone}");
 
@@ -74,7 +78,10 @@ impl UmziIndex {
         // evolves in a correct order".
         let expected = self.indexed_psn.load(Ordering::Acquire) + 1;
         if notice.psn != expected {
-            return Err(UmziError::PsnOutOfOrder { expected, got: notice.psn });
+            return Err(UmziError::PsnOutOfOrder {
+                expected,
+                got: notice.psn,
+            });
         }
 
         // Step 1: build the post-groomed run and atomically prepend it.
@@ -209,7 +216,10 @@ mod tests {
             .unwrap();
 
         assert_eq!(report.watermark, 18);
-        assert_eq!(report.gc_runs, 3, "runs 0-5, 6-10 and 11-15 are ≤ watermark");
+        assert_eq!(
+            report.gc_runs, 3,
+            "runs 0-5, 6-10 and 11-15 are ≤ watermark"
+        );
         assert_eq!(idx.zones()[1].list.len(), 1, "post-groomed run added");
         let remaining: Vec<(u64, u64)> = idx.zones()[0]
             .list
@@ -232,12 +242,18 @@ mod tests {
         };
         assert!(matches!(
             idx.evolve(notice(2)),
-            Err(UmziError::PsnOutOfOrder { expected: 1, got: 2 })
+            Err(UmziError::PsnOutOfOrder {
+                expected: 1,
+                got: 2
+            })
         ));
         idx.evolve(notice(1)).unwrap();
         assert!(matches!(
             idx.evolve(notice(1)),
-            Err(UmziError::PsnOutOfOrder { expected: 2, got: 1 })
+            Err(UmziError::PsnOutOfOrder {
+                expected: 2,
+                got: 1
+            })
         ));
         idx.evolve(notice(2)).unwrap();
         assert_eq!(idx.indexed_psn(), 2);
@@ -246,7 +262,8 @@ mod tests {
     #[test]
     fn watermark_persisted_across_manifest() {
         let idx = setup();
-        idx.build_groomed_run(groom_entries(&idx, 1, 5), 1, 4).unwrap();
+        idx.build_groomed_run(groom_entries(&idx, 1, 5), 1, 4)
+            .unwrap();
         idx.evolve(EvolveNotice {
             psn: 1,
             groomed_lo: 1,
@@ -267,7 +284,8 @@ mod tests {
     #[test]
     fn partially_covered_runs_survive() {
         let idx = setup();
-        idx.build_groomed_run(groom_entries(&idx, 0, 5), 0, 10).unwrap();
+        idx.build_groomed_run(groom_entries(&idx, 0, 5), 0, 10)
+            .unwrap();
         // Post-groom only covers up to block 7: run [0,10] has hi=10 > 7.
         let report = idx
             .evolve(EvolveNotice {

@@ -77,7 +77,10 @@ impl std::fmt::Debug for UmziIndex {
         f.debug_struct("UmziIndex")
             .field("name", &self.config.name)
             .field("zones", &self.zones.len())
-            .field("runs", &self.zones.iter().map(|z| z.list.len()).sum::<usize>())
+            .field(
+                "runs",
+                &self.zones.iter().map(|z| z.list.len()).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -90,6 +93,9 @@ impl UmziIndex {
         config: UmziConfig,
     ) -> Result<Arc<UmziIndex>> {
         config.validate()?;
+        if let Some(bytes) = config.cache.decoded_cache_bytes {
+            storage.decoded_cache().set_capacity(bytes);
+        }
         let index = Self::empty(storage, def, config);
         index.persist_manifest()?;
         Ok(Arc::new(index))
@@ -103,7 +109,10 @@ impl UmziIndex {
         let zones: Vec<ZoneState> = config
             .zones
             .iter()
-            .map(|z| ZoneState { config: z.clone(), list: RunList::new() })
+            .map(|z| ZoneState {
+                config: z.clone(),
+                list: RunList::new(),
+            })
             .collect();
         let n_boundaries = zones.len().saturating_sub(1);
         let max_level = config.max_level();
@@ -154,7 +163,10 @@ impl UmziIndex {
     /// zone `i+1`): groomed blocks with ID `< watermark` are covered by
     /// later zones; `0` means nothing has evolved yet.
     pub fn watermark(&self, boundary: usize) -> u64 {
-        self.watermarks.get(boundary).map(|w| w.load(Ordering::Acquire)).unwrap_or(0)
+        self.watermarks
+            .get(boundary)
+            .map(|w| w.load(Ordering::Acquire))
+            .unwrap_or(0)
     }
 
     /// The paper's "maximum groomed block ID covered by the post-groomed run
@@ -192,9 +204,16 @@ impl UmziIndex {
             indexed_psn: self.indexed_psn.load(Ordering::Acquire),
             next_run_id: self.next_run_id.load(Ordering::Acquire),
             current_cached_level: self.cached_level.load(Ordering::Acquire),
-            watermarks: self.watermarks.iter().map(|w| w.load(Ordering::Acquire)).collect(),
+            watermarks: self
+                .watermarks
+                .iter()
+                .map(|w| w.load(Ordering::Acquire))
+                .collect(),
         };
-        manifest.persist(self.storage.shared(), &self.config.manifest_object_name(seq))?;
+        manifest.persist(
+            self.storage.shared(),
+            &self.config.manifest_object_name(seq),
+        )?;
         Manifest::gc(self.storage.shared(), &self.config.manifest_prefix(), 2)?;
         Ok(())
     }
@@ -213,12 +232,9 @@ impl UmziIndex {
     /// queries stay buried — the paper's non-blocking guarantee means a
     /// query may keep reading a replaced run after a merge or evolve.
     pub fn collect_garbage(&self) -> Result<usize> {
-        // Unlinked list nodes hold `Arc<Run>` clones until the epoch
-        // collector runs their deferred destructors; nudge it so the
-        // strong-count check below sees up-to-date ownership.
-        for _ in 0..4 {
-            crossbeam::epoch::pin().flush();
-        }
+        // Run-list nodes hold `Arc<Run>` clones only while linked or while a
+        // snapshot is alive, so the strong-count check below observes
+        // ownership directly.
         let candidates: Vec<Arc<Run>> = {
             let mut g = self.graveyard.lock();
             let (free, busy): (Vec<_>, Vec<_>) =

@@ -177,7 +177,10 @@ mod tests {
 
         let s = idx.stats();
         assert!(s.merges >= 3, "background merges: {}", s.merges);
-        assert_eq!(s.total_entries, 160, "no entries lost by concurrent maintenance");
+        assert_eq!(
+            s.total_entries, 160,
+            "no entries lost by concurrent maintenance"
+        );
         // The janitor's last pass may race the final merges; one explicit
         // collection with all threads stopped must drain the graveyard.
         idx.collect_garbage().unwrap();

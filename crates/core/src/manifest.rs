@@ -62,36 +62,47 @@ impl Manifest {
     fn deserialize(buf: &[u8]) -> Result<Manifest> {
         let min_len = 8 + 2 + 8 * 3 + 4 + 2 + 8;
         if buf.len() < min_len {
-            return Err(UmziError::ManifestCorrupt(format!("too short: {} bytes", buf.len())));
+            return Err(UmziError::ManifestCorrupt(format!(
+                "too short: {} bytes",
+                buf.len()
+            )));
         }
         if &buf[..8] != MAGIC {
             return Err(UmziError::ManifestCorrupt("bad magic".into()));
         }
         let body = &buf[..buf.len() - 8];
-        let stored =
-            u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8 bytes"));
+        let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8 bytes"));
         if hash64(body) != stored {
             return Err(UmziError::ManifestCorrupt("checksum mismatch".into()));
         }
         let version = u16::from_le_bytes(buf[8..10].try_into().expect("2 bytes"));
         if version != VERSION {
-            return Err(UmziError::ManifestCorrupt(format!("unsupported version {version}")));
+            return Err(UmziError::ManifestCorrupt(format!(
+                "unsupported version {version}"
+            )));
         }
         let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
         let seq = u64_at(10);
         let indexed_psn = u64_at(18);
         let next_run_id = u64_at(26);
-        let current_cached_level =
-            u32::from_le_bytes(buf[34..38].try_into().expect("4 bytes"));
+        let current_cached_level = u32::from_le_bytes(buf[34..38].try_into().expect("4 bytes"));
         let n = u16::from_le_bytes(buf[38..40].try_into().expect("2 bytes")) as usize;
         if buf.len() != min_len + n * 8 - 8 + 8 {
-            return Err(UmziError::ManifestCorrupt("length/watermark-count mismatch".into()));
+            return Err(UmziError::ManifestCorrupt(
+                "length/watermark-count mismatch".into(),
+            ));
         }
         let mut watermarks = Vec::with_capacity(n);
         for i in 0..n {
             watermarks.push(u64_at(40 + i * 8));
         }
-        Ok(Manifest { seq, indexed_psn, next_run_id, current_cached_level, watermarks })
+        Ok(Manifest {
+            seq,
+            indexed_psn,
+            next_run_id,
+            current_cached_level,
+            watermarks,
+        })
     }
 
     /// Persist this manifest as the object `name`.
@@ -146,10 +157,16 @@ mod tests {
         let m = sample(5);
         assert_eq!(Manifest::deserialize(&m.serialize()).unwrap(), m);
         // Multiple watermarks (three-zone config).
-        let m3 = Manifest { watermarks: vec![18, 7, 0], ..sample(6) };
+        let m3 = Manifest {
+            watermarks: vec![18, 7, 0],
+            ..sample(6)
+        };
         assert_eq!(Manifest::deserialize(&m3.serialize()).unwrap(), m3);
         // No watermarks (single-zone config).
-        let m0 = Manifest { watermarks: vec![], ..sample(7) };
+        let m0 = Manifest {
+            watermarks: vec![],
+            ..sample(7)
+        };
         assert_eq!(Manifest::deserialize(&m0.serialize()).unwrap(), m0);
     }
 
@@ -161,7 +178,9 @@ mod tests {
                 .persist(&shared, &format!("idx/manifest/manifest-{seq:020}"))
                 .unwrap();
         }
-        let latest = Manifest::load_latest(&shared, "idx/manifest/").unwrap().unwrap();
+        let latest = Manifest::load_latest(&shared, "idx/manifest/")
+            .unwrap()
+            .unwrap();
         assert_eq!(latest.seq, 3);
     }
 
@@ -169,7 +188,9 @@ mod tests {
     fn corrupt_latest_falls_back() {
         let shared = SharedStorage::in_memory();
         sample(1).persist(&shared, "m/manifest-01").unwrap();
-        shared.put("m/manifest-02", Bytes::from_static(b"garbage")).unwrap();
+        shared
+            .put("m/manifest-02", Bytes::from_static(b"garbage"))
+            .unwrap();
         let latest = Manifest::load_latest(&shared, "m/").unwrap().unwrap();
         assert_eq!(latest.seq, 1, "corrupt newest manifest must be skipped");
     }
@@ -177,14 +198,18 @@ mod tests {
     #[test]
     fn empty_prefix_gives_none() {
         let shared = SharedStorage::in_memory();
-        assert!(Manifest::load_latest(&shared, "nothing/").unwrap().is_none());
+        assert!(Manifest::load_latest(&shared, "nothing/")
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn gc_keeps_newest() {
         let shared = SharedStorage::in_memory();
         for seq in 1..=5 {
-            sample(seq).persist(&shared, &format!("m/manifest-{seq:020}")).unwrap();
+            sample(seq)
+                .persist(&shared, &format!("m/manifest-{seq:020}"))
+                .unwrap();
         }
         let deleted = Manifest::gc(&shared, "m/", 2).unwrap();
         assert_eq!(deleted, 3);

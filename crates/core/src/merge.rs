@@ -54,7 +54,11 @@ pub(crate) struct RunCursor {
 
 impl RunCursor {
     pub(crate) fn new(run: Arc<Run>) -> Self {
-        Self { run, ordinal: 0, block: None }
+        Self {
+            run,
+            ordinal: 0,
+            block: None,
+        }
     }
 
     /// Fetch the entry at the cursor, or `None` at end of run.
@@ -95,7 +99,10 @@ impl PartialOrd for HeapKey {
 impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         // Min-heap by (key, stream index).
-        other.key.cmp(&self.key).then_with(|| other.idx.cmp(&self.idx))
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.idx.cmp(&self.idx))
     }
 }
 
@@ -114,8 +121,7 @@ impl UmziIndex {
         let _level_guard = self.level_locks[level as usize].lock();
 
         let snapshot = self.zones[zone_idx].list.snapshot();
-        let at_level: Vec<&Arc<Run>> =
-            snapshot.iter().filter(|r| r.level() == level).collect();
+        let at_level: Vec<&Arc<Run>> = snapshot.iter().filter(|r| r.level() == level).collect();
         let sealed_count = at_level.iter().filter(|r| r.is_sealed()).count();
         let k = self.config.merge.k;
         if sealed_count < k {
@@ -124,8 +130,10 @@ impl UmziIndex {
 
         // Oldest K sealed runs = the tail of the level's segment (only the
         // newest run of a level can be unsealed).
-        let inputs_l: Vec<Arc<Run>> =
-            at_level[at_level.len() - k..].iter().map(|r| Arc::clone(r)).collect();
+        let inputs_l: Vec<Arc<Run>> = at_level[at_level.len() - k..]
+            .iter()
+            .map(|r| Arc::clone(r))
+            .collect();
         debug_assert!(inputs_l.iter().all(|r| r.is_sealed()));
 
         // The target level's active run, if any, joins the merge.
@@ -141,8 +149,16 @@ impl UmziIndex {
         }
         let input_ids: Vec<u64> = inputs.iter().map(|r| r.run_id()).collect();
 
-        let groomed_lo = inputs.iter().map(|r| r.groomed_range().0).min().expect("inputs");
-        let groomed_hi = inputs.iter().map(|r| r.groomed_range().1).max().expect("inputs");
+        let groomed_lo = inputs
+            .iter()
+            .map(|r| r.groomed_range().0)
+            .min()
+            .expect("inputs");
+        let groomed_hi = inputs
+            .iter()
+            .map(|r| r.groomed_range().1)
+            .max()
+            .expect("inputs");
         let target_persisted = self.config.is_persisted_level(level + 1);
 
         // Ancestor bookkeeping (§6.1).
@@ -163,8 +179,10 @@ impl UmziIndex {
         // K-way merge of all versions — Umzi is a multi-version index, so
         // merges combine runs without dropping older versions (time travel
         // needs them; version GC is endTS-driven in the data zones).
-        let mut cursors: Vec<RunCursor> =
-            inputs.iter().map(|r| RunCursor::new(Arc::clone(r))).collect();
+        let mut cursors: Vec<RunCursor> = inputs
+            .iter()
+            .map(|r| RunCursor::new(Arc::clone(r)))
+            .collect();
         let new_run = self.build_run_sorted(
             zone_idx,
             level + 1,
@@ -176,7 +194,10 @@ impl UmziIndex {
                 let mut heap = BinaryHeap::with_capacity(cursors.len());
                 for (idx, c) in cursors.iter_mut().enumerate() {
                     if let Some(e) = c.current()? {
-                        heap.push(HeapKey { key: e.key.clone(), idx });
+                        heap.push(HeapKey {
+                            key: e.key.clone(),
+                            idx,
+                        });
                     }
                 }
                 while let Some(HeapKey { idx, .. }) = heap.pop() {
@@ -184,7 +205,10 @@ impl UmziIndex {
                     builder.push_raw(&entry.key, &entry.value)?;
                     cursors[idx].advance();
                     if let Some(e) = cursors[idx].current()? {
-                        heap.push(HeapKey { key: e.key.clone(), idx });
+                        heap.push(HeapKey {
+                            key: e.key.clone(),
+                            idx,
+                        });
                     }
                 }
                 Ok(())
@@ -192,18 +216,26 @@ impl UmziIndex {
         )?;
 
         // Seal once the active run is T× an inactive input from level L.
-        let max_input_l = inputs_l.iter().map(|r| r.entry_count()).max().unwrap_or(0).max(1);
+        let max_input_l = inputs_l
+            .iter()
+            .map(|r| r.entry_count())
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let sealed = new_run.entry_count() >= self.config.merge.t * max_input_l;
         if sealed {
             new_run.seal();
         }
 
         // Publish with the Figure 4 splice; on conflict drop the orphan run.
-        let Some(removed) =
-            self.zones[zone_idx].list.replace_consecutive(&input_ids, Arc::clone(&new_run))
+        let Some(removed) = self.zones[zone_idx]
+            .list
+            .replace_consecutive(&input_ids, Arc::clone(&new_run))
         else {
             self.storage.delete_object(new_run.handle())?;
-            self.counters.merge_conflicts.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .merge_conflicts
+                .fetch_add(1, Ordering::Relaxed);
             return Err(UmziError::MergeConflict);
         };
 
@@ -310,7 +342,12 @@ mod tests {
     }
 
     fn levels(idx: &UmziIndex) -> Vec<u32> {
-        idx.zones()[0].list.snapshot().iter().map(|r| r.level()).collect()
+        idx.zones()[0]
+            .list
+            .snapshot()
+            .iter()
+            .map(|r| r.level())
+            .collect()
     }
 
     #[test]
@@ -332,7 +369,10 @@ mod tests {
         let report = idx.merge_at(0).unwrap().expect("merge must fire");
         assert_eq!(report.level, 0);
         assert_eq!(report.inputs, 4);
-        assert_eq!(report.output_entries, 40, "multi-version merge keeps all entries");
+        assert_eq!(
+            report.output_entries, 40,
+            "multi-version merge keeps all entries"
+        );
         assert!(!report.sealed, "T=100 keeps the new run active");
         assert_eq!(levels(&idx), vec![1]);
         // Covered groomed range spans all inputs.
@@ -386,8 +426,12 @@ mod tests {
         let max_level = levels(&idx).into_iter().max().unwrap();
         assert!(max_level >= 2, "data must have reached level 2");
         // All 80 entries survive, wherever they live.
-        let total: u64 =
-            idx.zones()[0].list.snapshot().iter().map(|r| r.entry_count()).sum();
+        let total: u64 = idx.zones()[0]
+            .list
+            .snapshot()
+            .iter()
+            .map(|r| r.entry_count())
+            .sum();
         assert_eq!(total, 80);
     }
 
@@ -415,7 +459,11 @@ mod tests {
         }
         let held = idx.zones()[0].list.snapshot(); // a "query" holding runs
         idx.merge_at(0).unwrap().unwrap();
-        assert_eq!(idx.collect_garbage().unwrap(), 0, "reader still holds the runs");
+        assert_eq!(
+            idx.collect_garbage().unwrap(),
+            0,
+            "reader still holds the runs"
+        );
         drop(held);
         assert_eq!(idx.collect_garbage().unwrap(), 2);
     }
@@ -432,11 +480,18 @@ mod tests {
         assert_eq!(snap.len(), 1);
         let run = &snap[0];
         assert_eq!(run.level(), 1);
-        assert_eq!(run.header().ancestors.len(), 2, "both persisted inputs recorded");
+        assert_eq!(
+            run.header().ancestors.len(),
+            2,
+            "both persisted inputs recorded"
+        );
         // §6.1: old runs are NOT deleted from shared storage.
         idx.collect_garbage().unwrap();
         let shared_after = idx.storage().shared().list("idx/runs/").unwrap().len();
-        assert_eq!(shared_after, shared_before, "ancestors must survive in shared storage");
+        assert_eq!(
+            shared_after, shared_before,
+            "ancestors must survive in shared storage"
+        );
     }
 
     #[test]
@@ -472,7 +527,10 @@ mod tests {
         for ord in 0..run.entry_count() {
             let e = run.entry(ord).unwrap();
             if let Some(p) = &last {
-                assert!(p.as_slice() <= &e.key[..], "merge output out of order at {ord}");
+                assert!(
+                    p.as_slice() <= &e.key[..],
+                    "merge output out of order at {ord}"
+                );
             }
             last = Some(e.key.to_vec());
         }

@@ -46,7 +46,11 @@ pub struct QueryOutput {
 
 impl QueryOutput {
     fn from_hit(hit: SearchHit) -> Self {
-        Self { key: hit.key, begin_ts: hit.begin_ts, value: hit.value }
+        Self {
+            key: hit.key,
+            begin_ts: hit.begin_ts,
+            value: hit.value,
+        }
     }
 
     /// The record's RID.
@@ -61,8 +65,7 @@ impl QueryOutput {
 
     /// Decode the included columns (index-only access, §4.1).
     pub fn included(&self, def: &Arc<IndexDef>) -> Result<Vec<Datum>> {
-        let entry = umzi_run::EntryRef { key: self.key.clone(), value: self.value.clone() };
-        Ok(entry.included_values(def)?)
+        Ok(umzi_run::entry::decode_included_values(def, &self.value)?)
     }
 }
 
@@ -76,7 +79,11 @@ impl UmziIndex {
         let n_boundaries = self.watermarks.len();
         let mut out = Vec::new();
         for (i, zone) in self.zones.iter().enumerate() {
-            let watermark = if i < n_boundaries { self.watermark(i) } else { 0 };
+            let watermark = if i < n_boundaries {
+                self.watermark(i)
+            } else {
+                0
+            };
             for run in zone.list.snapshot() {
                 // Exclusive watermark: IDs < watermark are covered (§5.4).
                 if i < n_boundaries && run.groomed_range().1 < watermark {
@@ -86,7 +93,7 @@ impl UmziIndex {
             }
         }
         // Stable: zone order breaks ties (earlier zone = fresher copy).
-        out.sort_by(|a, b| b.groomed_range().1.cmp(&a.groomed_range().1));
+        out.sort_by_key(|r| std::cmp::Reverse(r.groomed_range().1));
         out
     }
 
@@ -98,14 +105,63 @@ impl UmziIndex {
         }
     }
 
+    /// Run `per_chunk` over contiguous chunks of `items` on at most
+    /// `min(available_parallelism, 8)` scoped threads, concatenating the
+    /// chunk results in order (so callers' ordering guarantees hold).
+    /// Falls back to the calling thread when `items` has fewer than
+    /// `min_items` elements or only one thread is available.
+    fn fan_out_chunks<'a, T, R, F>(
+        items: &'a [T],
+        min_items: usize,
+        per_chunk: F,
+    ) -> umzi_run::Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a [T]) -> umzi_run::Result<Vec<R>> + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .min(items.len().max(1));
+        if threads <= 1 || items.len() < min_items {
+            return per_chunk(items);
+        }
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let per_chunk = &per_chunk;
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || per_chunk(c)))
+                .collect();
+            let mut all = Vec::with_capacity(items.len());
+            for h in handles {
+                all.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))?);
+            }
+            Ok(all)
+        })
+    }
+
     /// Range scan (§7.1): returns the newest visible version of every
     /// matching key, sorted by key.
+    ///
+    /// Iterator *positioning* — the per-run `find_first_geq`, which is where
+    /// the block fetches happen — fans out across candidate runs on scoped
+    /// threads (runs are `Arc`s and reads are lock-free). The iterators are
+    /// then reconciled on the calling thread in the original newest-first
+    /// order, so results are deterministic regardless of thread scheduling.
     pub fn range_scan(
         &self,
         query: &RangeQuery,
         strategy: ReconcileStrategy,
     ) -> Result<Vec<QueryOutput>> {
-        let (lower, upper) = self.layout.query_range(&query.equality, &query.lower, &query.upper)?;
+        let (lower, upper) =
+            self.layout
+                .query_range(&query.equality, &query.lower, &query.upper)?;
+        // One shared allocation for the upper bound across all per-run
+        // iterators (refcounted clones, not byte copies).
+        let upper: Option<Bytes> = upper.map(Bytes::from);
         let hash = if self.def.has_hash() {
             Some(self.layout.hash_equality(&query.equality)?)
         } else {
@@ -117,20 +173,41 @@ impl UmziIndex {
             .candidate_runs()
             .into_iter()
             .filter(|r| {
-                r.header().synopsis.may_match(&eq_encoded, &query.lower, &query.upper, query.query_ts)
+                r.header().synopsis.may_match(
+                    &eq_encoded,
+                    &query.lower,
+                    &query.upper,
+                    query.query_ts,
+                )
             })
             .collect();
 
-        let mut iters = Vec::with_capacity(candidates.len());
-        for run in &candidates {
-            let searcher = RunSearcher::new(run);
-            iters.push(searcher.scan(
-                &lower,
-                upper.as_deref(),
-                Self::bucket_for(run, hash),
-                query.query_ts,
-            )?);
+        // A named fn (not a closure) so the iterator's borrow is tied to the
+        // run reference, not to the closure's environment.
+        fn position<'r>(
+            run: &'r Arc<Run>,
+            lower: &[u8],
+            upper: Option<Bytes>,
+            bucket: Option<u32>,
+            query_ts: u64,
+        ) -> umzi_run::Result<umzi_run::RunRangeIter<'r>> {
+            RunSearcher::new(run).scan_shared(lower, upper, bucket, query_ts)
         }
+        // Bounded fan-out over candidate runs; chunk results concatenate in
+        // order, so the reconcile order is unchanged.
+        let iters = Self::fan_out_chunks(&candidates, 2, |runs| {
+            runs.iter()
+                .map(|run| {
+                    position(
+                        run,
+                        &lower,
+                        upper.clone(),
+                        Self::bucket_for(run, hash),
+                        query.query_ts,
+                    )
+                })
+                .collect()
+        })?;
 
         let hits = match strategy {
             ReconcileStrategy::Set => reconcile_set(iters)?,
@@ -161,13 +238,15 @@ impl UmziIndex {
         let bound = SortBound::Included(sort_values.to_vec());
 
         for run in self.candidate_runs() {
-            if !run.header().synopsis.may_match(&eq_encoded, &bound, &bound, query_ts) {
+            if !run
+                .header()
+                .synopsis
+                .may_match(&eq_encoded, &bound, &bound, query_ts)
+            {
                 continue;
             }
             let searcher = RunSearcher::new(&run);
-            if let Some(hit) =
-                searcher.lookup(prefix, Self::bucket_for(&run, hash), query_ts)?
-            {
+            if let Some(hit) = searcher.lookup(prefix, Self::bucket_for(&run, hash), query_ts)? {
                 return Ok(Some(QueryOutput::from_hit(hit)));
             }
         }
@@ -178,6 +257,10 @@ impl UmziIndex {
     /// `(hash, equality, sort)` and searched against each run sequentially
     /// from newest to oldest, one run at a time, until all keys are found or
     /// the runs are exhausted. Results are positionally aligned with `keys`.
+    ///
+    /// Within each run, unresolved probes are partitioned into contiguous
+    /// (still sorted) slices and looked up on scoped threads; runs stay
+    /// sequential so the paper's newest-first early exit is preserved.
     pub fn batch_lookup(
         &self,
         keys: &[(Vec<Datum>, Vec<Datum>)],
@@ -189,6 +272,10 @@ impl UmziIndex {
             pos: usize,
         }
 
+        /// Below this many pending probes, thread spawn overhead beats the
+        /// fan-out win and the run is searched on the calling thread.
+        const PARALLEL_THRESHOLD: usize = 32;
+
         let n_key_cols = self.def.key_column_count();
         let mut col_mins: Vec<Vec<u8>> = vec![Vec::new(); n_key_cols];
         let mut col_maxs: Vec<Vec<u8>> = vec![Vec::new(); n_key_cols];
@@ -196,17 +283,24 @@ impl UmziIndex {
         for (pos, (eq, sort)) in keys.iter().enumerate() {
             let full = self.layout.build_key(eq, sort, 0)?;
             let prefix = full[..full.len() - 8].to_vec();
-            let hash =
-                if self.def.has_hash() { Some(self.layout.hash_equality(eq)?) } else { None };
+            let hash = if self.def.has_hash() {
+                Some(self.layout.hash_equality(eq)?)
+            } else {
+                None
+            };
             // Fold this key into the batch's per-column bounding box; the
-            // synopsis is checked once per batch (§7), not per key.
+            // synopsis is checked once per batch (§7), not per key. A column
+            // is cloned only when it seeds both bounds (first key); after
+            // that it moves into whichever bound it improves.
             let mut encoded = encode_eq_values(eq);
             encoded.extend(encode_eq_values(sort));
             for (i, col) in encoded.into_iter().enumerate() {
-                if pos == 0 || col < col_mins[i] {
+                if pos == 0 {
                     col_mins[i] = col.clone();
-                }
-                if pos == 0 || col > col_maxs[i] {
+                    col_maxs[i] = col;
+                } else if col < col_mins[i] {
+                    col_mins[i] = col;
+                } else if col > col_maxs[i] {
                     col_maxs[i] = col;
                 }
             }
@@ -226,22 +320,32 @@ impl UmziIndex {
             if remaining == 0 {
                 break;
             }
-            if !run.header().synopsis.may_match_box(&col_mins, &col_maxs, query_ts) {
+            if !run
+                .header()
+                .synopsis
+                .may_match_box(&col_mins, &col_maxs, query_ts)
+            {
                 continue;
             }
-            let searcher = RunSearcher::new(&run);
-            for probe in &probes {
-                if results[probe.pos].is_some() {
-                    continue;
+            let pending: Vec<&Probe> = probes.iter().filter(|p| results[p.pos].is_none()).collect();
+            let probe_slice = |slice: &[&Probe]| -> umzi_run::Result<Vec<(usize, SearchHit)>> {
+                let searcher = RunSearcher::new(&run);
+                let mut found = Vec::new();
+                for probe in slice {
+                    if let Some(hit) = searcher.lookup(
+                        &probe.prefix,
+                        Self::bucket_for(&run, probe.hash),
+                        query_ts,
+                    )? {
+                        found.push((probe.pos, hit));
+                    }
                 }
-                if let Some(hit) = searcher.lookup(
-                    &probe.prefix,
-                    Self::bucket_for(&run, probe.hash),
-                    query_ts,
-                )? {
-                    results[probe.pos] = Some(QueryOutput::from_hit(hit));
-                    remaining -= 1;
-                }
+                Ok(found)
+            };
+            let found = Self::fan_out_chunks(&pending, PARALLEL_THRESHOLD, probe_slice)?;
+            for (pos, hit) in found {
+                results[pos] = Some(QueryOutput::from_hit(hit));
+                remaining -= 1;
             }
         }
         Ok(results)
@@ -282,7 +386,14 @@ mod tests {
         .unwrap()
     }
 
-    fn scan(idx: &UmziIndex, d: i64, lo: i64, hi: i64, ts: u64, s: ReconcileStrategy) -> Vec<(i64, i64, u64, i64)> {
+    fn scan(
+        idx: &UmziIndex,
+        d: i64,
+        lo: i64,
+        hi: i64,
+        ts: u64,
+        s: ReconcileStrategy,
+    ) -> Vec<(i64, i64, u64, i64)> {
         let out = idx
             .range_scan(
                 &RangeQuery {
@@ -343,8 +454,10 @@ mod tests {
     #[test]
     fn watermark_hides_evolved_groomed_runs() {
         let idx = setup();
-        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 10, 1)], 1, 1).unwrap();
-        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 2, 20, 2)], 2, 2).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 10, 1)], 1, 1)
+            .unwrap();
+        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 2, 20, 2)], 2, 2)
+            .unwrap();
         assert_eq!(idx.candidate_runs().len(), 2);
 
         // Evolve covering block 1 only; the groomed run for block 2 stays.
@@ -369,7 +482,8 @@ mod tests {
         // Groomed run covers blocks 1-2; evolve only covers block 1, so the
         // groomed run survives the watermark and the version exists in BOTH
         // zones (the §5.4 duplicate window).
-        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 10, 1)], 1, 2).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 10, 1)], 1, 2)
+            .unwrap();
         idx.evolve(EvolveNotice {
             psn: 1,
             groomed_lo: 1,
@@ -388,8 +502,10 @@ mod tests {
     #[test]
     fn point_lookup_early_exit() {
         let idx = setup();
-        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 10, 1)], 1, 1).unwrap();
-        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 20, 2)], 2, 2).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 10, 1)], 1, 1)
+            .unwrap();
+        idx.build_groomed_run(vec![entry(&idx, ZoneId::GROOMED, 1, 1, 20, 2)], 2, 2)
+            .unwrap();
         let hit = idx
             .point_lookup(&[Datum::Int64(1)], &[Datum::Int64(1)], 100)
             .unwrap()
@@ -411,7 +527,9 @@ mod tests {
     fn batch_lookup_positional() {
         let idx = setup();
         idx.build_groomed_run(
-            (0..50).map(|i| entry(&idx, ZoneId::GROOMED, i % 5, i, 10 + i as u64, i)).collect(),
+            (0..50)
+                .map(|i| entry(&idx, ZoneId::GROOMED, i % 5, i, 10 + i as u64, i))
+                .collect(),
             1,
             1,
         )
@@ -433,13 +551,17 @@ mod tests {
         let idx = setup();
         // Two runs with disjoint device ranges.
         idx.build_groomed_run(
-            (0..10).map(|i| entry(&idx, ZoneId::GROOMED, 100 + i, i, 10, i)).collect(),
+            (0..10)
+                .map(|i| entry(&idx, ZoneId::GROOMED, 100 + i, i, 10, i))
+                .collect(),
             1,
             1,
         )
         .unwrap();
         idx.build_groomed_run(
-            (0..10).map(|i| entry(&idx, ZoneId::GROOMED, 200 + i, i, 10, i)).collect(),
+            (0..10)
+                .map(|i| entry(&idx, ZoneId::GROOMED, 200 + i, i, 10, i))
+                .collect(),
             2,
             2,
         )

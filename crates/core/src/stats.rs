@@ -66,7 +66,9 @@ impl UmziIndex {
             evolves: self.counters.evolves.load(Ordering::Relaxed),
             gc_runs: self.counters.gc_runs.load(Ordering::Relaxed),
             merge_conflicts: self.counters.merge_conflicts.load(Ordering::Relaxed),
-            watermarks: (0..self.watermarks.len()).map(|i| self.watermark(i)).collect(),
+            watermarks: (0..self.watermarks.len())
+                .map(|i| self.watermark(i))
+                .collect(),
             indexed_psn: self.indexed_psn(),
             cached_level: self.current_cached_level(),
             graveyard: self.graveyard_len(),

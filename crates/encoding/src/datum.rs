@@ -8,7 +8,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// The type of a column value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatumKind {
     /// Signed 64-bit integer (the paper's `long`).
     Int64,
@@ -52,7 +52,7 @@ impl DatumKind {
 /// bytes lexicographically. Values of different kinds are ordered by kind —
 /// this situation never arises inside a single column but keeps the `Ord`
 /// impl total, which `sort` and `BTreeMap`-based test oracles rely on.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Datum {
     /// Signed 64-bit integer.
     Int64(i64),

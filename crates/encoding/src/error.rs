@@ -40,7 +40,10 @@ impl fmt::Display for EncodingError {
                 write!(f, "corrupt encoding: {context}")
             }
             EncodingError::KindMismatch { expected, actual } => {
-                write!(f, "datum kind mismatch: expected {expected:?}, got {actual:?}")
+                write!(
+                    f,
+                    "datum kind mismatch: expected {expected:?}, got {actual:?}"
+                )
             }
             EncodingError::InvalidIndexDef(msg) => write!(f, "invalid index definition: {msg}"),
             EncodingError::InvalidUtf8 => write!(f, "decoded string is not valid UTF-8"),

@@ -62,13 +62,19 @@ pub fn hash64(input: &[u8]) -> u64 {
     while rest.len() >= 8 {
         let k = round(0, read_u64(&rest[0..8]));
         acc ^= k;
-        acc = acc.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        acc = acc
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         rest = &rest[8..];
     }
     if rest.len() >= 4 {
         let k = u64::from(read_u32(&rest[0..4]));
         acc ^= k.wrapping_mul(PRIME64_1);
-        acc = acc.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        acc = acc
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         rest = &rest[4..];
     }
     for &b in rest {

@@ -107,10 +107,7 @@ pub fn decode_datum(kind: DatumKind, input: &[u8]) -> Result<(Datum, usize)> {
         }
         DatumKind::Int64 => {
             let v = take8(input, "i64")?;
-            Ok((
-                Datum::Int64((u64::from_be_bytes(v) ^ (1 << 63)) as i64),
-                8,
-            ))
+            Ok((Datum::Int64((u64::from_be_bytes(v) ^ (1 << 63)) as i64), 8))
         }
         DatumKind::Timestamp => {
             let v = take8(input, "timestamp")?;
@@ -124,11 +121,15 @@ pub fn decode_datum(kind: DatumKind, input: &[u8]) -> Result<(Datum, usize)> {
             Ok((Datum::Float64(unorder_f64(u64::from_be_bytes(v))), 8))
         }
         DatumKind::Bool => {
-            let b = *input.first().ok_or(EncodingError::UnexpectedEof { context: "bool" })?;
+            let b = *input
+                .first()
+                .ok_or(EncodingError::UnexpectedEof { context: "bool" })?;
             match b {
                 0 => Ok((Datum::Bool(false), 1)),
                 1 => Ok((Datum::Bool(true), 1)),
-                _ => Err(EncodingError::Corrupt { context: "bool byte out of range" }),
+                _ => Err(EncodingError::Corrupt {
+                    context: "bool byte out of range",
+                }),
             }
         }
         DatumKind::Str => {
@@ -154,24 +155,28 @@ fn decode_bytes(input: &[u8]) -> Result<(Vec<u8>, usize)> {
     let mut out = Vec::new();
     let mut i = 0;
     loop {
-        let b = *input
-            .get(i)
-            .ok_or(EncodingError::UnexpectedEof { context: "byte string" })?;
+        let b = *input.get(i).ok_or(EncodingError::UnexpectedEof {
+            context: "byte string",
+        })?;
         if b != ESCAPE {
             out.push(b);
             i += 1;
             continue;
         }
-        let marker = *input
-            .get(i + 1)
-            .ok_or(EncodingError::UnexpectedEof { context: "byte string escape" })?;
+        let marker = *input.get(i + 1).ok_or(EncodingError::UnexpectedEof {
+            context: "byte string escape",
+        })?;
         match marker {
             TERMINATOR => return Ok((out, i + 2)),
             ESCAPED_00 => {
                 out.push(0x00);
                 i += 2;
             }
-            _ => return Err(EncodingError::Corrupt { context: "bad escape marker" }),
+            _ => {
+                return Err(EncodingError::Corrupt {
+                    context: "bad escape marker",
+                })
+            }
         }
     }
 }
@@ -193,7 +198,9 @@ impl KeyWriter {
 
     /// Create a writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Append raw, already-comparable bytes (e.g. a big-endian hash).
@@ -467,7 +474,7 @@ mod tests {
         ));
         // Unterminated byte string.
         assert!(matches!(
-            decode_datum(DatumKind::Bytes, &[b'a', b'b']),
+            decode_datum(DatumKind::Bytes, b"ab"),
             Err(EncodingError::UnexpectedEof { .. })
         ));
         // Bad escape marker.

@@ -18,7 +18,7 @@ use crate::Result;
 pub type ColumnType = DatumKind;
 
 /// A named, typed column in an index definition.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     /// Column name (unique within the index definition).
     pub name: String,
@@ -29,7 +29,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Create a column definition.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -56,7 +59,7 @@ pub enum ColumnRole {
 ///       ∥ ¬beginTS               — 8 bytes, descending
 /// value = RID ∥ enc(included values)
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexDef {
     name: String,
     equality: Vec<ColumnDef>,
@@ -124,12 +127,7 @@ impl IndexDef {
     }
 
     /// Validate that `values` matches the column list in arity and kinds.
-    pub fn check_values(
-        &self,
-        columns: &[ColumnDef],
-        values: &[Datum],
-        what: &str,
-    ) -> Result<()> {
+    pub fn check_values(&self, columns: &[ColumnDef], values: &[Datum], what: &str) -> Result<()> {
         if columns.len() != values.len() {
             return Err(EncodingError::InvalidIndexDef(format!(
                 "index {:?}: expected {} {what} values, got {}",
@@ -140,7 +138,10 @@ impl IndexDef {
         }
         for (c, v) in columns.iter().zip(values) {
             if c.ty != v.kind() {
-                return Err(EncodingError::KindMismatch { expected: c.ty, actual: v.kind() });
+                return Err(EncodingError::KindMismatch {
+                    expected: c.ty,
+                    actual: v.kind(),
+                });
             }
         }
         Ok(())

@@ -61,8 +61,12 @@ pub struct RunBuilder {
     blocks: Vec<Bytes>,
     /// Cumulative entry counts per finished block.
     prefix_counts: Vec<u64>,
+    /// First key of each finished block (the fence index).
+    fence_keys: Vec<Vec<u8>>,
     cur_data: Vec<u8>,
     cur_offsets: Vec<u16>,
+    /// First key of the block currently being filled.
+    cur_first_key: Vec<u8>,
     /// Entries per offset-array bucket.
     bucket_counts: Vec<u64>,
     synopsis: Synopsis,
@@ -77,7 +81,11 @@ impl RunBuilder {
         if !layout.def().has_hash() {
             params.offset_bits = 0; // no hash column ⇒ no offset array
         }
-        let buckets = if params.offset_bits > 0 { 1usize << params.offset_bits } else { 0 };
+        let buckets = if params.offset_bits > 0 {
+            1usize << params.offset_bits
+        } else {
+            0
+        };
         let n_key_cols = layout.def().key_column_count();
         Self {
             layout,
@@ -85,8 +93,10 @@ impl RunBuilder {
             chunk_size,
             blocks: Vec::new(),
             prefix_counts: Vec::new(),
+            fence_keys: Vec::new(),
             cur_data: Vec::with_capacity(chunk_size),
             cur_offsets: Vec::new(),
+            cur_first_key: Vec::new(),
             bucket_counts: vec![0; buckets],
             synopsis: Synopsis::empty(n_key_cols),
             last_key: Vec::new(),
@@ -104,7 +114,9 @@ impl RunBuilder {
     /// in cross-zone merges).
     pub fn push_raw(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         if self.count > 0 && key < self.last_key.as_slice() {
-            return Err(RunError::OutOfOrder { ordinal: self.count });
+            return Err(RunError::OutOfOrder {
+                ordinal: self.count,
+            });
         }
 
         let need = ENTRY_FRAME + key.len() + value.len();
@@ -119,10 +131,16 @@ impl RunBuilder {
             self.seal_block();
         }
 
+        if self.cur_offsets.is_empty() {
+            self.cur_first_key.clear();
+            self.cur_first_key.extend_from_slice(key);
+        }
         self.cur_offsets.push(self.cur_data.len() as u16);
-        self.cur_data.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.cur_data
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
         self.cur_data.extend_from_slice(key);
-        self.cur_data.extend_from_slice(&(value.len() as u16).to_le_bytes());
+        self.cur_data
+            .extend_from_slice(&(value.len() as u16).to_le_bytes());
         self.cur_data.extend_from_slice(value);
 
         // Offset array, synopsis and timestamp range, all on the fly.
@@ -163,6 +181,8 @@ impl RunBuilder {
 
         let prev = self.prefix_counts.last().copied().unwrap_or(0);
         self.prefix_counts.push(prev + offsets.len() as u64);
+        self.fence_keys
+            .push(std::mem::take(&mut self.cur_first_key));
         self.blocks.push(Bytes::from(block));
     }
 
@@ -209,25 +229,38 @@ impl RunBuilder {
             offset_bits: self.params.offset_bits,
             offset_array,
             block_prefix_counts: self.prefix_counts.clone(),
+            fence_keys: std::mem::take(&mut self.fence_keys),
             synopsis: self.synopsis.clone(),
             ancestors: self.params.ancestors.clone(),
         };
 
         let header_bytes = header.serialize(self.chunk_size);
         let header_chunks = (header_bytes.len() / self.chunk_size) as u32;
-        let mut object = Vec::with_capacity(header_bytes.len() + self.blocks.len() * self.chunk_size);
+        let mut object =
+            Vec::with_capacity(header_bytes.len() + self.blocks.len() * self.chunk_size);
         object.extend_from_slice(&header_bytes);
         for b in &self.blocks {
             object.extend_from_slice(b);
         }
 
-        let handle =
-            storage.create_object(name, Bytes::from(object), durability, header_chunks, write_through)?;
+        let handle = storage.create_object(
+            name,
+            Bytes::from(object),
+            durability,
+            header_chunks,
+            write_through,
+        )?;
 
         // Re-parse so the opened header carries the computed header_chunks.
         let mut final_header = header;
         final_header.header_chunks = header_chunks;
-        Ok(Run::from_parts(Arc::clone(storage), handle, final_header, self.layout, name))
+        Ok(Run::from_parts(
+            Arc::clone(storage),
+            handle,
+            final_header,
+            self.layout,
+            name,
+        ))
     }
 }
 
@@ -275,8 +308,9 @@ mod tests {
     }
 
     fn sorted_entries(l: &KeyLayout, n: i64) -> Vec<IndexEntry> {
-        let mut es: Vec<IndexEntry> =
-            (0..n).map(|i| entry(l, i % 16, i / 16, 100 + i as u64)).collect();
+        let mut es: Vec<IndexEntry> = (0..n)
+            .map(|i| entry(l, i % 16, i / 16, 100 + i as u64))
+            .collect();
         es.sort_by(|a, b| a.key.cmp(&b.key));
         es
     }
@@ -377,7 +411,11 @@ mod tests {
             let e = run.entry(ord).unwrap();
             let bucket = l.bucket_of(&e.key, 4).unwrap() as usize;
             let lo = oa[bucket];
-            let hi = if bucket + 1 < oa.len() { oa[bucket + 1] } else { run.entry_count() };
+            let hi = if bucket + 1 < oa.len() {
+                oa[bucket + 1]
+            } else {
+                run.entry_count()
+            };
             assert!(
                 (lo..hi).contains(&ord),
                 "ordinal {ord} outside bucket {bucket} range [{lo},{hi})"
@@ -397,6 +435,6 @@ mod tests {
             .finish(&storage, "runs/np", Durability::NonPersisted, false)
             .unwrap();
         assert_eq!(storage.stats().shared.writes, 0);
-        assert_eq!(run.entry(0).unwrap().key.len() > 0, true);
+        assert!(!run.entry(0).unwrap().key.is_empty());
     }
 }

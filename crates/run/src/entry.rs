@@ -84,20 +84,29 @@ impl EntryRef {
 
     /// Decode the included-column values using the index definition.
     pub fn included_values(&self, def: &Arc<IndexDef>) -> Result<Vec<Datum>> {
-        let mut pos = RID_LEN;
-        let mut out = Vec::with_capacity(def.included_columns().len());
-        for col in def.included_columns() {
-            let (d, used) = decode_datum(col.ty, &self.value[pos..])?;
-            out.push(d);
-            pos += used;
-        }
-        Ok(out)
+        decode_included_values(def, &self.value)
     }
 
     /// Convert to an owned [`IndexEntry`].
     pub fn to_owned_entry(&self) -> IndexEntry {
-        IndexEntry { key: self.key.to_vec(), value: self.value.to_vec() }
+        IndexEntry {
+            key: self.key.to_vec(),
+            value: self.value.to_vec(),
+        }
     }
+}
+
+/// Decode the included-column values from raw entry value bytes
+/// (`RID ∥ enc(included cols)`) without materializing an [`EntryRef`].
+pub fn decode_included_values(def: &Arc<IndexDef>, value: &[u8]) -> Result<Vec<Datum>> {
+    let mut pos = RID_LEN;
+    let mut out = Vec::with_capacity(def.included_columns().len());
+    for col in def.included_columns() {
+        let (d, used) = decode_datum(col.ty, &value[pos..])?;
+        out.push(d);
+        pos += used;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -132,7 +141,10 @@ mod tests {
         assert_eq!(e.begin_ts().unwrap(), 100);
         assert_eq!(e.rid().unwrap(), rid);
 
-        let r = EntryRef { key: Bytes::from(e.key.clone()), value: Bytes::from(e.value.clone()) };
+        let r = EntryRef {
+            key: Bytes::from(e.key.clone()),
+            value: Bytes::from(e.value.clone()),
+        };
         assert_eq!(r.begin_ts().unwrap(), 100);
         assert_eq!(r.rid().unwrap(), rid);
         assert_eq!(r.included_values(l.def()).unwrap(), vec![Datum::Int64(-7)]);

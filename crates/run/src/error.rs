@@ -46,9 +46,15 @@ impl fmt::Display for RunError {
                 write!(f, "entry {ordinal} pushed out of key order")
             }
             RunError::EntryTooLarge { size, capacity } => {
-                write!(f, "entry of {size} bytes exceeds data block capacity {capacity}")
+                write!(
+                    f,
+                    "entry of {size} bytes exceeds data block capacity {capacity}"
+                )
             }
-            RunError::DefinitionMismatch { stored, opened_with } => write!(
+            RunError::DefinitionMismatch {
+                stored,
+                opened_with,
+            } => write!(
                 f,
                 "index definition mismatch: run built with fingerprint {stored:#x}, \
                  opened with {opened_with:#x}"

@@ -21,10 +21,17 @@
 //! offset_bits                 u8
 //! offset_array                u64 × 2^offset_bits (if flag set)
 //! block_prefix_counts         u64 × n_data_blocks (cumulative entries)
+//! fence_keys                  len-prefixed bytes × n_data_blocks (if flag
+//!                             set): the first key of each data block
 //! synopsis                    min/max beginTS + per-column byte ranges
 //! ancestors                   persisted ancestor run names (§6.1)
 //! checksum                    u64   hash64 of all preceding bytes
 //! ```
+//!
+//! The fence index (flag bit 1) lets a searcher pick the one data block that
+//! can contain the first key ≥ a bound without touching storage; headers
+//! written before the flag existed parse fine (empty `fence_keys`) and the
+//! reader reconstructs the fences lazily from block first-entries.
 
 use umzi_encoding::hash64;
 
@@ -38,6 +45,7 @@ pub const FORMAT_VERSION: u16 = 1;
 
 const MAGIC: &[u8; 8] = b"UMZIRN01";
 const FLAG_HAS_OFFSET_ARRAY: u16 = 1;
+const FLAG_HAS_FENCE_INDEX: u16 = 2;
 /// Byte offset of the `header_len` field.
 const HEADER_LEN_OFFSET: usize = 8;
 
@@ -74,6 +82,10 @@ pub struct RunHeader {
     pub offset_array: Vec<u64>,
     /// `block_prefix_counts[b]` = total entries in blocks `0..=b`.
     pub block_prefix_counts: Vec<u64>,
+    /// `fence_keys[b]` = full key of the first entry in block `b`. Empty for
+    /// runs serialized before the fence index existed (the reader rebuilds
+    /// them lazily); otherwise length `n_data_blocks`.
+    pub fence_keys: Vec<Vec<u8>>,
     /// Key-column min/max synopsis.
     pub synopsis: Synopsis,
     /// Persisted ancestor runs (non-persisted-level recovery, §6.1).
@@ -88,7 +100,14 @@ impl RunHeader {
         w.bytes_raw(MAGIC);
         w.u32(0); // header_len patched below
         w.u16(FORMAT_VERSION);
-        let flags = if self.offset_bits > 0 { FLAG_HAS_OFFSET_ARRAY } else { 0 };
+        let mut flags = if self.offset_bits > 0 {
+            FLAG_HAS_OFFSET_ARRAY
+        } else {
+            0
+        };
+        if !self.fence_keys.is_empty() {
+            flags |= FLAG_HAS_FENCE_INDEX;
+        }
         w.u16(flags);
         w.u64(self.index_fingerprint);
         w.u64(self.run_id);
@@ -113,6 +132,12 @@ impl RunHeader {
         for &c in &self.block_prefix_counts {
             w.u64(c);
         }
+        if !self.fence_keys.is_empty() {
+            debug_assert_eq!(self.fence_keys.len(), self.n_data_blocks as usize);
+            for k in &self.fence_keys {
+                w.bytes(k);
+            }
+        }
         // Synopsis.
         w.u64(self.synopsis.min_begin_ts());
         w.u64(self.synopsis.max_begin_ts());
@@ -133,8 +158,7 @@ impl RunHeader {
         let header_chunks = total_len.div_ceil(chunk_size) as u32;
         buf[HEADER_LEN_OFFSET..HEADER_LEN_OFFSET + 4]
             .copy_from_slice(&(total_len as u32).to_le_bytes());
-        buf[header_chunks_at..header_chunks_at + 4]
-            .copy_from_slice(&header_chunks.to_le_bytes());
+        buf[header_chunks_at..header_chunks_at + 4].copy_from_slice(&header_chunks.to_le_bytes());
         let checksum = hash64(&buf);
         buf.extend_from_slice(&checksum.to_le_bytes());
         // Pad to the chunk boundary so data block 0 starts on a chunk.
@@ -146,10 +170,14 @@ impl RunHeader {
     /// an object, so callers know how many chunks to fetch before parsing.
     pub fn peek_len(first_chunk: &[u8]) -> Result<usize> {
         if first_chunk.len() < HEADER_LEN_OFFSET + 4 {
-            return Err(RunError::Corrupt { context: "object shorter than magic".into() });
+            return Err(RunError::Corrupt {
+                context: "object shorter than magic".into(),
+            });
         }
         if &first_chunk[..8] != MAGIC {
-            return Err(RunError::Corrupt { context: "bad magic".into() });
+            return Err(RunError::Corrupt {
+                context: "bad magic".into(),
+            });
         }
         let len = u32::from_le_bytes(
             first_chunk[HEADER_LEN_OFFSET..HEADER_LEN_OFFSET + 4]
@@ -164,13 +192,17 @@ impl RunHeader {
     pub fn deserialize(buf: &[u8]) -> Result<RunHeader> {
         let total_len = Self::peek_len(buf)?;
         if buf.len() < total_len || total_len < 8 + 4 + 8 {
-            return Err(RunError::Corrupt { context: "truncated header".into() });
+            return Err(RunError::Corrupt {
+                context: "truncated header".into(),
+            });
         }
         let body = &buf[..total_len - 8];
         let stored_checksum =
             u64::from_le_bytes(buf[total_len - 8..total_len].try_into().expect("8 bytes"));
         if hash64(body) != stored_checksum {
-            return Err(RunError::Corrupt { context: "header checksum mismatch".into() });
+            return Err(RunError::Corrupt {
+                context: "header checksum mismatch".into(),
+            });
         }
 
         let mut r = Reader { buf: body, pos: 8 };
@@ -213,6 +245,15 @@ impl RunHeader {
         for _ in 0..n_data_blocks {
             block_prefix_counts.push(r.u64()?);
         }
+        let fence_keys = if flags & FLAG_HAS_FENCE_INDEX != 0 {
+            let mut v = Vec::with_capacity(n_data_blocks as usize);
+            for _ in 0..n_data_blocks {
+                v.push(r.bytes()?.to_vec());
+            }
+            v
+        } else {
+            Vec::new()
+        };
         let min_begin_ts = r.u64()?;
         let max_begin_ts = r.u64()?;
         let syn_count = r.u64()?;
@@ -228,7 +269,9 @@ impl RunHeader {
         let mut ancestors = Vec::with_capacity(n_ancestors);
         for _ in 0..n_ancestors {
             let name = std::str::from_utf8(r.bytes()?)
-                .map_err(|_| RunError::Corrupt { context: "ancestor name not UTF-8".into() })?
+                .map_err(|_| RunError::Corrupt {
+                    context: "ancestor name not UTF-8".into(),
+                })?
                 .to_owned();
             ancestors.push(name);
         }
@@ -248,6 +291,7 @@ impl RunHeader {
             offset_bits,
             offset_array,
             block_prefix_counts,
+            fence_keys,
             synopsis,
             ancestors,
         })
@@ -299,7 +343,9 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
-            return Err(RunError::Corrupt { context: "header field truncated".into() });
+            return Err(RunError::Corrupt {
+                context: "header field truncated".into(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -309,13 +355,19 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn bytes(&mut self) -> Result<&'a [u8]> {
         let n = self.u32()? as usize;
@@ -346,6 +398,7 @@ mod tests {
             offset_bits: 3,
             offset_array: vec![0, 1, 2, 2, 2, 6, 6, 6],
             block_prefix_counts: vec![500, 1000, 1234],
+            fence_keys: vec![b"aaa".to_vec(), b"mmm".to_vec(), b"zzz".to_vec()],
             synopsis,
             ancestors: vec!["runs/old-1".into(), "runs/old-2".into()],
         }
@@ -360,6 +413,7 @@ mod tests {
         assert_eq!(parsed.run_id, 7);
         assert_eq!(parsed.offset_array, h.offset_array);
         assert_eq!(parsed.block_prefix_counts, h.block_prefix_counts);
+        assert_eq!(parsed.fence_keys, h.fence_keys);
         assert_eq!(parsed.synopsis, h.synopsis);
         assert_eq!(parsed.ancestors, h.ancestors);
         assert_eq!(parsed.header_chunks, 1);
@@ -378,6 +432,20 @@ mod tests {
         assert!(parsed.header_chunks > 1);
         assert_eq!(buf.len(), parsed.header_chunks as usize * chunk);
         assert_eq!(parsed.offset_array.len(), 4096);
+    }
+
+    #[test]
+    fn legacy_header_without_fence_keys_roundtrips() {
+        // Runs serialized before the fence index existed carry no fence
+        // section; the flag bit stays clear and parsing yields empty fences.
+        let mut h = sample_header();
+        h.fence_keys = Vec::new();
+        let buf = h.serialize(4096);
+        let parsed = RunHeader::deserialize(&buf).unwrap();
+        assert!(parsed.fence_keys.is_empty());
+        assert_eq!(parsed.block_prefix_counts, h.block_prefix_counts);
+        assert_eq!(parsed.synopsis, h.synopsis);
+        assert_eq!(parsed.ancestors, h.ancestors);
     }
 
     #[test]

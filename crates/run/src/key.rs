@@ -72,8 +72,10 @@ impl KeyLayout {
         sort_values: &[Datum],
         begin_ts: u64,
     ) -> Result<Vec<u8>> {
-        self.def.check_values(self.def.equality_columns(), eq_values, "equality")?;
-        self.def.check_values(self.def.sort_columns(), sort_values, "sort")?;
+        self.def
+            .check_values(self.def.equality_columns(), eq_values, "equality")?;
+        self.def
+            .check_values(self.def.sort_columns(), sort_values, "sort")?;
         let mut w = KeyWriter::with_capacity(16 + 9 * (eq_values.len() + sort_values.len()));
         if self.def.has_hash() {
             w.put_u64(self.def.hash_equality(eq_values)?);
@@ -91,10 +93,11 @@ impl KeyLayout {
     /// Extract `beginTS` from a stored key (the inverted trailing 8 bytes).
     pub fn begin_ts_of(key: &[u8]) -> Result<u64> {
         if key.len() < TS_LEN {
-            return Err(RunError::Corrupt { context: "key shorter than beginTS field".into() });
+            return Err(RunError::Corrupt {
+                context: "key shorter than beginTS field".into(),
+            });
         }
-        let raw: [u8; TS_LEN] =
-            key[key.len() - TS_LEN..].try_into().expect("TS_LEN bytes");
+        let raw: [u8; TS_LEN] = key[key.len() - TS_LEN..].try_into().expect("TS_LEN bytes");
         Ok(!u64::from_be_bytes(raw))
     }
 
@@ -120,7 +123,8 @@ impl KeyLayout {
     /// Build the `hash ∥ equality` prefix shared by all sort values for the
     /// given equality values (the starting point of every bound).
     pub fn equality_prefix(&self, eq_values: &[Datum]) -> Result<Vec<u8>> {
-        self.def.check_values(self.def.equality_columns(), eq_values, "equality")?;
+        self.def
+            .check_values(self.def.equality_columns(), eq_values, "equality")?;
         let mut w = KeyWriter::with_capacity(16 + 9 * eq_values.len());
         if self.def.has_hash() {
             w.put_u64(self.def.hash_equality(eq_values)?);
@@ -199,16 +203,22 @@ impl KeyLayout {
     fn check_sort_prefix(&self, vals: &[Datum]) -> Result<()> {
         let cols = self.def.sort_columns();
         if vals.len() > cols.len() {
-            return Err(RunError::Encoding(umzi_encoding::EncodingError::InvalidIndexDef(
-                format!("{} sort bound values but only {} sort columns", vals.len(), cols.len()),
-            )));
+            return Err(RunError::Encoding(
+                umzi_encoding::EncodingError::InvalidIndexDef(format!(
+                    "{} sort bound values but only {} sort columns",
+                    vals.len(),
+                    cols.len()
+                )),
+            ));
         }
         for (c, v) in cols.iter().zip(vals) {
             if c.ty != v.kind() {
-                return Err(RunError::Encoding(umzi_encoding::EncodingError::KindMismatch {
-                    expected: c.ty,
-                    actual: v.kind(),
-                }));
+                return Err(RunError::Encoding(
+                    umzi_encoding::EncodingError::KindMismatch {
+                        expected: c.ty,
+                        actual: v.kind(),
+                    },
+                ));
             }
         }
         Ok(())
@@ -249,7 +259,9 @@ impl KeyLayout {
 fn encoded_len(kind: DatumKind, buf: &[u8]) -> Result<usize> {
     if let Some(w) = kind.fixed_width() {
         if buf.len() < w {
-            return Err(RunError::Corrupt { context: "key truncated mid-column".into() });
+            return Err(RunError::Corrupt {
+                context: "key truncated mid-column".into(),
+            });
         }
         return Ok(w);
     }
@@ -257,11 +269,19 @@ fn encoded_len(kind: DatumKind, buf: &[u8]) -> Result<usize> {
     let mut i = 0;
     loop {
         match buf.get(i) {
-            None => return Err(RunError::Corrupt { context: "unterminated string column".into() }),
+            None => {
+                return Err(RunError::Corrupt {
+                    context: "unterminated string column".into(),
+                })
+            }
             Some(0x00) => match buf.get(i + 1) {
                 Some(0x00) => return Ok(i + 2),
                 Some(0xFF) => i += 2,
-                _ => return Err(RunError::Corrupt { context: "bad escape in key".into() }),
+                _ => {
+                    return Err(RunError::Corrupt {
+                        context: "bad escape in key".into(),
+                    })
+                }
             },
             Some(_) => i += 1,
         }
@@ -308,9 +328,15 @@ mod tests {
     #[test]
     fn key_roundtrip_and_order() {
         let l = layout();
-        let k1 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 100).unwrap();
-        let k2 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 97).unwrap();
-        let k3 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(2)], 50).unwrap();
+        let k1 = l
+            .build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 100)
+            .unwrap();
+        let k2 = l
+            .build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 97)
+            .unwrap();
+        let k3 = l
+            .build_key(&[Datum::Int64(4)], &[Datum::Int64(2)], 50)
+            .unwrap();
 
         // Same logical key, newer version first (Figure 2: beginTS desc).
         assert_eq!(KeyLayout::logical_key(&k1), KeyLayout::logical_key(&k2));
@@ -328,8 +354,12 @@ mod tests {
     #[test]
     fn same_device_shares_hash_prefix() {
         let l = layout();
-        let k1 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 1).unwrap();
-        let k2 = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(9)], 2).unwrap();
+        let k1 = l
+            .build_key(&[Datum::Int64(4)], &[Datum::Int64(1)], 1)
+            .unwrap();
+        let k2 = l
+            .build_key(&[Datum::Int64(4)], &[Datum::Int64(9)], 2)
+            .unwrap();
         assert_eq!(l.hash_of(&k1), l.hash_of(&k2));
         assert_eq!(k1[..8], k2[..8]);
     }
@@ -348,12 +378,16 @@ mod tests {
         let hi = hi.unwrap();
 
         for (msg, expect_in) in [(0i64, false), (1, true), (2, true), (3, true), (4, false)] {
-            let k = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 100).unwrap();
+            let k = l
+                .build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 100)
+                .unwrap();
             let inside = k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice();
             assert_eq!(inside, expect_in, "msg={msg}");
         }
         // A different device never falls in the range (hash differs).
-        let other = l.build_key(&[Datum::Int64(5)], &[Datum::Int64(2)], 100).unwrap();
+        let other = l
+            .build_key(&[Datum::Int64(5)], &[Datum::Int64(2)], 100)
+            .unwrap();
         assert!(
             !(other.as_slice() >= lo.as_slice() && other.as_slice() < hi.as_slice()),
             "device=5 must be outside"
@@ -372,7 +406,9 @@ mod tests {
             .unwrap();
         let hi = hi.unwrap();
         for (msg, expect_in) in [(1i64, false), (2, true), (3, false)] {
-            let k = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 7).unwrap();
+            let k = l
+                .build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 7)
+                .unwrap();
             let inside = k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice();
             assert_eq!(inside, expect_in, "msg={msg}");
         }
@@ -382,11 +418,17 @@ mod tests {
     fn unbounded_sort_covers_all_of_one_device() {
         let l = layout();
         let (lo, hi) = l
-            .query_range(&[Datum::Int64(4)], &SortBound::Unbounded, &SortBound::Unbounded)
+            .query_range(
+                &[Datum::Int64(4)],
+                &SortBound::Unbounded,
+                &SortBound::Unbounded,
+            )
             .unwrap();
         let hi = hi.unwrap();
         for msg in [i64::MIN, -1, 0, 12345, i64::MAX] {
-            let k = l.build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 3).unwrap();
+            let k = l
+                .build_key(&[Datum::Int64(4)], &[Datum::Int64(msg)], 3)
+                .unwrap();
             assert!(k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice());
         }
     }
@@ -416,7 +458,10 @@ mod tests {
 
     #[test]
     fn pure_range_index_has_no_hash() {
-        let def = IndexDef::builder("r").sort("ts", ColumnType::Int64).build().unwrap();
+        let def = IndexDef::builder("r")
+            .sort("ts", ColumnType::Int64)
+            .build()
+            .unwrap();
         let l = KeyLayout::new(Arc::new(def));
         let k = l.build_key(&[], &[Datum::Int64(5)], 9).unwrap();
         assert_eq!(k.len(), 8 + 8); // sort col + beginTS, no hash

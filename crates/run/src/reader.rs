@@ -8,7 +8,7 @@
 //! latency and statistics.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use umzi_storage::{ObjectHandle, TieredStorage};
@@ -31,6 +31,13 @@ pub struct Run {
     /// until it grows past the seal threshold. Not persisted — re-derived on
     /// recovery from run sizes.
     sealed: AtomicBool,
+    /// Fence keys reconstructed for runs whose header predates the fence
+    /// index (built once, on first search, by reading each block's first
+    /// entry). Headers with persisted fences never touch this. The mutex
+    /// serializes the rebuild so concurrent first searches don't each sweep
+    /// every block of the run.
+    lazy_fences: OnceLock<Vec<Vec<u8>>>,
+    fence_build_lock: std::sync::Mutex<()>,
 }
 
 impl std::fmt::Debug for Run {
@@ -40,7 +47,10 @@ impl std::fmt::Debug for Run {
             .field("run_id", &self.header.run_id)
             .field("zone", &self.header.zone)
             .field("level", &self.header.level)
-            .field("groomed", &(self.header.groomed_lo..=self.header.groomed_hi))
+            .field(
+                "groomed",
+                &(self.header.groomed_lo..=self.header.groomed_hi),
+            )
             .field("entries", &self.header.entry_count)
             .field("sealed", &self.sealed.load(Ordering::Relaxed))
             .finish()
@@ -77,6 +87,8 @@ impl Run {
             layout,
             name: name.to_owned(),
             sealed: AtomicBool::new(false),
+            lazy_fences: OnceLock::new(),
+            fence_build_lock: std::sync::Mutex::new(()),
         })
     }
 
@@ -95,6 +107,8 @@ impl Run {
             layout,
             name: name.to_owned(),
             sealed: AtomicBool::new(false),
+            lazy_fences: OnceLock::new(),
+            fence_build_lock: std::sync::Mutex::new(()),
         }
     }
 
@@ -168,15 +182,33 @@ impl Run {
         &self.storage
     }
 
-    /// Fetch data block `b` (0-based) through the hierarchy.
+    /// Fetch data block `b` (0-based): decoded-block cache first, then the
+    /// chunk hierarchy plus a parse (inserting the parsed block back).
     pub fn data_block(&self, b: u32) -> Result<DataBlock> {
         if b >= self.header.n_data_blocks {
             return Err(RunError::Corrupt {
-                context: format!("block {b} out of range ({} blocks)", self.header.n_data_blocks),
+                context: format!(
+                    "block {b} out of range ({} blocks)",
+                    self.header.n_data_blocks
+                ),
             });
         }
-        let chunk = self.storage.read_chunk(self.handle, self.header.header_chunks + b)?;
-        DataBlock::parse(chunk)
+        let key = (self.handle.raw(), b);
+        if let Some(hit) = self.storage.decoded_cache().get(key) {
+            if let Ok(block) = hit.downcast::<DataBlock>() {
+                return Ok(DataBlock::clone(&block));
+            }
+        }
+        let chunk = self
+            .storage
+            .read_chunk(self.handle, self.header.header_chunks + b)?;
+        let block = DataBlock::parse(chunk)?;
+        self.storage.decoded_cache().insert(
+            key,
+            Arc::new(block.clone()),
+            block.size_bytes() as u64,
+        );
+        Ok(block)
     }
 
     /// Map an entry ordinal to `(block index, slot within block)`.
@@ -200,6 +232,64 @@ impl Run {
         let (b, slot) = self.locate(ordinal)?;
         let block = self.data_block(b)?;
         block.entry(slot)
+    }
+
+    /// The fence index: `fence_keys()[b]` is the full key of the first
+    /// entry in block `b`. Served from the header when persisted; rebuilt
+    /// once (one pass over the blocks) for runs written before the fence
+    /// index existed.
+    pub fn fence_keys(&self) -> Result<&[Vec<u8>]> {
+        if !self.header.fence_keys.is_empty() || self.header.n_data_blocks == 0 {
+            return Ok(&self.header.fence_keys);
+        }
+        if let Some(f) = self.lazy_fences.get() {
+            return Ok(f);
+        }
+        // One thread rebuilds (a full-run block sweep); latecomers block on
+        // the mutex and then find the fences already published.
+        let _build = self
+            .fence_build_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(f) = self.lazy_fences.get() {
+            return Ok(f);
+        }
+        let mut fences = Vec::with_capacity(self.header.n_data_blocks as usize);
+        for b in 0..self.header.n_data_blocks {
+            let block = self.data_block(b)?;
+            if block.entry_count() == 0 {
+                return Err(RunError::Corrupt {
+                    context: format!("data block {b} is empty"),
+                });
+            }
+            fences.push(block.key_at(0)?.to_vec());
+        }
+        Ok(self.lazy_fences.get_or_init(|| fences))
+    }
+
+    /// Ordinal of the first entry whose key is ≥ `target` across the whole
+    /// run (`entry_count` when none). Touches at most **one** data block:
+    /// the fence index selects the candidate block, then the block's offset
+    /// trailer is binary-searched in place.
+    pub fn locate_first_geq(&self, target: &[u8]) -> Result<u64> {
+        if self.header.entry_count == 0 {
+            return Ok(0);
+        }
+        let fences = self.fence_keys()?;
+        // First block whose first key is ≥ target; the answer is either the
+        // start of that block or inside the block before it.
+        let pb = fences.partition_point(|f| f.as_slice() < target);
+        if pb == 0 {
+            return Ok(0);
+        }
+        let b = (pb - 1) as u32;
+        let base = if b == 0 {
+            0
+        } else {
+            self.header.block_prefix_counts[b as usize - 1]
+        };
+        let block = self.data_block(b)?;
+        Ok(base + u64::from(block.partition_point_geq(target)?))
     }
 
     /// The binary-search range `[lo, hi)` for a hash bucket, from the offset
@@ -232,12 +322,16 @@ impl DataBlock {
     /// Parse a raw block.
     pub fn parse(data: Bytes) -> Result<DataBlock> {
         if data.len() < 2 {
-            return Err(RunError::Corrupt { context: "block shorter than trailer".into() });
+            return Err(RunError::Corrupt {
+                context: "block shorter than trailer".into(),
+            });
         }
         let n = u16::from_le_bytes(data[data.len() - 2..].try_into().expect("2 bytes"));
         let trailer = n as usize * 2 + 2;
         if data.len() < trailer {
-            return Err(RunError::Corrupt { context: "block trailer truncated".into() });
+            return Err(RunError::Corrupt {
+                context: "block trailer truncated".into(),
+            });
         }
         Ok(DataBlock { data, n_entries: n })
     }
@@ -247,36 +341,82 @@ impl DataBlock {
         self.n_entries
     }
 
-    /// Zero-copy view of the entry in `slot`.
-    pub fn entry(&self, slot: u16) -> Result<EntryRef> {
+    /// Raw block size in bytes (cache accounting weight).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Byte offset of the entry in `slot`, from the offset trailer.
+    fn slot_offset(&self, slot: u16) -> Result<usize> {
         if slot >= self.n_entries {
             return Err(RunError::Corrupt {
                 context: format!("slot {slot} out of range ({} entries)", self.n_entries),
             });
         }
-        let trailer_start = self.data.len() - 2 - self.n_entries as usize * 2;
-        let off_pos = trailer_start + slot as usize * 2;
-        let entry_off = u16::from_le_bytes(
-            self.data[off_pos..off_pos + 2].try_into().expect("2 bytes"),
-        ) as usize;
+        let off_pos = self.trailer_start() + slot as usize * 2;
+        Ok(
+            u16::from_le_bytes(self.data[off_pos..off_pos + 2].try_into().expect("2 bytes"))
+                as usize,
+        )
+    }
 
-        let read_u16 = |at: usize| -> Result<usize> {
-            self.data
-                .get(at..at + 2)
-                .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")) as usize)
-                .ok_or_else(|| RunError::Corrupt { context: "entry frame truncated".into() })
-        };
-        let key_len = read_u16(entry_off)?;
+    fn trailer_start(&self) -> usize {
+        self.data.len() - 2 - self.n_entries as usize * 2
+    }
+
+    fn read_u16(&self, at: usize) -> Result<usize> {
+        self.data
+            .get(at..at + 2)
+            .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")) as usize)
+            .ok_or_else(|| RunError::Corrupt {
+                context: "entry frame truncated".into(),
+            })
+    }
+
+    /// Zero-copy view of the entry in `slot`.
+    pub fn entry(&self, slot: u16) -> Result<EntryRef> {
+        let entry_off = self.slot_offset(slot)?;
+        let key_len = self.read_u16(entry_off)?;
         let key_start = entry_off + 2;
-        let val_len = read_u16(key_start + key_len)?;
+        let val_len = self.read_u16(key_start + key_len)?;
         let val_start = key_start + key_len + 2;
-        if val_start + val_len > trailer_start {
-            return Err(RunError::Corrupt { context: "entry overruns trailer".into() });
+        if val_start + val_len > self.trailer_start() {
+            return Err(RunError::Corrupt {
+                context: "entry overruns trailer".into(),
+            });
         }
         Ok(EntryRef {
             key: self.data.slice(key_start..key_start + key_len),
             value: self.data.slice(val_start..val_start + val_len),
         })
+    }
+
+    /// Borrowed view of the key in `slot` (no value frame parsing, no
+    /// refcount traffic — the unit of work inside in-block binary search).
+    pub fn key_at(&self, slot: u16) -> Result<&[u8]> {
+        let entry_off = self.slot_offset(slot)?;
+        let key_len = self.read_u16(entry_off)?;
+        let key_start = entry_off + 2;
+        self.data
+            .get(key_start..key_start + key_len)
+            .ok_or_else(|| RunError::Corrupt {
+                context: "entry key truncated".into(),
+            })
+    }
+
+    /// First slot whose key is ≥ `target` (`entry_count` when none): a
+    /// binary search over the block's offset trailer, entirely in memory.
+    pub fn partition_point_geq(&self, target: &[u8]) -> Result<u16> {
+        let (mut lo, mut hi) = (0u16, self.n_entries);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at(mid)? < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
     }
 }
 
@@ -332,7 +472,8 @@ mod tests {
         for e in &entries {
             b.push(e).unwrap();
         }
-        b.finish(storage, "runs/t", Durability::Persisted, true).unwrap()
+        b.finish(storage, "runs/t", Durability::Persisted, true)
+            .unwrap()
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub struct Rid {
 impl Rid {
     /// Construct a RID.
     pub fn new(zone: ZoneId, block_id: u64, offset: u32) -> Self {
-        Self { zone, block_id, offset }
+        Self {
+            zone,
+            block_id,
+            offset,
+        }
     }
 
     /// Serialize into exactly [`RID_LEN`] bytes.
@@ -64,7 +68,9 @@ impl Rid {
     /// Deserialize from the front of `input`.
     pub fn decode(input: &[u8]) -> Result<Rid> {
         if input.len() < RID_LEN {
-            return Err(RunError::Corrupt { context: "truncated RID".into() });
+            return Err(RunError::Corrupt {
+                context: "truncated RID".into(),
+            });
         }
         Ok(Rid {
             zone: ZoneId(input[0]),

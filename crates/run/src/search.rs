@@ -40,11 +40,6 @@ impl SearchHit {
     pub fn rid(&self) -> Result<Rid> {
         Rid::decode(&self.value)
     }
-
-    /// View as an [`EntryRef`].
-    pub fn as_entry_ref(&self) -> EntryRef {
-        EntryRef { key: self.key.clone(), value: self.value.clone() }
-    }
 }
 
 /// Search operations over one opened run.
@@ -62,7 +57,22 @@ impl<'a> RunSearcher<'a> {
     /// offset-array bucket if a hint is given (the hint must be the bucket
     /// of the *query's hash value*; see [`Run::bucket_range`]). Returns
     /// `entry_count` when no such entry exists.
+    ///
+    /// Fast path: the run's in-memory fence index picks the single data
+    /// block that can hold the answer, and the block's offset trailer is
+    /// binary-searched in place — at most one block fetch, versus one per
+    /// probe for [`Self::find_first_geq_scalar`]. Because the run is sorted
+    /// on full keys, the bucket-narrowed answer is the global answer clamped
+    /// into the bucket's ordinal range.
     pub fn find_first_geq(&self, target: &[u8], bucket: Option<u32>) -> Result<u64> {
+        let (lo, hi) = self.run.bucket_range(bucket);
+        Ok(self.run.locate_first_geq(target)?.clamp(lo, hi))
+    }
+
+    /// Reference implementation of [`Self::find_first_geq`]: binary search
+    /// over entry ordinals, fetching a data block per probe. Kept for
+    /// equivalence tests and as the "before" leg of read-path benchmarks.
+    pub fn find_first_geq_scalar(&self, target: &[u8], bucket: Option<u32>) -> Result<u64> {
         let (mut lo, mut hi) = self.run.bucket_range(bucket);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
@@ -85,12 +95,25 @@ impl<'a> RunSearcher<'a> {
         bucket: Option<u32>,
         query_ts: u64,
     ) -> Result<RunRangeIter<'a>> {
+        self.scan_shared(lower, upper.map(Bytes::copy_from_slice), bucket, query_ts)
+    }
+
+    /// Like [`Self::scan`] but taking the upper bound as a refcounted
+    /// [`Bytes`], so multi-run queries share one allocation across all
+    /// per-run iterators instead of copying the bound per run.
+    pub fn scan_shared(
+        &self,
+        lower: &[u8],
+        upper: Option<Bytes>,
+        bucket: Option<u32>,
+        query_ts: u64,
+    ) -> Result<RunRangeIter<'a>> {
         let start = self.find_first_geq(lower, bucket)?;
         Ok(RunRangeIter {
             run: self.run,
             ordinal: start,
             end_of_bucket: self.run.bucket_range(bucket).1,
-            upper: upper.map(<[u8]>::to_vec),
+            upper,
             query_ts,
             cur_block: None,
             last_group: Vec::new(),
@@ -134,7 +157,7 @@ pub struct RunRangeIter<'a> {
     /// bucket-narrowed bounds, but the upper-bound key check remains the
     /// authoritative stop condition.
     end_of_bucket: u64,
-    upper: Option<Vec<u8>>,
+    upper: Option<Bytes>,
     query_ts: u64,
     cur_block: Option<(u32, DataBlock)>,
     last_group: Vec<u8>,
@@ -166,6 +189,13 @@ impl Iterator for RunRangeIter<'_> {
                 self.done = true;
                 return None;
             }
+            if self.upper.is_none() && self.ordinal >= self.end_of_bucket {
+                // Unbounded scans without an upper key stop at the run (or
+                // bucket) end — decided on ordinals alone, *before* fetching
+                // a block the scan would immediately discard.
+                self.done = true;
+                return None;
+            }
             let entry = match self.fetch(self.ordinal) {
                 Ok(e) => e,
                 Err(e) => {
@@ -174,15 +204,10 @@ impl Iterator for RunRangeIter<'_> {
                 }
             };
             if let Some(upper) = &self.upper {
-                if entry.key.as_ref() >= upper.as_slice() {
+                if entry.key.as_ref() >= upper.as_ref() {
                     self.done = true;
                     return None;
                 }
-            } else if self.ordinal >= self.end_of_bucket {
-                // Unbounded scans without an upper key stop at the run (or
-                // bucket) end.
-                self.done = true;
-                return None;
             }
             self.ordinal += 1;
 
@@ -206,7 +231,11 @@ impl Iterator for RunRangeIter<'_> {
             };
             if begin_ts <= self.query_ts {
                 self.group_done = true;
-                return Some(Ok(SearchHit { key: entry.key, value: entry.value, begin_ts }));
+                return Some(Ok(SearchHit {
+                    key: entry.key,
+                    value: entry.value,
+                    begin_ts,
+                }));
             }
             // Version newer than the snapshot: try the next (older) version
             // of the same logical key.
@@ -270,7 +299,8 @@ mod tests {
         for e in &entries {
             b.push(e).unwrap();
         }
-        b.finish(storage, name, Durability::Persisted, true).unwrap()
+        b.finish(storage, name, Durability::Persisted, true)
+            .unwrap()
     }
 
     fn scan_pairs(run: &Run, device: i64, lo: i64, hi: i64, ts: u64) -> Vec<(i64, i64, u64)> {
@@ -293,7 +323,11 @@ mod tests {
             .map(|r| {
                 let hit = r.unwrap();
                 let cols = l.decode_key_columns(&hit.key).unwrap();
-                (cols[0].as_i64().unwrap(), cols[1].as_i64().unwrap(), hit.begin_ts)
+                (
+                    cols[0].as_i64().unwrap(),
+                    cols[1].as_i64().unwrap(),
+                    hit.begin_ts,
+                )
             })
             .collect()
     }
@@ -316,7 +350,10 @@ mod tests {
         let run = build(&storage, &rows, "runs/fig2");
         assert_eq!(scan_pairs(&run, 4, 1, 3, 100), vec![(4, 1, 97)]);
         // With queryTS = 102 the (4,2) version becomes visible.
-        assert_eq!(scan_pairs(&run, 4, 1, 3, 102), vec![(4, 1, 97), (4, 2, 102)]);
+        assert_eq!(
+            scan_pairs(&run, 4, 1, 3, 102),
+            vec![(4, 1, 97), (4, 2, 102)]
+        );
         // queryTS below every version: nothing.
         assert_eq!(scan_pairs(&run, 4, 1, 3, 90), vec![]);
     }
@@ -369,7 +406,9 @@ mod tests {
         let mut rows = Vec::new();
         let mut x = 12345u64;
         for i in 0..800i64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let device = (x >> 33) as i64 % 8;
             let msg = (x >> 17) as i64 % 10;
             let ts = 1 + (i as u64 % 50);

@@ -38,7 +38,10 @@ impl Synopsis {
     pub fn empty(n_key_columns: usize) -> Self {
         Self {
             columns: vec![
-                ColumnRange { min: Vec::new(), max: Vec::new() };
+                ColumnRange {
+                    min: Vec::new(),
+                    max: Vec::new()
+                };
                 n_key_columns
             ],
             min_begin_ts: u64::MAX,
@@ -54,7 +57,12 @@ impl Synopsis {
         max_begin_ts: u64,
         entry_count: u64,
     ) -> Self {
-        Self { columns, min_begin_ts, max_begin_ts, entry_count }
+        Self {
+            columns,
+            min_begin_ts,
+            max_begin_ts,
+            entry_count,
+        }
     }
 
     /// Fold one entry's per-column encoded values and timestamp into the
@@ -148,17 +156,14 @@ impl Synopsis {
     /// `[col_mins[i], col_maxs[i]]` might be present (batched lookups, §7.2:
     /// the synopsis is checked once per query batch, not per key). Sound:
     /// only rejects runs that provably contain no key of the box.
-    pub fn may_match_box(
-        &self,
-        col_mins: &[Vec<u8>],
-        col_maxs: &[Vec<u8>],
-        query_ts: u64,
-    ) -> bool {
+    pub fn may_match_box(&self, col_mins: &[Vec<u8>], col_maxs: &[Vec<u8>], query_ts: u64) -> bool {
         if self.entry_count == 0 || self.min_begin_ts > query_ts {
             return false;
         }
         for (i, range) in self.columns.iter().enumerate() {
-            let (Some(lo), Some(hi)) = (col_mins.get(i), col_maxs.get(i)) else { break };
+            let (Some(lo), Some(hi)) = (col_mins.get(i), col_maxs.get(i)) else {
+                break;
+            };
             if hi.as_slice() < range.min.as_slice() || lo.as_slice() > range.max.as_slice() {
                 return false;
             }
@@ -225,9 +230,8 @@ mod tests {
     #[test]
     fn equality_pruning() {
         let s = build(&[(4, 1, 10), (8, 1, 10)]);
-        let hit = |d: i64| {
-            s.may_match(&[enc(d)], &SortBound::Unbounded, &SortBound::Unbounded, 100)
-        };
+        let hit =
+            |d: i64| s.may_match(&[enc(d)], &SortBound::Unbounded, &SortBound::Unbounded, 100);
         assert!(hit(4));
         assert!(hit(6), "inside [4,8] — synopsis cannot disprove");
         assert!(!hit(3));
@@ -270,6 +274,11 @@ mod tests {
     #[test]
     fn empty_synopsis_never_matches() {
         let s = Synopsis::empty(2);
-        assert!(!s.may_match(&[enc(4)], &SortBound::Unbounded, &SortBound::Unbounded, u64::MAX));
+        assert!(!s.may_match(
+            &[enc(4)],
+            &SortBound::Unbounded,
+            &SortBound::Unbounded,
+            u64::MAX
+        ));
     }
 }

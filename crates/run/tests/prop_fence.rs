@@ -1,0 +1,200 @@
+//! Property test: the fence-index search must be byte-for-byte equivalent
+//! to the brute-force per-entry binary search — across random runs, random
+//! targets, every offset-array bucket, and both fence sources (persisted in
+//! the header, and lazily reconstructed for pre-fence runs).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use umzi_encoding::{hash_prefix, ColumnType, Datum, IndexDef};
+use umzi_run::{
+    IndexEntry, KeyLayout, Rid, Run, RunBuilder, RunParams, RunSearcher, SortBound, ZoneId,
+};
+use umzi_storage::{Durability, SharedStorage, TieredConfig, TieredStorage};
+
+fn layout() -> KeyLayout {
+    let def = IndexDef::builder("fence")
+        .equality("d", ColumnType::Int64)
+        .sort("m", ColumnType::Int64)
+        .build()
+        .unwrap();
+    KeyLayout::new(Arc::new(def))
+}
+
+/// Small chunks so even modest runs span many data blocks.
+fn storage() -> Arc<TieredStorage> {
+    Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size: 512,
+            ..TieredConfig::default()
+        },
+    ))
+}
+
+fn build_run(
+    storage: &Arc<TieredStorage>,
+    rows: &[(i64, i64, u64)],
+    offset_bits: u8,
+    name: &str,
+) -> Run {
+    let l = layout();
+    let mut entries: Vec<IndexEntry> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(d, m, ts))| {
+            IndexEntry::new(
+                &l,
+                &[Datum::Int64(d)],
+                &[Datum::Int64(m)],
+                ts,
+                Rid::new(ZoneId::GROOMED, i as u64, 0),
+                &[],
+            )
+            .unwrap()
+        })
+        .collect();
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut b = RunBuilder::new(
+        l,
+        RunParams {
+            run_id: 1,
+            zone: ZoneId::GROOMED,
+            level: 0,
+            groomed_lo: 0,
+            groomed_hi: 0,
+            psn: 0,
+            offset_bits,
+            ancestors: vec![],
+        },
+        storage.chunk_size(),
+    );
+    for e in &entries {
+        b.push(e).unwrap();
+    }
+    b.finish(storage, name, Durability::Persisted, true)
+        .unwrap()
+}
+
+/// Rewrite `run`'s object with the fence section stripped from the header —
+/// a byte-faithful stand-in for a run built before the fence index existed,
+/// forcing the reader down the lazy-reconstruction path.
+fn strip_fences(storage: &Arc<TieredStorage>, run: &Run, name: &str) -> Run {
+    let mut header = run.header().clone();
+    header.fence_keys = Vec::new();
+    let chunk = storage.chunk_size();
+    let mut object = header.serialize(chunk);
+    let new_header_chunks = (object.len() / chunk) as u32;
+    for b in 0..run.data_block_count() {
+        let data = storage
+            .read_chunk(run.handle(), run.header().header_chunks + b)
+            .unwrap();
+        object.extend_from_slice(&data);
+        // Blocks are chunk-sized except possibly the last.
+        if data.len() < chunk && b + 1 < run.data_block_count() {
+            panic!("only the last block may be short");
+        }
+    }
+    storage
+        .create_object(
+            name,
+            object.into(),
+            Durability::Persisted,
+            new_header_chunks,
+            true,
+        )
+        .unwrap();
+    let reopened = Run::open(Arc::clone(storage), name, run.layout().clone()).unwrap();
+    assert!(
+        reopened.header().fence_keys.is_empty(),
+        "legacy run must have no stored fences"
+    );
+    reopened
+}
+
+/// Targets worth probing: exact entry keys, query-range bounds, and
+/// neighbors on both sides of every block boundary.
+fn targets(run: &Run, device: i64, msg: i64) -> Vec<Vec<u8>> {
+    let l = layout();
+    let mut out = Vec::new();
+    let (lower, upper) = l
+        .query_range(
+            &[Datum::Int64(device)],
+            &SortBound::Included(vec![Datum::Int64(msg)]),
+            &SortBound::Included(vec![Datum::Int64(msg)]),
+        )
+        .unwrap();
+    out.push(lower);
+    if let Some(u) = upper {
+        out.push(u);
+    }
+    // An existing key, a mutation just below and above it.
+    if run.entry_count() > 0 {
+        let ord = (device.unsigned_abs().wrapping_mul(31) ^ msg.unsigned_abs()) % run.entry_count();
+        let key = run.entry(ord).unwrap().key.to_vec();
+        let mut below = key.clone();
+        if let Some(last) = below.last_mut() {
+            *last = last.wrapping_sub(1);
+        }
+        let mut above = key.clone();
+        above.push(0xFF);
+        out.push(key);
+        out.push(below);
+        out.push(above);
+    }
+    out.push(vec![]); // below everything
+    out.push(vec![0xFF; 24]); // above everything
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fence_search_equals_bruteforce(
+        rows in proptest::collection::vec((0i64..6, -8i64..12, 1u64..40), 0..160),
+        device in 0i64..6,
+        msg in -9i64..13,
+        offset_bits in 0u8..5,
+    ) {
+        let storage = storage();
+        let run = build_run(&storage, &rows, offset_bits, "runs/fprop");
+        let legacy = strip_fences(&storage, &run, "runs/fprop-legacy");
+
+        for r in [&run, &legacy] {
+            let searcher = RunSearcher::new(r);
+            let l = layout();
+            for target in targets(r, device, msg) {
+                // Every bucket, plus no bucket: the narrowed result must
+                // match the brute force probe-by-probe search exactly.
+                let mut buckets: Vec<Option<u32>> = vec![None];
+                if offset_bits > 0 {
+                    buckets.extend((0..(1u32 << offset_bits)).map(Some));
+                    let h = l.hash_equality(&[Datum::Int64(device)]).unwrap();
+                    buckets.push(Some(hash_prefix(h, offset_bits)));
+                }
+                for bucket in buckets {
+                    let fast = searcher.find_first_geq(&target, bucket).unwrap();
+                    let slow = searcher.find_first_geq_scalar(&target, bucket).unwrap();
+                    prop_assert_eq!(
+                        fast, slow,
+                        "target {:?} bucket {:?} legacy={}",
+                        target, bucket, r.header().fence_keys.is_empty()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persisted_and_lazy_fences_agree(
+        rows in proptest::collection::vec((0i64..4, -4i64..8, 1u64..30), 1..120),
+    ) {
+        let storage = storage();
+        let run = build_run(&storage, &rows, 3, "runs/fagree");
+        let legacy = strip_fences(&storage, &run, "runs/fagree-legacy");
+        let persisted = run.fence_keys().unwrap().to_vec();
+        let lazy = legacy.fence_keys().unwrap().to_vec();
+        prop_assert_eq!(persisted, lazy);
+    }
+}

@@ -55,7 +55,9 @@ fn build_run(rows: &[(i64, i64, u64)], offset_bits: u8) -> (Arc<TieredStorage>, 
     for e in &entries {
         b.push(e).unwrap();
     }
-    let run = b.finish(&storage, "runs/prop", Durability::Persisted, true).unwrap();
+    let run = b
+        .finish(&storage, "runs/prop", Durability::Persisted, true)
+        .unwrap();
     (storage, run)
 }
 

@@ -1,0 +1,146 @@
+//! Read-path cost accounting: the fence index must cut the block reads a
+//! point lookup performs by ≥ 4× versus the pre-fence per-entry binary
+//! search, observed through the storage layer's `chunk_reads` counter.
+
+use std::sync::Arc;
+
+use umzi_encoding::{ColumnType, Datum, IndexDef};
+use umzi_run::{IndexEntry, KeyLayout, Rid, RunBuilder, RunParams, RunSearcher, ZoneId};
+use umzi_storage::{Durability, SharedStorage, TieredConfig, TieredStorage};
+
+fn layout() -> KeyLayout {
+    let def = IndexDef::builder("stats")
+        .equality("d", ColumnType::Int64)
+        .sort("m", ColumnType::Int64)
+        .build()
+        .unwrap();
+    KeyLayout::new(Arc::new(def))
+}
+
+/// A storage hierarchy with the decoded-block cache disabled, so every
+/// `data_block` call is a real `read_chunk` — isolating what the fence
+/// index alone saves.
+fn storage_no_decoded_cache() -> Arc<TieredStorage> {
+    Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size: 1024,
+            decoded_cache_bytes: 0,
+            ..TieredConfig::default()
+        },
+    ))
+}
+
+fn build_multi_block_run(storage: &Arc<TieredStorage>, n: i64) -> umzi_run::Run {
+    let l = layout();
+    let mut entries: Vec<IndexEntry> = (0..n)
+        .map(|i| {
+            IndexEntry::new(
+                &l,
+                &[Datum::Int64(i % 8)],
+                &[Datum::Int64(i)],
+                100 + i as u64,
+                Rid::new(ZoneId::GROOMED, i as u64, 0),
+                &[],
+            )
+            .unwrap()
+        })
+        .collect();
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut b = RunBuilder::new(
+        l,
+        RunParams {
+            run_id: 1,
+            zone: ZoneId::GROOMED,
+            level: 0,
+            groomed_lo: 0,
+            groomed_hi: 0,
+            psn: 0,
+            offset_bits: 0, // whole-run binary search: the worst case
+            ancestors: vec![],
+        },
+        storage.chunk_size(),
+    );
+    for e in &entries {
+        b.push(e).unwrap();
+    }
+    b.finish(storage, "runs/stats", Durability::Persisted, true)
+        .unwrap()
+}
+
+#[test]
+fn fence_lookup_reads_4x_fewer_blocks_than_scalar() {
+    let storage = storage_no_decoded_cache();
+    let run = build_multi_block_run(&storage, 4000);
+    assert!(
+        run.data_block_count() >= 16,
+        "need a multi-block run, got {} blocks",
+        run.data_block_count()
+    );
+
+    let l = layout();
+    let searcher = RunSearcher::new(&run);
+    let target = {
+        let mut p = l.equality_prefix(&[Datum::Int64(3)]).unwrap();
+        umzi_encoding::encode_datum(&Datum::Int64(1999), &mut p);
+        p
+    };
+
+    // Warm nothing block-specific; fences are persisted in the header.
+    let probes = 32;
+    let before = storage.stats().chunk_reads;
+    for _ in 0..probes {
+        searcher.find_first_geq(&target, None).unwrap();
+    }
+    let fence_reads = storage.stats().chunk_reads - before;
+
+    let before = storage.stats().chunk_reads;
+    for _ in 0..probes {
+        searcher.find_first_geq_scalar(&target, None).unwrap();
+    }
+    let scalar_reads = storage.stats().chunk_reads - before;
+
+    assert_eq!(
+        fence_reads, probes,
+        "fence search must read exactly one block per lookup"
+    );
+    assert!(
+        scalar_reads >= 4 * fence_reads,
+        "expected ≥4x fewer block reads: fence={fence_reads} scalar={scalar_reads}"
+    );
+}
+
+#[test]
+fn decoded_cache_eliminates_repeat_reads() {
+    // With the decoded cache on (default config), repeated probes of the
+    // same key stop issuing chunk reads entirely after the first.
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size: 1024,
+            ..TieredConfig::default()
+        },
+    ));
+    let run = build_multi_block_run(&storage, 4000);
+    let l = layout();
+    let searcher = RunSearcher::new(&run);
+    let target = {
+        let mut p = l.equality_prefix(&[Datum::Int64(5)]).unwrap();
+        umzi_encoding::encode_datum(&Datum::Int64(777), &mut p);
+        p
+    };
+
+    searcher.find_first_geq(&target, None).unwrap(); // populate
+    let before = storage.stats().chunk_reads;
+    for _ in 0..100 {
+        searcher.find_first_geq(&target, None).unwrap();
+    }
+    assert_eq!(
+        storage.stats().chunk_reads,
+        before,
+        "all repeat probes served decoded"
+    );
+    let d = storage.stats().decoded;
+    assert!(d.hits >= 100, "decoded-cache hits must be counted: {d:?}");
+    assert!(d.hit_ratio().unwrap() > 0.9);
+}

@@ -1,0 +1,246 @@
+//! A sharded LRU cache of *decoded* data blocks.
+//!
+//! The tiered chunk caches hold raw bytes; every block access on top of
+//! them still pays a parse (offset-trailer validation + `Bytes` slicing).
+//! For index-structure-aware read paths that re-visit the same block many
+//! times — binary-search probes, adjacent range-scan positions, batched
+//! lookups with sorted keys — caching the *parsed* representation removes
+//! that repeated work entirely (the MV-PBT observation that structure-aware
+//! block caching, not raw-byte caching, is the decisive read-path lever).
+//!
+//! The cache is value-type-agnostic (`Arc<dyn Any + Send + Sync>`) because
+//! the decoded block type lives upstream of this crate; `umzi-run` stores
+//! its `DataBlock` here keyed by `(object handle, data block number)`.
+//! Sharding keeps lock hold times negligible under the parallel multi-run
+//! scan fan-out.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cache::ChunkKey;
+use crate::lru::LruMap;
+use crate::stats::DecodedCacheStats;
+
+/// A decoded block plus its accounting weight (the raw block size).
+type Slot = (std::sync::Arc<dyn Any + Send + Sync>, u64);
+
+#[derive(Default)]
+struct Shard {
+    map: LruMap<ChunkKey, Slot>,
+    used_bytes: u64,
+}
+
+/// Sharded LRU over decoded blocks. All operations are O(1) per shard.
+pub struct DecodedBlockCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Total capacity in (raw-block) bytes, split evenly across shards.
+    capacity: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for DecodedBlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodedBlockCache")
+            .field("capacity", &self.capacity.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DecodedBlockCache {
+    /// Create a cache with `capacity` bytes split over `shards` shards.
+    pub fn new(capacity: u64, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity: AtomicU64::new(capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: ChunkKey) -> &Mutex<Shard> {
+        // Fibonacci-hash the (handle, block) pair so consecutive blocks of
+        // one object spread across shards.
+        let h = (key.0 ^ (u64::from(key.1) << 32)).wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h >> 48) as usize % self.shards.len()]
+    }
+
+    fn per_shard_capacity(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed) / self.shards.len() as u64
+    }
+
+    /// Whether the cache is disabled (zero capacity).
+    pub fn is_disabled(&self) -> bool {
+        self.capacity.load(Ordering::Relaxed) == 0
+    }
+
+    /// Look up a decoded block, refreshing recency. A disabled cache
+    /// answers `None` without touching shard locks or counters.
+    pub fn get(&self, key: ChunkKey) -> Option<std::sync::Arc<dyn Any + Send + Sync>> {
+        if self.is_disabled() {
+            return None;
+        }
+        let found = self
+            .shard_of(key)
+            .lock()
+            .map
+            .get(&key)
+            .map(|(v, _)| v.clone());
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a decoded block with its accounting weight, evicting LRU
+    /// entries of the same shard while over per-shard capacity.
+    pub fn insert(&self, key: ChunkKey, value: std::sync::Arc<dyn Any + Send + Sync>, weight: u64) {
+        if self.is_disabled() {
+            return;
+        }
+        let cap = self.per_shard_capacity();
+        if weight > cap {
+            return; // would immediately evict everything; not cacheable
+        }
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard_of(key).lock();
+            if let Some((_, old_w)) = shard.map.insert(key, (value, weight)) {
+                shard.used_bytes -= old_w;
+            }
+            shard.used_bytes += weight;
+            while shard.used_bytes > cap {
+                match shard.map.pop_lru() {
+                    Some((_, (_, w))) => {
+                        shard.used_bytes -= w;
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Drop every cached block of one object (purge / delete).
+    pub fn invalidate_object(&self, handle: u64) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let gone = s.map.drain_filter(|&(h, _), _| h == handle);
+            s.used_bytes -= gone.iter().map(|(_, (_, w))| w).sum::<u64>();
+            dropped += gone.len();
+        }
+        dropped
+    }
+
+    /// Drop everything (simulated crash).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.used_bytes = 0;
+        }
+    }
+
+    /// Re-target the total capacity; over-full shards shrink on their next
+    /// insert.
+    pub fn set_capacity(&self, bytes: u64) {
+        self.capacity.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DecodedCacheStats {
+        let (mut entries, mut used) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock();
+            entries += s.map.len() as u64;
+            used += s.used_bytes;
+        }
+        DecodedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            used_bytes: used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn val(n: u32) -> Arc<dyn Any + Send + Sync> {
+        Arc::new(n)
+    }
+
+    #[test]
+    fn get_insert_downcast_roundtrip() {
+        let c = DecodedBlockCache::new(1 << 20, 4);
+        c.insert((1, 0), val(42), 100);
+        let got = c.get((1, 0)).unwrap().downcast::<u32>().unwrap();
+        assert_eq!(*got, 42);
+        assert!(c.get((1, 1)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.used_bytes), (1, 1, 1, 100));
+    }
+
+    #[test]
+    fn eviction_under_pressure_is_lru() {
+        let c = DecodedBlockCache::new(250, 1); // one shard: deterministic
+        c.insert((1, 0), val(0), 100);
+        c.insert((1, 1), val(1), 100);
+        c.get((1, 0)); // (1,1) becomes LRU
+        c.insert((1, 2), val(2), 100);
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((1, 1)).is_none(), "LRU entry must be evicted");
+        assert!(c.get((1, 2)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().used_bytes <= 250);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let c = DecodedBlockCache::new(100, 1);
+        c.insert((1, 0), val(1), 200);
+        assert!(c.get((1, 0)).is_none());
+        assert_eq!(c.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn invalidate_object_drops_all_its_blocks() {
+        let c = DecodedBlockCache::new(1 << 20, 8);
+        for b in 0..32 {
+            c.insert((7, b), val(b), 10);
+            c.insert((8, b), val(b), 10);
+        }
+        assert_eq!(c.invalidate_object(7), 32);
+        assert!(c.get((7, 3)).is_none());
+        assert!(c.get((8, 3)).is_some());
+        assert_eq!(c.stats().used_bytes, 320);
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn replacing_a_key_accounts_weight_once() {
+        let c = DecodedBlockCache::new(1000, 1);
+        c.insert((1, 0), val(1), 100);
+        c.insert((1, 0), val(2), 300);
+        assert_eq!(c.stats().used_bytes, 300);
+        assert_eq!(*c.get((1, 0)).unwrap().downcast::<u32>().unwrap(), 2);
+    }
+}

@@ -88,7 +88,9 @@ impl CacheTier {
         drop(inner);
         match found {
             Some(data) => {
-                self.counters.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.counters
+                    .hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 self.counters
                     .bytes_read
                     .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
@@ -96,7 +98,9 @@ impl CacheTier {
                 Some(data)
             }
             None => {
-                self.counters.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.counters
+                    .misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 None
             }
         }
@@ -140,9 +144,15 @@ impl CacheTier {
                 inner.unpinned.insert(key, data);
             }
         }
-        self.counters.insertions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.counters.evictions.fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
-        self.counters.bytes_written.fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        self.counters
+            .insertions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.counters
+            .evictions
+            .fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+        self.counters
+            .bytes_written
+            .fetch_add(len, std::sync::atomic::Ordering::Relaxed);
         self.latency.apply(len as usize);
     }
 
@@ -166,8 +176,9 @@ impl CacheTier {
     /// `from_chunk` is the first data chunk, so headers stay resident.
     pub fn remove_object_chunks(&self, handle: u64, from_chunk: u32) -> usize {
         let mut inner = self.inner.lock();
-        let dropped_unpinned =
-            inner.unpinned.drain_filter(|&(h, c), _| h == handle && c >= from_chunk);
+        let dropped_unpinned = inner
+            .unpinned
+            .drain_filter(|&(h, c), _| h == handle && c >= from_chunk);
         let mut freed: u64 = dropped_unpinned.iter().map(|(_, b)| b.len() as u64).sum();
         let mut count = dropped_unpinned.len();
 

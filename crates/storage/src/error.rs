@@ -51,12 +51,20 @@ impl fmt::Display for StorageError {
             StorageError::AlreadyExists { name } => {
                 write!(f, "object already exists (objects are immutable): {name}")
             }
-            StorageError::RangeOutOfBounds { name, offset, len, size } => write!(
+            StorageError::RangeOutOfBounds {
+                name,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "range [{offset}, {offset}+{len}) out of bounds for {name} (size {size})"
             ),
             StorageError::LostObject { name } => {
-                write!(f, "non-persisted object lost (not in shared storage): {name}")
+                write!(
+                    f,
+                    "non-persisted object lost (not in shared storage): {name}"
+                )
             }
             StorageError::StaleHandle { handle } => write!(f, "stale object handle {handle}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),

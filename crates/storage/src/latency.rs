@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// How latency charges are applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatencyMode {
     /// Only accumulate the virtual-clock charge; never sleep.
     Accounting,
@@ -24,7 +24,7 @@ pub enum LatencyMode {
 }
 
 /// Latency parameters of a single tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierLatency {
     /// Fixed cost per operation.
     pub base: Duration,
@@ -35,7 +35,10 @@ pub struct TierLatency {
 impl TierLatency {
     /// Zero-cost tier (e.g. local memory).
     pub const fn free() -> Self {
-        TierLatency { base: Duration::ZERO, per_kib: Duration::ZERO }
+        TierLatency {
+            base: Duration::ZERO,
+            per_kib: Duration::ZERO,
+        }
     }
 
     /// Construct from microsecond figures.
@@ -71,7 +74,11 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// A model with the given parameters and mode.
     pub fn new(latency: TierLatency, mode: LatencyMode) -> Self {
-        Self { latency, mode, charged_nanos: Arc::new(AtomicU64::new(0)) }
+        Self {
+            latency,
+            mode,
+            charged_nanos: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// A free (zero-latency) model; used for memory tiers and unit tests.
@@ -96,7 +103,8 @@ impl LatencyModel {
             return;
         }
         let d = self.latency.charge(bytes);
-        self.charged_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.charged_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         if self.mode == LatencyMode::Sleep && !d.is_zero() {
             std::thread::sleep(d);
         }
@@ -145,7 +153,10 @@ mod tests {
         for _ in 0..100 {
             m.apply(512);
         }
-        assert!(t0.elapsed() < Duration::from_millis(50), "accounting mode must not sleep");
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "accounting mode must not sleep"
+        );
         assert_eq!(m.charged(), Duration::from_millis(100));
     }
 

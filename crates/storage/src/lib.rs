@@ -42,6 +42,7 @@
 //! assert!(ts.stats().shared.reads >= 1);
 //! ```
 
+pub mod block_cache;
 pub mod cache;
 pub mod error;
 pub mod latency;
@@ -51,12 +52,13 @@ pub mod shared;
 pub mod stats;
 pub mod tiered;
 
+pub use block_cache::DecodedBlockCache;
 pub use cache::CacheTier;
 pub use error::StorageError;
 pub use latency::{LatencyMode, LatencyModel, TierLatency};
 pub use object_store::{FsObjectStore, InMemoryObjectStore, ObjectStore};
 pub use shared::SharedStorage;
-pub use stats::{SharedStats, StorageStats, TierStats};
+pub use stats::{DecodedCacheStats, SharedStats, StorageStats, TierStats};
 pub use tiered::{Durability, ObjectHandle, TieredConfig, TieredStorage};
 
 /// Result alias for storage operations.

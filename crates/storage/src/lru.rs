@@ -37,7 +37,13 @@ impl<K: Eq + Hash + Clone, V> Default for LruMap<K, V> {
 impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// Create an empty map.
     pub fn new() -> Self {
-        Self { map: HashMap::new(), slots: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     /// Number of entries.
@@ -61,11 +67,21 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Some(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slots[i] = Some(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
                 i
             }
             None => {
-                self.slots.push(Some(Slot { key: key.clone(), value, prev: NIL, next: NIL }));
+                self.slots.push(Some(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                }));
                 self.slots.len() - 1
             }
         };
@@ -117,7 +133,9 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
 
     /// Iterate over entries in unspecified order (no recency effect).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.slots.iter().filter_map(|s| s.as_ref().map(|s| (&s.key, &s.value)))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (&s.key, &s.value)))
     }
 
     /// Remove all entries for which `pred` returns true, returning them.
@@ -267,7 +285,9 @@ mod tests {
         use std::collections::VecDeque;
         let mut lru = LruMap::new();
         let mut model: VecDeque<u32> = VecDeque::new(); // front = MRU
-        let ops: Vec<u32> = (0..1000).map(|i| (i * 2_654_435_761u64 % 37) as u32).collect();
+        let ops: Vec<u32> = (0..1000)
+            .map(|i| (i * 2_654_435_761u64 % 37) as u32)
+            .collect();
         for (i, k) in ops.iter().enumerate() {
             match i % 3 {
                 0 => {

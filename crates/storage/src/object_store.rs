@@ -78,7 +78,9 @@ impl ObjectStore for InMemoryObjectStore {
     fn put(&self, name: &str, data: Bytes) -> Result<()> {
         let mut objects = self.objects.write();
         if objects.contains_key(name) {
-            return Err(StorageError::AlreadyExists { name: name.to_owned() });
+            return Err(StorageError::AlreadyExists {
+                name: name.to_owned(),
+            });
         }
         objects.insert(name.to_owned(), data);
         Ok(())
@@ -89,14 +91,16 @@ impl ObjectStore for InMemoryObjectStore {
             .read()
             .get(name)
             .cloned()
-            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })
+            .ok_or_else(|| StorageError::NotFound {
+                name: name.to_owned(),
+            })
     }
 
     fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes> {
         let objects = self.objects.read();
-        let data = objects
-            .get(name)
-            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })?;
+        let data = objects.get(name).ok_or_else(|| StorageError::NotFound {
+            name: name.to_owned(),
+        })?;
         let end = offset as usize + len;
         if end > data.len() {
             return Err(StorageError::RangeOutOfBounds {
@@ -114,7 +118,9 @@ impl ObjectStore for InMemoryObjectStore {
             .read()
             .get(name)
             .map(|b| b.len() as u64)
-            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })
+            .ok_or_else(|| StorageError::NotFound {
+                name: name.to_owned(),
+            })
     }
 
     fn exists(&self, name: &str) -> bool {
@@ -135,7 +141,9 @@ impl ObjectStore for InMemoryObjectStore {
             .write()
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| StorageError::NotFound { name: name.to_owned() })
+            .ok_or_else(|| StorageError::NotFound {
+                name: name.to_owned(),
+            })
     }
 }
 
@@ -157,7 +165,10 @@ impl FsObjectStore {
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(Self { root, write_lock: parking_lot::Mutex::new(()) })
+        Ok(Self {
+            root,
+            write_lock: parking_lot::Mutex::new(()),
+        })
     }
 
     fn path_for(&self, name: &str) -> PathBuf {
@@ -170,7 +181,9 @@ impl ObjectStore for FsObjectStore {
         let _guard = self.write_lock.lock();
         let path = self.path_for(name);
         if path.exists() {
-            return Err(StorageError::AlreadyExists { name: name.to_owned() });
+            return Err(StorageError::AlreadyExists {
+                name: name.to_owned(),
+            });
         }
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -191,9 +204,9 @@ impl ObjectStore for FsObjectStore {
     fn get(&self, name: &str) -> Result<Bytes> {
         match std::fs::read(self.path_for(name)) {
             Ok(v) => Ok(Bytes::from(v)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StorageError::NotFound { name: name.to_owned() })
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StorageError::NotFound {
+                name: name.to_owned(),
+            }),
             Err(e) => Err(e.into()),
         }
     }
@@ -203,7 +216,9 @@ impl ObjectStore for FsObjectStore {
         let mut f = match std::fs::File::open(&path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(StorageError::NotFound { name: name.to_owned() })
+                return Err(StorageError::NotFound {
+                    name: name.to_owned(),
+                })
             }
             Err(e) => return Err(e.into()),
         };
@@ -225,9 +240,9 @@ impl ObjectStore for FsObjectStore {
     fn len(&self, name: &str) -> Result<u64> {
         match std::fs::metadata(self.path_for(name)) {
             Ok(m) => Ok(m.len()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StorageError::NotFound { name: name.to_owned() })
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StorageError::NotFound {
+                name: name.to_owned(),
+            }),
             Err(e) => Err(e.into()),
         }
     }
@@ -268,9 +283,9 @@ impl ObjectStore for FsObjectStore {
         let _guard = self.write_lock.lock();
         match std::fs::remove_file(self.path_for(name)) {
             Ok(()) => Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StorageError::NotFound { name: name.to_owned() })
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StorageError::NotFound {
+                name: name.to_owned(),
+            }),
             Err(e) => Err(e.into()),
         }
     }
@@ -281,7 +296,9 @@ mod tests {
     use super::*;
 
     fn exercise(store: &dyn ObjectStore) {
-        store.put("runs/a", Bytes::from_static(b"hello world")).unwrap();
+        store
+            .put("runs/a", Bytes::from_static(b"hello world"))
+            .unwrap();
         store.put("runs/b", Bytes::from_static(b"bye")).unwrap();
         store.put("manifest/1", Bytes::from_static(b"m")).unwrap();
 
@@ -291,8 +308,14 @@ mod tests {
             Err(StorageError::AlreadyExists { .. })
         ));
 
-        assert_eq!(store.get("runs/a").unwrap(), Bytes::from_static(b"hello world"));
-        assert_eq!(store.get_range("runs/a", 6, 5).unwrap(), Bytes::from_static(b"world"));
+        assert_eq!(
+            store.get("runs/a").unwrap(),
+            Bytes::from_static(b"hello world")
+        );
+        assert_eq!(
+            store.get_range("runs/a", 6, 5).unwrap(),
+            Bytes::from_static(b"world")
+        );
         assert_eq!(store.len("runs/a").unwrap(), 11);
         assert!(store.exists("runs/b"));
         assert!(!store.exists("runs/zzz"));
@@ -301,14 +324,20 @@ mod tests {
             store.get_range("runs/a", 8, 10),
             Err(StorageError::RangeOutOfBounds { .. })
         ));
-        assert!(matches!(store.get("nope"), Err(StorageError::NotFound { .. })));
+        assert!(matches!(
+            store.get("nope"),
+            Err(StorageError::NotFound { .. })
+        ));
 
         let listed = store.list("runs/").unwrap();
         assert_eq!(listed, vec!["runs/a".to_owned(), "runs/b".to_owned()]);
 
         store.delete("runs/b").unwrap();
         assert!(!store.exists("runs/b"));
-        assert!(matches!(store.delete("runs/b"), Err(StorageError::NotFound { .. })));
+        assert!(matches!(
+            store.delete("runs/b"),
+            Err(StorageError::NotFound { .. })
+        ));
     }
 
     #[test]
@@ -328,7 +357,10 @@ mod tests {
         // Survives reopen.
         drop(store);
         let store = FsObjectStore::open(&dir).unwrap();
-        assert_eq!(store.get("runs/a").unwrap(), Bytes::from_static(b"hello world"));
+        assert_eq!(
+            store.get("runs/a").unwrap(),
+            Bytes::from_static(b"hello world")
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -348,7 +380,10 @@ mod tests {
         for name in ["z", "a/2", "a/1", "a1", "b/1"] {
             store.put(name, Bytes::new()).unwrap();
         }
-        assert_eq!(store.list("a/").unwrap(), vec!["a/1".to_owned(), "a/2".to_owned()]);
+        assert_eq!(
+            store.list("a/").unwrap(),
+            vec!["a/1".to_owned(), "a/2".to_owned()]
+        );
         assert_eq!(store.list("").unwrap().len(), 5);
     }
 }

@@ -22,14 +22,20 @@ pub struct SharedStorage {
 
 impl std::fmt::Debug for SharedStorage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedStorage").field("stats", &self.stats()).finish()
+        f.debug_struct("SharedStorage")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
 impl SharedStorage {
     /// Wrap an object store with the given latency model.
     pub fn new(store: Arc<dyn ObjectStore>, latency: LatencyModel) -> Self {
-        Self { store, latency, counters: Arc::new(SharedCounters::default()) }
+        Self {
+            store,
+            latency,
+            counters: Arc::new(SharedCounters::default()),
+        }
     }
 
     /// An in-memory shared storage with zero latency (unit tests).
@@ -45,7 +51,9 @@ impl SharedStorage {
         let n = data.len();
         self.store.put(name, data)?;
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters
+            .bytes_written
+            .fetch_add(n as u64, Ordering::Relaxed);
         self.latency.apply(n);
         Ok(())
     }
@@ -54,7 +62,9 @@ impl SharedStorage {
     pub fn get(&self, name: &str) -> Result<Bytes> {
         let data = self.store.get(name)?;
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.latency.apply(data.len());
         Ok(data)
     }
@@ -63,7 +73,9 @@ impl SharedStorage {
     pub fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes> {
         let data = self.store.get_range(name, offset, len)?;
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.latency.apply(data.len());
         Ok(data)
     }
@@ -129,6 +141,9 @@ mod tests {
         );
         shared.put("x", Bytes::from_static(b"abc")).unwrap();
         shared.get("x").unwrap();
-        assert_eq!(shared.stats().charged_latency, std::time::Duration::from_millis(1));
+        assert_eq!(
+            shared.stats().charged_latency,
+            std::time::Duration::from_millis(1)
+        );
     }
 }

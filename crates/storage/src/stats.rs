@@ -101,6 +101,31 @@ pub struct SharedStats {
     pub charged_latency: Duration,
 }
 
+/// Point-in-time statistics of the decoded-block cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodedCacheStats {
+    /// Lookups served from the cache (no chunk read, no re-parse).
+    pub hits: u64,
+    /// Lookups that fell through to the chunk tiers.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Blocks evicted under capacity pressure.
+    pub evictions: u64,
+    /// Currently resident blocks.
+    pub entries: u64,
+    /// Accounting weight (raw-block bytes) of resident blocks.
+    pub used_bytes: u64,
+}
+
+impl DecodedCacheStats {
+    /// Hit ratio in `[0, 1]`; `None` when no lookups happened.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
 /// Combined statistics across the full hierarchy.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StorageStats {
@@ -110,6 +135,12 @@ pub struct StorageStats {
     pub ssd: TierStats,
     /// Shared storage.
     pub shared: SharedStats,
+    /// Decoded-block cache.
+    pub decoded: DecodedCacheStats,
+    /// Total `read_chunk` calls (block reads through the tiers, whichever
+    /// tier served them) — the per-operation cost metric the read-path
+    /// benchmarks and tests track.
+    pub chunk_reads: u64,
     /// Virtual latency charged by the SSD tier.
     pub ssd_charged_latency: Duration,
 }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use crate::block_cache::DecodedBlockCache;
 use crate::cache::CacheTier;
 use crate::error::StorageError;
 use crate::latency::{LatencyMode, LatencyModel, TierLatency};
@@ -62,6 +63,12 @@ pub struct TieredConfig {
     pub shared_latency: TierLatency,
     /// Whether latencies sleep or only account.
     pub latency_mode: LatencyMode,
+    /// Decoded-block cache capacity in (raw-block) bytes. Parsed blocks are
+    /// served without a chunk read or re-parse; 0 disables the cache.
+    pub decoded_cache_bytes: u64,
+    /// Decoded-block cache shard count (lock granularity under parallel
+    /// scans).
+    pub decoded_cache_shards: usize,
 }
 
 impl Default for TieredConfig {
@@ -73,6 +80,8 @@ impl Default for TieredConfig {
             ssd_latency: TierLatency::free(),
             shared_latency: TierLatency::free(),
             latency_mode: LatencyMode::Accounting,
+            decoded_cache_bytes: 64 * 1024 * 1024,
+            decoded_cache_shards: 16,
         }
     }
 }
@@ -107,6 +116,9 @@ pub struct TieredStorage {
     shared: SharedStorage,
     mem: CacheTier,
     ssd: CacheTier,
+    decoded: DecodedBlockCache,
+    /// Total `read_chunk` calls, regardless of which tier served them.
+    chunk_reads: std::sync::atomic::AtomicU64,
     registry: RwLock<Registry>,
 }
 
@@ -128,7 +140,17 @@ impl TieredStorage {
             config.ssd_capacity,
             LatencyModel::new(config.ssd_latency, config.latency_mode),
         );
-        Self { config, shared, mem, ssd, registry: RwLock::new(Registry::default()) }
+        let decoded =
+            DecodedBlockCache::new(config.decoded_cache_bytes, config.decoded_cache_shards);
+        Self {
+            config,
+            shared,
+            mem,
+            ssd,
+            decoded,
+            chunk_reads: std::sync::atomic::AtomicU64::new(0),
+            registry: RwLock::new(Registry::default()),
+        }
     }
 
     /// An all-in-memory hierarchy with zero latencies (tests, microbenches).
@@ -163,7 +185,9 @@ impl TieredStorage {
         if durability == Durability::Persisted {
             self.shared.put(name, data.clone())?;
         } else if self.registry.read().by_name.contains_key(name) {
-            return Err(StorageError::AlreadyExists { name: name.to_owned() });
+            return Err(StorageError::AlreadyExists {
+                name: name.to_owned(),
+            });
         }
 
         let handle = self.register(name, data.len() as u64, durability, header_chunks);
@@ -215,7 +239,15 @@ impl TieredStorage {
         reg.next_handle += 1;
         let name: Arc<str> = Arc::from(name);
         reg.by_name.insert(name.clone(), h);
-        reg.by_handle.insert(h, ObjectMeta { name, len, durability, header_chunks });
+        reg.by_handle.insert(
+            h,
+            ObjectMeta {
+                name,
+                len,
+                durability,
+                header_chunks,
+            },
+        );
         ObjectHandle(h)
     }
 
@@ -262,7 +294,9 @@ impl TieredStorage {
     fn fetch_from_shared(&self, handle: ObjectHandle, chunk_no: u32) -> Result<Bytes> {
         let meta = self.meta(handle)?;
         if meta.durability == Durability::NonPersisted {
-            return Err(StorageError::LostObject { name: meta.name.to_string() });
+            return Err(StorageError::LostObject {
+                name: meta.name.to_string(),
+            });
         }
         let cs = self.config.chunk_size as u64;
         let offset = u64::from(chunk_no) * cs;
@@ -273,6 +307,8 @@ impl TieredStorage {
     /// Read one chunk through the hierarchy (memory → SSD → shared),
     /// promoting on miss.
     pub fn read_chunk(&self, handle: ObjectHandle, chunk_no: u32) -> Result<Bytes> {
+        self.chunk_reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let key = (handle.0, chunk_no);
         if let Some(data) = self.mem.get(key) {
             return Ok(data);
@@ -326,8 +362,13 @@ impl TieredStorage {
     pub fn purge_object(&self, handle: ObjectHandle) -> Result<usize> {
         let meta = self.meta(handle)?;
         if meta.durability == Durability::NonPersisted {
-            return Err(StorageError::LostObject { name: meta.name.to_string() });
+            return Err(StorageError::LostObject {
+                name: meta.name.to_string(),
+            });
         }
+        // Decoded blocks are data blocks; a purge must make the next read
+        // pay the hierarchy walk again (§6.2 semantics), so drop them too.
+        self.decoded.invalidate_object(handle.0);
         self.mem.remove_object_chunks(handle.0, meta.header_chunks);
         Ok(self.ssd.remove_object_chunks(handle.0, meta.header_chunks))
     }
@@ -359,6 +400,7 @@ impl TieredStorage {
     /// storage (if persisted).
     pub fn delete_object(&self, handle: ObjectHandle) -> Result<()> {
         let meta = self.meta(handle)?;
+        self.decoded.invalidate_object(handle.0);
         self.mem.remove_object_chunks(handle.0, 0);
         self.ssd.remove_object_chunks(handle.0, 0);
         {
@@ -375,6 +417,7 @@ impl TieredStorage {
     /// Simulate a node crash: all local state (caches, registry) is lost;
     /// shared storage survives. Recovery re-opens objects from shared.
     pub fn simulate_crash(&self) {
+        self.decoded.clear();
         self.mem.clear();
         self.ssd.clear();
         let mut reg = self.registry.write();
@@ -390,8 +433,16 @@ impl TieredStorage {
             mem: self.mem.stats(),
             ssd: self.ssd.stats(),
             shared: self.shared.stats(),
+            decoded: self.decoded.stats(),
+            chunk_reads: self.chunk_reads.load(std::sync::atomic::Ordering::Relaxed),
             ssd_charged_latency: self.ssd.latency().charged(),
         }
+    }
+
+    /// The decoded-block cache (parsed data blocks keyed by
+    /// `(object handle, data block number)`).
+    pub fn decoded_cache(&self) -> &DecodedBlockCache {
+        &self.decoded
     }
 
     /// Direct access to the memory tier (tests / cache manager).
@@ -474,7 +525,10 @@ mod tests {
             .unwrap();
         let dropped = ts.purge_object(h).unwrap();
         assert_eq!(dropped, 3, "3 data chunks dropped, header kept");
-        assert!(ts.ssd_tier().contains((h.raw(), 0)), "header survives purge");
+        assert!(
+            ts.ssd_tier().contains((h.raw(), 0)),
+            "header survives purge"
+        );
         assert!(!ts.is_fully_cached(h).unwrap());
 
         let before = ts.stats().shared.reads;
@@ -504,7 +558,10 @@ mod tests {
             .unwrap();
         assert_eq!(ts.stats().shared.writes, 0);
         assert_eq!(ts.read_chunk(h, 1).unwrap().len(), 64);
-        assert!(ts.purge_object(h).is_err(), "purging a non-persisted run loses data");
+        assert!(
+            ts.purge_object(h).is_err(),
+            "purging a non-persisted run loses data"
+        );
         // Crash loses it entirely.
         ts.simulate_crash();
         assert!(matches!(
@@ -517,7 +574,8 @@ mod tests {
     fn crash_then_reopen_persisted_object() {
         let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
         let data = payload(256);
-        ts.create_object("r", data.clone(), Durability::Persisted, 1, true).unwrap();
+        ts.create_object("r", data.clone(), Durability::Persisted, 1, true)
+            .unwrap();
         ts.simulate_crash();
         let h = ts.open_object("r", 1).unwrap();
         assert_eq!(ts.read_range(h, 0, 256).unwrap(), data);
@@ -533,17 +591,25 @@ mod tests {
             .unwrap();
         ts.delete_object(h).unwrap();
         assert!(!ts.shared().exists("r"));
-        assert!(matches!(ts.read_chunk(h, 0), Err(StorageError::StaleHandle { .. })));
+        assert!(matches!(
+            ts.read_chunk(h, 0),
+            Err(StorageError::StaleHandle { .. })
+        ));
         // Name can be reused after deletion.
-        ts.create_object("r", payload(64), Durability::Persisted, 0, false).unwrap();
+        ts.create_object("r", payload(64), Durability::Persisted, 0, false)
+            .unwrap();
     }
 
     #[test]
     fn duplicate_create_rejected_for_both_durabilities() {
         let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
-        ts.create_object("p", payload(10), Durability::Persisted, 0, false).unwrap();
-        assert!(ts.create_object("p", payload(10), Durability::Persisted, 0, false).is_err());
-        ts.create_object("n", payload(10), Durability::NonPersisted, 0, false).unwrap();
+        ts.create_object("p", payload(10), Durability::Persisted, 0, false)
+            .unwrap();
+        assert!(ts
+            .create_object("p", payload(10), Durability::Persisted, 0, false)
+            .is_err());
+        ts.create_object("n", payload(10), Durability::NonPersisted, 0, false)
+            .unwrap();
         assert!(ts
             .create_object("n", payload(10), Durability::NonPersisted, 0, false)
             .is_err());

@@ -1,8 +1,6 @@
 //! Property tests for the tiered storage: chunked reads must be exactly
 //! equivalent to slicing the original payload, across cache states.
 
-use std::sync::Arc;
-
 use bytes::Bytes;
 use proptest::prelude::*;
 use umzi_storage::{Durability, SharedStorage, TieredConfig, TieredStorage};

@@ -61,7 +61,8 @@ impl ColumnBlock {
                 "hidden-column vectors must match row count".into(),
             ));
         }
-        let mut columns: Vec<Vec<Datum>> = kinds.iter().map(|_| Vec::with_capacity(n_rows)).collect();
+        let mut columns: Vec<Vec<Datum>> =
+            kinds.iter().map(|_| Vec::with_capacity(n_rows)).collect();
         for row in rows {
             if row.len() != kinds.len() {
                 return Err(WildfireError::RowMismatch(format!(
@@ -103,7 +104,10 @@ impl ColumnBlock {
     /// Clone out one row (row-major view).
     pub fn row(&self, i: usize) -> Result<Vec<Datum>> {
         if i >= self.n_rows {
-            return Err(WildfireError::DanglingRid(format!("row {i} of {}", self.n_rows)));
+            return Err(WildfireError::DanglingRid(format!(
+                "row {i} of {}",
+                self.n_rows
+            )));
         }
         Ok(self.columns.iter().map(|c| c[i].clone()).collect())
     }
@@ -218,17 +222,24 @@ impl ColumnBlock {
         }
         let mut prev_rid = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
-            let raw = body.get(pos..pos + 13).ok_or_else(|| corrupt("truncated prevRID"))?;
+            let raw = body
+                .get(pos..pos + 13)
+                .ok_or_else(|| corrupt("truncated prevRID"))?;
             pos += 13;
             if raw[0] == NO_PREV_ZONE {
                 prev_rid.push(None);
             } else {
-                prev_rid.push(Some(
-                    Rid::decode(raw).map_err(|_| corrupt("bad prevRID"))?,
-                ));
+                prev_rid.push(Some(Rid::decode(raw).map_err(|_| corrupt("bad prevRID"))?));
             }
         }
-        Ok(ColumnBlock { kinds, columns, begin_ts, end_ts, prev_rid, n_rows })
+        Ok(ColumnBlock {
+            kinds,
+            columns,
+            begin_ts,
+            end_ts,
+            prev_rid,
+            n_rows,
+        })
     }
 }
 
@@ -284,8 +295,7 @@ pub fn serialize_deltas(deltas: &[EndTsDelta]) -> Bytes {
 
 /// Parse a delta object.
 pub fn deserialize_deltas(buf: &[u8]) -> Result<Vec<EndTsDelta>> {
-    let corrupt =
-        |m: &str| WildfireError::RowMismatch(format!("corrupt endTS delta object: {m}"));
+    let corrupt = |m: &str| WildfireError::RowMismatch(format!("corrupt endTS delta object: {m}"));
     if buf.len() < 20 || &buf[..8] != b"UMZIDEL1" {
         return Err(corrupt("bad magic"));
     }
@@ -298,7 +308,9 @@ pub fn deserialize_deltas(buf: &[u8]) -> Result<Vec<EndTsDelta>> {
     let mut out = Vec::with_capacity(n);
     let mut pos = 12;
     for _ in 0..n {
-        let raw = body.get(pos..pos + 21).ok_or_else(|| corrupt("truncated"))?;
+        let raw = body
+            .get(pos..pos + 21)
+            .ok_or_else(|| corrupt("truncated"))?;
         let rid = Rid::decode(&raw[..13]).map_err(|_| corrupt("bad rid"))?;
         let end_ts = u64::from_le_bytes(raw[13..21].try_into().expect("8 bytes"));
         out.push(EndTsDelta { rid, end_ts });
@@ -337,9 +349,16 @@ mod tests {
         let bytes = b.serialize();
         let back = ColumnBlock::deserialize(&bytes).unwrap();
         assert_eq!(back.n_rows(), 3);
-        assert_eq!(back.row(1).unwrap(), vec![Datum::Int64(2), Datum::Str("b\0c".into())]);
+        assert_eq!(
+            back.row(1).unwrap(),
+            vec![Datum::Int64(2), Datum::Str("b\0c".into())]
+        );
         assert_eq!(back.begin_ts(2), 12);
-        assert_eq!(back.end_ts(0), 99, "endTS closures captured at serialization");
+        assert_eq!(
+            back.end_ts(0),
+            99,
+            "endTS closures captured at serialization"
+        );
         assert_eq!(back.end_ts(1), OPEN_END_TS);
         assert_eq!(back.prev_rid(1), Some(Rid::new(ZoneId::GROOMED, 7, 1)));
         assert_eq!(back.prev_rid(0), None);
@@ -348,7 +367,13 @@ mod tests {
     #[test]
     fn mismatched_rows_rejected() {
         let kinds = vec![DatumKind::Int64];
-        assert!(ColumnBlock::build(kinds.clone(), &[vec![Datum::Str("x".into())]], vec![1], vec![None]).is_err());
+        assert!(ColumnBlock::build(
+            kinds.clone(),
+            &[vec![Datum::Str("x".into())]],
+            vec![1],
+            vec![None]
+        )
+        .is_err());
         assert!(ColumnBlock::build(kinds, &[vec![Datum::Int64(1)]], vec![], vec![None]).is_err());
     }
 
@@ -367,8 +392,14 @@ mod tests {
     #[test]
     fn delta_roundtrip() {
         let deltas = vec![
-            EndTsDelta { rid: Rid::new(ZoneId::POST_GROOMED, 3, 9), end_ts: 77 },
-            EndTsDelta { rid: Rid::new(ZoneId::GROOMED, 1, 0), end_ts: 78 },
+            EndTsDelta {
+                rid: Rid::new(ZoneId::POST_GROOMED, 3, 9),
+                end_ts: 77,
+            },
+            EndTsDelta {
+                rid: Rid::new(ZoneId::GROOMED, 1, 0),
+                end_ts: 78,
+            },
         ];
         let bytes = serialize_deltas(&deltas);
         assert_eq!(deserialize_deltas(&bytes).unwrap(), deltas);

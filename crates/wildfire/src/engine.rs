@@ -108,9 +108,19 @@ impl WildfireEngine {
         for i in 0..config.n_shards {
             let mut sc = config.shard.clone();
             sc.umzi.name = String::new(); // derived per shard
-            shards.push(Shard::create(Arc::clone(&storage), Arc::clone(&table), i, sc)?);
+            shards.push(Shard::create(
+                Arc::clone(&storage),
+                Arc::clone(&table),
+                i,
+                sc,
+            )?);
         }
-        Ok(Arc::new(WildfireEngine { table, shards, storage, config }))
+        Ok(Arc::new(WildfireEngine {
+            table,
+            shards,
+            storage,
+            config,
+        }))
     }
 
     /// Recover an engine after a crash (per-shard index + block recovery).
@@ -123,9 +133,19 @@ impl WildfireEngine {
         for i in 0..config.n_shards {
             let mut sc = config.shard.clone();
             sc.umzi.name = String::new();
-            shards.push(Shard::recover(Arc::clone(&storage), Arc::clone(&table), i, sc)?);
+            shards.push(Shard::recover(
+                Arc::clone(&storage),
+                Arc::clone(&table),
+                i,
+                sc,
+            )?);
         }
-        Ok(Arc::new(WildfireEngine { table, shards, storage, config }))
+        Ok(Arc::new(WildfireEngine {
+            table,
+            shards,
+            storage,
+            config,
+        }))
     }
 
     /// The table definition.
@@ -227,6 +247,27 @@ impl WildfireEngine {
         }
     }
 
+    /// The shard owning the given sharding-key values.
+    fn shard_for(&self, vals: &[Datum]) -> &Arc<Shard> {
+        &self.shards[self.table.shard_of_sharding_values(vals, self.shards.len())]
+    }
+
+    /// Bounded retry for the §5.4 evolve window: between an index snapshot
+    /// and RID resolution, an evolve may deprecate the groomed block a RID
+    /// points into. The evolved copy is already indexed by then, so
+    /// re-running `op` against a fresh run-list snapshot resolves the same
+    /// versions in the post-groomed zone.
+    fn retry_dangling<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut last_err = None;
+        for _ in 0..8 {
+            match op() {
+                Err(e @ crate::error::WildfireError::DanglingRid(_)) => last_err = Some(e),
+                other => return other,
+            }
+        }
+        Err(last_err.expect("loop only exhausts after a dangling RID"))
+    }
+
     /// Point lookup by full index key (equality + sort values), resolving
     /// the record row.
     pub fn get(
@@ -237,12 +278,10 @@ impl WildfireEngine {
     ) -> Result<Option<RecordView>> {
         // Freshest reads consult the live zone first (§3: the live zone is
         // small and un-indexed; queries scan it directly).
-        let shard = match self.table.sharding_values_from_index(eq, sort) {
-            Some(vals) => {
-                Some(&self.shards[self.table.shard_of_sharding_values(&vals, self.shards.len())])
-            }
-            None => None,
-        };
+        let shard = self
+            .table
+            .sharding_values_from_index(eq, sort)
+            .map(|vals| self.shard_for(&vals));
 
         if freshness == Freshness::Freshest {
             let probe = |s: &Arc<Shard>| {
@@ -256,20 +295,28 @@ impl WildfireEngine {
                 None => self.shards.iter().find_map(probe),
             };
             if let Some(row) = live {
-                return Ok(Some(RecordView { row, begin_ts: None, rid: None }));
+                return Ok(Some(RecordView {
+                    row,
+                    begin_ts: None,
+                    rid: None,
+                }));
             }
         }
 
         let ts = self.resolve_ts(freshness);
         let lookup = |s: &Arc<Shard>| -> Result<Option<RecordView>> {
-            match s.index().point_lookup(eq, sort, ts)? {
+            Self::retry_dangling(|| match s.index().point_lookup(eq, sort, ts)? {
                 Some(out) => {
                     let rid = out.rid()?;
                     let (row, begin_ts, _, _) = s.fetch_row(rid)?;
-                    Ok(Some(RecordView { row, begin_ts: Some(begin_ts), rid: Some(rid) }))
+                    Ok(Some(RecordView {
+                        row,
+                        begin_ts: Some(begin_ts),
+                        rid: Some(rid),
+                    }))
                 }
                 None => Ok(None),
-            }
+            })
         };
         match shard {
             Some(s) => lookup(s),
@@ -296,11 +343,19 @@ impl WildfireEngine {
         strategy: ReconcileStrategy,
     ) -> Result<Vec<QueryOutput>> {
         let ts = self.resolve_ts(freshness);
-        let query = RangeQuery { equality: eq, lower, upper, query_ts: ts };
+        let query = RangeQuery {
+            equality: eq,
+            lower,
+            upper,
+            query_ts: ts,
+        };
         let single = self.table.sharding_within_equality().then(|| {
             self.table
                 .sharding_values_from_index(&query.equality, &[])
-                .map(|vals| self.table.shard_of_sharding_values(&vals, self.shards.len()))
+                .map(|vals| {
+                    self.table
+                        .shard_of_sharding_values(&vals, self.shards.len())
+                })
         });
         match single.flatten() {
             Some(i) => Ok(self.shards[i].index().range_scan(&query, strategy)?),
@@ -324,34 +379,45 @@ impl WildfireEngine {
         upper: SortBound,
         freshness: Freshness,
     ) -> Result<Vec<RecordView>> {
-        let eq_for_route = eq.clone();
-        let outs =
-            self.scan_index(eq, lower, upper, freshness, ReconcileStrategy::PriorityQueue)?;
-        let mut views = Vec::with_capacity(outs.len());
-        for out in outs {
-            let rid = out.rid()?;
-            // Resolve against the owning shard (RIDs are shard-local; with a
-            // pinned shard this loop hits it immediately).
-            let shard = match self.table.sharding_values_from_index(&eq_for_route, &[]) {
-                Some(vals) if self.table.sharding_within_equality() => {
-                    &self.shards[self.table.shard_of_sharding_values(&vals, self.shards.len())]
-                }
-                _ => {
-                    // Fan-out scans: find the shard that owns the row.
-                    let cols = out.key_columns(self.shards[0].index().layout())?;
-                    let n_eq = self.table.index_equality().len();
-                    let (eqv, sortv) = cols.split_at(n_eq);
-                    let vals = self
-                        .table
-                        .sharding_values_from_index(eqv, sortv)
-                        .expect("full key binds the sharding key");
-                    &self.shards[self.table.shard_of_sharding_values(&vals, self.shards.len())]
-                }
-            };
-            let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
-            views.push(RecordView { row, begin_ts: Some(begin_ts), rid: Some(rid) });
-        }
-        Ok(views)
+        // The whole scan retries on a dangling RID: the index snapshot and
+        // the RID resolutions must come from the same side of an evolve.
+        let ts = self.resolve_ts(freshness);
+        Self::retry_dangling(|| {
+            let outs = self.scan_index(
+                eq.clone(),
+                lower.clone(),
+                upper.clone(),
+                Freshness::Snapshot(ts),
+                ReconcileStrategy::PriorityQueue,
+            )?;
+            let mut views = Vec::with_capacity(outs.len());
+            for out in outs {
+                let rid = out.rid()?;
+                // Resolve against the owning shard (RIDs are shard-local;
+                // with a pinned shard this match hits it immediately).
+                let shard = match self.table.sharding_values_from_index(&eq, &[]) {
+                    Some(vals) if self.table.sharding_within_equality() => self.shard_for(&vals),
+                    _ => {
+                        // Fan-out scans: find the shard that owns the row.
+                        let cols = out.key_columns(self.shards[0].index().layout())?;
+                        let n_eq = self.table.index_equality().len();
+                        let (eqv, sortv) = cols.split_at(n_eq);
+                        let vals = self
+                            .table
+                            .sharding_values_from_index(eqv, sortv)
+                            .expect("full key binds the sharding key");
+                        self.shard_for(&vals)
+                    }
+                };
+                let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
+                views.push(RecordView {
+                    row,
+                    begin_ts: Some(begin_ts),
+                    rid: Some(rid),
+                });
+            }
+            Ok(views)
+        })
     }
 
     /// Scan a secondary index (§10 future work) by name: equality values
@@ -370,30 +436,41 @@ impl WildfireEngine {
         freshness: Freshness,
     ) -> Result<Vec<RecordView>> {
         let ts = self.resolve_ts(freshness);
-        let query = RangeQuery { equality: eq, lower, upper, query_ts: ts };
-        let mut views = Vec::new();
-        for shard in &self.shards {
-            let Some(sidx) = shard.secondary_index(index_name) else {
-                return Err(crate::error::WildfireError::InvalidTable(format!(
-                    "no secondary index named {index_name:?}"
-                )));
-            };
-            for hit in sidx.range_scan(&query, ReconcileStrategy::PriorityQueue)? {
-                let rid = hit.rid()?;
-                let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
-                // Validation: is this still the record's current version?
-                let (peq, psort, _) = self.table.index_groups(&row);
-                let current = shard
-                    .index()
-                    .point_lookup(&peq, &psort, ts)?
-                    .map(|o| o.begin_ts == begin_ts)
-                    .unwrap_or(false);
-                if current {
-                    views.push(RecordView { row, begin_ts: Some(begin_ts), rid: Some(rid) });
+        let query = RangeQuery {
+            equality: eq,
+            lower,
+            upper,
+            query_ts: ts,
+        };
+        Self::retry_dangling(|| {
+            let mut views = Vec::new();
+            for shard in &self.shards {
+                let Some(sidx) = shard.secondary_index(index_name) else {
+                    return Err(crate::error::WildfireError::InvalidTable(format!(
+                        "no secondary index named {index_name:?}"
+                    )));
+                };
+                for hit in sidx.range_scan(&query, ReconcileStrategy::PriorityQueue)? {
+                    let rid = hit.rid()?;
+                    let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
+                    // Validation: is this still the record's current version?
+                    let (peq, psort, _) = self.table.index_groups(&row);
+                    let current = shard
+                        .index()
+                        .point_lookup(&peq, &psort, ts)?
+                        .map(|o| o.begin_ts == begin_ts)
+                        .unwrap_or(false);
+                    if current {
+                        views.push(RecordView {
+                            row,
+                            begin_ts: Some(begin_ts),
+                            rid: Some(rid),
+                        });
+                    }
                 }
             }
-        }
-        Ok(views)
+            Ok(views)
+        })
     }
 
     /// Spawn the background daemons; they stop when the handle drops.
@@ -401,20 +478,18 @@ impl WildfireEngine {
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
 
-        let spawn_loop = |name: &str,
-                          interval: Duration,
-                          stop: Arc<AtomicBool>,
-                          f: Box<dyn Fn() + Send>| {
-            std::thread::Builder::new()
-                .name(name.to_owned())
-                .spawn(move || {
-                    while !stop.load(Ordering::Acquire) {
-                        f();
-                        std::thread::sleep(interval);
-                    }
-                })
-                .expect("spawn daemon")
-        };
+        let spawn_loop =
+            |name: &str, interval: Duration, stop: Arc<AtomicBool>, f: Box<dyn Fn() + Send>| {
+                std::thread::Builder::new()
+                    .name(name.to_owned())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            f();
+                            std::thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn daemon")
+            };
 
         {
             let engine = Arc::clone(self);
@@ -459,7 +534,11 @@ impl WildfireEngine {
             None => Vec::new(),
         };
 
-        EngineDaemons { stop, threads, _maintainers: maintainers }
+        EngineDaemons {
+            stop,
+            threads,
+            _maintainers: maintainers,
+        }
     }
 }
 
@@ -496,7 +575,12 @@ mod tests {
     use crate::table::iot_table;
 
     fn row(device: i64, msg: i64, date: i64, payload: i64) -> Vec<Datum> {
-        vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(date), Datum::Int64(payload)]
+        vec![
+            Datum::Int64(device),
+            Datum::Int64(msg),
+            Datum::Int64(date),
+            Datum::Int64(payload),
+        ]
     }
 
     fn engine(n_shards: usize) -> Arc<WildfireEngine> {
@@ -504,7 +588,11 @@ mod tests {
         WildfireEngine::create(
             storage,
             Arc::new(iot_table()),
-            EngineConfig { n_shards, maintenance: None, ..EngineConfig::default() },
+            EngineConfig {
+                n_shards,
+                maintenance: None,
+                ..EngineConfig::default()
+            },
         )
         .unwrap()
     }
@@ -514,7 +602,10 @@ mod tests {
         let e = engine(1);
         e.upsert(row(1, 1, 100, 7)).unwrap();
         // Not groomed yet: Latest misses, Freshest hits.
-        assert!(e.get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Latest).unwrap().is_none());
+        assert!(e
+            .get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Latest)
+            .unwrap()
+            .is_none());
         let live = e
             .get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Freshest)
             .unwrap()
@@ -569,7 +660,7 @@ mod tests {
         // Everything evolved into the post-groomed zone.
         for s in e.shards() {
             assert_eq!(s.index().zones()[0].list.len(), 0, "groomed zone drained");
-            assert!(s.index().zones()[1].list.len() >= 1);
+            assert!(!s.index().zones()[1].list.is_empty());
         }
         // Unified view intact.
         for d in 0..10 {
@@ -625,7 +716,11 @@ mod tests {
             if out.len() == 50 {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "pipeline stalled at {}", out.len());
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pipeline stalled at {}",
+                out.len()
+            );
             std::thread::sleep(Duration::from_millis(20));
         }
         daemons.shutdown();
@@ -635,9 +730,13 @@ mod tests {
     fn engine_recovery() {
         let storage = Arc::new(TieredStorage::in_memory());
         let table = Arc::new(iot_table());
-        let cfg = EngineConfig { n_shards: 2, maintenance: None, ..EngineConfig::default() };
-        let e = WildfireEngine::create(Arc::clone(&storage), Arc::clone(&table), cfg.clone())
-            .unwrap();
+        let cfg = EngineConfig {
+            n_shards: 2,
+            maintenance: None,
+            ..EngineConfig::default()
+        };
+        let e =
+            WildfireEngine::create(Arc::clone(&storage), Arc::clone(&table), cfg.clone()).unwrap();
         for d in 0..10 {
             e.upsert(row(d, 1, 100, d)).unwrap();
         }

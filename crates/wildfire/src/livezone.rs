@@ -79,14 +79,25 @@ impl CommittedLog {
     /// `pred` (freshest-read point lookups over un-groomed data).
     pub fn find_latest(&self, mut pred: impl FnMut(&[Datum]) -> bool) -> Option<Vec<Datum>> {
         let inner = self.inner.lock();
-        inner.records.iter().rev().find(|r| pred(&r.row)).map(|r| r.row.clone())
+        inner
+            .records
+            .iter()
+            .rev()
+            .find(|r| pred(&r.row))
+            .map(|r| r.row.clone())
     }
 
     /// Collect all live rows matching `pred`, newest first (freshest-read
     /// scans; the caller deduplicates against indexed results).
     pub fn collect_matching(&self, mut pred: impl FnMut(&[Datum]) -> bool) -> Vec<Vec<Datum>> {
         let inner = self.inner.lock();
-        inner.records.iter().rev().filter(|r| pred(&r.row)).map(|r| r.row.clone()).collect()
+        inner
+            .records
+            .iter()
+            .rev()
+            .filter(|r| pred(&r.row))
+            .map(|r| r.row.clone())
+            .collect()
     }
 }
 

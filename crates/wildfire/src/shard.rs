@@ -35,7 +35,10 @@ pub struct ShardConfig {
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        Self { umzi: UmziConfig::two_zone(""), groom_batch_limit: 200_000 }
+        Self {
+            umzi: UmziConfig::two_zone(""),
+            groom_batch_limit: 200_000,
+        }
     }
 }
 
@@ -137,7 +140,8 @@ impl Shard {
             config.umzi.name = format!("{prefix}/index");
         }
         config.groom_batch_limit = config.groom_batch_limit.min(MAX_COMMIT_SEQ as usize);
-        let index = UmziIndex::create(Arc::clone(&storage), table.index_def(), config.umzi.clone())?;
+        let index =
+            UmziIndex::create(Arc::clone(&storage), table.index_def(), config.umzi.clone())?;
         let mut secondary = Vec::new();
         for (i, s) in table.secondary_indexes().iter().enumerate() {
             let mut cfg = config.umzi.clone();
@@ -246,8 +250,9 @@ impl Shard {
 
         let rows: Vec<Vec<Datum>> = batch.iter().map(|r| r.row.clone()).collect();
         // beginTS: groom epoch high bits, within-cycle commit order low bits.
-        let begin_ts: Vec<u64> =
-            (0..rows.len()).map(|i| compose_begin_ts(block_id, i as u64)).collect();
+        let begin_ts: Vec<u64> = (0..rows.len())
+            .map(|i| compose_begin_ts(block_id, i as u64))
+            .collect();
         let max_begin_ts = *begin_ts.last().expect("non-empty batch");
 
         let kinds = self.table.columns().iter().map(|c| c.ty).collect();
@@ -258,11 +263,15 @@ impl Shard {
             vec![None; rows.len()],
         )?);
         let object = format!("{}/blocks/g-{block_id:020}", self.prefix);
-        self.storage.create_object(&object, block.serialize(), Durability::Persisted, 0, true)?;
-        self.registry
-            .lock()
-            .blocks
-            .insert((ZoneId::GROOMED, block_id), BlockEntry { block: Arc::clone(&block), object });
+        self.storage
+            .create_object(&object, block.serialize(), Durability::Persisted, 0, true)?;
+        self.registry.lock().blocks.insert(
+            (ZoneId::GROOMED, block_id),
+            BlockEntry {
+                block: Arc::clone(&block),
+                object,
+            },
+        );
 
         // The groomer also builds indexes over the groomed data (§2.1).
         let mut entries = Vec::with_capacity(rows.len());
@@ -297,7 +306,11 @@ impl Shard {
 
         self.groomed_hi.store(block_id, Ordering::Release);
         self.current_ts.fetch_max(max_begin_ts, Ordering::AcqRel);
-        Ok(Some(GroomReport { block_id, rows: rows.len(), max_begin_ts }))
+        Ok(Some(GroomReport {
+            block_id,
+            rows: rows.len(),
+            max_begin_ts,
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -329,7 +342,10 @@ impl Shard {
                     continue; // an empty groom cycle produced no block
                 };
                 for i in 0..entry.block.n_rows() {
-                    recs.push(Rec { row: entry.block.row(i)?, begin_ts: entry.block.begin_ts(i) });
+                    recs.push(Rec {
+                        row: entry.block.row(i)?,
+                        begin_ts: entry.block.begin_ts(i),
+                    });
                 }
             }
         }
@@ -338,7 +354,10 @@ impl Shard {
         // order within each partition; assign post-groomed RIDs.
         let mut partitions: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
         for (i, rec) in recs.iter().enumerate() {
-            partitions.entry(self.table.partition_of(&rec.row)).or_default().push(i);
+            partitions
+                .entry(self.table.partition_of(&rec.row))
+                .or_default()
+                .push(i);
         }
         let mut rid_of: Vec<Rid> = vec![Rid::new(ZoneId::POST_GROOMED, 0, 0); recs.len()];
         let mut block_ids: Vec<u64> = Vec::with_capacity(partitions.len());
@@ -358,8 +377,12 @@ impl Shard {
         let mut end_of: Vec<Option<u64>> = vec![None; recs.len()];
         let mut by_pk: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
         for (i, rec) in recs.iter().enumerate() {
-            let pk: Vec<Datum> =
-                self.table.primary_key_of(&rec.row).into_iter().cloned().collect();
+            let pk: Vec<Datum> = self
+                .table
+                .primary_key_of(&rec.row)
+                .into_iter()
+                .cloned()
+                .collect();
             by_pk.entry(encode_datums(&pk)).or_default().push(i);
         }
         let mut deltas: Vec<EndTsDelta> = Vec::new();
@@ -379,7 +402,10 @@ impl Shard {
                 if let Some(prev) = self.index.point_lookup(&eq, &sort, head_ts - 1)? {
                     let prev_rid = prev.rid()?;
                     prev_of[head] = Some(prev_rid);
-                    deltas.push(EndTsDelta { rid: prev_rid, end_ts: head_ts });
+                    deltas.push(EndTsDelta {
+                        rid: prev_rid,
+                        end_ts: head_ts,
+                    });
                     closed_versions += 1;
                     // Apply to the in-memory image if the block is resident.
                     let reg = self.registry.lock();
@@ -416,20 +442,24 @@ impl Shard {
                 )?;
                 reg.blocks.insert(
                     (ZoneId::POST_GROOMED, *block_id),
-                    BlockEntry { block: Arc::new(block), object },
+                    BlockEntry {
+                        block: Arc::new(block),
+                        object,
+                    },
                 );
             }
             // Deprecate the consumed groomed blocks; deletion is deferred
             // until one PSN after the evolve lands (in-flight query grace).
-            let dep: Vec<(ZoneId, u64)> =
-                (lo..=hi).map(|b| (ZoneId::GROOMED, b)).collect();
+            let dep: Vec<(ZoneId, u64)> = (lo..=hi).map(|b| (ZoneId::GROOMED, b)).collect();
             reg.deprecated.insert(psn, dep);
         }
 
         // Persist cross-batch endTS closures as a sidecar delta object.
         if !deltas.is_empty() {
             let name = format!("{}/deltas/d-{psn:020}", self.prefix);
-            self.storage.shared().put(&name, serialize_deltas(&deltas))?;
+            self.storage
+                .shared()
+                .put(&name, serialize_deltas(&deltas))?;
         }
 
         // Index entries over the post-groomed rows (same beginTS, new RIDs).
@@ -444,8 +474,12 @@ impl Shard {
                 &included,
             )?);
         }
-        let mut notices =
-            vec![EvolveNotice { psn, groomed_lo: lo, groomed_hi: hi, entries }];
+        let mut notices = vec![EvolveNotice {
+            psn,
+            groomed_lo: lo,
+            groomed_hi: hi,
+            entries,
+        }];
         for (si, sidx) in self.secondary.iter().enumerate() {
             let mut entries = Vec::with_capacity(recs.len());
             for (i, rec) in recs.iter().enumerate() {
@@ -459,7 +493,12 @@ impl Shard {
                     &included,
                 )?);
             }
-            notices.push(EvolveNotice { psn, groomed_lo: lo, groomed_hi: hi, entries });
+            notices.push(EvolveNotice {
+                psn,
+                groomed_lo: lo,
+                groomed_hi: hi,
+                entries,
+            });
         }
 
         // Publish for the indexer (Figure 5): metadata first, then MaxPSN.
@@ -511,17 +550,46 @@ impl Shard {
         Ok(applied)
     }
 
-    /// Delete deprecated groomed blocks whose deprecating PSN is ≤ `up_to`.
+    /// Delete deprecated groomed blocks whose deprecating PSN is ≤ `up_to`
+    /// — but only once no surviving index run can still hand out RIDs into
+    /// them. Merged groomed runs may span the evolve watermark, so their
+    /// entries keep referencing groomed blocks below it until the runs are
+    /// garbage-collected; such blocks stay in the deprecated set and are
+    /// retried on the next cleanup.
     fn cleanup_deprecated(&self, up_to: u64) -> Result<()> {
+        // A groomed block is still referenced while any groomed-zone run of
+        // the primary or a secondary index covers its ID. Snapshot the run
+        // ranges once, BEFORE taking the registry lock — fetch_row takes the
+        // same lock on every read, so no per-block work may happen under it.
+        let live_ranges: Vec<(u64, u64)> = std::iter::once(&self.index)
+            .chain(self.secondary.iter())
+            .flat_map(|idx| {
+                idx.zones()
+                    .iter()
+                    .filter(|z| z.config.zone == ZoneId::GROOMED)
+                    .flat_map(|z| z.list.snapshot())
+                    .map(|run| run.groomed_range())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let covered = |id: u64| live_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&id));
         let victims: Vec<BlockEntry> = {
             let mut reg = self.registry.lock();
             let psns: Vec<u64> = reg.deprecated.range(..=up_to).map(|(p, _)| *p).collect();
             let mut out = Vec::new();
             for psn in psns {
+                let mut keep = Vec::new();
                 for key in reg.deprecated.remove(&psn).unwrap_or_default() {
+                    if key.0 == ZoneId::GROOMED && covered(key.1) {
+                        keep.push(key);
+                        continue;
+                    }
                     if let Some(entry) = reg.blocks.remove(&key) {
                         out.push(entry);
                     }
+                }
+                if !keep.is_empty() {
+                    reg.deprecated.insert(psn, keep);
                 }
             }
             out
@@ -561,8 +629,16 @@ impl Shard {
     /// Number of registered data blocks per zone `(groomed, post-groomed)`.
     pub fn block_counts(&self) -> (usize, usize) {
         let reg = self.registry.lock();
-        let g = reg.blocks.keys().filter(|(z, _)| *z == ZoneId::GROOMED).count();
-        let p = reg.blocks.keys().filter(|(z, _)| *z == ZoneId::POST_GROOMED).count();
+        let g = reg
+            .blocks
+            .keys()
+            .filter(|(z, _)| *z == ZoneId::GROOMED)
+            .count();
+        let p = reg
+            .blocks
+            .keys()
+            .filter(|(z, _)| *z == ZoneId::POST_GROOMED)
+            .count();
         (g, p)
     }
 
@@ -606,19 +682,27 @@ impl Shard {
             let block = Arc::new(ColumnBlock::deserialize(&data)?);
             let file = object.rsplit('/').next().unwrap_or("");
             let (zone, id) = match file.split_once('-') {
-                Some(("g", id)) => (ZoneId::GROOMED, id.parse::<u64>().map_err(|_| {
-                    WildfireError::DanglingRid(format!("bad block name {object}"))
-                })?),
-                Some(("p", id)) => (ZoneId::POST_GROOMED, id.parse::<u64>().map_err(|_| {
-                    WildfireError::DanglingRid(format!("bad block name {object}"))
-                })?),
+                Some(("g", id)) => (
+                    ZoneId::GROOMED,
+                    id.parse::<u64>().map_err(|_| {
+                        WildfireError::DanglingRid(format!("bad block name {object}"))
+                    })?,
+                ),
+                Some(("p", id)) => (
+                    ZoneId::POST_GROOMED,
+                    id.parse::<u64>().map_err(|_| {
+                        WildfireError::DanglingRid(format!("bad block name {object}"))
+                    })?,
+                ),
                 _ => continue,
             };
             match zone {
                 ZoneId::GROOMED => groomed_max = groomed_max.max(id),
                 _ => pg_max = pg_max.max(id),
             }
-            registry.blocks.insert((zone, id), BlockEntry { block, object });
+            registry
+                .blocks
+                .insert((zone, id), BlockEntry { block, object });
         }
         // Replay endTS closures.
         for object in storage.shared().list(&format!("{prefix}/deltas/"))? {
@@ -626,7 +710,9 @@ impl Shard {
             for delta in crate::colblock::deserialize_deltas(&data)? {
                 if let Some(entry) = registry.blocks.get(&(delta.rid.zone, delta.rid.block_id)) {
                     if (delta.rid.offset as usize) < entry.block.n_rows() {
-                        entry.block.set_end_ts(delta.rid.offset as usize, delta.end_ts);
+                        entry
+                            .block
+                            .set_end_ts(delta.rid.offset as usize, delta.end_ts);
                     }
                 }
             }
@@ -647,7 +733,7 @@ impl Shard {
             registry: Mutex::new(registry),
             groom_epoch: AtomicU64::new(groomed_max + 1),
             groomed_hi: AtomicU64::new(groomed_max),
-            post_groomed_hi: AtomicU64::new(covered.max(0)),
+            post_groomed_hi: AtomicU64::new(covered),
             next_psn: AtomicU64::new(indexed_psn + 1),
             pg_block_seq: AtomicU64::new(pg_max + 1),
             pending_evolves: Mutex::new(BTreeMap::new()),
@@ -667,7 +753,12 @@ mod tests {
     use umzi_run::SortBound;
 
     fn row(device: i64, msg: i64, date: i64, payload: i64) -> Vec<Datum> {
-        vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(date), Datum::Int64(payload)]
+        vec![
+            Datum::Int64(device),
+            Datum::Int64(msg),
+            Datum::Int64(date),
+            Datum::Int64(payload),
+        ]
     }
 
     fn shard() -> Arc<Shard> {
@@ -678,7 +769,8 @@ mod tests {
     #[test]
     fn groom_builds_block_and_run() {
         let s = shard();
-        s.upsert(vec![row(1, 1, 100, 10), row(2, 1, 100, 20)]).unwrap();
+        s.upsert(vec![row(1, 1, 100, 10), row(2, 1, 100, 20)])
+            .unwrap();
         let report = s.groom().unwrap().unwrap();
         assert_eq!(report.block_id, 1);
         assert_eq!(report.rows, 2);
@@ -719,7 +811,8 @@ mod tests {
     fn post_groom_partitions_and_links_versions() {
         let s = shard();
         // Two grooms; second updates (1,1).
-        s.upsert(vec![row(1, 1, 100, 10), row(2, 1, 200, 20)]).unwrap();
+        s.upsert(vec![row(1, 1, 100, 10), row(2, 1, 200, 20)])
+            .unwrap();
         s.groom().unwrap().unwrap();
         s.upsert(vec![row(1, 1, 100, 11)]).unwrap();
         s.groom().unwrap().unwrap();
@@ -751,7 +844,10 @@ mod tests {
         let prev_rid = prev.expect("version chain");
         let (old_row, old_begin, old_end, _) = s.fetch_row(prev_rid).unwrap();
         assert_eq!(old_row[3], Datum::Int64(10));
-        assert_eq!(old_end, hit.begin_ts, "replaced version closed at successor's beginTS");
+        assert_eq!(
+            old_end, hit.begin_ts,
+            "replaced version closed at successor's beginTS"
+        );
         assert!(old_begin < hit.begin_ts);
     }
 
@@ -787,12 +883,14 @@ mod tests {
     #[test]
     fn range_scan_spans_zones_consistently() {
         let s = shard();
-        s.upsert((0..20).map(|m| row(5, m, 100 + m % 2, m)).collect()).unwrap();
+        s.upsert((0..20).map(|m| row(5, m, 100 + m % 2, m)).collect())
+            .unwrap();
         s.groom().unwrap().unwrap();
         s.post_groom().unwrap().unwrap();
         s.apply_pending_evolves().unwrap();
         // New groomed data on top of the post-groomed zone.
-        s.upsert((20..30).map(|m| row(5, m, 100, m)).collect()).unwrap();
+        s.upsert((20..30).map(|m| row(5, m, 100, m)).collect())
+            .unwrap();
         s.groom().unwrap().unwrap();
 
         let out = s
@@ -807,7 +905,11 @@ mod tests {
                 ReconcileStrategy::PriorityQueue,
             )
             .unwrap();
-        assert_eq!(out.len(), 30, "unified view across groomed + post-groomed zones");
+        assert_eq!(
+            out.len(),
+            30,
+            "unified view across groomed + post-groomed zones"
+        );
     }
 
     #[test]
@@ -824,16 +926,26 @@ mod tests {
         s.groom().unwrap().unwrap();
         s.post_groom().unwrap().unwrap();
         s.apply_pending_evolves().unwrap();
-        assert_eq!(s.block_counts().0, 1, "psn-1 groomed block deleted, psn-2's in grace");
+        assert_eq!(
+            s.block_counts().0,
+            1,
+            "psn-1 groomed block deleted, psn-2's in grace"
+        );
     }
 
     #[test]
     fn shard_recovery_preserves_queries() {
         let storage = Arc::new(TieredStorage::in_memory());
         let table = Arc::new(iot_table());
-        let s = Shard::create(Arc::clone(&storage), Arc::clone(&table), 0, ShardConfig::default())
+        let s = Shard::create(
+            Arc::clone(&storage),
+            Arc::clone(&table),
+            0,
+            ShardConfig::default(),
+        )
+        .unwrap();
+        s.upsert((0..10).map(|m| row(3, m, 100, m * 10)).collect())
             .unwrap();
-        s.upsert((0..10).map(|m| row(3, m, 100, m * 10)).collect()).unwrap();
         s.groom().unwrap().unwrap();
         s.upsert(vec![row(3, 0, 100, 999)]).unwrap();
         s.groom().unwrap().unwrap();

@@ -52,6 +52,10 @@ pub struct TableDef {
     secondary: Vec<SecondaryDef>,
 }
 
+/// A pending secondary-index declaration: `(name, equality, sort,
+/// included)` column names, resolved to indices at `build` time.
+type PendingSecondary = (String, Vec<String>, Vec<String>, Vec<String>);
+
 /// Builder for [`TableDef`].
 #[derive(Debug)]
 pub struct TableDefBuilder {
@@ -63,7 +67,7 @@ pub struct TableDefBuilder {
     index_equality: Vec<String>,
     index_sort: Vec<String>,
     index_included: Vec<String>,
-    secondary: Vec<(String, Vec<String>, Vec<String>, Vec<String>)>,
+    secondary: Vec<PendingSecondary>,
 }
 
 impl TableDef {
@@ -191,17 +195,17 @@ impl TableDef {
     /// Split a row into the index's (equality, sort, included) value groups.
     pub fn index_groups(&self, row: &[Datum]) -> (Vec<Datum>, Vec<Datum>, Vec<Datum>) {
         let pick = |idxs: &[usize]| idxs.iter().map(|&i| row[i].clone()).collect::<Vec<_>>();
-        (pick(&self.index_equality), pick(&self.index_sort), pick(&self.index_included))
+        (
+            pick(&self.index_equality),
+            pick(&self.index_sort),
+            pick(&self.index_included),
+        )
     }
 
     /// Reconstruct the sharding-key values from index-key values (equality
     /// and sort groups, in index order). `None` if some sharding column is
     /// not bound — the query must then fan out to all shards.
-    pub fn sharding_values_from_index(
-        &self,
-        eq: &[Datum],
-        sort: &[Datum],
-    ) -> Option<Vec<Datum>> {
+    pub fn sharding_values_from_index(&self, eq: &[Datum], sort: &[Datum]) -> Option<Vec<Datum>> {
         self.sharding_key
             .iter()
             .map(|col| {
@@ -224,7 +228,9 @@ impl TableDef {
     /// Whether equality values alone determine the shard (single-shard
     /// range scans).
     pub fn sharding_within_equality(&self) -> bool {
-        self.sharding_key.iter().all(|c| self.index_equality.contains(c))
+        self.sharding_key
+            .iter()
+            .all(|c| self.index_equality.contains(c))
     }
 
     /// The table's secondary indexes.
@@ -234,7 +240,10 @@ impl TableDef {
 
     /// Find a secondary index by name.
     pub fn secondary_index(&self, name: &str) -> Option<(usize, &SecondaryDef)> {
-        self.secondary.iter().enumerate().find(|(_, s)| s.name == name)
+        self.secondary
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == name)
     }
 
     /// Derive the Umzi definition for secondary index `i`.
@@ -345,9 +354,10 @@ impl TableDefBuilder {
         let resolve = |ns: &[String]| -> Result<Vec<usize>> {
             ns.iter()
                 .map(|n| {
-                    self.columns.iter().position(|c| &c.name == n).ok_or_else(|| {
-                        WildfireError::InvalidTable(format!("unknown column {n:?}"))
-                    })
+                    self.columns
+                        .iter()
+                        .position(|c| &c.name == n)
+                        .ok_or_else(|| WildfireError::InvalidTable(format!("unknown column {n:?}")))
                 })
                 .collect()
         };
@@ -386,7 +396,11 @@ impl TableDefBuilder {
             resolve(&self.index_equality)?
         };
         let index_sort = if self.index_sort.is_empty() {
-            primary_key.iter().copied().filter(|i| !index_equality.contains(i)).collect()
+            primary_key
+                .iter()
+                .copied()
+                .filter(|i| !index_equality.contains(i))
+                .collect()
         } else {
             resolve(&self.index_sort)?
         };
@@ -394,8 +408,7 @@ impl TableDefBuilder {
 
         // The index key must cover the whole primary key so point lookups
         // identify exactly one record.
-        let mut key_cols: Vec<usize> =
-            index_equality.iter().chain(&index_sort).copied().collect();
+        let mut key_cols: Vec<usize> = index_equality.iter().chain(&index_sort).copied().collect();
         key_cols.sort_unstable();
         key_cols.dedup();
         let mut pk_sorted = primary_key.clone();
@@ -512,29 +525,76 @@ mod tests {
     #[test]
     fn row_validation() {
         let t = iot_table();
-        assert!(t.check_row(&[Datum::Int64(1), Datum::Int64(2), Datum::Int64(3), Datum::Int64(4)]).is_ok());
+        assert!(t
+            .check_row(&[
+                Datum::Int64(1),
+                Datum::Int64(2),
+                Datum::Int64(3),
+                Datum::Int64(4)
+            ])
+            .is_ok());
         assert!(t.check_row(&[Datum::Int64(1)]).is_err());
         assert!(t
-            .check_row(&[Datum::Str("x".into()), Datum::Int64(2), Datum::Int64(3), Datum::Int64(4)])
+            .check_row(&[
+                Datum::Str("x".into()),
+                Datum::Int64(2),
+                Datum::Int64(3),
+                Datum::Int64(4)
+            ])
             .is_err());
     }
 
     #[test]
     fn shard_routing_is_deterministic_and_by_sharding_key_only() {
         let t = iot_table();
-        let row1 = [Datum::Int64(7), Datum::Int64(1), Datum::Int64(0), Datum::Int64(0)];
-        let row2 = [Datum::Int64(7), Datum::Int64(99), Datum::Int64(5), Datum::Int64(5)];
-        assert_eq!(t.shard_of(&row1, 8), t.shard_of(&row2, 8), "same device ⇒ same shard");
-        let spread: std::collections::HashSet<usize> =
-            (0..100).map(|d| t.shard_of(&[Datum::Int64(d), Datum::Int64(0), Datum::Int64(0), Datum::Int64(0)], 8)).collect();
+        let row1 = [
+            Datum::Int64(7),
+            Datum::Int64(1),
+            Datum::Int64(0),
+            Datum::Int64(0),
+        ];
+        let row2 = [
+            Datum::Int64(7),
+            Datum::Int64(99),
+            Datum::Int64(5),
+            Datum::Int64(5),
+        ];
+        assert_eq!(
+            t.shard_of(&row1, 8),
+            t.shard_of(&row2, 8),
+            "same device ⇒ same shard"
+        );
+        let spread: std::collections::HashSet<usize> = (0..100)
+            .map(|d| {
+                t.shard_of(
+                    &[
+                        Datum::Int64(d),
+                        Datum::Int64(0),
+                        Datum::Int64(0),
+                        Datum::Int64(0),
+                    ],
+                    8,
+                )
+            })
+            .collect();
         assert!(spread.len() > 1, "devices spread across shards");
     }
 
     #[test]
     fn partition_value_from_date() {
         let t = iot_table();
-        let p1 = t.partition_of(&[Datum::Int64(1), Datum::Int64(2), Datum::Int64(20190326), Datum::Int64(0)]);
-        let p2 = t.partition_of(&[Datum::Int64(9), Datum::Int64(7), Datum::Int64(20190326), Datum::Int64(1)]);
+        let p1 = t.partition_of(&[
+            Datum::Int64(1),
+            Datum::Int64(2),
+            Datum::Int64(20190326),
+            Datum::Int64(0),
+        ]);
+        let p2 = t.partition_of(&[
+            Datum::Int64(9),
+            Datum::Int64(7),
+            Datum::Int64(20190326),
+            Datum::Int64(1),
+        ]);
         assert_eq!(p1, p2, "same date ⇒ same partition");
     }
 }

@@ -21,7 +21,11 @@ pub struct UpdateMix {
 impl UpdateMix {
     /// The paper's parametrization for a given `p` (fraction, e.g. `0.10`).
     pub fn for_p(p: f64) -> Self {
-        Self { last_cycle: p, last_50: 0.1 * p, last_100: 0.01 * p }
+        Self {
+            last_cycle: p,
+            last_50: 0.1 * p,
+            last_100: 0.01 * p,
+        }
     }
 }
 
@@ -149,7 +153,10 @@ mod tests {
         m.next_cycle();
         let batch = m.next_cycle();
         let updates = batch.iter().filter(|(_, u)| *u).count();
-        assert!(updates >= 100, "p=100%: the whole batch is updates, got {updates}");
+        assert!(
+            updates >= 100,
+            "p=100%: the whole batch is updates, got {updates}"
+        );
     }
 
     #[test]

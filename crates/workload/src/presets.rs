@@ -46,7 +46,11 @@ impl IndexPreset {
                 .equality("eq1", ColumnType::Int64),
             IndexPreset::I3 => b.equality("eq0", ColumnType::Int64),
         };
-        Arc::new(b.included("inc0", ColumnType::Int64).build().expect("presets are valid"))
+        Arc::new(
+            b.included("inc0", ColumnType::Int64)
+                .build()
+                .expect("presets are valid"),
+        )
     }
 
     /// Split a scalar key `k` into this preset's (equality, sort) groups.
@@ -78,11 +82,32 @@ mod tests {
     #[test]
     fn shapes_match_paper() {
         let i1 = IndexPreset::I1.def();
-        assert_eq!((i1.equality_columns().len(), i1.sort_columns().len(), i1.included_columns().len()), (1, 1, 1));
+        assert_eq!(
+            (
+                i1.equality_columns().len(),
+                i1.sort_columns().len(),
+                i1.included_columns().len()
+            ),
+            (1, 1, 1)
+        );
         let i2 = IndexPreset::I2.def();
-        assert_eq!((i2.equality_columns().len(), i2.sort_columns().len(), i2.included_columns().len()), (2, 0, 1));
+        assert_eq!(
+            (
+                i2.equality_columns().len(),
+                i2.sort_columns().len(),
+                i2.included_columns().len()
+            ),
+            (2, 0, 1)
+        );
         let i3 = IndexPreset::I3.def();
-        assert_eq!((i3.equality_columns().len(), i3.sort_columns().len(), i3.included_columns().len()), (1, 0, 1));
+        assert_eq!(
+            (
+                i3.equality_columns().len(),
+                i3.sort_columns().len(),
+                i3.included_columns().len()
+            ),
+            (1, 0, 1)
+        );
     }
 
     #[test]
@@ -92,7 +117,10 @@ mod tests {
             for k in [0u64, 1, 42, 1 << 33, u64::MAX] {
                 let (eq, sort) = preset.split_key(k);
                 assert_eq!(preset.split_key(k), (eq.clone(), sort.clone()));
-                assert!(seen.insert(format!("{eq:?}|{sort:?}")), "{preset:?} collided at {k}");
+                assert!(
+                    seen.insert(format!("{eq:?}|{sort:?}")),
+                    "{preset:?} collided at {k}"
+                );
             }
         }
     }

@@ -10,13 +10,21 @@ use std::sync::Arc;
 use umzi::prelude::*;
 
 fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
-    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(20190326), Datum::Int64(payload)]
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(20190326),
+        Datum::Int64(payload),
+    ]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let storage = Arc::new(TieredStorage::in_memory());
     let table = Arc::new(iot_table());
-    let config = EngineConfig { maintenance: None, ..EngineConfig::default() };
+    let config = EngineConfig {
+        maintenance: None,
+        ..EngineConfig::default()
+    };
 
     // Build up state: several grooms, merges, one post-groom + evolve.
     let engine = WildfireEngine::create(Arc::clone(&storage), Arc::clone(&table), config.clone())?;
@@ -77,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Freshness::Snapshot(snapshot_ts),
                 )?
                 .unwrap_or_else(|| panic!("({device},{msg}) lost in crash"));
-            let expect = if msg == 99 { device } else { device * 100 + msg };
+            let expect = if msg == 99 {
+                device
+            } else {
+                device * 100 + msg
+            };
             assert_eq!(rec.row[3], Datum::Int64(expect));
         }
     }

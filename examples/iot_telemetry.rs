@@ -47,10 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .iter()
                     .map(|&(k, _)| {
                         vec![
-                            Datum::Int64((k % 50) as i64),        // device
-                            Datum::Int64((k / 50) as i64),        // msg
+                            Datum::Int64((k % 50) as i64),           // device
+                            Datum::Int64((k / 50) as i64),           // msg
                             Datum::Int64(20190326 + (k % 3) as i64), // date
-                            Datum::Int64(k as i64),               // payload
+                            Datum::Int64(k as i64),                  // payload
                         ]
                     })
                     .collect();
@@ -110,7 +110,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     stop.store(true, Ordering::Relaxed);
     writer.join().expect("writer");
-    let worst: Duration = readers.into_iter().map(|r| r.join().expect("reader")).max().unwrap();
+    let worst: Duration = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader"))
+        .max()
+        .unwrap();
     daemons.shutdown();
 
     // Settle the pipeline and verify the unified view.

@@ -9,7 +9,12 @@ use std::sync::Arc;
 use umzi::prelude::*;
 
 fn row(device: i64, msg: i64, date: i64, payload: i64) -> Vec<Datum> {
-    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(date), Datum::Int64(payload)]
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(date),
+        Datum::Int64(payload),
+    ]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = WildfireEngine::create(
         storage,
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )?;
 
     // Ingest a burst of sensor readings, including an update to (4, 1).
@@ -39,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let live = engine
         .get(&[Datum::Int64(4)], &[Datum::Int64(1)], Freshness::Freshest)?
         .expect("live row");
-    println!("freshest read before groom: payload = {} (live zone)", live.row[3]);
+    println!(
+        "freshest read before groom: payload = {} (live zone)",
+        live.row[3]
+    );
 
     // Drive the full pipeline synchronously (daemons do this in production;
     // see the iot_telemetry example).
@@ -76,9 +87,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let payload_sum: i64 = index_only
         .iter()
-        .map(|o| o.included(engine.shards()[0].index().def()).unwrap()[0].as_i64().unwrap())
+        .map(|o| {
+            o.included(engine.shards()[0].index().def()).unwrap()[0]
+                .as_i64()
+                .unwrap()
+        })
         .sum();
-    println!("index-only scan device=7: {} entries, payload sum = {payload_sum}", index_only.len());
+    println!(
+        "index-only scan device=7: {} entries, payload sum = {payload_sum}",
+        index_only.len()
+    );
 
     // Peek at the index structure.
     for shard in engine.shards() {

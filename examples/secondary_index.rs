@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use umzi::prelude::*;
 use umzi::encoding::ColumnType;
+use umzi::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An orders table: PK (region, order_id); secondary index on customer.
@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = WildfireEngine::create(
         storage,
         Arc::new(table),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )?;
 
     println!("== ingesting 1000 orders from 50 customers");
@@ -69,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SortBound::Unbounded,
         Freshness::Latest,
     )?;
-    println!("after reassigning order 7: customer 7 has {} orders", after.len());
+    println!(
+        "after reassigning order 7: customer 7 has {} orders",
+        after.len()
+    );
     assert_eq!(after.len(), 19);
 
     // The secondary index evolved through the zones like the primary.

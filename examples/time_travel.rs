@@ -10,7 +10,12 @@ use std::sync::Arc;
 use umzi::prelude::*;
 
 fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
-    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(20190326), Datum::Int64(payload)]
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(20190326),
+        Datum::Int64(payload),
+    ]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = WildfireEngine::create(
         storage,
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )?;
 
     // Three generations of the same record, each groomed separately so each
@@ -28,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.upsert(row(4, 1, payload))?;
         engine.groom_all()?;
         snapshots.push((gen, engine.read_ts()));
-        println!("generation {gen}: payload {payload} groomed at ts {}", engine.read_ts());
+        println!(
+            "generation {gen}: payload {payload} groomed at ts {}",
+            engine.read_ts()
+        );
     }
 
     // Evolve everything into the post-groomed zone: versions must survive.
@@ -37,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for &(gen, ts) in &snapshots {
         let rec = engine
-            .get(&[Datum::Int64(4)], &[Datum::Int64(1)], Freshness::Snapshot(ts))?
+            .get(
+                &[Datum::Int64(4)],
+                &[Datum::Int64(1)],
+                Freshness::Snapshot(ts),
+            )?
             .expect("visible at snapshot");
         println!(
             "snapshot@gen{gen}: payload = {} (beginTS {})",
@@ -49,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A snapshot before the first version sees nothing.
     assert!(engine
-        .get(&[Datum::Int64(4)], &[Datum::Int64(1)], Freshness::Snapshot(0))?
+        .get(
+            &[Datum::Int64(4)],
+            &[Datum::Int64(1)],
+            Freshness::Snapshot(0)
+        )?
         .is_none());
     println!("snapshot@0: (no record yet)");
 
@@ -58,9 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let newest = engine
         .get(&[Datum::Int64(4)], &[Datum::Int64(1)], Freshness::Latest)?
         .expect("latest");
-    let shard = &engine.shards()[engine
-        .table()
-        .shard_of(&newest.row, engine.shards().len())];
+    let shard = &engine.shards()[engine.table().shard_of(&newest.row, engine.shards().len())];
     println!("\nversion chain via prevRID:");
     let mut cursor = newest.rid;
     while let Some(rid) = cursor {
@@ -70,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             format!("{end}")
         };
-        println!("  {rid}: payload {} [beginTS {begin}, endTS {end_str}]", r[3]);
+        println!(
+            "  {rid}: payload {} [beginTS {begin}, endTS {end_str}]",
+            r[3]
+        );
         cursor = prev;
     }
     println!("OK");

@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use umzi::prelude::*;
 use umzi::core::EvolveNotice;
+use umzi::prelude::*;
 
 fn print_structure(title: &str, idx: &UmziIndex) {
     println!("-- {title}");
@@ -19,14 +19,22 @@ fn print_structure(title: &str, idx: &UmziIndex) {
             .iter()
             .map(|r| {
                 let (lo, hi) = r.groomed_range();
-                format!("L{}[{lo}-{hi}]{}", r.level(), if r.is_sealed() { "" } else { "*" })
+                format!(
+                    "L{}[{lo}-{hi}]{}",
+                    r.level(),
+                    if r.is_sealed() { "" } else { "*" }
+                )
             })
             .collect();
         println!(
             "   zone {} ({}): {}",
             zi,
             zone.config.zone,
-            if runs.is_empty() { "(empty)".to_owned() } else { runs.join(" → ") }
+            if runs.is_empty() {
+                "(empty)".to_owned()
+            } else {
+                runs.join(" → ")
+            }
         );
     }
     println!(
@@ -122,7 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ReconcileStrategy::PriorityQueue,
     )?;
-    println!("   unified scan for device 3: {} entries across both zones\n", out.len());
+    println!(
+        "   unified scan for device 3: {} entries across both zones\n",
+        out.len()
+    );
 
     // §6.2 cache management (Figure 7): purge everything above level 0, keep
     // headers, and watch reads fall back to shared storage block-by-block.
@@ -135,7 +146,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let _ = idx.point_lookup(&[Datum::Int64(3)], &[Datum::Int64(1003)], u64::MAX)?;
     let after = idx.storage().stats().shared.reads;
-    println!("   lookup on purged runs triggered {} shared-storage block reads", after - before);
+    println!(
+        "   lookup on purged runs triggered {} shared-storage block reads",
+        after - before
+    );
 
     idx.collect_garbage()?;
     println!("\nfinal stats: {:#?}", idx.stats().runs_per_level);

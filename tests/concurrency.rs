@@ -70,8 +70,7 @@ fn readers_see_consistent_unified_view_under_maintenance() {
                     )
                     .expect("scan never fails under maintenance");
                 // No duplicates.
-                let mut keys: Vec<&[u8]> =
-                    out.iter().map(|o| &o.key[..o.key.len() - 8]).collect();
+                let mut keys: Vec<&[u8]> = out.iter().map(|o| &o.key[..o.key.len() - 8]).collect();
                 keys.sort();
                 keys.dedup();
                 assert_eq!(keys.len(), out.len(), "duplicate logical keys in scan");
@@ -105,8 +104,9 @@ fn readers_see_consistent_unified_view_under_maintenance() {
         if block % 10 == 0 {
             // Evolve everything groomed so far into the post-groomed zone.
             let psn = idx.indexed_psn() + 1;
-            let pg_entries: Vec<IndexEntry> =
-                (0..key).map(|k| entry(&idx, ZoneId::POST_GROOMED, (k % 4) as i64, k as i64, k + 1)).collect();
+            let pg_entries: Vec<IndexEntry> = (0..key)
+                .map(|k| entry(&idx, ZoneId::POST_GROOMED, (k % 4) as i64, k as i64, k + 1))
+                .collect();
             idx.evolve(EvolveNotice {
                 psn,
                 groomed_lo: 1,
@@ -233,5 +233,8 @@ fn engine_daemons_with_concurrent_clients() {
                 .len()
         })
         .sum();
-    assert_eq!(visible as i64, written, "every committed row visible after quiesce");
+    assert_eq!(
+        visible as i64, written,
+        "every committed row visible after quiesce"
+    );
 }

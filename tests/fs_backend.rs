@@ -10,7 +10,12 @@ use umzi::storage::FsObjectStore;
 use umzi_core::ReconcileStrategy;
 
 fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
-    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(0), Datum::Int64(payload)]
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(0),
+        Datum::Int64(payload),
+    ]
 }
 
 fn fs_storage(dir: &std::path::Path) -> Arc<TieredStorage> {
@@ -26,13 +31,15 @@ fn engine_on_real_files_with_cold_restart() {
     let dir = std::env::temp_dir().join(format!("umzi-fs-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let table = Arc::new(iot_table());
-    let cfg = EngineConfig { maintenance: None, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        maintenance: None,
+        ..EngineConfig::default()
+    };
 
     let snapshot_ts;
     {
         let storage = fs_storage(&dir);
-        let engine =
-            WildfireEngine::create(storage, Arc::clone(&table), cfg.clone()).unwrap();
+        let engine = WildfireEngine::create(storage, Arc::clone(&table), cfg.clone()).unwrap();
         for c in 0..6i64 {
             for d in 0..5i64 {
                 engine.upsert(row(d, c, d * 100 + c)).unwrap();
@@ -72,7 +79,11 @@ fn engine_on_real_files_with_cold_restart() {
         assert_eq!(out.len(), 6, "device {d} after cold restart");
         // Records resolve from on-disk blocks.
         let rec = engine
-            .get(&[Datum::Int64(d)], &[Datum::Int64(5)], Freshness::Snapshot(snapshot_ts))
+            .get(
+                &[Datum::Int64(d)],
+                &[Datum::Int64(5)],
+                Freshness::Snapshot(snapshot_ts),
+            )
             .unwrap()
             .unwrap();
         assert_eq!(rec.row[3], Datum::Int64(d * 100 + 5));

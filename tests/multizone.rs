@@ -12,9 +12,21 @@ use umzi_core::{EvolveNotice, ReconcileStrategy, ZoneConfig};
 fn three_zone_config() -> UmziConfig {
     let mut c = UmziConfig::two_zone("three");
     c.zones = vec![
-        ZoneConfig { zone: ZoneId(0), min_level: 0, max_level: 2 },
-        ZoneConfig { zone: ZoneId(1), min_level: 3, max_level: 5 },
-        ZoneConfig { zone: ZoneId(2), min_level: 6, max_level: 8 },
+        ZoneConfig {
+            zone: ZoneId(0),
+            min_level: 0,
+            max_level: 2,
+        },
+        ZoneConfig {
+            zone: ZoneId(1),
+            min_level: 3,
+            max_level: 5,
+        },
+        ZoneConfig {
+            zone: ZoneId(2),
+            min_level: 6,
+            max_level: 8,
+        },
     ];
     c
 }
@@ -71,19 +83,37 @@ fn three_zones_evolve_twice() {
     assert_eq!(visible_keys(&idx), 100);
 
     // Evolve zone 0 → zone 1 (covering blocks 1–2).
-    let pg: Vec<IndexEntry> =
-        (0..50).map(|i| entry(&idx, 1, i, (1 + (i as u64 / 25)) * 100 + (i as u64 % 25))).collect();
-    idx.evolve_between(0, EvolveNotice { psn: 1, groomed_lo: 1, groomed_hi: 2, entries: pg })
-        .unwrap();
+    let pg: Vec<IndexEntry> = (0..50)
+        .map(|i| entry(&idx, 1, i, (1 + (i as u64 / 25)) * 100 + (i as u64 % 25)))
+        .collect();
+    idx.evolve_between(
+        0,
+        EvolveNotice {
+            psn: 1,
+            groomed_lo: 1,
+            groomed_hi: 2,
+            entries: pg,
+        },
+    )
+    .unwrap();
     assert_eq!(idx.zones()[1].list.len(), 1);
     assert_eq!(idx.zones()[0].list.len(), 2, "blocks 1-2 GC'd from zone 0");
     assert_eq!(visible_keys(&idx), 100, "unified view across three zones");
 
     // Evolve zone 1 → zone 2 for the same range.
-    let z2: Vec<IndexEntry> =
-        (0..50).map(|i| entry(&idx, 2, i, (1 + (i as u64 / 25)) * 100 + (i as u64 % 25))).collect();
-    idx.evolve_between(1, EvolveNotice { psn: 2, groomed_lo: 1, groomed_hi: 2, entries: z2 })
-        .unwrap();
+    let z2: Vec<IndexEntry> = (0..50)
+        .map(|i| entry(&idx, 2, i, (1 + (i as u64 / 25)) * 100 + (i as u64 % 25)))
+        .collect();
+    idx.evolve_between(
+        1,
+        EvolveNotice {
+            psn: 2,
+            groomed_lo: 1,
+            groomed_hi: 2,
+            entries: z2,
+        },
+    )
+    .unwrap();
     assert_eq!(idx.zones()[2].list.len(), 1);
     assert_eq!(idx.zones()[1].list.len(), 0, "zone 1 drained");
     assert_eq!(visible_keys(&idx), 100);
@@ -122,15 +152,20 @@ fn merges_stay_within_zone_boundaries() {
     let idx = UmziIndex::create(storage, def, config).unwrap();
 
     for b in 1..=16u64 {
-        let entries: Vec<IndexEntry> =
-            (0..10).map(|i| entry(&idx, 0, i, b * 100 + i as u64)).collect();
+        let entries: Vec<IndexEntry> = (0..10)
+            .map(|i| entry(&idx, 0, i, b * 100 + i as u64))
+            .collect();
         idx.build_groomed_run(entries, b, b).unwrap();
     }
     idx.drain_merges().unwrap();
     // Everything must still be in zone 0 (levels ≤ 2): merges never cross
     // the zone-2→3 boundary, even at the zone's top level.
     for run in idx.zones()[0].list.snapshot() {
-        assert!(run.level() <= 2, "run escaped its zone: level {}", run.level());
+        assert!(
+            run.level() <= 2,
+            "run escaped its zone: level {}",
+            run.level()
+        );
     }
     assert_eq!(idx.zones()[1].list.len(), 0);
     assert_eq!(idx.zones()[2].list.len(), 0);

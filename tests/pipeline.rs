@@ -9,7 +9,12 @@ use umzi::prelude::*;
 use umzi_core::ReconcileStrategy;
 
 fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
-    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(device % 3), Datum::Int64(payload)]
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(device % 3),
+        Datum::Int64(payload),
+    ]
 }
 
 /// Model: (device, msg) → list of (begin_ts, payload) versions.
@@ -30,7 +35,10 @@ fn engine_matches_model_through_full_lifecycle() {
     let engine = WildfireEngine::create(
         storage,
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let shard = &engine.shards()[0];
@@ -39,7 +47,9 @@ fn engine_matches_model_through_full_lifecycle() {
     let mut snapshots: Vec<u64> = Vec::new();
     let mut x = 0xDEADBEEFu64;
     let mut next = || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x >> 33
     };
 
@@ -79,7 +89,11 @@ fn engine_matches_model_through_full_lifecycle() {
             for msg in 0..25i64 {
                 let expect = model_get(&model, device, msg, ts);
                 let got = engine
-                    .get(&[Datum::Int64(device)], &[Datum::Int64(msg)], Freshness::Snapshot(ts))
+                    .get(
+                        &[Datum::Int64(device)],
+                        &[Datum::Int64(msg)],
+                        Freshness::Snapshot(ts),
+                    )
                     .unwrap()
                     .map(|v| v.row[3].as_i64().unwrap());
                 assert_eq!(got, expect, "device={device} msg={msg} ts={ts}");
@@ -119,7 +133,10 @@ fn set_and_pq_reconciliation_agree_end_to_end() {
     let engine = WildfireEngine::create(
         storage,
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     for c in 0..10i64 {
@@ -170,7 +187,10 @@ fn index_only_plans_avoid_record_fetches() {
     let engine = WildfireEngine::create(
         storage,
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     for m in 0..100 {
@@ -191,7 +211,9 @@ fn index_only_plans_avoid_record_fetches() {
     let payloads: Vec<i64> = out
         .iter()
         .map(|o| {
-            o.included(engine.shards()[0].index().def()).unwrap()[0].as_i64().unwrap()
+            o.included(engine.shards()[0].index().def()).unwrap()[0]
+                .as_i64()
+                .unwrap()
         })
         .collect();
     assert_eq!(payloads, vec![20, 22, 24, 26]);

@@ -8,7 +8,12 @@ use umzi::prelude::*;
 use umzi_core::ReconcileStrategy;
 
 fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
-    vec![Datum::Int64(device), Datum::Int64(msg), Datum::Int64(0), Datum::Int64(payload)]
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(0),
+        Datum::Int64(payload),
+    ]
 }
 
 fn count_visible(engine: &WildfireEngine, devices: i64) -> usize {
@@ -32,7 +37,10 @@ fn fresh(storage: &Arc<TieredStorage>) -> Arc<WildfireEngine> {
     WildfireEngine::create(
         Arc::clone(storage),
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )
     .unwrap()
 }
@@ -41,7 +49,10 @@ fn recover(storage: &Arc<TieredStorage>) -> Arc<WildfireEngine> {
     WildfireEngine::recover(
         Arc::clone(storage),
         Arc::new(iot_table()),
-        EngineConfig { maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )
     .unwrap()
 }
@@ -84,7 +95,10 @@ fn crash_mid_merge_window_deletes_covered_inputs() {
 
     let engine = recover(&storage);
     let runs_after = storage.shared().list("iot/s0/index/runs/").unwrap().len();
-    assert!(runs_after < runs_before, "covered inputs deleted ({runs_before}→{runs_after})");
+    assert!(
+        runs_after < runs_before,
+        "covered inputs deleted ({runs_before}→{runs_after})"
+    );
     assert_eq!(count_visible(&engine, 4), 32);
 }
 
@@ -155,9 +169,17 @@ fn recovery_preserves_version_history() {
     let engine = recover(&storage);
     for (v, ts) in snapshots {
         let got = engine
-            .get(&[Datum::Int64(0)], &[Datum::Int64(0)], Freshness::Snapshot(ts))
+            .get(
+                &[Datum::Int64(0)],
+                &[Datum::Int64(0)],
+                Freshness::Snapshot(ts),
+            )
             .unwrap()
             .unwrap();
-        assert_eq!(got.row[3], Datum::Int64(v * 111), "version {v} visible at its snapshot");
+        assert_eq!(
+            got.row[3],
+            Datum::Int64(v * 111),
+            "version {v} visible at its snapshot"
+        );
     }
 }

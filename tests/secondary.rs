@@ -35,7 +35,11 @@ fn engine() -> Arc<WildfireEngine> {
     WildfireEngine::create(
         storage,
         Arc::new(orders_table()),
-        EngineConfig { n_shards: 2, maintenance: None, ..EngineConfig::default() },
+        EngineConfig {
+            n_shards: 2,
+            maintenance: None,
+            ..EngineConfig::default()
+        },
     )
     .unwrap()
 }
@@ -72,8 +76,10 @@ fn secondary_lookup_by_non_key_column() {
     }
     e.groom_all().unwrap();
     let got = customer_orders(&e, 1);
-    let mut expect: Vec<(i64, i64, i64)> =
-        (0..30).filter(|i| i % 3 == 1).map(|i| (i % 2, i, i * 10)).collect();
+    let mut expect: Vec<(i64, i64, i64)> = (0..30)
+        .filter(|i| i % 3 == 1)
+        .map(|i| (i % 2, i, i * 10))
+        .collect();
     expect.sort();
     assert_eq!(got, expect);
 }
@@ -102,7 +108,11 @@ fn secondary_survives_full_pipeline_and_merges() {
         }
         let sidx = shard.secondary_index("by_customer").unwrap();
         assert!(sidx.indexed_psn() >= 1);
-        assert_eq!(sidx.zones()[0].list.len(), 0, "secondary groomed zone drained");
+        assert_eq!(
+            sidx.zones()[0].list.len(),
+            0,
+            "secondary groomed zone drained"
+        );
     }
 }
 
@@ -134,7 +144,11 @@ fn updates_that_change_the_secondary_key_are_validated_out() {
 #[test]
 fn secondary_recovers_from_crash() {
     let storage = Arc::new(TieredStorage::in_memory());
-    let cfg = EngineConfig { n_shards: 1, maintenance: None, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        n_shards: 1,
+        maintenance: None,
+        ..EngineConfig::default()
+    };
     let e = WildfireEngine::create(Arc::clone(&storage), Arc::new(orders_table()), cfg.clone())
         .unwrap();
     for i in 0..20i64 {
