@@ -1,0 +1,273 @@
+//! Maintenance-daemon throughput benchmark: replay one deterministic mixed
+//! ingest + scan stream ([`umzi_workload::MixedWorkload`]) against the
+//! engine in two configurations —
+//!
+//! * **daemon**: background maintenance on (worker pool, backpressure,
+//!   janitor) — grooming/merging/evolving happens off the caller's thread;
+//! * **inline**: no background maintenance — the whole pipeline is drained
+//!   synchronously on the ingest thread at the same cadence.
+//!
+//! Emits `BENCH_maintenance.json` (override with `UMZI_BENCH_MAINT_OUT`)
+//! with rows/sec and ops/sec per mode plus the daemon's per-job counters
+//! and backpressure stats, so PRs can track the maintenance trajectory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use umzi_core::{JobKind, MaintenanceConfig, MaintenanceStats, ReconcileStrategy};
+use umzi_encoding::Datum;
+use umzi_run::SortBound;
+use umzi_storage::TieredStorage;
+use umzi_wildfire::{iot_table, EngineConfig, Freshness, ShardConfig, WildfireEngine};
+use umzi_workload::{MixedConfig, MixedOp, MixedWorkload};
+
+const CYCLES: usize = 120;
+
+fn key_row(k: u64) -> Vec<Datum> {
+    vec![
+        Datum::Int64((k % 1000) as i64),
+        Datum::Int64((k / 1000) as i64),
+        Datum::Int64(20190326 + (k % 7) as i64),
+        Datum::Int64(k as i64),
+    ]
+}
+
+fn key_probe(k: u64) -> (Vec<Datum>, Vec<Datum>) {
+    (
+        vec![Datum::Int64((k % 1000) as i64)],
+        vec![Datum::Int64((k / 1000) as i64)],
+    )
+}
+
+struct Outcome {
+    mode: &'static str,
+    rows: u64,
+    scans: u64,
+    lookups: u64,
+    secs: f64,
+    stats: Option<MaintenanceStats>,
+}
+
+impl Outcome {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.secs.max(1e-9)
+    }
+}
+
+fn engine(maintenance: Option<MaintenanceConfig>) -> Arc<WildfireEngine> {
+    let mut shard = ShardConfig::default();
+    shard.umzi.merge = umzi_core::MergePolicy { k: 4, t: 4 };
+    WildfireEngine::create(
+        Arc::new(TieredStorage::in_memory()),
+        Arc::new(iot_table()),
+        EngineConfig {
+            n_shards: 1,
+            shard,
+            groom_interval: Duration::from_millis(20),
+            post_groom_interval: Duration::from_millis(200),
+            groom_trigger_rows: 1000,
+            maintenance,
+        },
+    )
+    .expect("create engine")
+}
+
+/// Replay the stream; `inline_every` synchronously quiesces the pipeline
+/// every N ingest batches (the pre-daemon behavior), `None` leaves all
+/// maintenance to the background daemon.
+fn replay(e: &Arc<WildfireEngine>, inline_every: Option<usize>, seed: u64) -> (u64, u64, u64) {
+    let mut stream = MixedWorkload::new(
+        MixedConfig {
+            ingest_batch: 1000,
+            lookup_batch: 128,
+            scans_per_ingest: 0.5,
+            lookups_per_ingest: 0.5,
+            ..MixedConfig::default()
+        },
+        seed,
+    );
+    let (mut rows, mut scans, mut lookups, mut ingests) = (0u64, 0u64, 0u64, 0usize);
+    while ingests < CYCLES {
+        match stream.next_op() {
+            MixedOp::IngestBatch(batch) => {
+                let batch_rows: Vec<Vec<Datum>> = batch.iter().map(|&(k, _)| key_row(k)).collect();
+                rows += batch_rows.len() as u64;
+                e.upsert_many(batch_rows).expect("upsert");
+                ingests += 1;
+                if let Some(every) = inline_every {
+                    if ingests % every == 0 {
+                        e.quiesce().expect("inline quiesce");
+                    }
+                }
+            }
+            MixedOp::ScanDevice(d) => {
+                scans += 1;
+                std::hint::black_box(
+                    e.scan_index(
+                        vec![Datum::Int64(d as i64)],
+                        SortBound::Unbounded,
+                        SortBound::Unbounded,
+                        Freshness::Latest,
+                        ReconcileStrategy::PriorityQueue,
+                    )
+                    .expect("scan"),
+                );
+            }
+            MixedOp::LookupBatch(keys) => {
+                lookups += 1;
+                let probes: Vec<_> = keys.iter().map(|&k| key_probe(k)).collect();
+                let shard = &e.shards()[0];
+                std::hint::black_box(
+                    shard
+                        .index()
+                        .batch_lookup(&probes, shard.read_ts())
+                        .expect("batch lookup"),
+                );
+            }
+        }
+    }
+    (rows, scans, lookups)
+}
+
+fn run_daemon_mode() -> Outcome {
+    let e = engine(Some(MaintenanceConfig {
+        workers: 2,
+        l0_high_watermark: 16,
+        l0_low_watermark: 6,
+        throttle: None,
+        janitor_interval: Duration::from_millis(50),
+        adaptive_cache: false,
+    }));
+    let daemons = e.start_daemons();
+    let t0 = Instant::now();
+    let (rows, scans, lookups) = replay(&e, None, 42);
+    let secs = t0.elapsed().as_secs_f64();
+    // Let the background catch up before reading the counters, so the
+    // report reflects the full maintenance cost that ingest did NOT pay.
+    if let Some(d) = daemons.daemon() {
+        for shard in 0..e.shards().len() {
+            d.enqueue(umzi_core::Job::Groom { shard });
+            d.enqueue(umzi_core::Job::Evolve { shard });
+        }
+        d.wait_idle(Duration::from_secs(30));
+    }
+    let stats = e.maintenance_stats();
+    daemons.shutdown();
+    e.quiesce().expect("final drain");
+    Outcome {
+        mode: "daemon",
+        rows,
+        scans,
+        lookups,
+        secs,
+        stats,
+    }
+}
+
+fn run_inline_mode() -> Outcome {
+    let e = engine(None);
+    let t0 = Instant::now();
+    let (rows, scans, lookups) = replay(&e, Some(4), 42);
+    e.quiesce().expect("final drain");
+    let secs = t0.elapsed().as_secs_f64();
+    Outcome {
+        mode: "inline",
+        rows,
+        scans,
+        lookups,
+        secs,
+        stats: None,
+    }
+}
+
+fn main() {
+    let daemon = run_daemon_mode();
+    let inline = run_inline_mode();
+
+    eprintln!("\n== maintenance_throughput ==");
+    for o in [&daemon, &inline] {
+        eprintln!(
+            "{:<8} {:>9} rows  {:>5} scans  {:>5} lookup-batches  {:>8.2}s  {:>12.0} rows/sec",
+            o.mode,
+            o.rows,
+            o.scans,
+            o.lookups,
+            o.secs,
+            o.rows_per_sec()
+        );
+    }
+    if let Some(s) = &daemon.stats {
+        for (kind, k) in &s.per_kind {
+            eprintln!(
+                "  {:<18} runs={:<6} idle={:<6} items={:<9} bytes={}",
+                kind.label(),
+                k.runs,
+                k.no_work,
+                k.items_moved,
+                k.bytes_moved
+            );
+        }
+        eprintln!(
+            "  queue: peak={} dedup={} enqueued={}  backpressure: stalls={} stall_ms={}",
+            s.peak_queue_depth,
+            s.dedup_hits,
+            s.enqueued,
+            s.backpressure.stalls,
+            s.backpressure.stall_nanos / 1_000_000
+        );
+    }
+    let speedup = daemon.rows_per_sec() / inline.rows_per_sec().max(1e-9);
+    eprintln!("ingest speedup daemon/inline: {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"bench\": \"maintenance_throughput\",\n  \"results\": [\n");
+    let entries: Vec<String> = [&daemon, &inline]
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"mode\": \"{}\", \"rows\": {}, \"scans\": {}, \"lookup_batches\": {}, \"secs\": {:.3}, \"ingest_rows_per_sec\": {:.1}}}",
+                o.mode, o.rows, o.scans, o.lookups, o.secs, o.rows_per_sec()
+            )
+        })
+        .collect();
+    let _ = writeln!(json, "{}", entries.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    if let Some(s) = &daemon.stats {
+        let jobs: Vec<String> = JobKind::ALL
+            .iter()
+            .map(|k| {
+                let ks = s.kind(*k);
+                format!(
+                    "    {{\"kind\": \"{}\", \"runs\": {}, \"no_work\": {}, \"items_moved\": {}, \"bytes_moved\": {}}}",
+                    k.label(),
+                    ks.runs,
+                    ks.no_work,
+                    ks.items_moved,
+                    ks.bytes_moved
+                )
+            })
+            .collect();
+        let _ = writeln!(json, "  \"daemon_jobs\": [\n{}\n  ],", jobs.join(",\n"));
+        let _ = writeln!(
+            json,
+            "  \"backpressure\": {{\"stalls\": {}, \"stall_nanos\": {}}},",
+            s.backpressure.stalls, s.backpressure.stall_nanos
+        );
+        let _ = writeln!(
+            json,
+            "  \"queue\": {{\"peak_depth\": {}, \"dedup_hits\": {}, \"enqueued\": {}}},",
+            s.peak_queue_depth, s.dedup_hits, s.enqueued
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"ingest_speedup_daemon_over_inline\": {speedup:.2}"
+    );
+    json.push_str("}\n");
+
+    let out_path = std::env::var("UMZI_BENCH_MAINT_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_maintenance.json").to_string()
+    });
+    std::fs::write(&out_path, json).expect("write BENCH_maintenance.json");
+    eprintln!("wrote {out_path}");
+}

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use umzi_core::MaintainerConfig;
+use umzi_core::MaintenanceConfig;
 use umzi_encoding::Datum;
 use umzi_storage::{LatencyMode, SharedStorage, TierLatency, TieredConfig, TieredStorage};
 use umzi_wildfire::{iot_table, EngineConfig, ShardConfig, WildfireEngine};
@@ -150,12 +150,13 @@ pub fn run_e2e(cfg: &E2eConfig) -> E2eOutcome {
             } else {
                 Duration::from_secs(86_400) // §8.4.4: post-groomer disabled
             },
-            evolve_poll_interval: Duration::from_millis(20),
-            maintenance: Some(MaintainerConfig {
-                merge_poll_interval: Duration::from_millis(20),
+            groom_trigger_rows: 4096,
+            maintenance: Some(MaintenanceConfig {
+                workers: 2,
                 janitor_interval: Duration::from_millis(100),
                 // Figure 14 controls purging manually.
                 adaptive_cache: false,
+                ..MaintenanceConfig::default()
             }),
         },
     )

@@ -72,6 +72,65 @@ impl Default for CacheConfig {
     }
 }
 
+/// Background-maintenance daemon tuning: worker pool, ingest backpressure
+/// watermarks, throttling and the janitor cadence.
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfig {
+    /// Worker threads draining the maintenance job queue.
+    pub workers: usize,
+    /// Ingest stalls when the level-0 run count reaches this many runs.
+    pub l0_high_watermark: usize,
+    /// Stalled ingest resumes once the level-0 run count is back at or
+    /// below this. Keep it ≥ `merge.k − 1`: merges fire only at `K` sealed
+    /// runs, so a lower setting is unreachable and writers would stall
+    /// until evolve GC empties the zone.
+    pub l0_low_watermark: usize,
+    /// Minimum pause a worker inserts after each job that did work — bounds
+    /// the background IO/CPU share. `None` runs flat out.
+    pub throttle: Option<std::time::Duration>,
+    /// Cadence of the janitor tick (graveyard GC, deferred deprecated-block
+    /// retirement, adaptive cache maintenance).
+    pub janitor_interval: std::time::Duration,
+    /// Whether the janitor runs adaptive SSD cache maintenance (§6.2).
+    pub adaptive_cache: bool,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            l0_high_watermark: 12,
+            l0_low_watermark: 6,
+            throttle: None,
+            janitor_interval: std::time::Duration::from_millis(100),
+            adaptive_cache: true,
+        }
+    }
+}
+
+impl MaintenanceConfig {
+    /// Validate structural invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(UmziError::Config(
+                "maintenance requires at least one worker".into(),
+            ));
+        }
+        if self.l0_low_watermark > self.l0_high_watermark {
+            return Err(UmziError::Config(format!(
+                "maintenance watermarks must satisfy low ≤ high, got {} > {}",
+                self.l0_low_watermark, self.l0_high_watermark
+            )));
+        }
+        if self.l0_high_watermark == 0 {
+            return Err(UmziError::Config(
+                "l0_high_watermark must be ≥ 1 (0 would stall every write)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of one Umzi index instance (one per table shard).
 #[derive(Debug, Clone)]
 pub struct UmziConfig {
@@ -90,6 +149,11 @@ pub struct UmziConfig {
     pub non_persisted_levels: Vec<u32>,
     /// Cache-manager thresholds.
     pub cache: CacheConfig,
+    /// Background-maintenance daemon tuning (worker count, ingest
+    /// watermarks, throttle, janitor cadence). Consumed by
+    /// [`crate::daemon::IndexDaemon::spawn`] for a standalone index; the
+    /// Wildfire engine carries its own copy in its `EngineConfig`.
+    pub maintenance: MaintenanceConfig,
 }
 
 impl UmziConfig {
@@ -114,6 +178,7 @@ impl UmziConfig {
             ],
             non_persisted_levels: Vec::new(),
             cache: CacheConfig::default(),
+            maintenance: MaintenanceConfig::default(),
         }
     }
 
@@ -179,6 +244,7 @@ impl UmziConfig {
         if self.offset_bits > 24 {
             return Err(UmziError::Config("offset_bits must be ≤ 24".into()));
         }
+        self.maintenance.validate()?;
         Ok(())
     }
 
@@ -270,6 +336,27 @@ mod tests {
         c.cache.ssd_low_watermark = 0.95;
         c.cache.ssd_high_watermark = 0.90;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_maintenance_config() {
+        let mut c = UmziConfig::two_zone("t");
+        c.maintenance.workers = 0;
+        assert!(c.validate().is_err());
+        c.maintenance = MaintenanceConfig {
+            l0_high_watermark: 2,
+            l0_low_watermark: 4,
+            ..MaintenanceConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.maintenance = MaintenanceConfig {
+            l0_high_watermark: 0,
+            l0_low_watermark: 0,
+            ..MaintenanceConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.maintenance = MaintenanceConfig::default();
+        c.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! The prioritized, deduplicating job queue.
+//!
+//! One mutex-protected heap with a condvar: workers block on [`JobQueue::pop`]
+//! until a job or shutdown arrives. Enqueueing a job equal to one already
+//! pending is a counted no-op (redundant triggers are the common case — every
+//! upsert may poke `Groom`, every build may poke `Merge`), so the queue depth
+//! stays proportional to the *distinct* outstanding work, not the trigger
+//! rate. Jobs of equal priority run in FIFO order via a monotonic sequence
+//! number.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::daemon::job::Job;
+
+struct QueuedJob {
+    job: Job,
+    priority: (u8, u32),
+    seq: u64,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Max-heap: smaller (priority, seq) must compare greater.
+        other
+            .priority
+            .cmp(&self.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    pending: HashSet<Job>,
+    /// Jobs popped but not yet reported done (drain waits on these too).
+    in_flight: usize,
+    /// Once set, `push` rejects new work; workers drain what remains.
+    closing: bool,
+    /// Once set, `pop` returns `None` even with jobs remaining (abort).
+    discarding: bool,
+}
+
+/// The shared scheduler state between enqueuers and the worker pool.
+pub(crate) struct JobQueue {
+    state: std::sync::Mutex<QueueState>,
+    cv: std::sync::Condvar,
+    seq: AtomicU64,
+    /// Deduplicated enqueue attempts (observability).
+    pub(crate) dedup_hits: AtomicU64,
+    /// Accepted enqueues.
+    pub(crate) enqueued: AtomicU64,
+    /// High-water mark of the pending-queue depth.
+    pub(crate) peak_depth: AtomicU64,
+}
+
+impl JobQueue {
+    pub(crate) fn new() -> JobQueue {
+        JobQueue {
+            state: std::sync::Mutex::new(QueueState::default()),
+            cv: std::sync::Condvar::new(),
+            seq: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            peak_depth: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueue a job unless an equal one is already pending or the queue is
+    /// shutting down. Returns whether the job was accepted.
+    pub(crate) fn push(&self, job: Job) -> bool {
+        self.push_inner(job, false)
+    }
+
+    /// Worker-side enqueue for follow-ups: still accepted while a graceful
+    /// drain is in progress (maintenance chains are finite — every merge
+    /// strictly shrinks the structure — so the drain converges), rejected
+    /// only by a discarding shutdown.
+    pub(crate) fn push_follow_up(&self, job: Job) -> bool {
+        self.push_inner(job, true)
+    }
+
+    fn push_inner(&self, job: Job, follow_up: bool) -> bool {
+        let mut s = self.lock();
+        if s.discarding || (s.closing && !follow_up) {
+            return false;
+        }
+        if !s.pending.insert(job) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        s.heap.push(QueuedJob {
+            job,
+            priority: job.priority(),
+            seq,
+        });
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.peak_depth
+            .fetch_max(s.heap.len() as u64, Ordering::Relaxed);
+        drop(s);
+        // notify_all, not notify_one: pop() workers and wait_idle() waiters
+        // share this condvar, and a single wakeup could land on an
+        // idle-waiter (which just re-waits) while the job sat unexecuted
+        // until the next push.
+        self.cv.notify_all();
+        true
+    }
+
+    /// Block until a job is available (returning it) or until shutdown with
+    /// an empty (or discarded) queue (returning `None`). The caller must
+    /// pair every `Some` with a later [`JobQueue::done`].
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut s = self.lock();
+        loop {
+            if s.discarding {
+                return None;
+            }
+            if let Some(q) = s.heap.pop() {
+                s.pending.remove(&q.job);
+                s.in_flight += 1;
+                return Some(q.job);
+            }
+            if s.closing {
+                return None;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Report a popped job finished (after its follow-ups were pushed).
+    pub(crate) fn done(&self) {
+        let mut s = self.lock();
+        s.in_flight = s.in_flight.saturating_sub(1);
+        let idle = s.in_flight == 0 && s.heap.is_empty();
+        drop(s);
+        if idle {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pending jobs (not counting in-flight).
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// Whether nothing is pending or in flight.
+    pub(crate) fn is_idle(&self) -> bool {
+        let s = self.lock();
+        s.heap.is_empty() && s.in_flight == 0
+    }
+
+    /// Block until the queue is idle (pending and in-flight both empty) or
+    /// `timeout` elapses. Returns whether idleness was reached.
+    pub(crate) fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.lock();
+        loop {
+            if s.heap.is_empty() && s.in_flight == 0 {
+                return true;
+            }
+            let Some(rest) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, rest.min(Duration::from_millis(20)))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            s = guard;
+        }
+    }
+
+    /// Stop accepting new jobs. With `discard`, also drop everything still
+    /// pending (workers exit at the next pop); without it, workers drain the
+    /// remaining queue first.
+    pub(crate) fn close(&self, discard: bool) {
+        let mut s = self.lock();
+        s.closing = true;
+        if discard {
+            s.discarding = true;
+            s.heap.clear();
+            s.pending.clear();
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_then_fifo_order() {
+        let q = JobQueue::new();
+        q.push(Job::Groom { shard: 0 });
+        q.push(Job::Merge { shard: 0, level: 2 });
+        q.push(Job::Merge { shard: 0, level: 0 });
+        q.push(Job::RetireDeprecatedBlocks { shard: 0 });
+        q.push(Job::Evolve { shard: 0 });
+        q.push(Job::Groom { shard: 1 });
+
+        let order: Vec<Job> = std::iter::from_fn(|| {
+            let j = if q.is_idle() { None } else { q.pop() };
+            if j.is_some() {
+                q.done();
+            }
+            j
+        })
+        .take(6)
+        .collect();
+        assert_eq!(
+            order,
+            vec![
+                Job::RetireDeprecatedBlocks { shard: 0 },
+                Job::Merge { shard: 0, level: 0 },
+                Job::Merge { shard: 0, level: 2 },
+                Job::Evolve { shard: 0 },
+                Job::Groom { shard: 0 },
+                Job::Groom { shard: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_pending_jobs_dedup() {
+        let q = JobQueue::new();
+        assert!(q.push(Job::Groom { shard: 0 }));
+        assert!(!q.push(Job::Groom { shard: 0 }));
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.dedup_hits.load(Ordering::Relaxed), 1);
+        // Once popped, the same job may be enqueued again.
+        assert_eq!(q.pop(), Some(Job::Groom { shard: 0 }));
+        assert!(q.push(Job::Groom { shard: 0 }));
+        q.done();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::new();
+        q.push(Job::Groom { shard: 0 });
+        q.close(false);
+        assert!(!q.push(Job::Groom { shard: 1 }), "closed queue rejects");
+        assert_eq!(q.pop(), Some(Job::Groom { shard: 0 }), "drain continues");
+        q.done();
+        assert_eq!(q.pop(), None, "empty + closed terminates workers");
+    }
+
+    #[test]
+    fn close_discard_drops_pending() {
+        let q = JobQueue::new();
+        q.push(Job::Groom { shard: 0 });
+        q.push(Job::Evolve { shard: 0 });
+        q.close(true);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.depth(), 0);
+    }
+}

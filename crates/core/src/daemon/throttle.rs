@@ -1,0 +1,236 @@
+//! Write-path backpressure and worker throttling.
+//!
+//! Sustained ingest must not outrun grooming: every groom cycle adds a
+//! level-0 run, and queries pay per live run. The [`Backpressure`] gate
+//! watches the level-0 run count — writers stall when it reaches the high
+//! watermark and resume once maintenance has merged it down to the low
+//! watermark (classic hysteresis, the same shape as the §6.2 SSD
+//! watermarks). Maintenance itself is never gated.
+//!
+//! The gate is self-releasing: stalled writers re-evaluate the run count on
+//! a short timeout as well as on explicit [`Backpressure::update`] pokes
+//! from completing jobs, so a missed wakeup degrades to polling instead of
+//! a deadlock. A disabled gate (no daemon running) admits everything.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Point-in-time backpressure statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackpressureStats {
+    /// Times the gate transitioned clear → stalled.
+    pub stalls: u64,
+    /// Total wall-clock time writers spent stalled.
+    pub stall_nanos: u64,
+    /// Whether the gate is currently stalled.
+    pub stalled: bool,
+}
+
+/// The ingest gate.
+pub struct Backpressure {
+    high: usize,
+    low: usize,
+    /// Writers stall while set; maintenance completions and the timeout
+    /// poll clear it. Source of truth, coordinated with `cv`.
+    stalled: std::sync::Mutex<bool>,
+    /// Lock-free shadow of `stalled`, updated under the mutex — the
+    /// un-stalled writer fast path reads only this, so concurrent writers
+    /// never serialize on the mutex while the gate is clear.
+    stalled_flag: AtomicBool,
+    cv: std::sync::Condvar,
+    /// Gate only engages while a daemon that can relieve it is running.
+    enabled: AtomicBool,
+    stalls: AtomicU64,
+    stall_nanos: AtomicU64,
+}
+
+impl Backpressure {
+    /// A gate with the given level-0 run-count watermarks (`low ≤ high`).
+    pub fn new(high: usize, low: usize) -> Backpressure {
+        assert!(
+            low <= high,
+            "backpressure watermarks: low {low} > high {high}"
+        );
+        Backpressure {
+            high,
+            low,
+            stalled: std::sync::Mutex::new(false),
+            stalled_flag: AtomicBool::new(false),
+            cv: std::sync::Condvar::new(),
+            enabled: AtomicBool::new(false),
+            stalls: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the stall state; callers must hold the `stalled` mutex guard.
+    fn set_stalled(&self, guard: &mut bool, value: bool) {
+        *guard = value;
+        self.stalled_flag.store(value, Ordering::Release);
+        if value {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// High watermark (stall at/above).
+    pub fn high_watermark(&self) -> usize {
+        self.high
+    }
+
+    /// Low watermark (resume at/below).
+    pub fn low_watermark(&self) -> usize {
+        self.low
+    }
+
+    /// Arm or disarm the gate. Disarming releases any stalled writer — a
+    /// gate without running maintenance would never clear.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+        if !enabled {
+            let mut stalled = self.lock();
+            *stalled = false;
+            self.stalled_flag.store(false, Ordering::Release);
+            drop(stalled);
+            self.cv.notify_all();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.stalled
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Writer-side admission: blocks while the gate is stalled, engaging it
+    /// first when `current()` (the live level-0 run count) has reached the
+    /// high watermark. Returns the time spent stalled, if any.
+    pub fn admit(&self, current: &dyn Fn() -> usize) -> Option<Duration> {
+        if !self.enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        // Lock-free fast path: while the gate is clear and the run count is
+        // below the high watermark, writers never touch the mutex.
+        if !self.stalled_flag.load(Ordering::Acquire) && current() < self.high {
+            return None;
+        }
+        let mut stalled = self.lock();
+        if !*stalled {
+            if current() < self.high {
+                return None;
+            }
+            self.set_stalled(&mut stalled, true);
+        }
+        let t0 = Instant::now();
+        while *stalled && self.enabled.load(Ordering::Acquire) {
+            if current() <= self.low {
+                self.set_stalled(&mut stalled, false);
+                self.cv.notify_all();
+                break;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(stalled, Duration::from_millis(5))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            stalled = guard;
+        }
+        drop(stalled);
+        let waited = t0.elapsed();
+        self.stall_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        Some(waited)
+    }
+
+    /// Maintenance-side poke after work that changed the run count: engages
+    /// the gate at/above the high watermark, releases it at/below the low
+    /// one, and wakes stalled writers either way.
+    pub fn update(&self, current: usize) {
+        if !self.enabled.load(Ordering::Acquire) {
+            return;
+        }
+        let mut stalled = self.lock();
+        if *stalled && current <= self.low {
+            self.set_stalled(&mut stalled, false);
+        } else if !*stalled && current >= self.high {
+            self.set_stalled(&mut stalled, true);
+        }
+        drop(stalled);
+        self.cv.notify_all();
+    }
+
+    /// Whether the gate is currently stalled (lock-free).
+    pub fn is_stalled(&self) -> bool {
+        self.stalled_flag.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> BackpressureStats {
+        BackpressureStats {
+            stalls: self.stalls.load(Ordering::Relaxed),
+            stall_nanos: self.stall_nanos.load(Ordering::Relaxed),
+            stalled: self.is_stalled(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_gate_admits_everything() {
+        let g = Backpressure::new(2, 1);
+        assert_eq!(g.admit(&|| 1000), None);
+        assert!(!g.is_stalled());
+    }
+
+    #[test]
+    fn below_high_watermark_is_free() {
+        let g = Backpressure::new(4, 2);
+        g.set_enabled(true);
+        assert_eq!(g.admit(&|| 3), None, "no stall below high watermark");
+        assert_eq!(g.stats().stalls, 0);
+    }
+
+    #[test]
+    fn stalls_until_low_watermark() {
+        let g = Arc::new(Backpressure::new(4, 2));
+        g.set_enabled(true);
+        let count = Arc::new(AtomicUsize::new(8));
+        // "Maintenance": drop the count below low after a delay.
+        let relief = {
+            let count = Arc::clone(&count);
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                count.store(1, Ordering::Release);
+                g.update(1);
+            })
+        };
+        let count2 = Arc::clone(&count);
+        let waited = g
+            .admit(&move || count2.load(Ordering::Acquire))
+            .expect("must stall at count 8");
+        relief.join().unwrap();
+        assert!(waited >= Duration::from_millis(10), "waited {waited:?}");
+        let s = g.stats();
+        assert_eq!(s.stalls, 1);
+        assert!(s.stall_nanos > 0);
+        assert!(!s.stalled);
+    }
+
+    #[test]
+    fn disarming_releases_stalled_writers() {
+        let g = Arc::new(Backpressure::new(1, 0));
+        g.set_enabled(true);
+        let writer = {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || g.admit(&|| 100))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        g.set_enabled(false);
+        assert!(writer.join().unwrap().is_some());
+        assert!(!g.is_stalled());
+    }
+}

@@ -50,6 +50,10 @@ pub struct EvolveReport {
     pub psn: u64,
     /// ID of the post-groomed run that was built.
     pub new_run_id: u64,
+    /// Entries in the new run.
+    pub new_run_entries: u64,
+    /// Size of the new run object in bytes.
+    pub new_run_bytes: u64,
     /// The maximum groomed block ID covered after step 2 (inclusive).
     pub watermark: u64,
     /// Groomed runs garbage-collected in step 3.
@@ -131,9 +135,15 @@ impl UmziIndex {
         self.bury(removed);
 
         self.counters.evolves.fetch_add(1, Ordering::Relaxed);
+        // Ingest-path daemon trigger: the new run may satisfy the receiving
+        // zone's merge condition, and GC'd runs unblock deferred
+        // deprecated-block retirement.
+        self.notify_maintenance(crate::index::MaintEvent::EvolveApplied { level, gc_runs });
         Ok(EvolveReport {
             psn: notice.psn,
             new_run_id: run.run_id(),
+            new_run_entries: run.entry_count(),
+            new_run_bytes: run.size_bytes(),
             watermark: watermark - 1, // report the inclusive covered maximum
             gc_runs,
         })

@@ -61,10 +61,10 @@
 pub mod build;
 pub mod cache_mgr;
 pub mod config;
+pub mod daemon;
 pub mod error;
 pub mod evolve;
 pub mod index;
-pub mod maintenance;
 pub mod manifest;
 pub mod merge;
 pub mod query;
@@ -74,11 +74,14 @@ pub mod runlist;
 pub mod stats;
 
 pub use cache_mgr::CacheMaintainReport;
-pub use config::{CacheConfig, MergePolicy, UmziConfig, ZoneConfig};
+pub use config::{CacheConfig, MaintenanceConfig, MergePolicy, UmziConfig, ZoneConfig};
+pub use daemon::{
+    Backpressure, BackpressureStats, IndexDaemon, Job, JobExecutor, JobKind, JobKindStats,
+    JobOutcome, JobResult, MaintenanceDaemon, MaintenanceStats, StopSignal,
+};
 pub use error::UmziError;
 pub use evolve::{EvolveNotice, EvolveReport};
-pub use index::{IndexCounters, UmziIndex, ZoneState};
-pub use maintenance::{Maintainer, MaintainerConfig};
+pub use index::{IndexCounters, MaintEvent, MaintenanceHook, UmziIndex, ZoneState};
 pub use manifest::Manifest;
 pub use merge::MergeReport;
 pub use query::{QueryOutput, RangeQuery};

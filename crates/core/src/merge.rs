@@ -41,6 +41,8 @@ pub struct MergeReport {
     pub output_run_id: u64,
     /// Entries in the produced run.
     pub output_entries: u64,
+    /// Size of the produced run object in bytes.
+    pub output_bytes: u64,
     /// Whether the produced run was immediately sealed.
     pub sealed: bool,
 }
@@ -269,14 +271,15 @@ impl UmziIndex {
             inputs: input_ids.len(),
             output_run_id: new_run.run_id(),
             output_entries: new_run.entry_count(),
+            output_bytes: new_run.size_bytes(),
             sealed,
         }))
     }
 
     /// Run merges at every level until the structure is quiescent. Returns
     /// the number of merges performed. (Tests and synchronous callers; the
-    /// background [`crate::maintenance::Maintainer`] drives `merge_at`
-    /// per-level instead.)
+    /// background [`crate::daemon::MaintenanceDaemon`] drives `merge_at`
+    /// job-by-job instead.)
     pub fn drain_merges(&self) -> Result<usize> {
         let mut total = 0;
         loop {

@@ -108,6 +108,22 @@ impl RunList {
         out
     }
 
+    /// Count the runs matching `pred` — same lock-free walk as
+    /// [`RunList::snapshot`] but with a single `Arc` clone (the head) and
+    /// no `Vec`, for hot-path callers like the ingest backpressure gate.
+    pub fn count_matching(&self, mut pred: impl FnMut(&Run) -> bool) -> usize {
+        let head = self.load_head();
+        let mut n = 0;
+        let mut cur = head.as_deref();
+        while let Some(node) = cur {
+            if pred(&node.run) {
+                n += 1;
+            }
+            cur = node.next.as_deref();
+        }
+        n
+    }
+
     /// Prepend a run (index build, §5.2; evolve step 1, §5.4).
     pub fn push_front(&self, run: Arc<Run>) {
         let _w = self.write_lock.lock();

@@ -101,6 +101,12 @@ impl<'a> RunSearcher<'a> {
     /// Like [`Self::scan`] but taking the upper bound as a refcounted
     /// [`Bytes`], so multi-run queries share one allocation across all
     /// per-run iterators instead of copying the bound per run.
+    ///
+    /// Both bounds resolve to *ordinals* up front through the fence index —
+    /// one block fetch each — so iteration advances block-by-block with no
+    /// per-entry `locate()` binary search and no per-entry upper-bound key
+    /// comparison, and an empty range is detected without fetching any
+    /// block beyond the positioning ones.
     pub fn scan_shared(
         &self,
         lower: &[u8],
@@ -109,13 +115,22 @@ impl<'a> RunSearcher<'a> {
         query_ts: u64,
     ) -> Result<RunRangeIter<'a>> {
         let start = self.find_first_geq(lower, bucket)?;
+        // Keys are globally sorted, so every entry below the upper bound
+        // sits below its first-geq ordinal: the key comparison the iterator
+        // used to do per entry collapses into this single fence jump.
+        // Unbounded scans stop at the bucket (or run) end as before.
+        let end = match &upper {
+            Some(u) if start < self.run.entry_count() => self.run.locate_first_geq(u)?,
+            Some(_) => start,
+            None => self.run.bucket_range(bucket).1,
+        };
         Ok(RunRangeIter {
             run: self.run,
             ordinal: start,
-            end_of_bucket: self.run.bucket_range(bucket).1,
-            upper,
+            end,
             query_ts,
             cur_block: None,
+            block_base: 0,
             last_group: Vec::new(),
             group_done: false,
             done: false,
@@ -149,17 +164,20 @@ impl<'a> RunSearcher<'a> {
 }
 
 /// Streaming iterator over one run's matches; yields at most one (the
-/// newest visible) version per logical key.
+/// newest visible) version per logical key. Both range bounds were resolved
+/// to ordinals at construction, so iteration is pure forward movement: the
+/// current block is held and advanced block-by-block, with no per-entry
+/// `locate()` and no per-entry bound comparison.
 pub struct RunRangeIter<'a> {
     run: &'a Run,
     ordinal: u64,
-    /// End of the bucket's ordinal range — keys past it cannot match the
-    /// bucket-narrowed bounds, but the upper-bound key check remains the
-    /// authoritative stop condition.
-    end_of_bucket: u64,
-    upper: Option<Bytes>,
+    /// First ordinal past the range (upper bound resolved via the fence
+    /// index, or the bucket/run end for unbounded scans).
+    end: u64,
     query_ts: u64,
     cur_block: Option<(u32, DataBlock)>,
+    /// Ordinal of `cur_block`'s first entry.
+    block_base: u64,
     last_group: Vec<u8>,
     group_done: bool,
     done: bool,
@@ -167,13 +185,26 @@ pub struct RunRangeIter<'a> {
 
 impl RunRangeIter<'_> {
     fn fetch(&mut self, ordinal: u64) -> Result<EntryRef> {
-        let (b, slot) = self.run.locate(ordinal)?;
-        let reuse = matches!(&self.cur_block, Some((idx, _)) if *idx == b);
-        if !reuse {
+        loop {
+            if let Some((b, block)) = &self.cur_block {
+                let n_in_block = u64::from(block.entry_count());
+                if (self.block_base..self.block_base + n_in_block).contains(&ordinal) {
+                    return block.entry((ordinal - self.block_base) as u16);
+                }
+                if ordinal == self.block_base + n_in_block && b + 1 < self.run.data_block_count() {
+                    // Sequential advance: step into the next block without
+                    // re-deriving the position.
+                    let next = b + 1;
+                    self.block_base += n_in_block;
+                    self.cur_block = Some((next, self.run.data_block(next)?));
+                    continue;
+                }
+            }
+            // First positioning (or a non-sequential jump): one locate().
+            let (b, slot) = self.run.locate(ordinal)?;
+            self.block_base = ordinal - u64::from(slot);
             self.cur_block = Some((b, self.run.data_block(b)?));
         }
-        let (_, block) = self.cur_block.as_ref().expect("block just set");
-        block.entry(slot)
     }
 }
 
@@ -185,14 +216,7 @@ impl Iterator for RunRangeIter<'_> {
             return None;
         }
         loop {
-            if self.ordinal >= self.run.entry_count() {
-                self.done = true;
-                return None;
-            }
-            if self.upper.is_none() && self.ordinal >= self.end_of_bucket {
-                // Unbounded scans without an upper key stop at the run (or
-                // bucket) end — decided on ordinals alone, *before* fetching
-                // a block the scan would immediately discard.
+            if self.ordinal >= self.end || self.ordinal >= self.run.entry_count() {
                 self.done = true;
                 return None;
             }
@@ -203,12 +227,6 @@ impl Iterator for RunRangeIter<'_> {
                     return Some(Err(e));
                 }
             };
-            if let Some(upper) = &self.upper {
-                if entry.key.as_ref() >= upper.as_ref() {
-                    self.done = true;
-                    return None;
-                }
-            }
             self.ordinal += 1;
 
             let logical = entry.logical_key();

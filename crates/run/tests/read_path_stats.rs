@@ -111,6 +111,59 @@ fn fence_lookup_reads_4x_fewer_blocks_than_scalar() {
 }
 
 #[test]
+fn bounded_scan_touches_only_spanned_blocks() {
+    // The fence-aware iterator resolves both bounds to ordinals up front,
+    // so a narrow bounded scan reads only the blocks the range spans plus
+    // the two positioning probes — never a trailing block just to discover
+    // the upper bound was passed.
+    let storage = storage_no_decoded_cache();
+    let run = build_multi_block_run(&storage, 4000);
+    let entries_per_block = 4000 / run.data_block_count() as i64;
+    let l = layout();
+    let searcher = RunSearcher::new(&run);
+
+    // Keys sort as (d, m); device 3 holds every msg with m % 8 == 3, as a
+    // contiguous ordinal range. Scan a window holding about half a block's
+    // worth of its entries.
+    let key_of = |m: i64| {
+        let mut p = l.equality_prefix(&[Datum::Int64(3)]).unwrap();
+        umzi_encoding::encode_datum(&Datum::Int64(m), &mut p);
+        p
+    };
+    let width = (entries_per_block / 2).max(1) * 8; // msg span ⇒ width/8 entries
+    let (lo_m, hi_m) = (200, 200 + width);
+    let expected = (lo_m..hi_m).filter(|m| m % 8 == 3).count();
+    let (lower, upper) = (key_of(lo_m), key_of(hi_m));
+
+    let before = storage.stats().chunk_reads;
+    let hits: Vec<_> = searcher
+        .scan(&lower, Some(&upper), None, u64::MAX)
+        .unwrap()
+        .collect::<umzi_run::Result<Vec<_>>>()
+        .unwrap();
+    let reads = storage.stats().chunk_reads - before;
+
+    assert_eq!(hits.len(), expected, "every key in range, exactly once");
+    // Two positioning reads (lower + upper fence jumps) plus at most the
+    // two blocks a half-block window can straddle.
+    assert!(
+        reads <= 4,
+        "bounded half-block scan must not sweep blocks: {reads} reads"
+    );
+
+    // An empty range costs only the positioning probes, not a discarded
+    // data fetch.
+    let before = storage.stats().chunk_reads;
+    let n = searcher
+        .scan(&key_of(401), Some(&key_of(401)), None, u64::MAX)
+        .unwrap()
+        .count();
+    let reads = storage.stats().chunk_reads - before;
+    assert_eq!(n, 0);
+    assert!(reads <= 2, "empty range read {reads} blocks");
+}
+
+#[test]
 fn decoded_cache_eliminates_repeat_reads() {
     // With the decoded cache on (default config), repeated probes of the
     // same key stop issuing chunk reads entirely after the first.

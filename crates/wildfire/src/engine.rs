@@ -1,26 +1,33 @@
-//! The multi-shard Wildfire engine with its background daemons.
+//! The multi-shard Wildfire engine with its background maintenance daemon.
 //!
 //! Ties the substrate together (Figure 1): transactions append to per-shard
-//! committed logs (live zone); a groomer daemon grooms every shard
-//! periodically (default 1 s, §2.1); a post-groomer daemon re-organizes
-//! groomed data (default 20 s, matching §8.4's experiment setup); an indexer
-//! daemon polls MaxPSN and applies evolve operations (Figure 5); and a
-//! per-shard [`umzi_core::Maintainer`] runs the per-level merge threads and
-//! the janitor.
+//! committed logs (live zone); a [`umzi_core::MaintenanceDaemon`] worker
+//! pool drains a prioritized job queue of groom / merge / evolve / janitor
+//! work, fed from the **ingest path** (upserts poke `Groom` once a backlog
+//! accumulates, index builds poke `Merge` through the maintenance hook) and
+//! from periodic tickers that preserve the paper's cadence (groomer every
+//! second, §2.1; post-groomer every 20 s, §8.4). The daemon's backpressure
+//! gate stalls ingest when the level-0 run count reaches the configured
+//! high watermark and resumes at the low watermark, so sustained writes
+//! cannot outrun grooming.
 //!
 //! Queries route by sharding key when it is bound, otherwise fan out; shard
 //! key spaces are disjoint, so cross-shard results concatenate without
 //! reconciliation.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use umzi_core::{Maintainer, MaintainerConfig, QueryOutput, RangeQuery, ReconcileStrategy};
+use parking_lot::RwLock;
+use umzi_core::{
+    Job, MaintEvent, MaintenanceConfig, MaintenanceDaemon, MaintenanceStats, QueryOutput,
+    RangeQuery, ReconcileStrategy, StopSignal,
+};
 use umzi_encoding::Datum;
 use umzi_run::{Rid, SortBound};
 use umzi_storage::TieredStorage;
 
+use crate::maintenance::EngineExecutor;
 use crate::shard::{Shard, ShardConfig};
 use crate::table::TableDef;
 use crate::Result;
@@ -32,15 +39,19 @@ pub struct EngineConfig {
     pub n_shards: usize,
     /// Per-shard configuration template (index names are derived per shard).
     pub shard: ShardConfig,
-    /// Groomer period (§2.1 suggests every second).
+    /// Groomer tick period (§2.1 suggests every second). Upserts also
+    /// enqueue groom jobs directly once `groom_trigger_rows` accumulate, so
+    /// the tick is a latency bound, not the throughput path.
     pub groom_interval: Duration,
-    /// Post-groomer period (§8.4 uses 20 seconds).
+    /// Post-groomer tick period (§8.4 uses 20 seconds).
     pub post_groom_interval: Duration,
-    /// Indexer PSN poll period.
-    pub evolve_poll_interval: Duration,
-    /// Per-shard index maintenance (merge threads + janitor); `None`
-    /// disables background maintenance (manual [`WildfireEngine::quiesce`]).
-    pub maintenance: Option<MaintainerConfig>,
+    /// Live-zone backlog at which an upsert enqueues a groom job without
+    /// waiting for the tick.
+    pub groom_trigger_rows: usize,
+    /// Background maintenance daemon (worker pool, backpressure watermarks,
+    /// janitor); `None` disables all background work (manual
+    /// [`WildfireEngine::quiesce`]).
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl Default for EngineConfig {
@@ -50,8 +61,8 @@ impl Default for EngineConfig {
             shard: ShardConfig::default(),
             groom_interval: Duration::from_secs(1),
             post_groom_interval: Duration::from_secs(20),
-            evolve_poll_interval: Duration::from_millis(50),
-            maintenance: Some(MaintainerConfig::default()),
+            groom_trigger_rows: 4096,
+            maintenance: Some(MaintenanceConfig::default()),
         }
     }
 }
@@ -85,6 +96,10 @@ pub struct WildfireEngine {
     shards: Vec<Arc<Shard>>,
     storage: Arc<TieredStorage>,
     config: EngineConfig,
+    /// The running maintenance daemon, set by [`WildfireEngine::start_daemons`];
+    /// the ingest path reads it to enqueue jobs and pass the backpressure
+    /// gate.
+    daemon: RwLock<Option<Arc<MaintenanceDaemon>>>,
 }
 
 impl std::fmt::Debug for WildfireEngine {
@@ -104,6 +119,9 @@ impl WildfireEngine {
         config: EngineConfig,
     ) -> Result<Arc<WildfireEngine>> {
         assert!(config.n_shards >= 1, "at least one shard");
+        if let Some(mc) = &config.maintenance {
+            mc.validate()?;
+        }
         let mut shards = Vec::with_capacity(config.n_shards);
         for i in 0..config.n_shards {
             let mut sc = config.shard.clone();
@@ -120,6 +138,7 @@ impl WildfireEngine {
             shards,
             storage,
             config,
+            daemon: RwLock::new(None),
         }))
     }
 
@@ -129,6 +148,9 @@ impl WildfireEngine {
         table: Arc<TableDef>,
         config: EngineConfig,
     ) -> Result<Arc<WildfireEngine>> {
+        if let Some(mc) = &config.maintenance {
+            mc.validate()?;
+        }
         let mut shards = Vec::with_capacity(config.n_shards);
         for i in 0..config.n_shards {
             let mut sc = config.shard.clone();
@@ -145,6 +167,7 @@ impl WildfireEngine {
             shards,
             storage,
             config,
+            daemon: RwLock::new(None),
         }))
     }
 
@@ -168,16 +191,75 @@ impl WildfireEngine {
         self.shards.iter().map(|s| s.read_ts()).max().unwrap_or(0)
     }
 
+    /// The running maintenance daemon, if any.
+    fn daemon(&self) -> Option<Arc<MaintenanceDaemon>> {
+        self.daemon.read().clone()
+    }
+
+    /// Maintenance-daemon statistics, when daemons are running.
+    pub fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        self.daemon().map(|d| d.stats())
+    }
+
+    /// The worst shard's level-0 run count — what the backpressure gate
+    /// watches.
+    pub fn max_l0_runs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.index().level0_run_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Write-path admission: when level-0 runs have piled up to the high
+    /// watermark, poke relief jobs (level-0 merges and evolve) and stall on
+    /// the backpressure gate until maintenance brings the count back to the
+    /// low watermark. Free when no daemon is running.
+    fn admit_ingest(&self) {
+        let Some(daemon) = self.daemon() else { return };
+        let gate = Arc::clone(daemon.backpressure());
+        let current = || self.max_l0_runs();
+        // Fast path: gate clear and run count healthy — one lock-free list
+        // walk, no relief enqueue, no mutex.
+        if !gate.is_stalled() && current() < gate.high_watermark() {
+            return;
+        }
+        // Pressure: poke the jobs that shrink level 0 before (possibly)
+        // blocking on the gate.
+        for si in 0..self.shards.len() {
+            daemon.enqueue(Job::Merge {
+                shard: si,
+                level: 0,
+            });
+            daemon.enqueue(Job::Evolve { shard: si });
+        }
+        gate.admit(&current);
+    }
+
+    /// Ingest-path groom trigger: enqueue a groom job once the shard's
+    /// live-zone backlog warrants one (the periodic tick catches
+    /// stragglers).
+    fn maybe_trigger_groom(&self, shard: usize) {
+        if self.shards[shard].live().len() >= self.config.groom_trigger_rows {
+            if let Some(daemon) = self.daemon() {
+                daemon.enqueue(Job::Groom { shard });
+            }
+        }
+    }
+
     /// Upsert one row (routed by sharding key).
     pub fn upsert(&self, row: Vec<Datum>) -> Result<()> {
+        self.admit_ingest();
         let shard = self.table.shard_of(&row, self.shards.len());
         self.shards[shard].upsert(vec![row])?;
+        self.maybe_trigger_groom(shard);
         Ok(())
     }
 
     /// Upsert a batch, grouped per shard (each shard's group commits as one
     /// transaction).
     pub fn upsert_many(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
+        self.admit_ingest();
         let mut per_shard: Vec<Vec<Vec<Datum>>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for row in rows {
@@ -186,6 +268,7 @@ impl WildfireEngine {
         for (i, group) in per_shard.into_iter().enumerate() {
             if !group.is_empty() {
                 self.shards[i].upsert(group)?;
+                self.maybe_trigger_groom(i);
             }
         }
         Ok(())
@@ -426,7 +509,10 @@ impl WildfireEngine {
     /// records and are **validated against the primary index**: a version
     /// whose secondary-key value was later updated still matches its old
     /// key in the secondary index, so each hit is kept only if it is the
-    /// record's newest visible version.
+    /// record's newest visible version. All of a shard's hits validate
+    /// through **one** [`UmziIndex::batch_lookup`](umzi_core::UmziIndex::batch_lookup)
+    /// — sorted probes, one synopsis check per run, shared block reads —
+    /// instead of a full point lookup per hit.
     pub fn scan_secondary(
         &self,
         index_name: &str,
@@ -450,17 +536,24 @@ impl WildfireEngine {
                         "no secondary index named {index_name:?}"
                     )));
                 };
-                for hit in sidx.range_scan(&query, ReconcileStrategy::PriorityQueue)? {
+                let hits = sidx.range_scan(&query, ReconcileStrategy::PriorityQueue)?;
+                if hits.is_empty() {
+                    continue;
+                }
+                // Resolve every candidate row, collecting its primary key.
+                let mut resolved = Vec::with_capacity(hits.len());
+                let mut probes = Vec::with_capacity(hits.len());
+                for hit in &hits {
                     let rid = hit.rid()?;
                     let (row, begin_ts, _, _) = shard.fetch_row(rid)?;
-                    // Validation: is this still the record's current version?
                     let (peq, psort, _) = self.table.index_groups(&row);
-                    let current = shard
-                        .index()
-                        .point_lookup(&peq, &psort, ts)?
-                        .map(|o| o.begin_ts == begin_ts)
-                        .unwrap_or(false);
-                    if current {
+                    probes.push((peq, psort));
+                    resolved.push((row, begin_ts, rid));
+                }
+                // One batched validation pass against the primary index.
+                let current = shard.index().batch_lookup(&probes, ts)?;
+                for ((row, begin_ts, rid), newest) in resolved.into_iter().zip(current) {
+                    if newest.map(|o| o.begin_ts == begin_ts).unwrap_or(false) {
                         views.push(RecordView {
                             row,
                             begin_ts: Some(begin_ts),
@@ -473,92 +566,130 @@ impl WildfireEngine {
         })
     }
 
-    /// Spawn the background daemons; they stop when the handle drops.
+    /// Spawn the background maintenance: the daemon worker pool (when
+    /// `config.maintenance` is set) plus the groom and post-groom tickers
+    /// that enqueue jobs at the paper's cadence. Background work stops when
+    /// the returned handle is shut down or dropped.
     pub fn start_daemons(self: &Arc<Self>) -> EngineDaemons {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(StopSignal::new());
         let mut threads = Vec::new();
 
-        let spawn_loop =
-            |name: &str, interval: Duration, stop: Arc<AtomicBool>, f: Box<dyn Fn() + Send>| {
+        let daemon = self.config.maintenance.clone().map(|mc| {
+            let executor = Arc::new(EngineExecutor::new(
+                self.shards.to_vec(),
+                self.config.groom_trigger_rows,
+                mc.adaptive_cache,
+            ));
+            let daemon = MaintenanceDaemon::spawn(executor, mc);
+            // Ingest-path hooks: every index build / evolve enqueues its
+            // follow-up maintenance instead of waiting for a poll. Weak so
+            // the hook (held by the index, held by the executor, held by
+            // the daemon's workers) doesn't keep the daemon alive forever.
+            for (si, shard) in self.shards.iter().enumerate() {
+                let weak = Arc::downgrade(&daemon);
+                let hook: umzi_core::MaintenanceHook = Arc::new(move |ev: MaintEvent| {
+                    let Some(daemon) = weak.upgrade() else { return };
+                    match ev {
+                        MaintEvent::RunBuilt { level } => {
+                            daemon.enqueue(Job::Merge { shard: si, level });
+                        }
+                        MaintEvent::EvolveApplied { level, gc_runs } => {
+                            daemon.enqueue(Job::Merge { shard: si, level });
+                            if gc_runs > 0 {
+                                daemon.enqueue(Job::RetireDeprecatedBlocks { shard: si });
+                            }
+                        }
+                    }
+                });
+                for idx in std::iter::once(shard.index()).chain(shard.secondary_indexes().iter()) {
+                    idx.set_maintenance_hook(Some(Arc::clone(&hook)));
+                }
+            }
+            *self.daemon.write() = Some(Arc::clone(&daemon));
+            daemon
+        });
+
+        // Tickers only make sense with a daemon to enqueue into.
+        if let Some(daemon) = &daemon {
+            let spawn_tick = |name: &str,
+                              interval: Duration,
+                              stop: Arc<StopSignal>,
+                              daemon: Arc<MaintenanceDaemon>,
+                              job_of: fn(usize) -> Job,
+                              n_shards: usize| {
                 std::thread::Builder::new()
                     .name(name.to_owned())
-                    .spawn(move || {
-                        while !stop.load(Ordering::Acquire) {
-                            f();
-                            std::thread::sleep(interval);
+                    .spawn(move || loop {
+                        for shard in 0..n_shards {
+                            daemon.enqueue(job_of(shard));
+                        }
+                        if stop.wait(interval) {
+                            break;
                         }
                     })
-                    .expect("spawn daemon")
+                    .expect("spawn ticker")
             };
-
-        {
-            let engine = Arc::clone(self);
-            threads.push(spawn_loop(
+            threads.push(spawn_tick(
                 "wildfire-groomer",
                 self.config.groom_interval,
                 Arc::clone(&stop),
-                Box::new(move || {
-                    let _ = engine.groom_all();
-                }),
+                Arc::clone(daemon),
+                |shard| Job::Groom { shard },
+                self.shards.len(),
             ));
-        }
-        {
-            let engine = Arc::clone(self);
-            threads.push(spawn_loop(
+            threads.push(spawn_tick(
                 "wildfire-postgroomer",
                 self.config.post_groom_interval,
                 Arc::clone(&stop),
-                Box::new(move || {
-                    let _ = engine.post_groom_all();
-                }),
+                Arc::clone(daemon),
+                |shard| Job::Evolve { shard },
+                self.shards.len(),
             ));
         }
-        {
-            let engine = Arc::clone(self);
-            threads.push(spawn_loop(
-                "wildfire-indexer",
-                self.config.evolve_poll_interval,
-                Arc::clone(&stop),
-                Box::new(move || {
-                    let _ = engine.evolve_all();
-                }),
-            ));
-        }
-
-        let maintainers = match &self.config.maintenance {
-            Some(mc) => self
-                .shards
-                .iter()
-                .map(|s| Maintainer::spawn(Arc::clone(s.index()), mc.clone()))
-                .collect(),
-            None => Vec::new(),
-        };
 
         EngineDaemons {
+            engine: Arc::clone(self),
             stop,
             threads,
-            _maintainers: maintainers,
+            daemon,
         }
     }
 }
 
 /// Handle owning the engine's background threads.
 pub struct EngineDaemons {
-    stop: Arc<AtomicBool>,
+    engine: Arc<WildfireEngine>,
+    stop: Arc<StopSignal>,
     threads: Vec<std::thread::JoinHandle<()>>,
-    _maintainers: Vec<Maintainer>,
+    daemon: Option<Arc<MaintenanceDaemon>>,
 }
 
 impl EngineDaemons {
-    /// Stop and join all daemons (maintainers stop on drop).
+    /// The maintenance daemon, when one is running.
+    pub fn daemon(&self) -> Option<&Arc<MaintenanceDaemon>> {
+        self.daemon.as_ref()
+    }
+
+    /// Stop the tickers, drain the job queue, and join everything.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
 
     fn stop_threads(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.raise();
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(daemon) = self.daemon.take() {
+            // Unhook the ingest path first so late builds don't enqueue
+            // into a closing queue, then drain and join the workers.
+            for shard in self.engine.shards() {
+                for idx in std::iter::once(shard.index()).chain(shard.secondary_indexes().iter()) {
+                    idx.set_maintenance_hook(None);
+                }
+            }
+            *self.engine.daemon.write() = None;
+            daemon.shutdown();
         }
     }
 }
@@ -595,6 +726,24 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn invalid_maintenance_config_is_an_error_not_a_panic() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let err = WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig {
+                maintenance: Some(MaintenanceConfig {
+                    l0_high_watermark: 2,
+                    l0_low_watermark: 8,
+                    ..MaintenanceConfig::default()
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        assert!(err.is_err(), "inverted watermarks must fail create");
     }
 
     #[test]
@@ -686,11 +835,11 @@ mod tests {
                 n_shards: 1,
                 groom_interval: Duration::from_millis(10),
                 post_groom_interval: Duration::from_millis(40),
-                evolve_poll_interval: Duration::from_millis(10),
-                maintenance: Some(MaintainerConfig {
-                    merge_poll_interval: Duration::from_millis(10),
+                maintenance: Some(MaintenanceConfig {
+                    workers: 2,
                     janitor_interval: Duration::from_millis(20),
                     adaptive_cache: false,
+                    ..MaintenanceConfig::default()
                 }),
                 ..EngineConfig::default()
             },

@@ -33,6 +33,7 @@ pub mod colblock;
 pub mod engine;
 pub mod error;
 pub mod livezone;
+mod maintenance;
 pub mod shard;
 pub mod table;
 pub mod timestamps;

@@ -1,0 +1,175 @@
+//! The engine's maintenance-job executor: how each [`Job`] kind maps onto
+//! the Wildfire pipeline (Figure 1 + §5).
+//!
+//! | job | work | typical trigger |
+//! |-----|------|-----------------|
+//! | `Groom` | [`Shard::groom`] — drain the live zone into a groomed block + L0 run | upsert backlog, groom tick |
+//! | `Merge` | [`UmziIndex::merge_at`] on the primary **and secondary** indexes | run built (ingest hook), merge follow-up |
+//! | `Evolve` | apply pending evolves, then [`Shard::post_groom`] + apply again | post-groom tick, backpressure relief |
+//! | `RetireDeprecatedBlocks` | graveyard GC on every index, janitor block retirement, adaptive cache maintenance | janitor tick, evolve follow-up |
+//!
+//! Every job reports the shard-max level-0 run count back to the daemon so
+//! the ingest backpressure gate tracks reality without polling.
+
+use std::sync::Arc;
+
+use umzi_core::{Job, JobExecutor, JobOutcome, JobResult, UmziError, UmziIndex};
+
+use crate::shard::Shard;
+
+pub(crate) struct EngineExecutor {
+    shards: Vec<Arc<Shard>>,
+    /// Re-groom immediately (without waiting for the tick) while the live
+    /// zone holds at least this many records.
+    groom_trigger_rows: usize,
+    adaptive_cache: bool,
+}
+
+impl EngineExecutor {
+    pub(crate) fn new(
+        shards: Vec<Arc<Shard>>,
+        groom_trigger_rows: usize,
+        adaptive_cache: bool,
+    ) -> EngineExecutor {
+        EngineExecutor {
+            shards,
+            groom_trigger_rows,
+            adaptive_cache,
+        }
+    }
+
+    /// The level-0 run count the backpressure gate watches: the worst shard
+    /// (queries against that shard pay for every one of its runs).
+    pub(crate) fn max_l0_runs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.index().level0_run_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All indexes of one shard: primary first, then secondaries.
+    fn indexes(shard: &Shard) -> impl Iterator<Item = &Arc<UmziIndex>> {
+        std::iter::once(shard.index()).chain(shard.secondary_indexes().iter())
+    }
+}
+
+impl JobExecutor for EngineExecutor {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn execute(&self, job: Job) -> JobResult {
+        let shard = &self.shards[job.shard()];
+        match job {
+            Job::Groom { shard: si } => {
+                let Some(report) = shard.groom()? else {
+                    return Ok(JobOutcome::idle());
+                };
+                let mut follow_ups = vec![Job::Merge {
+                    shard: si,
+                    level: 0,
+                }];
+                if shard.live().len() >= self.groom_trigger_rows {
+                    follow_ups.push(Job::Groom { shard: si });
+                }
+                Ok(JobOutcome {
+                    follow_ups,
+                    items_moved: report.rows as u64,
+                    bytes_moved: 0,
+                    did_work: true,
+                    l0_runs: Some(self.max_l0_runs()),
+                })
+            }
+            Job::Merge { shard: si, level } => {
+                let mut entries = 0u64;
+                let mut bytes = 0u64;
+                let mut merged = false;
+                for idx in Self::indexes(shard) {
+                    match idx.merge_at(level) {
+                        Ok(Some(report)) => {
+                            merged = true;
+                            entries += report.output_entries;
+                            bytes += report.output_bytes;
+                        }
+                        Ok(None) => {}
+                        // Inputs changed concurrently; the next trigger
+                        // retries.
+                        Err(UmziError::MergeConflict) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                if !merged {
+                    return Ok(JobOutcome::idle());
+                }
+                Ok(JobOutcome {
+                    follow_ups: vec![
+                        Job::Merge { shard: si, level },
+                        Job::Merge {
+                            shard: si,
+                            level: level + 1,
+                        },
+                        // Merged-away runs land in the graveyard; let the
+                        // janitor reclaim them (and any groomed blocks they
+                        // were covering) promptly.
+                        Job::RetireDeprecatedBlocks { shard: si },
+                    ],
+                    items_moved: entries,
+                    bytes_moved: bytes,
+                    did_work: true,
+                    l0_runs: Some(self.max_l0_runs()),
+                })
+            }
+            Job::Evolve { shard: si } => {
+                // Catch up on notices published earlier, post-groom once,
+                // then apply what that published (Figure 5's indexer loop,
+                // compressed into one job).
+                let mut applied = shard.apply_pending_evolves()?;
+                let mut rows = 0u64;
+                if let Some(report) = shard.post_groom()? {
+                    rows = report.rows as u64;
+                    applied += shard.apply_pending_evolves()?;
+                }
+                if applied == 0 && rows == 0 {
+                    return Ok(JobOutcome::idle());
+                }
+                let pg_level = shard
+                    .index()
+                    .zones()
+                    .get(1)
+                    .map(|z| z.config.min_level)
+                    .unwrap_or(0);
+                Ok(JobOutcome {
+                    follow_ups: vec![
+                        Job::RetireDeprecatedBlocks { shard: si },
+                        Job::Merge {
+                            shard: si,
+                            level: pg_level,
+                        },
+                    ],
+                    items_moved: rows,
+                    bytes_moved: 0,
+                    did_work: true,
+                    l0_runs: Some(self.max_l0_runs()),
+                })
+            }
+            Job::RetireDeprecatedBlocks { .. } => {
+                let mut reclaimed = 0u64;
+                for idx in Self::indexes(shard) {
+                    reclaimed += idx.collect_garbage()? as u64;
+                }
+                reclaimed += shard.retire_deprecated_blocks()? as u64;
+                if self.adaptive_cache {
+                    shard.index().cache_maintain()?;
+                }
+                Ok(JobOutcome {
+                    follow_ups: Vec::new(),
+                    items_moved: reclaimed,
+                    bytes_moved: 0,
+                    did_work: reclaimed > 0,
+                    l0_runs: None,
+                })
+            }
+        }
+    }
+}

@@ -550,18 +550,36 @@ impl Shard {
         Ok(applied)
     }
 
+    /// Janitor entry point: retire every deferred deprecated groomed block
+    /// whose evolve has landed and which no index run — live **or still in
+    /// a graveyard** — covers any more. Unlike the evolve-path cleanup
+    /// (which waits one PSN as an in-flight-query grace period), this is
+    /// exact: a graveyard run keeps its blocks alive precisely as long as a
+    /// pre-GC reader could still resolve RIDs through it, so deferred
+    /// blocks are reclaimed as soon as run GC finishes instead of waiting
+    /// for the next evolve. Returns the number of blocks deleted.
+    pub fn retire_deprecated_blocks(&self) -> Result<usize> {
+        self.cleanup_deprecated_inner(self.index.indexed_psn(), true)
+    }
+
     /// Delete deprecated groomed blocks whose deprecating PSN is ≤ `up_to`
     /// — but only once no surviving index run can still hand out RIDs into
     /// them. Merged groomed runs may span the evolve watermark, so their
     /// entries keep referencing groomed blocks below it until the runs are
     /// garbage-collected; such blocks stay in the deprecated set and are
-    /// retried on the next cleanup.
+    /// retried on the next cleanup (and by the janitor's
+    /// [`Shard::retire_deprecated_blocks`]).
     fn cleanup_deprecated(&self, up_to: u64) -> Result<()> {
+        self.cleanup_deprecated_inner(up_to, false)?;
+        Ok(())
+    }
+
+    fn cleanup_deprecated_inner(&self, up_to: u64, check_graveyards: bool) -> Result<usize> {
         // A groomed block is still referenced while any groomed-zone run of
         // the primary or a secondary index covers its ID. Snapshot the run
         // ranges once, BEFORE taking the registry lock — fetch_row takes the
         // same lock on every read, so no per-block work may happen under it.
-        let live_ranges: Vec<(u64, u64)> = std::iter::once(&self.index)
+        let mut live_ranges: Vec<(u64, u64)> = std::iter::once(&self.index)
             .chain(self.secondary.iter())
             .flat_map(|idx| {
                 idx.zones()
@@ -572,6 +590,15 @@ impl Shard {
                     .collect::<Vec<_>>()
             })
             .collect();
+        if check_graveyards {
+            // The janitor skips the one-PSN grace period, so it must treat
+            // unlinked-but-undeleted runs as coverage: an in-flight query
+            // that snapshotted the lists before run GC can still resolve
+            // RIDs through them.
+            for idx in std::iter::once(&self.index).chain(self.secondary.iter()) {
+                live_ranges.extend(idx.graveyard_groomed_ranges());
+            }
+        }
         let covered = |id: u64| live_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&id));
         let victims: Vec<BlockEntry> = {
             let mut reg = self.registry.lock();
@@ -594,12 +621,23 @@ impl Shard {
             }
             out
         };
+        let deleted = victims.len();
         for entry in victims {
             if let Ok(h) = self.storage.open_object(&entry.object, 0) {
                 self.storage.delete_object(h)?;
             }
         }
-        Ok(())
+        Ok(deleted)
+    }
+
+    /// Deprecated groomed blocks awaiting deferred deletion (observability).
+    pub fn deprecated_block_count(&self) -> usize {
+        self.registry
+            .lock()
+            .deprecated
+            .values()
+            .map(|v| v.len())
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -931,6 +969,37 @@ mod tests {
             1,
             "psn-1 groomed block deleted, psn-2's in grace"
         );
+    }
+
+    /// ROADMAP "Deprecated groomed-block GC": the janitor retires deferred
+    /// deprecated blocks as soon as the covering runs are actually gone —
+    /// no second evolve required — while graveyard coverage keeps them
+    /// alive for readers still holding pre-evolve run lists.
+    #[test]
+    fn janitor_retires_deferred_blocks_without_next_evolve() {
+        let s = shard();
+        s.upsert(vec![row(1, 1, 100, 1)]).unwrap();
+        s.groom().unwrap().unwrap();
+        // A "query" holding the pre-evolve run list: its runs can still
+        // resolve RIDs into the groomed block.
+        let held = s.index().zones()[0].list.snapshot();
+        s.post_groom().unwrap().unwrap();
+        s.apply_pending_evolves().unwrap();
+        assert_eq!(s.block_counts().0, 1, "grace period defers deletion");
+
+        // Janitor pass while the reader is alive: the GC'd run sits in the
+        // graveyard (still referenced), so the block must survive.
+        s.index().collect_garbage().unwrap();
+        assert_eq!(s.retire_deprecated_blocks().unwrap(), 0);
+        assert_eq!(s.block_counts().0, 1, "graveyard coverage protects reader");
+
+        // Reader gone → run GC completes → the janitor retires the block,
+        // with no intervening evolve.
+        drop(held);
+        s.index().collect_garbage().unwrap();
+        assert_eq!(s.retire_deprecated_blocks().unwrap(), 1);
+        assert_eq!(s.block_counts().0, 0, "retired without a second evolve");
+        assert_eq!(s.deprecated_block_count(), 0);
     }
 
     #[test]

@@ -9,11 +9,16 @@
 //! * [`IotUpdateModel`] — §8.4's realistic IoT update mix: per groom cycle,
 //!   the new batch updates `p%` of the previous cycle, `0.1·p%` of the last
 //!   50 cycles and `0.01·p%` of the last 100 cycles.
+//! * [`MixedWorkload`] — one deterministic stream interleaving IoT ingest
+//!   batches with device scans and batched lookups, for benchmarks that
+//!   exercise the background maintenance daemon under HTAP load.
 
 pub mod iot;
 pub mod keys;
+pub mod mixed;
 pub mod presets;
 
 pub use iot::{IotUpdateModel, UpdateMix};
 pub use keys::{KeyDist, KeyGen};
+pub use mixed::{MixedConfig, MixedOp, MixedWorkload};
 pub use presets::IndexPreset;

@@ -1,0 +1,191 @@
+//! A mixed ingest + scan HTAP stream.
+//!
+//! The §8.4 experiments run a writer and readers on separate threads; this
+//! generator instead interleaves operations into **one deterministic
+//! stream**, which is what a throughput benchmark or a stress harness wants
+//! to replay: ingest batches follow the IoT update model
+//! ([`crate::IotUpdateModel`]), and between them the configured fractions of
+//! device range-scans and batched point lookups are drawn over the keys
+//! created so far.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::iot::IotUpdateModel;
+
+/// One operation of the mixed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixedOp {
+    /// Upsert these `(key, is_update)` pairs as one batch.
+    IngestBatch(Vec<(u64, bool)>),
+    /// Range-scan every message of one device (OLAP-ish read).
+    ScanDevice(u64),
+    /// Batched point lookups over these keys (OLTP-ish read).
+    LookupBatch(Vec<u64>),
+}
+
+/// Tuning for [`MixedWorkload`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixedConfig {
+    /// IoT update fraction `p` (§8.4; default 0.10).
+    pub p_update: f64,
+    /// Rows per ingest batch.
+    pub ingest_batch: usize,
+    /// Keys per lookup batch.
+    pub lookup_batch: usize,
+    /// Device-scan operations emitted per ingest batch (may be fractional;
+    /// the remainder is carried over).
+    pub scans_per_ingest: f64,
+    /// Lookup batches emitted per ingest batch (may be fractional).
+    pub lookups_per_ingest: f64,
+    /// Number of devices keys map onto (`device = key % devices`).
+    pub devices: u64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        Self {
+            p_update: 0.10,
+            ingest_batch: 1000,
+            lookup_batch: 256,
+            scans_per_ingest: 1.0,
+            lookups_per_ingest: 1.0,
+            devices: 1000,
+        }
+    }
+}
+
+/// Deterministic generator of a mixed ingest + scan stream.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    config: MixedConfig,
+    model: IotUpdateModel,
+    rng: StdRng,
+    /// Fractional read credit carried between ingest batches.
+    scan_credit: f64,
+    lookup_credit: f64,
+    /// Reads queued behind the current credit.
+    queued: Vec<MixedOp>,
+}
+
+impl MixedWorkload {
+    /// Create a stream with the given tuning and seed.
+    pub fn new(config: MixedConfig, seed: u64) -> MixedWorkload {
+        MixedWorkload {
+            model: IotUpdateModel::new(config.p_update, config.ingest_batch, seed),
+            rng: StdRng::seed_from_u64(seed ^ 0x6d69786564), // "mixed"
+            config,
+            scan_credit: 0.0,
+            lookup_credit: 0.0,
+            queued: Vec::new(),
+        }
+    }
+
+    /// Total distinct keys created so far.
+    pub fn keys_created(&self) -> u64 {
+        self.model.keys_created()
+    }
+
+    /// The device a key belongs to.
+    pub fn device_of(&self, key: u64) -> u64 {
+        key % self.config.devices
+    }
+
+    /// Next operation of the stream: queued reads first, otherwise the next
+    /// ingest batch, which accrues read credit against the keys that
+    /// already existed (so a sequential replay always finds the keys it
+    /// reads, modulo grooming lag).
+    pub fn next_op(&mut self) -> MixedOp {
+        if let Some(op) = self.queued.pop() {
+            return op;
+        }
+        let domain = self.model.keys_created();
+        let batch = self.model.next_cycle();
+        self.scan_credit += self.config.scans_per_ingest;
+        self.lookup_credit += self.config.lookups_per_ingest;
+        if domain > 0 {
+            while self.scan_credit >= 1.0 {
+                self.scan_credit -= 1.0;
+                let key = self.rng.random_range(0..domain);
+                self.queued.push(MixedOp::ScanDevice(self.device_of(key)));
+            }
+            while self.lookup_credit >= 1.0 {
+                self.lookup_credit -= 1.0;
+                let keys = (0..self.config.lookup_batch)
+                    .map(|_| self.rng.random_range(0..domain))
+                    .collect();
+                self.queued.push(MixedOp::LookupBatch(keys));
+            }
+        }
+        MixedOp::IngestBatch(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_ingest_then_mixes_reads() {
+        let mut w = MixedWorkload::new(MixedConfig::default(), 7);
+        let first = w.next_op();
+        assert!(matches!(first, MixedOp::IngestBatch(_)), "no keys yet");
+        assert!(w.keys_created() > 0);
+        let mut scans = 0;
+        let mut lookups = 0;
+        let mut ingests = 0;
+        for _ in 0..30 {
+            match w.next_op() {
+                MixedOp::ScanDevice(_) => scans += 1,
+                MixedOp::LookupBatch(keys) => {
+                    assert_eq!(keys.len(), 256);
+                    assert!(keys.iter().all(|&k| k < w.keys_created()));
+                    lookups += 1;
+                }
+                MixedOp::IngestBatch(batch) => {
+                    assert_eq!(batch.len(), 1000);
+                    ingests += 1;
+                }
+            }
+        }
+        assert!(scans > 0 && lookups > 0 && ingests > 3);
+        // Defaults: roughly one scan + one lookup per ingest.
+        assert!(
+            (scans as i64 - ingests as i64).abs() <= 2,
+            "{scans} vs {ingests}"
+        );
+        assert!((lookups as i64 - ingests as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn fractional_read_rates_accumulate() {
+        let mut w = MixedWorkload::new(
+            MixedConfig {
+                scans_per_ingest: 0.25,
+                lookups_per_ingest: 0.0,
+                ..MixedConfig::default()
+            },
+            7,
+        );
+        let mut scans = 0;
+        let mut ingests = 0;
+        for _ in 0..41 {
+            match w.next_op() {
+                MixedOp::ScanDevice(_) => scans += 1,
+                MixedOp::IngestBatch(_) => ingests += 1,
+                MixedOp::LookupBatch(_) => panic!("lookups disabled"),
+            }
+        }
+        assert!(ingests >= 32, "ingests dominate: {ingests}");
+        assert!((7..=9).contains(&scans), "≈ ingests/4 scans, got {scans}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = MixedWorkload::new(MixedConfig::default(), 11);
+        let mut b = MixedWorkload::new(MixedConfig::default(), 11);
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

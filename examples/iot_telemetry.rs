@@ -1,7 +1,8 @@
 //! The paper's motivating scenario (§1, §8.4): high-speed IoT ingestion with
-//! concurrent real-time analytics, driven by the background daemons —
-//! groomer every 100 ms, post-groomer every 2 s, indexer polling, per-level
-//! merge threads — while reader threads issue batched point lookups.
+//! concurrent real-time analytics, driven by the maintenance daemon —
+//! groomer tick every 100 ms, post-groomer tick every 2 s, a worker pool
+//! draining groom/merge/evolve/janitor jobs — while reader threads issue
+//! batched point lookups.
 //!
 //! Run with: `cargo run --release --example iot_telemetry`
 
@@ -22,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shard: ShardConfig::default(),
             groom_interval: Duration::from_millis(100),
             post_groom_interval: Duration::from_secs(2),
-            evolve_poll_interval: Duration::from_millis(20),
-            maintenance: Some(MaintainerConfig::default()),
+            maintenance: Some(MaintenanceConfig::default()),
+            ..EngineConfig::default()
         },
     )?;
     let daemons = engine.start_daemons();

@@ -156,11 +156,11 @@ fn engine_daemons_with_concurrent_clients() {
             n_shards: 2,
             groom_interval: Duration::from_millis(15),
             post_groom_interval: Duration::from_millis(60),
-            evolve_poll_interval: Duration::from_millis(10),
-            maintenance: Some(MaintainerConfig {
-                merge_poll_interval: Duration::from_millis(10),
+            maintenance: Some(MaintenanceConfig {
+                workers: 2,
                 janitor_interval: Duration::from_millis(30),
                 adaptive_cache: false,
+                ..MaintenanceConfig::default()
             }),
             ..EngineConfig::default()
         },
