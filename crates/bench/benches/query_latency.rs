@@ -1,7 +1,10 @@
 //! Read-path query micro-benchmark: point lookup, range scan and batch
-//! lookup at three run-count settings, plus a before/after comparison of
-//! the run-search hot path (pre-change: per-entry binary search with no
-//! decoded-block cache; post-change: fence index + decoded-block cache).
+//! lookup at three run-count settings, a before/after comparison of the
+//! run-search hot path (pre-change: per-entry binary search with no
+//! decoded-block cache; post-change: fence index + decoded-block cache),
+//! and a `parallel_reconcile` group comparing the sequential k-way merge
+//! against the partitioned parallel merge (1 vs N threads at a fixed run
+//! count) on a large scan over sleep-mode SSD latency.
 //!
 //! Emits `BENCH_query.json` (override the path with `UMZI_BENCH_QUERY_OUT`)
 //! with ops/sec and blocks-read-per-op so successive PRs can track the
@@ -15,11 +18,16 @@ use umzi_bench::{bench_index, ingest_runs, point_groups, POINT_SPAN};
 use umzi_core::{MergePolicy, RangeQuery, ReconcileStrategy, UmziConfig, UmziIndex};
 use umzi_encoding::Datum;
 use umzi_run::{RunSearcher, SortBound};
-use umzi_storage::{SharedStorage, TieredConfig, TieredStorage};
+use umzi_storage::{LatencyMode, SharedStorage, TierLatency, TieredConfig, TieredStorage};
 use umzi_workload::IndexPreset;
 
 const PER_RUN: u64 = 20_000;
 const RUN_COUNTS: [usize; 3] = [1, 8, 32];
+/// Runs in the parallel-reconcile comparison (fixed; only the thread count
+/// varies between the two legs).
+const PAR_RUNS: usize = 6;
+/// Partition count of the parallel leg.
+const PAR_THREADS: usize = 4;
 
 struct Measurement {
     workload: &'static str,
@@ -82,6 +90,32 @@ fn index_without_decoded_cache(name: &str) -> Arc<UmziIndex> {
         k: usize::MAX / 2,
         t: 4,
     };
+    UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
+}
+
+/// An index over storage that behaves like a cold SSD: sleep-mode latency
+/// per chunk read, a memory tier too small to hold the scan working set,
+/// and no decoded-block cache — the regime where a large scan is dominated
+/// by block waits and the partitioned merge can overlap them.
+fn index_with_scan_partitions(name: &str, partitions: usize) -> Arc<UmziIndex> {
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            mem_capacity: 128 << 10,
+            ssd_capacity: 64 << 30,
+            ssd_latency: TierLatency::micros(100, 0),
+            latency_mode: LatencyMode::Sleep,
+            decoded_cache_bytes: 0,
+            ..TieredConfig::default()
+        },
+    ));
+    let mut config = UmziConfig::two_zone(name);
+    config.merge = MergePolicy {
+        k: usize::MAX / 2,
+        t: 4,
+    };
+    config.scan.max_scan_partitions = partitions;
+    config.scan.parallel_row_threshold = 1;
     UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
 }
 
@@ -154,6 +188,55 @@ fn main() {
         }));
     }
 
+    // Parallel reconcile: the same large multi-run scan, merged
+    // sequentially (1 thread) vs partitioned across PAR_THREADS threads.
+    // Sequential reconcile_pq stays the oracle — the outputs are asserted
+    // identical before timing.
+    type FlatRows = Vec<(Vec<u8>, Vec<u8>, u64)>;
+    let mut par_results = Vec::new();
+    {
+        let whole_range = RangeQuery {
+            equality: vec![Datum::Int64(0)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        let mut oracle: Option<FlatRows> = None;
+        for (label, partitions) in [
+            ("parallel_reconcile_1t", 1usize),
+            ("parallel_reconcile_4t", PAR_THREADS),
+        ] {
+            let idx = index_with_scan_partitions(&format!("qlat-{label}"), partitions);
+            ingest_runs(
+                &idx,
+                IndexPreset::I1,
+                umzi_workload::KeyDist::Random,
+                PAR_RUNS,
+                PER_RUN,
+                true,
+                11,
+            );
+            let rows: FlatRows = idx
+                .range_scan(&whole_range, ReconcileStrategy::PriorityQueue)
+                .expect("scan")
+                .iter()
+                .map(|o| (o.key.to_vec(), o.value.to_vec(), o.begin_ts))
+                .collect();
+            match oracle {
+                None => oracle = Some(rows),
+                Some(ref want) => {
+                    assert_eq!(want, &rows, "parallel merge diverged from the oracle")
+                }
+            }
+            par_results.push(measure(label, PAR_RUNS, &idx, 8, |_| {
+                std::hint::black_box(
+                    idx.range_scan(&whole_range, ReconcileStrategy::PriorityQueue)
+                        .expect("scan"),
+                );
+            }));
+        }
+    }
+
     // Before/after on the run-search hot path itself: one 20k-entry run,
     // searched 2000 times. "Before" = per-entry binary search, decoded
     // cache off (the pre-change read path); "after" = fence index +
@@ -208,7 +291,7 @@ fn main() {
         "{:<28} {:>5} {:>14} {:>18}",
         "workload", "runs", "ops/sec", "blocks-read/op"
     );
-    for m in results.iter().chain([&before, &after]) {
+    for m in results.iter().chain(&par_results).chain([&before, &after]) {
         eprintln!(
             "{:<28} {:>5} {:>14.0} {:>18.3}",
             m.workload,
@@ -222,16 +305,27 @@ fn main() {
         "\nrun-search before→after: {:.1}x ops/sec, {:.2} → {:.2} blocks/op",
         speedup, before.blocks_per_op, after.blocks_per_op
     );
+    let par_speedup = par_results[1].ops_per_sec() / par_results[0].ops_per_sec().max(1e-9);
+    eprintln!(
+        "parallel reconcile 1→{PAR_THREADS} threads ({PAR_RUNS} runs, {} rows): {:.2}x ops/sec",
+        PAR_RUNS as u64 * PER_RUN,
+        par_speedup
+    );
 
     let mut json = String::from("{\n  \"bench\": \"query_latency\",\n  \"results\": [\n");
     let lines: Vec<String> = results
         .iter()
+        .chain(&par_results)
         .chain([&before, &after])
         .map(json_entry)
         .collect();
     let _ = writeln!(json, "{}", lines.join(",\n"));
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"search_speedup_ops_per_sec\": {speedup:.2}");
+    let _ = writeln!(json, "  \"search_speedup_ops_per_sec\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"parallel_scan_speedup_ops_per_sec\": {par_speedup:.2}"
+    );
     json.push_str("}\n");
 
     let out_path = std::env::var("UMZI_BENCH_QUERY_OUT").unwrap_or_else(|_| {

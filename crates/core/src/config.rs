@@ -72,6 +72,56 @@ impl Default for CacheConfig {
     }
 }
 
+/// Read-path scan tuning: the partitioned parallel reconcile (§7.1.2's
+/// priority-queue merge, split by key range across threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Upper bound on partitions (= merge threads) per range scan. `0`
+    /// means auto: `available_parallelism`, capped at 8. `1` disables the
+    /// partitioned path entirely. Values above the core count are honored
+    /// — useful when scans are storage-latency-bound rather than CPU-bound.
+    pub max_scan_partitions: usize,
+    /// Estimated result rows (positioned-iterator entries across candidate
+    /// runs) below which a scan always uses the sequential merge; the
+    /// per-partition positioning and thread spawns only pay off on large
+    /// scans.
+    pub parallel_row_threshold: u64,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        Self {
+            max_scan_partitions: 0,
+            parallel_row_threshold: 4096,
+        }
+    }
+}
+
+impl ScanConfig {
+    /// Validate structural invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_scan_partitions > 1024 {
+            return Err(UmziError::Config(format!(
+                "max_scan_partitions {} is absurd (cap is 1024)",
+                self.max_scan_partitions
+            )));
+        }
+        Ok(())
+    }
+
+    /// The partition target for one scan: the configured cap, or the core
+    /// count (≤ 8) when auto.
+    pub fn partition_target(&self) -> usize {
+        if self.max_scan_partitions != 0 {
+            return self.max_scan_partitions;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
 /// Background-maintenance daemon tuning: worker pool, ingest backpressure
 /// watermarks, throttling and the janitor cadence.
 #[derive(Debug, Clone)]
@@ -149,6 +199,8 @@ pub struct UmziConfig {
     pub non_persisted_levels: Vec<u32>,
     /// Cache-manager thresholds.
     pub cache: CacheConfig,
+    /// Read-path scan tuning (partitioned parallel reconcile).
+    pub scan: ScanConfig,
     /// Background-maintenance daemon tuning (worker count, ingest
     /// watermarks, throttle, janitor cadence). Consumed by
     /// [`crate::daemon::IndexDaemon::spawn`] for a standalone index; the
@@ -178,6 +230,7 @@ impl UmziConfig {
             ],
             non_persisted_levels: Vec::new(),
             cache: CacheConfig::default(),
+            scan: ScanConfig::default(),
             maintenance: MaintenanceConfig::default(),
         }
     }
@@ -244,6 +297,7 @@ impl UmziConfig {
         if self.offset_bits > 24 {
             return Err(UmziError::Config("offset_bits must be ≤ 24".into()));
         }
+        self.scan.validate()?;
         self.maintenance.validate()?;
         Ok(())
     }
@@ -357,6 +411,26 @@ mod tests {
         assert!(c.validate().is_err());
         c.maintenance = MaintenanceConfig::default();
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_scan_config() {
+        let mut c = UmziConfig::two_zone("t");
+        c.scan.max_scan_partitions = 4096;
+        assert!(c.validate().is_err());
+        c.scan.max_scan_partitions = 1024;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn scan_partition_target_resolution() {
+        let mut s = ScanConfig::default();
+        assert!(s.partition_target() >= 1, "auto resolves to the core count");
+        s.max_scan_partitions = 1;
+        assert_eq!(s.partition_target(), 1);
+        // Explicit values above the core count are honored (I/O-bound scans).
+        s.max_scan_partitions = 64;
+        assert_eq!(s.partition_target(), 64);
     }
 
     #[test]

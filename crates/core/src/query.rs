@@ -15,7 +15,9 @@ use umzi_run::synopsis::encode_eq_values;
 use umzi_run::{KeyLayout, Rid, Run, RunSearcher, SearchHit, SortBound};
 
 use crate::index::UmziIndex;
-use crate::reconcile::{reconcile_pq, reconcile_set, ReconcileStrategy};
+use crate::reconcile::{
+    plan_scan_partitions, reconcile_partitioned, reconcile_pq, reconcile_set, ReconcileStrategy,
+};
 use crate::Result;
 
 /// A range-scan query (§7.1): values for all equality columns, bounds for
@@ -143,14 +145,87 @@ impl UmziIndex {
         })
     }
 
+    /// Reconcile positioned per-run iterators, taking the partitioned
+    /// parallel path when the scan is large enough (§7.1.2 merge, split by
+    /// key range): plan boundaries from the largest run's block fences,
+    /// resolve each boundary to a per-run ordinal through the fence index
+    /// (one cheap, usually-cached lookup per run × boundary), split every
+    /// iterator with [`umzi_run::RunRangeIter::sub_range`], and merge the
+    /// partitions on scoped threads. Output is byte-for-byte the sequential
+    /// [`reconcile_pq`] result — partitions are key-disjoint, cut at
+    /// logical-key granularity, and concatenated in ascending order.
+    fn reconcile_pq_maybe_parallel(
+        &self,
+        iters: Vec<umzi_run::RunRangeIter<'_>>,
+        lower: &[u8],
+        upper: Option<&Bytes>,
+        candidates: &[Arc<Run>],
+    ) -> umzi_run::Result<Vec<SearchHit>> {
+        let scan = &self.config.scan;
+        let target = scan.partition_target();
+        let estimated_rows: u64 = iters.iter().map(|it| it.remaining_entries()).sum();
+        if target <= 1 || estimated_rows < scan.parallel_row_threshold.max(1) {
+            return reconcile_pq(iters);
+        }
+        let boundaries =
+            plan_scan_partitions(candidates, lower, upper.map(|u| u.as_ref()), target)?;
+        if boundaries.is_empty() {
+            return reconcile_pq(iters);
+        }
+        // Resolve every run's boundary ordinals on scoped threads — each
+        // resolution may cost a block read, and they are the only
+        // sequential I/O left in front of the parallel merge. Exact cuts:
+        // no logical-key group straddles a boundary (prefix-free logical
+        // keys), so every version of a group lands on one side.
+        let cuts: Vec<Vec<u64>> = Self::fan_out_chunks(&iters, 2, |chunk| {
+            chunk
+                .iter()
+                .map(|it| {
+                    let (start, end) = it.ordinal_bounds();
+                    let mut prev = start;
+                    boundaries
+                        .iter()
+                        .map(|boundary| {
+                            prev = it.run().locate_first_geq(boundary)?.clamp(prev, end);
+                            Ok(prev)
+                        })
+                        .collect()
+                })
+                .collect()
+        })?;
+        let mut partitions: Vec<Vec<umzi_run::RunRangeIter<'_>>> = (0..=boundaries.len())
+            .map(|_| Vec::with_capacity(iters.len()))
+            .collect();
+        for (it, run_cuts) in iters.iter().zip(&cuts) {
+            let (start, end) = it.ordinal_bounds();
+            let mut prev = start;
+            for (p, &cut) in run_cuts.iter().enumerate() {
+                partitions[p].push(it.sub_range(prev, cut));
+                prev = cut;
+            }
+            partitions[boundaries.len()].push(it.sub_range(prev, end));
+        }
+        self.counters
+            .parallel_scans
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.counters.scan_partitions.fetch_add(
+            partitions.len() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        reconcile_partitioned(partitions)
+    }
+
     /// Range scan (§7.1): returns the newest visible version of every
     /// matching key, sorted by key.
     ///
     /// Iterator *positioning* — the per-run `find_first_geq`, which is where
     /// the block fetches happen — fans out across candidate runs on scoped
-    /// threads (runs are `Arc`s and reads are lock-free). The iterators are
-    /// then reconciled on the calling thread in the original newest-first
-    /// order, so results are deterministic regardless of thread scheduling.
+    /// threads (runs are `Arc`s and reads are lock-free). Large
+    /// priority-queue scans then also *merge* in parallel: the key range is
+    /// partitioned at block-fence boundaries and each partition merges on
+    /// its own thread ([`Self::reconcile_pq_maybe_parallel`]); small scans
+    /// and the set strategy reconcile sequentially. Results are identical
+    /// and deterministic either way.
     pub fn range_scan(
         &self,
         query: &RangeQuery,
@@ -211,7 +286,9 @@ impl UmziIndex {
 
         let hits = match strategy {
             ReconcileStrategy::Set => reconcile_set(iters)?,
-            ReconcileStrategy::PriorityQueue => reconcile_pq(iters)?,
+            ReconcileStrategy::PriorityQueue => {
+                self.reconcile_pq_maybe_parallel(iters, &lower, upper.as_ref(), &candidates)?
+            }
         };
         Ok(hits.into_iter().map(QueryOutput::from_hit).collect())
     }
@@ -544,6 +621,77 @@ mod tests {
         assert_eq!(out[0].as_ref().unwrap().begin_ts, 13);
         assert!(out[1].is_none());
         assert_eq!(out[2].as_ref().unwrap().begin_ts, 55);
+    }
+
+    /// The partitioned parallel merge must return byte-for-byte what the
+    /// sequential merge returns, and the fan-out must be visible in the
+    /// index counters.
+    #[test]
+    fn parallel_reconcile_matches_sequential_and_counts() {
+        let build = |name: &str, partitions: usize, threshold: u64| {
+            let storage = Arc::new(TieredStorage::in_memory());
+            let def = Arc::new(
+                IndexDef::builder("t")
+                    .equality("device", ColumnType::Int64)
+                    .sort("msg", ColumnType::Int64)
+                    .included("val", ColumnType::Int64)
+                    .build()
+                    .unwrap(),
+            );
+            let mut cfg = UmziConfig::two_zone(name);
+            cfg.scan.max_scan_partitions = partitions;
+            cfg.scan.parallel_row_threshold = threshold;
+            let idx = UmziIndex::create(storage, def, cfg).unwrap();
+            // Overlapping runs: every run rewrites a sliding window of msgs.
+            for r in 0..4u64 {
+                let entries = (0..3000i64)
+                    .map(|m| {
+                        entry(
+                            &idx,
+                            ZoneId::GROOMED,
+                            1,
+                            (m + r as i64 * 500) % 3500,
+                            10 + r * 100 + (m % 7) as u64,
+                            m,
+                        )
+                    })
+                    .collect();
+                idx.build_groomed_run(entries, r + 1, r + 1).unwrap();
+            }
+            idx
+        };
+        let seq = build("q-seq", 1, u64::MAX);
+        let par = build("q-par", 4, 1);
+
+        for (lo, hi, ts) in [
+            (0i64, 3499i64, u64::MAX),
+            (0, 3499, 215),
+            (100, 100, u64::MAX), // single-key range
+            (700, 2600, 330),
+        ] {
+            let q = RangeQuery {
+                equality: vec![Datum::Int64(1)],
+                lower: SortBound::Included(vec![Datum::Int64(lo)]),
+                upper: SortBound::Included(vec![Datum::Int64(hi)]),
+                query_ts: ts,
+            };
+            let a = seq
+                .range_scan(&q, ReconcileStrategy::PriorityQueue)
+                .unwrap();
+            let b = par
+                .range_scan(&q, ReconcileStrategy::PriorityQueue)
+                .unwrap();
+            let flat = |o: &[QueryOutput]| -> Vec<(Vec<u8>, Vec<u8>, u64)> {
+                o.iter()
+                    .map(|x| (x.key.to_vec(), x.value.to_vec(), x.begin_ts))
+                    .collect()
+            };
+            assert_eq!(flat(&a), flat(&b), "range [{lo},{hi}] ts={ts}");
+        }
+        assert_eq!(seq.stats().parallel_scans, 0, "P=1 keeps the oracle path");
+        let pstats = par.stats();
+        assert!(pstats.parallel_scans > 0, "forced config must fan out");
+        assert!(pstats.scan_partitions >= 2 * pstats.parallel_scans);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct IndexStats {
     pub gc_runs: u64,
     /// Abandoned merges.
     pub merge_conflicts: u64,
+    /// Range scans that took the partitioned parallel-reconcile path.
+    pub parallel_scans: u64,
+    /// Partitions executed across all parallel scans.
+    pub scan_partitions: u64,
     /// Current watermarks (one per zone boundary).
     pub watermarks: Vec<u64>,
     /// Last evolved PSN.
@@ -66,6 +70,8 @@ impl UmziIndex {
             evolves: self.counters.evolves.load(Ordering::Relaxed),
             gc_runs: self.counters.gc_runs.load(Ordering::Relaxed),
             merge_conflicts: self.counters.merge_conflicts.load(Ordering::Relaxed),
+            parallel_scans: self.counters.parallel_scans.load(Ordering::Relaxed),
+            scan_partitions: self.counters.scan_partitions.load(Ordering::Relaxed),
             watermarks: (0..self.watermarks.len())
                 .map(|i| self.watermark(i))
                 .collect(),

@@ -1,0 +1,195 @@
+//! Property harness: the partitioned parallel reconcile must be
+//! byte-for-byte equivalent to the sequential priority-queue merge — the
+//! correctness heart of the read path (newest-run-wins, cross-zone dedup,
+//! snapshot filtering) must survive the key-range split.
+//!
+//! Two layers:
+//!
+//! 1. **Generic streams** — random overlapping multi-run workloads
+//!    (duplicate keys across zones, newer-run-wins conflicts, empty runs,
+//!    partition counts beyond the distinct-key count) split at arbitrary
+//!    logical boundaries and merged with [`reconcile_partitioned`], against
+//!    the [`reconcile_pq`] oracle over the unsplit streams.
+//! 2. **End-to-end** — the same random workload built into *real* runs in
+//!    two identical indexes, one forced onto the partitioned scan path and
+//!    one pinned to the sequential merge; `range_scan` outputs (including
+//!    single-key and empty ranges, and mid-history snapshots) must agree
+//!    byte-for-byte, which exercises the boundary planner, the fence-index
+//!    ordinal resolution and the iterator sub-range splitting.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use umzi_core::reconcile::{reconcile_partitioned, reconcile_pq};
+use umzi_core::{RangeQuery, ReconcileStrategy, UmziConfig, UmziIndex};
+use umzi_encoding::{ColumnType, Datum, IndexDef};
+use umzi_run::{IndexEntry, Result as RunResult, Rid, SearchHit, SortBound, ZoneId};
+use umzi_storage::{SharedStorage, TieredConfig, TieredStorage};
+
+/// Fabricate a hit with `key = logical ∥ ¬ts`, like the run format.
+fn hit(logical: &[u8], ts: u64) -> SearchHit {
+    let mut key = logical.to_vec();
+    key.extend_from_slice(&(!ts).to_be_bytes());
+    SearchHit {
+        key: Bytes::from(key),
+        value: Bytes::from(vec![logical.first().copied().unwrap_or(0), ts as u8]),
+        begin_ts: ts,
+    }
+}
+
+fn bytes_of(hits: &[SearchHit]) -> Vec<(Vec<u8>, Vec<u8>, u64)> {
+    hits.iter()
+        .map(|h| (h.key.to_vec(), h.value.to_vec(), h.begin_ts))
+        .collect()
+}
+
+/// One run's stream: deduped by full key, sorted ascending (groups newest
+/// version first via the ¬ts suffix).
+fn run_stream(entries: &[(u8, u64)]) -> Vec<SearchHit> {
+    let mut hits: Vec<SearchHit> = entries
+        .iter()
+        .map(|&(k, ts)| hit(&[b'a' + k], 1 + ts % 30))
+        .collect();
+    hits.sort_by(|a, b| a.key.cmp(&b.key));
+    hits.dedup_by(|a, b| a.key == b.key);
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Layer 1: arbitrary splits of arbitrary streams.
+    #[test]
+    fn partitioned_matches_pq_oracle(
+        raw_runs in vec(vec((0u8..6, 0u64..30), 0..12), 0..5),
+        raw_bounds in vec(0u8..8, 0..7),
+    ) {
+        let runs: Vec<Vec<SearchHit>> = raw_runs.iter().map(|r| run_stream(r)).collect();
+
+        // Sorted, deduped logical boundaries; may exceed the distinct-key
+        // count (6) and may coincide with real keys or miss them entirely.
+        let bounds: Vec<Vec<u8>> = raw_bounds
+            .iter()
+            .map(|&b| vec![b'a' + b])
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+
+        let seq = reconcile_pq(
+            runs.iter()
+                .map(|r| r.iter().cloned().map(Ok).collect::<Vec<RunResult<SearchHit>>>().into_iter())
+                .collect(),
+        )
+        .unwrap();
+
+        // Split every run at the same logical boundaries, exactly like the
+        // production cut rule (all versions of a group land on one side).
+        let mut partitions = Vec::with_capacity(bounds.len() + 1);
+        for p in 0..=bounds.len() {
+            let mut streams = Vec::with_capacity(runs.len());
+            for run in &runs {
+                let lo = if p == 0 {
+                    0
+                } else {
+                    run.partition_point(|h| h.logical_key() < bounds[p - 1].as_slice())
+                };
+                let hi = if p == bounds.len() {
+                    run.len()
+                } else {
+                    run.partition_point(|h| h.logical_key() < bounds[p].as_slice())
+                };
+                streams.push(
+                    run[lo..hi]
+                        .iter()
+                        .cloned()
+                        .map(Ok)
+                        .collect::<Vec<RunResult<SearchHit>>>()
+                        .into_iter(),
+                );
+            }
+            partitions.push(streams);
+        }
+        let par = reconcile_partitioned(partitions).unwrap();
+        prop_assert_eq!(bytes_of(&par), bytes_of(&seq));
+    }
+}
+
+fn index_with(partitions: usize, name: &str) -> Arc<UmziIndex> {
+    // Tiny chunks so even small runs span several data blocks — otherwise
+    // the planner would rarely find interior fences to cut at.
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size: 256,
+            ..TieredConfig::default()
+        },
+    ));
+    let def = Arc::new(
+        IndexDef::builder("t")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .build()
+            .unwrap(),
+    );
+    let mut cfg = UmziConfig::two_zone(name);
+    cfg.scan.max_scan_partitions = partitions;
+    cfg.scan.parallel_row_threshold = if partitions > 1 { 1 } else { u64::MAX };
+    UmziIndex::create(storage, def, cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Layer 2: real runs, real planner, real iterator splitting.
+    #[test]
+    fn parallel_range_scan_matches_sequential(
+        raw_runs in vec(vec((0i64..3, 0i64..8, 1u64..40), 1..30), 1..5),
+        p in 1usize..9,
+        device in 0i64..3,
+        a in 0i64..8,
+        b in 0i64..8,
+        snapshot in prop_oneof![Just(15u64), Just(u64::MAX)],
+    ) {
+        let seq = index_with(1, "prop-seq");
+        let par = index_with(p, "prop-par");
+        for (r, entries) in raw_runs.iter().enumerate() {
+            // Dedupe by full key within one run, as groom/merge guarantee.
+            let specs: BTreeSet<(i64, i64, u64)> = entries.iter().cloned().collect();
+            for idx in [&seq, &par] {
+                let run_entries: Vec<IndexEntry> = specs
+                    .iter()
+                    .map(|&(d, m, ts)| {
+                        IndexEntry::new(
+                            idx.layout(),
+                            &[Datum::Int64(d)],
+                            &[Datum::Int64(m)],
+                            ts,
+                            Rid::new(ZoneId::GROOMED, r as u64 + 1, (d * 8 + m) as u32),
+                            &[],
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                idx.build_groomed_run(run_entries, r as u64 + 1, r as u64 + 1).unwrap();
+            }
+        }
+        let (lo, hi) = (a.min(b), a.max(b)); // includes single-key ranges
+        let query = RangeQuery {
+            equality: vec![Datum::Int64(device)],
+            lower: SortBound::Included(vec![Datum::Int64(lo)]),
+            upper: SortBound::Included(vec![Datum::Int64(hi)]),
+            query_ts: snapshot,
+        };
+        let want = seq.range_scan(&query, ReconcileStrategy::PriorityQueue).unwrap();
+        let got = par.range_scan(&query, ReconcileStrategy::PriorityQueue).unwrap();
+        let flat = |o: &[umzi_core::QueryOutput]| -> Vec<(Vec<u8>, Vec<u8>, u64)> {
+            o.iter()
+                .map(|x| (x.key.to_vec(), x.value.to_vec(), x.begin_ts))
+                .collect()
+        };
+        prop_assert_eq!(flat(&got), flat(&want));
+    }
+}

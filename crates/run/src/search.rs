@@ -183,7 +183,51 @@ pub struct RunRangeIter<'a> {
     done: bool,
 }
 
-impl RunRangeIter<'_> {
+impl<'a> RunRangeIter<'a> {
+    /// The resolved `[start, end)` ordinal bounds. On a freshly positioned
+    /// iterator `start` is the first in-range ordinal, so `end − start` is
+    /// an exact row estimate for scan planners (before visibility
+    /// filtering).
+    pub fn ordinal_bounds(&self) -> (u64, u64) {
+        (self.ordinal, self.end)
+    }
+
+    /// Entries left to visit (exact before iteration starts).
+    pub fn remaining_entries(&self) -> u64 {
+        self.end.saturating_sub(self.ordinal)
+    }
+
+    /// The run this iterator reads.
+    pub fn run(&self) -> &'a Run {
+        self.run
+    }
+
+    /// Cheap sub-range re-bounding: a fresh iterator over the ordinal
+    /// intersection `[lo, hi) ∩ [self.ordinal, self.end)`, without any
+    /// re-positioning block reads — partitioned scans split one positioned
+    /// iterator into per-partition pieces this way.
+    ///
+    /// Call on a freshly positioned iterator (before `next`). The caller
+    /// must cut only at logical-key group boundaries (e.g. ordinals from
+    /// [`Run::locate_first_geq`] of a logical key): the newest-visible
+    /// filter restarts per piece, so a group straddling a cut would emit
+    /// one version on each side.
+    pub fn sub_range(&self, lo: u64, hi: u64) -> RunRangeIter<'a> {
+        let start = lo.clamp(self.ordinal, self.end);
+        let end = hi.clamp(start, self.end);
+        RunRangeIter {
+            run: self.run,
+            ordinal: start,
+            end,
+            query_ts: self.query_ts,
+            cur_block: None,
+            block_base: 0,
+            last_group: Vec::new(),
+            group_done: false,
+            done: false,
+        }
+    }
+
     fn fetch(&mut self, ordinal: u64) -> Result<EntryRef> {
         loop {
             if let Some((b, block)) = &self.cur_block {
@@ -450,6 +494,79 @@ mod tests {
                 assert_eq!(got, want, "device={device} ts={ts}");
             }
         }
+    }
+
+    /// Splitting a positioned iterator at logical-key boundaries and
+    /// concatenating the pieces yields exactly the unsplit scan, including
+    /// the per-group newest-visible filtering.
+    #[test]
+    fn sub_range_pieces_equal_whole_scan() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        // Many versions per key so groups span several entries.
+        let mut rows = Vec::new();
+        for msg in 0..200i64 {
+            for v in 0..4u64 {
+                rows.push((2, msg, 10 + v * 10));
+            }
+        }
+        let run = build(&storage, &rows, "runs/sub");
+        let l = layout();
+        let (lower, upper) = l
+            .query_range(
+                &[Datum::Int64(2)],
+                &SortBound::Included(vec![Datum::Int64(0)]),
+                &SortBound::Included(vec![Datum::Int64(199)]),
+            )
+            .unwrap();
+        for ts in [5u64, 15, 25, 100] {
+            let searcher = RunSearcher::new(&run);
+            let whole = searcher.scan(&lower, upper.as_deref(), None, ts).unwrap();
+            let (start, end) = whole.ordinal_bounds();
+            let full: Vec<_> = whole.map(|r| r.unwrap().key).collect();
+
+            // Cut at the logical keys of msg 50, 120 and 180.
+            let mut cuts = vec![start];
+            for msg in [50i64, 120, 180] {
+                let mut b = l.equality_prefix(&[Datum::Int64(2)]).unwrap();
+                umzi_encoding::encode_datum(&Datum::Int64(msg), &mut b);
+                cuts.push(run.locate_first_geq(&b).unwrap().clamp(start, end));
+            }
+            cuts.push(end);
+            let template = searcher.scan(&lower, upper.as_deref(), None, ts).unwrap();
+            let mut stitched = Vec::new();
+            for w in cuts.windows(2) {
+                let piece = template.sub_range(w[0], w[1]);
+                assert_eq!(piece.ordinal_bounds(), (w[0], w[1].max(w[0])));
+                stitched.extend(piece.map(|r| r.unwrap().key));
+            }
+            assert_eq!(stitched, full, "ts={ts}");
+        }
+    }
+
+    #[test]
+    fn sub_range_clamps_to_parent_bounds() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let rows: Vec<(i64, i64, u64)> = (0..50).map(|m| (1, m, 10)).collect();
+        let run = build(&storage, &rows, "runs/clamp");
+        let l = layout();
+        let (lower, upper) = l
+            .query_range(
+                &[Datum::Int64(1)],
+                &SortBound::Included(vec![Datum::Int64(10)]),
+                &SortBound::Included(vec![Datum::Int64(39)]),
+            )
+            .unwrap();
+        let it = RunSearcher::new(&run)
+            .scan(&lower, upper.as_deref(), None, u64::MAX)
+            .unwrap();
+        let (start, end) = it.ordinal_bounds();
+        assert_eq!(it.remaining_entries(), end - start);
+        // Out-of-parent requests clamp to the parent range.
+        assert_eq!(it.sub_range(0, u64::MAX).ordinal_bounds(), (start, end));
+        // Inverted/empty requests yield an empty piece, not a panic.
+        let empty = it.sub_range(end, start);
+        assert_eq!(empty.remaining_entries(), 0);
+        assert_eq!(empty.count(), 0);
     }
 
     #[test]

@@ -875,6 +875,59 @@ mod tests {
         daemons.shutdown();
     }
 
+    /// ROADMAP "Wildfire groom bytes": the daemon's `bytes_moved` counter
+    /// must advance for groom and evolve jobs now that the shard reports
+    /// serialized block sizes.
+    #[test]
+    fn daemon_accounts_groom_and_evolve_bytes() {
+        use umzi_core::JobKind;
+        let storage = Arc::new(TieredStorage::in_memory());
+        let e = WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig {
+                n_shards: 1,
+                groom_interval: Duration::from_millis(5),
+                post_groom_interval: Duration::from_millis(15),
+                maintenance: Some(MaintenanceConfig {
+                    workers: 1,
+                    janitor_interval: Duration::from_millis(20),
+                    adaptive_cache: false,
+                    ..MaintenanceConfig::default()
+                }),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let daemons = e.start_daemons();
+        for m in 0..40 {
+            e.upsert(row(2, m, 100, m)).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = e.maintenance_stats().expect("daemon running");
+            let groom = stats.kind(JobKind::Groom);
+            let evolve = stats.kind(JobKind::Evolve);
+            if groom.runs > 0 && evolve.runs > 0 {
+                assert!(
+                    groom.bytes_moved > 0,
+                    "groom jobs must account block bytes: {groom:?}"
+                );
+                assert!(
+                    evolve.bytes_moved > 0,
+                    "evolve jobs must account post-groomed block bytes: {evolve:?}"
+                );
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pipeline never groomed+evolved: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        daemons.shutdown();
+    }
+
     #[test]
     fn engine_recovery() {
         let storage = Arc::new(TieredStorage::in_memory());

@@ -76,7 +76,7 @@ impl JobExecutor for EngineExecutor {
                 Ok(JobOutcome {
                     follow_ups,
                     items_moved: report.rows as u64,
-                    bytes_moved: 0,
+                    bytes_moved: report.block_bytes,
                     did_work: true,
                     l0_runs: Some(self.max_l0_runs()),
                 })
@@ -126,8 +126,10 @@ impl JobExecutor for EngineExecutor {
                 // compressed into one job).
                 let mut applied = shard.apply_pending_evolves()?;
                 let mut rows = 0u64;
+                let mut bytes = 0u64;
                 if let Some(report) = shard.post_groom()? {
                     rows = report.rows as u64;
+                    bytes = report.block_bytes;
                     applied += shard.apply_pending_evolves()?;
                 }
                 if applied == 0 && rows == 0 {
@@ -148,7 +150,7 @@ impl JobExecutor for EngineExecutor {
                         },
                     ],
                     items_moved: rows,
-                    bytes_moved: 0,
+                    bytes_moved: bytes,
                     did_work: true,
                     l0_runs: Some(self.max_l0_runs()),
                 })

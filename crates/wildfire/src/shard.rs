@@ -51,6 +51,9 @@ pub struct GroomReport {
     pub rows: usize,
     /// Largest `beginTS` assigned.
     pub max_begin_ts: u64,
+    /// Serialized size of the groomed columnar block written — what the
+    /// groom physically moved (the daemon's `bytes_moved` accounting).
+    pub block_bytes: u64,
 }
 
 /// Outcome of one post-groom operation (§2.1).
@@ -66,6 +69,8 @@ pub struct PostGroomReport {
     pub blocks: usize,
     /// Replaced older versions whose `endTS` was set.
     pub closed_versions: usize,
+    /// Total serialized size of the post-groomed blocks written.
+    pub block_bytes: u64,
 }
 
 struct BlockEntry {
@@ -263,8 +268,10 @@ impl Shard {
             vec![None; rows.len()],
         )?);
         let object = format!("{}/blocks/g-{block_id:020}", self.prefix);
+        let payload = block.serialize();
+        let block_bytes = payload.len() as u64;
         self.storage
-            .create_object(&object, block.serialize(), Durability::Persisted, 0, true)?;
+            .create_object(&object, payload, Durability::Persisted, 0, true)?;
         self.registry.lock().blocks.insert(
             (ZoneId::GROOMED, block_id),
             BlockEntry {
@@ -310,6 +317,7 @@ impl Shard {
             block_id,
             rows: rows.len(),
             max_begin_ts,
+            block_bytes,
         }))
     }
 
@@ -420,6 +428,7 @@ impl Shard {
         let kinds: Vec<_> = self.table.columns().iter().map(|c| c.ty).collect();
         let psn = self.next_psn.fetch_add(1, Ordering::AcqRel);
         let mut entries: Vec<IndexEntry> = Vec::with_capacity(recs.len());
+        let mut block_bytes = 0u64;
         {
             let mut reg = self.registry.lock();
             for (members, block_id) in partitions.values().zip(&block_ids) {
@@ -433,13 +442,10 @@ impl Shard {
                     }
                 }
                 let object = format!("{}/blocks/p-{block_id:020}", self.prefix);
-                self.storage.create_object(
-                    &object,
-                    block.serialize(),
-                    Durability::Persisted,
-                    0,
-                    true,
-                )?;
+                let payload = block.serialize();
+                block_bytes += payload.len() as u64;
+                self.storage
+                    .create_object(&object, payload, Durability::Persisted, 0, true)?;
                 reg.blocks.insert(
                     (ZoneId::POST_GROOMED, *block_id),
                     BlockEntry {
@@ -512,6 +518,7 @@ impl Shard {
             rows: recs.len(),
             blocks: block_ids.len(),
             closed_versions,
+            block_bytes,
         }))
     }
 
@@ -812,6 +819,10 @@ mod tests {
         let report = s.groom().unwrap().unwrap();
         assert_eq!(report.block_id, 1);
         assert_eq!(report.rows, 2);
+        assert!(
+            report.block_bytes > 0,
+            "groom must account the serialized block size"
+        );
         assert_eq!(s.block_counts(), (1, 0));
         assert_eq!(s.index().run_count(), 1);
         // Empty groom is a no-op.
@@ -861,6 +872,10 @@ mod tests {
         assert_eq!(report.rows, 3);
         assert_eq!(report.blocks, 2, "partitioned by date: 100 and 200");
         assert_eq!(report.closed_versions, 1, "(1,1)@g1 replaced by (1,1)@g2");
+        assert!(
+            report.block_bytes > 0,
+            "post-groom must account the serialized block sizes"
+        );
 
         // Evolve applies in order.
         assert_eq!(s.apply_pending_evolves().unwrap(), 1);

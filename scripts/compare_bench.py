@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Print a before/after comparison of two bench-JSON trajectories.
+
+Usage: compare_bench.py COMMITTED.json FRESH.json
+
+Both files follow the shape the benches emit: a "results" list of
+measurements keyed by (workload, runs) with an "ops_per_sec" figure, plus
+optional top-level "*_speedup_*" scalars. Missing rows (new workloads, or a
+first run with no committed baseline) are reported as such rather than
+failing — CI must stay green when a PR adds a bench group.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  (no usable baseline at {path}: {e})")
+        return None
+
+
+def rows(doc):
+    return {(r["workload"], r.get("runs")): r for r in doc.get("results", [])}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    committed_path, fresh_path = sys.argv[1], sys.argv[2]
+    fresh = load(fresh_path)
+    if fresh is None:
+        sys.exit(f"fresh bench output missing at {fresh_path}")
+    committed = load(committed_path)
+
+    print(f"\n== bench comparison: committed vs fresh ({fresh.get('bench', '?')}) ==")
+    old = rows(committed) if committed else {}
+    new = rows(fresh)
+    print(f"{'workload':<30} {'runs':>5} {'committed':>12} {'fresh':>12} {'delta':>8}")
+    for key in sorted(new, key=str):
+        workload, runs = key
+        n = new[key]["ops_per_sec"]
+        o = old.get(key, {}).get("ops_per_sec")
+        if o:
+            delta = f"{(n - o) / o * 100:+.1f}%"
+            print(f"{workload:<30} {runs!s:>5} {o:>12.1f} {n:>12.1f} {delta:>8}")
+        else:
+            print(f"{workload:<30} {runs!s:>5} {'—':>12} {n:>12.1f} {'new':>8}")
+    for k, v in fresh.items():
+        if "speedup" in k:
+            o = (committed or {}).get(k)
+            base = f" (committed: {o})" if o is not None else ""
+            print(f"{k}: {v}{base}")
+
+
+if __name__ == "__main__":
+    main()
