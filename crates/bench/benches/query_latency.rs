@@ -14,11 +14,14 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use umzi_bench::{bench_index, ingest_runs, point_groups, POINT_SPAN};
+use umzi_bench::{bench_index, ingest_runs, point_groups, scan_groups, POINT_SPAN};
 use umzi_core::{MergePolicy, RangeQuery, ReconcileStrategy, UmziConfig, UmziIndex};
 use umzi_encoding::Datum;
 use umzi_run::{RunSearcher, SortBound};
-use umzi_storage::{LatencyMode, SharedStorage, TierLatency, TieredConfig, TieredStorage};
+use umzi_storage::{
+    CachePolicy, DecodedCacheConfig, LatencyMode, SharedStorage, TierLatency, TieredConfig,
+    TieredStorage,
+};
 use umzi_workload::IndexPreset;
 
 const PER_RUN: u64 = 20_000;
@@ -81,7 +84,10 @@ fn index_without_decoded_cache(name: &str) -> Arc<UmziIndex> {
         TieredConfig {
             mem_capacity: 8 << 30,
             ssd_capacity: 64 << 30,
-            decoded_cache_bytes: 0,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 0,
+                ..DecodedCacheConfig::default()
+            },
             ..TieredConfig::default()
         },
     ));
@@ -105,7 +111,10 @@ fn index_with_scan_partitions(name: &str, partitions: usize) -> Arc<UmziIndex> {
             ssd_capacity: 64 << 30,
             ssd_latency: TierLatency::micros(100, 0),
             latency_mode: LatencyMode::Sleep,
-            decoded_cache_bytes: 0,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 0,
+                ..DecodedCacheConfig::default()
+            },
             ..TieredConfig::default()
         },
     ));
@@ -116,6 +125,35 @@ fn index_with_scan_partitions(name: &str, partitions: usize) -> Arc<UmziIndex> {
     };
     config.scan.max_scan_partitions = partitions;
     config.scan.parallel_row_threshold = 1;
+    UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
+}
+
+/// An index whose decoded cache is the decisive tier: a memory tier too
+/// small to matter, sleep-mode SSD latency per chunk read, and a decoded
+/// cache ~6× smaller than the dataset — the regime where the replacement
+/// policy decides how many block waits a mixed workload pays.
+fn index_with_cache_policy(name: &str, policy: CachePolicy) -> Arc<UmziIndex> {
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            mem_capacity: 64 << 10,
+            ssd_capacity: 64 << 30,
+            ssd_latency: TierLatency::micros(100, 0),
+            latency_mode: LatencyMode::Sleep,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 512 << 10,
+                shards: 4,
+                policy,
+                ..DecodedCacheConfig::default()
+            },
+            ..TieredConfig::default()
+        },
+    ));
+    let mut config = UmziConfig::two_zone(name);
+    config.merge = MergePolicy {
+        k: usize::MAX / 2,
+        t: 4,
+    };
     UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
 }
 
@@ -237,6 +275,76 @@ fn main() {
         }
     }
 
+    // Cache-policy A/B: the same mixed HTAP workload — point lookups on a
+    // hot working set, periodically interrupted by a full-table scan over a
+    // dataset ~6× the decoded cache — under plain LRU vs the scan-resistant
+    // policy. The scan-resistant cache keeps the point working set in its
+    // protected segment, so post-scan lookups keep hitting.
+    const CACHE_RUNS: usize = 3;
+    const HOT_KEYS: usize = 16;
+    let mut cache_results = Vec::new();
+    let mut cache_hit_rates = Vec::new();
+    for (label, policy) in [
+        ("cache_policy_mixed_lru", CachePolicy::Lru),
+        (
+            "cache_policy_mixed_scan_resistant",
+            CachePolicy::ScanResistant,
+        ),
+    ] {
+        let idx = index_with_cache_policy(&format!("qlat-{label}"), policy);
+        let domain = ingest_runs(
+            &idx,
+            IndexPreset::I1,
+            umzi_workload::KeyDist::Sequential,
+            CACHE_RUNS,
+            PER_RUN,
+            true,
+            13,
+        );
+        let hot: Vec<(Vec<Datum>, Vec<Datum>)> = (0..HOT_KEYS)
+            .map(|j| scan_groups(j as u64 * (domain / HOT_KEYS as u64)))
+            .collect();
+        let whole_range = RangeQuery {
+            equality: vec![Datum::Int64(0)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        // Warm the working set into the cache (two passes promote it into
+        // the protected segment under the scan-resistant policy).
+        for _ in 0..3 {
+            for (eq, sort) in &hot {
+                idx.point_lookup(eq, sort, u64::MAX).expect("warm");
+            }
+        }
+        // Hit rate at *lookup granularity*: a point lookup counts as a hit
+        // only when the decoded cache serves it entirely (zero chunk
+        // reads) — per-access counters would let a washed cache re-warm
+        // itself within one lookup and look healthier than it is.
+        let (cached_lookups, total_lookups) =
+            (std::cell::Cell::new(0u64), std::cell::Cell::new(0u64));
+        cache_results.push(measure(label, CACHE_RUNS, &idx, 512, |i| {
+            if i % 16 == 15 {
+                std::hint::black_box(
+                    idx.range_scan(&whole_range, ReconcileStrategy::PriorityQueue)
+                        .expect("scan"),
+                );
+            } else {
+                let (eq, sort) = &hot[(i as usize) % hot.len()];
+                let reads_before = idx.storage().stats().chunk_reads;
+                std::hint::black_box(idx.point_lookup(eq, sort, u64::MAX).expect("lookup"));
+                total_lookups.set(total_lookups.get() + 1);
+                if idx.storage().stats().chunk_reads == reads_before {
+                    cached_lookups.set(cached_lookups.get() + 1);
+                }
+            }
+        }));
+        cache_hit_rates.push((
+            label,
+            cached_lookups.get() as f64 / total_lookups.get().max(1) as f64,
+        ));
+    }
+
     // Before/after on the run-search hot path itself: one 20k-entry run,
     // searched 2000 times. "Before" = per-entry binary search, decoded
     // cache off (the pre-change read path); "after" = fence index +
@@ -291,7 +399,12 @@ fn main() {
         "{:<28} {:>5} {:>14} {:>18}",
         "workload", "runs", "ops/sec", "blocks-read/op"
     );
-    for m in results.iter().chain(&par_results).chain([&before, &after]) {
+    for m in results
+        .iter()
+        .chain(&par_results)
+        .chain(&cache_results)
+        .chain([&before, &after])
+    {
         eprintln!(
             "{:<28} {:>5} {:>14.0} {:>18.3}",
             m.workload,
@@ -311,11 +424,19 @@ fn main() {
         PAR_RUNS as u64 * PER_RUN,
         par_speedup
     );
+    let cache_hit_speedup = cache_hit_rates[1].1 / cache_hit_rates[0].1.max(1e-9);
+    for (label, rate) in &cache_hit_rates {
+        eprintln!("{label}: point hit rate {rate:.3}");
+    }
+    eprintln!(
+        "cache policy Lru→ScanResistant under scan interference: {cache_hit_speedup:.2}x point hit rate"
+    );
 
     let mut json = String::from("{\n  \"bench\": \"query_latency\",\n  \"results\": [\n");
     let lines: Vec<String> = results
         .iter()
         .chain(&par_results)
+        .chain(&cache_results)
         .chain([&before, &after])
         .map(json_entry)
         .collect();
@@ -324,7 +445,14 @@ fn main() {
     let _ = writeln!(json, "  \"search_speedup_ops_per_sec\": {speedup:.2},");
     let _ = writeln!(
         json,
-        "  \"parallel_scan_speedup_ops_per_sec\": {par_speedup:.2}"
+        "  \"parallel_scan_speedup_ops_per_sec\": {par_speedup:.2},"
+    );
+    for (label, rate) in &cache_hit_rates {
+        let _ = writeln!(json, "  \"{label}_point_hit_rate\": {rate:.3},");
+    }
+    let _ = writeln!(
+        json,
+        "  \"cache_policy_hit_rate_speedup\": {cache_hit_speedup:.2}"
     );
     json.push_str("}\n");
 

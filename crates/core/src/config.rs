@@ -43,7 +43,7 @@ pub struct ZoneConfig {
 }
 
 /// Cache-manager thresholds (§6.2) and read-path cache sizing.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// SSD-utilization fraction above which the manager purges runs,
     /// starting from the highest (oldest) levels.
@@ -51,15 +51,17 @@ pub struct CacheConfig {
     /// SSD-utilization fraction below which the manager loads runs back,
     /// starting from the lowest purged level.
     pub ssd_low_watermark: f64,
-    /// Override for the storage hierarchy's decoded-block cache capacity in
-    /// bytes, applied when the index is created or recovered. `None` (the
-    /// default) keeps the capacity the [`umzi_storage::TieredConfig`] was
-    /// built with. **The decoded cache is shared by every index on the same
-    /// `TieredStorage`** — setting this reconfigures that shared cache, and
-    /// when several indexes specify different values the last one created
-    /// wins; prefer sizing it once in `TieredConfig` and reserve this knob
-    /// for single-index deployments and tests.
-    pub decoded_cache_bytes: Option<u64>,
+    /// Override for the storage hierarchy's decoded-block cache (capacity,
+    /// replacement policy, segment sizing and frequency-sketch knobs),
+    /// applied when the index is created or recovered. `None` (the
+    /// default) keeps the configuration the [`umzi_storage::TieredConfig`]
+    /// was built with. **The decoded cache is shared by every index on the
+    /// same `TieredStorage`** — setting this reconfigures that shared
+    /// cache (the shard count stays fixed), and when several indexes
+    /// specify different values the last one created wins; prefer sizing
+    /// it once in `TieredConfig` and reserve this knob for single-index
+    /// deployments, benchmarks and tests.
+    pub decoded_cache: Option<umzi_storage::DecodedCacheConfig>,
 }
 
 impl Default for CacheConfig {
@@ -67,7 +69,7 @@ impl Default for CacheConfig {
         Self {
             ssd_high_watermark: 0.90,
             ssd_low_watermark: 0.70,
-            decoded_cache_bytes: None,
+            decoded_cache: None,
         }
     }
 }
@@ -86,6 +88,12 @@ pub struct ScanConfig {
     /// per-partition positioning and thread spawns only pay off on large
     /// scans.
     pub parallel_row_threshold: u64,
+    /// Minimum estimated rows each partition of a parallel scan should
+    /// cover: the partition count adapts to
+    /// `min(partition_target, estimated_rows / min_partition_rows)` so a
+    /// moderately sized scan no longer spawns a full complement of threads
+    /// for tiny partitions. `0` behaves as `1` (no adaptive cap).
+    pub min_partition_rows: u64,
 }
 
 impl Default for ScanConfig {
@@ -93,6 +101,7 @@ impl Default for ScanConfig {
         Self {
             max_scan_partitions: 0,
             parallel_row_threshold: 4096,
+            min_partition_rows: 2048,
         }
     }
 }
@@ -119,6 +128,17 @@ impl ScanConfig {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(8)
+    }
+
+    /// The partition count for a scan expected to produce `estimated_rows`:
+    /// the target, adaptively capped so every partition covers at least
+    /// [`Self::min_partition_rows`] rows (a tiny partition wastes its
+    /// thread spawn).
+    pub fn adaptive_partitions(&self, estimated_rows: u64) -> usize {
+        let target = self.partition_target();
+        let floor = self.min_partition_rows.max(1);
+        let by_rows = (estimated_rows / floor).max(1);
+        target.min(usize::try_from(by_rows).unwrap_or(usize::MAX))
     }
 }
 
@@ -297,6 +317,10 @@ impl UmziConfig {
         if self.offset_bits > 24 {
             return Err(UmziError::Config("offset_bits must be ≤ 24".into()));
         }
+        if let Some(dc) = &self.cache.decoded_cache {
+            dc.validate()
+                .map_err(|e| UmziError::Config(e.to_string()))?;
+        }
         self.scan.validate()?;
         self.maintenance.validate()?;
         Ok(())
@@ -431,6 +455,36 @@ mod tests {
         // Explicit values above the core count are honored (I/O-bound scans).
         s.max_scan_partitions = 64;
         assert_eq!(s.partition_target(), 64);
+    }
+
+    #[test]
+    fn adaptive_partitions_respect_min_rows_floor() {
+        let s = ScanConfig {
+            max_scan_partitions: 8,
+            parallel_row_threshold: 1,
+            min_partition_rows: 1000,
+        };
+        assert_eq!(s.adaptive_partitions(500), 1, "sub-floor scans don't split");
+        assert_eq!(s.adaptive_partitions(3500), 3);
+        assert_eq!(s.adaptive_partitions(1 << 30), 8, "target still caps");
+        // A zero floor behaves as 1 (no adaptive cap).
+        let s = ScanConfig {
+            min_partition_rows: 0,
+            ..s
+        };
+        assert_eq!(s.adaptive_partitions(8), 8);
+    }
+
+    #[test]
+    fn rejects_bad_decoded_cache_override() {
+        let mut c = UmziConfig::two_zone("t");
+        c.cache.decoded_cache = Some(umzi_storage::DecodedCacheConfig {
+            protected_fraction: 2.0,
+            ..umzi_storage::DecodedCacheConfig::default()
+        });
+        assert!(c.validate().is_err());
+        c.cache.decoded_cache = Some(umzi_storage::DecodedCacheConfig::default());
+        c.validate().unwrap();
     }
 
     #[test]

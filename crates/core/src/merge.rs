@@ -71,7 +71,13 @@ impl RunCursor {
         let (b, slot) = self.run.locate(self.ordinal)?;
         let reuse = matches!(&self.block, Some((idx, _)) if *idx == b);
         if !reuse {
-            self.block = Some((b, self.run.data_block(b)?));
+            // Merges sweep every input block exactly once: maintenance
+            // traffic, never admitted to the decoded cache.
+            self.block = Some((
+                b,
+                self.run
+                    .data_block_as(b, umzi_run::AccessPattern::Maintenance)?,
+            ));
         }
         let (_, block) = self.block.as_ref().expect("block just set");
         Ok(Some(block.entry(slot)?))

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use umzi_encoding::{hash_prefix, Datum, IndexDef};
 use umzi_run::synopsis::encode_eq_values;
-use umzi_run::{KeyLayout, Rid, Run, RunSearcher, SearchHit, SortBound};
+use umzi_run::{AccessPattern, KeyLayout, Rid, Run, RunSearcher, SearchHit, SortBound};
 
 use crate::index::UmziIndex;
 use crate::reconcile::{
@@ -145,6 +145,61 @@ impl UmziIndex {
         })
     }
 
+    /// Run `per_chunk` over small chunks of `items` claimed from a shared
+    /// atomic cursor by up to `min(available_parallelism, 8)` scoped
+    /// threads. Unlike [`Self::fan_out_chunks`], no thread owns a fixed
+    /// slice: when per-item cost is skewed (e.g. probes hitting one hot
+    /// hash bucket), fast threads keep stealing chunks instead of idling
+    /// behind the slow one. Results concatenate in claim order, which is
+    /// **not** the input order — use only when the caller doesn't rely on
+    /// ordering (batch-lookup results are positional).
+    fn steal_chunks<'a, T, R, F>(
+        items: &'a [T],
+        chunk: usize,
+        min_items: usize,
+        per_chunk: F,
+    ) -> umzi_run::Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a [T]) -> umzi_run::Result<Vec<R>> + Sync,
+    {
+        let chunk = chunk.max(1);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .min(items.len().div_ceil(chunk).max(1));
+        if threads <= 1 || items.len() < min_items {
+            return per_chunk(items);
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let (cursor, per_chunk) = (&cursor, &per_chunk);
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move || -> umzi_run::Result<Vec<R>> {
+                        let mut out = Vec::new();
+                        loop {
+                            let start =
+                                cursor.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            if start >= items.len() {
+                                return Ok(out);
+                            }
+                            let end = (start + chunk).min(items.len());
+                            out.extend(per_chunk(&items[start..end])?);
+                        }
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(items.len());
+            for h in handles {
+                all.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))?);
+            }
+            Ok(all)
+        })
+    }
+
     /// Reconcile positioned per-run iterators, taking the partitioned
     /// parallel path when the scan is large enough (§7.1.2 merge, split by
     /// key range): plan boundaries from the largest run's block fences,
@@ -162,8 +217,10 @@ impl UmziIndex {
         candidates: &[Arc<Run>],
     ) -> umzi_run::Result<Vec<SearchHit>> {
         let scan = &self.config.scan;
-        let target = scan.partition_target();
         let estimated_rows: u64 = iters.iter().map(|it| it.remaining_entries()).sum();
+        // Adaptive fan-out: never cut the scan into partitions smaller than
+        // min_partition_rows — a tiny partition wastes its thread spawn.
+        let target = scan.adaptive_partitions(estimated_rows);
         if target <= 1 || estimated_rows < scan.parallel_row_threshold.max(1) {
             return reconcile_pq(iters);
         }
@@ -186,7 +243,10 @@ impl UmziIndex {
                     boundaries
                         .iter()
                         .map(|boundary| {
-                            prev = it.run().locate_first_geq(boundary)?.clamp(prev, end);
+                            prev = it
+                                .run()
+                                .locate_first_geq_as(boundary, AccessPattern::RangeScan)?
+                                .clamp(prev, end);
                             Ok(prev)
                         })
                         .collect()
@@ -266,7 +326,13 @@ impl UmziIndex {
             bucket: Option<u32>,
             query_ts: u64,
         ) -> umzi_run::Result<umzi_run::RunRangeIter<'r>> {
-            RunSearcher::new(run).scan_shared(lower, upper, bucket, query_ts)
+            RunSearcher::new(run).scan_shared(
+                lower,
+                upper,
+                bucket,
+                query_ts,
+                AccessPattern::RangeScan,
+            )
         }
         // Bounded fan-out over candidate runs; chunk results concatenate in
         // order, so the reconcile order is unchanged.
@@ -343,6 +409,20 @@ impl UmziIndex {
         keys: &[(Vec<Datum>, Vec<Datum>)],
         query_ts: u64,
     ) -> Result<Vec<Option<QueryOutput>>> {
+        self.batch_lookup_as(keys, query_ts, AccessPattern::PointLookup)
+    }
+
+    /// Like [`Self::batch_lookup`] with an explicit cache hint. Validation
+    /// probes issued on behalf of an analytical secondary-index scan should
+    /// pass [`AccessPattern::RangeScan`]: the batch touches one-pass blocks
+    /// in bulk, and labelling them point traffic would promote them into
+    /// the protected segment and wash out the real point working set.
+    pub fn batch_lookup_as(
+        &self,
+        keys: &[(Vec<Datum>, Vec<Datum>)],
+        query_ts: u64,
+        pattern: AccessPattern,
+    ) -> Result<Vec<Option<QueryOutput>>> {
         struct Probe {
             prefix: Vec<u8>,
             hash: Option<u64>,
@@ -352,6 +432,10 @@ impl UmziIndex {
         /// Below this many pending probes, thread spawn overhead beats the
         /// fan-out win and the run is searched on the calling thread.
         const PARALLEL_THRESHOLD: usize = 32;
+        /// Probes claimed per steal: small enough that a skewed batch (one
+        /// hot hash bucket) re-balances, large enough that the shared
+        /// cursor isn't contended.
+        const STEAL_CHUNK: usize = 16;
 
         let n_key_cols = self.def.key_column_count();
         let mut col_mins: Vec<Vec<u8>> = vec![Vec::new(); n_key_cols];
@@ -409,17 +493,22 @@ impl UmziIndex {
                 let searcher = RunSearcher::new(&run);
                 let mut found = Vec::new();
                 for probe in slice {
-                    if let Some(hit) = searcher.lookup(
+                    if let Some(hit) = searcher.lookup_as(
                         &probe.prefix,
                         Self::bucket_for(&run, probe.hash),
                         query_ts,
+                        pattern,
                     )? {
                         found.push((probe.pos, hit));
                     }
                 }
                 Ok(found)
             };
-            let found = Self::fan_out_chunks(&pending, PARALLEL_THRESHOLD, probe_slice)?;
+            // Work stealing: skewed batches (hot hash buckets make some
+            // probes far costlier than others) no longer leave threads idle
+            // behind one overloaded equal-size slice. Found hits are
+            // positional, so the claim order doesn't matter.
+            let found = Self::steal_chunks(&pending, STEAL_CHUNK, PARALLEL_THRESHOLD, probe_slice)?;
             for (pos, hit) in found {
                 results[pos] = Some(QueryOutput::from_hit(hit));
                 remaining -= 1;
@@ -692,6 +781,95 @@ mod tests {
         let pstats = par.stats();
         assert!(pstats.parallel_scans > 0, "forced config must fan out");
         assert!(pstats.scan_partitions >= 2 * pstats.parallel_scans);
+    }
+
+    /// ROADMAP "adaptive partition counts": the parallel fan-out must not
+    /// cut a scan into partitions smaller than `min_partition_rows`.
+    #[test]
+    fn partition_count_adapts_to_row_estimate() {
+        let build = |name: &str, min_rows: u64| {
+            let storage = Arc::new(TieredStorage::in_memory());
+            let def = Arc::new(
+                IndexDef::builder("t")
+                    .equality("device", ColumnType::Int64)
+                    .sort("msg", ColumnType::Int64)
+                    .included("val", ColumnType::Int64)
+                    .build()
+                    .unwrap(),
+            );
+            let mut cfg = UmziConfig::two_zone(name);
+            cfg.scan.max_scan_partitions = 8;
+            cfg.scan.parallel_row_threshold = 1;
+            cfg.scan.min_partition_rows = min_rows;
+            let idx = UmziIndex::create(storage, def, cfg).unwrap();
+            for r in 0..2u64 {
+                let entries = (0..6000i64)
+                    .map(|m| entry(&idx, ZoneId::GROOMED, 1, m, 10 + r, 0))
+                    .collect();
+                idx.build_groomed_run(entries, r + 1, r + 1).unwrap();
+            }
+            idx
+        };
+        let q = RangeQuery {
+            equality: vec![Datum::Int64(1)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        // ~12k estimated rows, floor 100k ⇒ adaptive target 1 ⇒ sequential.
+        let coarse = build("q-adapt-seq", 100_000);
+        coarse
+            .range_scan(&q, ReconcileStrategy::PriorityQueue)
+            .unwrap();
+        assert_eq!(
+            coarse.stats().parallel_scans,
+            0,
+            "tiny scans stay sequential"
+        );
+        // Floor 3000 ⇒ at most 4 partitions despite the 8-way cap.
+        let adaptive = build("q-adapt-4", 3000);
+        adaptive
+            .range_scan(&q, ReconcileStrategy::PriorityQueue)
+            .unwrap();
+        let s = adaptive.stats();
+        assert_eq!(s.parallel_scans, 1);
+        assert!(
+            (2..=4).contains(&s.scan_partitions),
+            "12k rows / 3k floor must cap fan-out at 4, got {}",
+            s.scan_partitions
+        );
+    }
+
+    /// Skewed batches (every probe in one hot hash bucket, interleaved with
+    /// misses) exercise the work-stealing fan-out; results must stay
+    /// positionally correct.
+    #[test]
+    fn batch_lookup_skewed_batch_over_steal_threshold() {
+        let idx = setup();
+        idx.build_groomed_run(
+            (0..2000)
+                .map(|i| entry(&idx, ZoneId::GROOMED, 7, i, 10 + i as u64, i))
+                .collect(),
+            1,
+            1,
+        )
+        .unwrap();
+        // 300 probes, all on device 7 (one hash bucket), every third a miss.
+        let keys: Vec<(Vec<Datum>, Vec<Datum>)> = (0..300)
+            .map(|i| {
+                let m = if i % 3 == 2 { 100_000 + i } else { i * 6 };
+                (vec![Datum::Int64(7)], vec![Datum::Int64(m)])
+            })
+            .collect();
+        let out = idx.batch_lookup(&keys, u64::MAX).unwrap();
+        for (i, got) in out.iter().enumerate() {
+            if i % 3 == 2 {
+                assert!(got.is_none(), "probe {i} must miss");
+            } else {
+                let hit = got.as_ref().expect("probe must hit");
+                assert_eq!(hit.begin_ts, 10 + (i as u64) * 6, "probe {i}");
+            }
+        }
     }
 
     #[test]

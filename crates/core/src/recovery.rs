@@ -33,8 +33,11 @@ impl UmziIndex {
         config: UmziConfig,
     ) -> Result<Arc<UmziIndex>> {
         config.validate()?;
-        if let Some(bytes) = config.cache.decoded_cache_bytes {
-            storage.decoded_cache().set_capacity(bytes);
+        if let Some(dc) = &config.cache.decoded_cache {
+            storage
+                .decoded_cache()
+                .reconfigure(dc)
+                .map_err(|e| crate::error::UmziError::Config(e.to_string()))?;
         }
         let index = Self::empty(Arc::clone(&storage), def, config);
 

@@ -385,7 +385,10 @@ mod tests {
             let stop = Arc::clone(&stop);
             readers.push(std::thread::spawn(move || {
                 let mut snaps = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                // Snapshot-then-check so every reader validates at least one
+                // snapshot even if the writer finishes before this thread is
+                // first scheduled.
+                loop {
                     let snap = list.snapshot();
                     assert!(!snap.is_empty());
                     let mut seen = std::collections::HashSet::new();
@@ -393,6 +396,9 @@ mod tests {
                         assert!(seen.insert(r.run_id()), "duplicate run in snapshot");
                     }
                     snaps += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 snaps
             }));

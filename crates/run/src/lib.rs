@@ -96,6 +96,7 @@ pub use reader::{DataBlock, Run};
 pub use rid::{Rid, ZoneId, RID_LEN};
 pub use search::{RunRangeIter, RunSearcher, SearchHit};
 pub use synopsis::Synopsis;
+pub use umzi_storage::AccessPattern;
 
 /// Result alias for run-format operations.
 pub type Result<T> = std::result::Result<T, RunError>;

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
-use umzi_storage::{ObjectHandle, TieredStorage};
+use umzi_storage::{AccessPattern, ObjectHandle, TieredStorage};
 
 use crate::entry::EntryRef;
 use crate::error::RunError;
@@ -182,9 +182,35 @@ impl Run {
         &self.storage
     }
 
-    /// Fetch data block `b` (0-based): decoded-block cache first, then the
-    /// chunk hierarchy plus a parse (inserting the parsed block back).
+    /// Fetch data block `b` (0-based) for point-lookup traffic. See
+    /// [`Self::data_block_as`] for the general, hinted form.
     pub fn data_block(&self, b: u32) -> Result<DataBlock> {
+        self.data_block_as(b, AccessPattern::PointLookup)
+    }
+
+    /// Fetch data block `b` (0-based): decoded-block cache first, then the
+    /// chunk hierarchy plus a parse (inserting the parsed block back). The
+    /// access-pattern hint steers the cache's scan-resistant replacement:
+    /// point lookups may promote into the protected segment, range scans
+    /// stay probation-only, maintenance sweeps are never admitted.
+    pub fn data_block_as(&self, b: u32, pattern: AccessPattern) -> Result<DataBlock> {
+        self.data_block_impl(b, pattern, false)
+    }
+
+    /// Fetch data block `b` for the tail of a range scan that has exceeded
+    /// its insert-bypass budget: the access still counts as scan traffic in
+    /// the cache's per-pattern statistics, but the parsed block is not
+    /// admitted under the scan-resistant policy.
+    pub fn data_block_scan_bypassed(&self, b: u32) -> Result<DataBlock> {
+        self.data_block_impl(b, AccessPattern::RangeScan, true)
+    }
+
+    fn data_block_impl(
+        &self,
+        b: u32,
+        pattern: AccessPattern,
+        bypass_insert: bool,
+    ) -> Result<DataBlock> {
         if b >= self.header.n_data_blocks {
             return Err(RunError::Corrupt {
                 context: format!(
@@ -194,7 +220,7 @@ impl Run {
             });
         }
         let key = (self.handle.raw(), b);
-        if let Some(hit) = self.storage.decoded_cache().get(key) {
+        if let Some(hit) = self.storage.decoded_cache().get(key, pattern) {
             if let Ok(block) = hit.downcast::<DataBlock>() {
                 return Ok(DataBlock::clone(&block));
             }
@@ -203,11 +229,17 @@ impl Run {
             .storage
             .read_chunk(self.handle, self.header.header_chunks + b)?;
         let block = DataBlock::parse(chunk)?;
-        self.storage.decoded_cache().insert(
-            key,
-            Arc::new(block.clone()),
-            block.size_bytes() as u64,
-        );
+        let cache = self.storage.decoded_cache();
+        if bypass_insert {
+            cache.insert_scan_bypassed(key, Arc::new(block.clone()), block.size_bytes() as u64);
+        } else {
+            cache.insert(
+                key,
+                Arc::new(block.clone()),
+                block.size_bytes() as u64,
+                pattern,
+            );
+        }
         Ok(block)
     }
 
@@ -256,7 +288,9 @@ impl Run {
         }
         let mut fences = Vec::with_capacity(self.header.n_data_blocks as usize);
         for b in 0..self.header.n_data_blocks {
-            let block = self.data_block(b)?;
+            // One-pass sweep over every block of the run: maintenance
+            // traffic, kept out of the decoded cache.
+            let block = self.data_block_as(b, AccessPattern::Maintenance)?;
             if block.entry_count() == 0 {
                 return Err(RunError::Corrupt {
                     context: format!("data block {b} is empty"),
@@ -268,10 +302,18 @@ impl Run {
     }
 
     /// Ordinal of the first entry whose key is ≥ `target` across the whole
+    /// run (`entry_count` when none), as point-lookup traffic. See
+    /// [`Self::locate_first_geq_as`].
+    pub fn locate_first_geq(&self, target: &[u8]) -> Result<u64> {
+        self.locate_first_geq_as(target, AccessPattern::PointLookup)
+    }
+
+    /// Ordinal of the first entry whose key is ≥ `target` across the whole
     /// run (`entry_count` when none). Touches at most **one** data block:
     /// the fence index selects the candidate block, then the block's offset
-    /// trailer is binary-searched in place.
-    pub fn locate_first_geq(&self, target: &[u8]) -> Result<u64> {
+    /// trailer is binary-searched in place. The pattern hint labels that
+    /// block fetch for the decoded cache.
+    pub fn locate_first_geq_as(&self, target: &[u8], pattern: AccessPattern) -> Result<u64> {
         if self.header.entry_count == 0 {
             return Ok(0);
         }
@@ -288,7 +330,7 @@ impl Run {
         } else {
             self.header.block_prefix_counts[b as usize - 1]
         };
-        let block = self.data_block(b)?;
+        let block = self.data_block_as(b, pattern)?;
         Ok(base + u64::from(block.partition_point_geq(target)?))
     }
 

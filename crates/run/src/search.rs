@@ -10,7 +10,11 @@
 //! entry with the largest beginTS, which is straightforward since entries
 //! are sorted on the index key and descending order of beginTS."*
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use bytes::Bytes;
+use umzi_storage::AccessPattern;
 
 use crate::entry::EntryRef;
 use crate::key::KeyLayout;
@@ -87,7 +91,8 @@ impl<'a> RunSearcher<'a> {
     }
 
     /// Stream the newest visible version of each logical key in
-    /// `[lower, upper)` (byte bounds from [`KeyLayout::query_range`]).
+    /// `[lower, upper)` (byte bounds from [`KeyLayout::query_range`]),
+    /// labelled as range-scan traffic for the decoded-block cache.
     pub fn scan(
         &self,
         lower: &[u8],
@@ -95,12 +100,21 @@ impl<'a> RunSearcher<'a> {
         bucket: Option<u32>,
         query_ts: u64,
     ) -> Result<RunRangeIter<'a>> {
-        self.scan_shared(lower, upper.map(Bytes::copy_from_slice), bucket, query_ts)
+        self.scan_shared(
+            lower,
+            upper.map(Bytes::copy_from_slice),
+            bucket,
+            query_ts,
+            AccessPattern::RangeScan,
+        )
     }
 
     /// Like [`Self::scan`] but taking the upper bound as a refcounted
-    /// [`Bytes`], so multi-run queries share one allocation across all
-    /// per-run iterators instead of copying the bound per run.
+    /// [`Bytes`] — so multi-run queries share one allocation across all
+    /// per-run iterators instead of copying the bound per run — and an
+    /// explicit [`AccessPattern`] labelling every block fetch the iterator
+    /// makes (positioning included) for the decoded cache's scan-resistant
+    /// replacement.
     ///
     /// Both bounds resolve to *ordinals* up front through the fence index —
     /// one block fetch each — so iteration advances block-by-block with no
@@ -113,16 +127,23 @@ impl<'a> RunSearcher<'a> {
         upper: Option<Bytes>,
         bucket: Option<u32>,
         query_ts: u64,
+        pattern: AccessPattern,
     ) -> Result<RunRangeIter<'a>> {
-        let start = self.find_first_geq(lower, bucket)?;
+        let (blo, bhi) = self.run.bucket_range(bucket);
+        let start = self
+            .run
+            .locate_first_geq_as(lower, pattern)?
+            .clamp(blo, bhi);
         // Keys are globally sorted, so every entry below the upper bound
         // sits below its first-geq ordinal: the key comparison the iterator
         // used to do per entry collapses into this single fence jump.
         // Unbounded scans stop at the bucket (or run) end as before.
         let end = match &upper {
-            Some(u) if start < self.run.entry_count() => self.run.locate_first_geq(u)?,
+            Some(u) if start < self.run.entry_count() => {
+                self.run.locate_first_geq_as(u, pattern)?
+            }
             Some(_) => start,
-            None => self.run.bucket_range(bucket).1,
+            None => bhi,
         };
         Ok(RunRangeIter {
             run: self.run,
@@ -134,6 +155,13 @@ impl<'a> RunSearcher<'a> {
             last_group: Vec::new(),
             group_done: false,
             done: false,
+            pattern,
+            scan_bypass: if pattern == AccessPattern::RangeScan {
+                self.run.storage().decoded_cache().scan_bypass_bytes()
+            } else {
+                0
+            },
+            streamed: (pattern == AccessPattern::RangeScan).then(|| Arc::new(AtomicU64::new(0))),
         })
     }
 
@@ -145,8 +173,28 @@ impl<'a> RunSearcher<'a> {
         bucket: Option<u32>,
         query_ts: u64,
     ) -> Result<Option<SearchHit>> {
+        self.lookup_as(logical_prefix, bucket, query_ts, AccessPattern::PointLookup)
+    }
+
+    /// Like [`Self::lookup`] with an explicit cache hint: bulk validation
+    /// probes issued on behalf of an analytical scan should be labelled
+    /// [`AccessPattern::RangeScan`] so they cannot promote one-pass blocks
+    /// into the protected segment.
+    pub fn lookup_as(
+        &self,
+        logical_prefix: &[u8],
+        bucket: Option<u32>,
+        query_ts: u64,
+        pattern: AccessPattern,
+    ) -> Result<Option<SearchHit>> {
         let upper = crate::key::prefix_successor(logical_prefix);
-        let mut iter = self.scan(logical_prefix, upper.as_deref(), bucket, query_ts)?;
+        let mut iter = self.scan_shared(
+            logical_prefix,
+            upper.map(Bytes::from),
+            bucket,
+            query_ts,
+            pattern,
+        )?;
         match iter.next() {
             Some(Ok(hit)) => {
                 // The scan's lower bound is a prefix; guard against a
@@ -181,6 +229,17 @@ pub struct RunRangeIter<'a> {
     last_group: Vec<u8>,
     group_done: bool,
     done: bool,
+    /// Cache hint for every block this iterator fetches.
+    pattern: AccessPattern,
+    /// Once a range scan has streamed this many block bytes it stops
+    /// inserting into the decoded cache (0 = never); snapshot of
+    /// [`umzi_storage::DecodedBlockCache::scan_bypass_bytes`].
+    scan_bypass: u64,
+    /// Block bytes streamed so far — shared across the sub-range pieces of
+    /// one partitioned scan, so the bypass budget is per scan, not per
+    /// partition. `None` for non-scan patterns (bypass can never apply), so
+    /// point/batch probes skip the allocation on their hot path.
+    streamed: Option<Arc<AtomicU64>>,
 }
 
 impl<'a> RunRangeIter<'a> {
@@ -225,7 +284,34 @@ impl<'a> RunRangeIter<'a> {
             last_group: Vec::new(),
             group_done: false,
             done: false,
+            pattern: self.pattern,
+            scan_bypass: self.scan_bypass,
+            streamed: self.streamed.clone(),
         }
+    }
+
+    /// Whether the next block fetch should skip cache admission: a range
+    /// scan that has already streamed past the bypass threshold clearly
+    /// exceeds the cache, so its tail stops churning probation (it still
+    /// counts as scan traffic in the per-pattern statistics).
+    fn bypassing(&self) -> bool {
+        self.scan_bypass > 0
+            && self
+                .streamed
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed) >= self.scan_bypass)
+    }
+
+    fn load_block(&mut self, b: u32) -> Result<DataBlock> {
+        let block = if self.bypassing() {
+            self.run.data_block_scan_bypassed(b)?
+        } else {
+            self.run.data_block_as(b, self.pattern)?
+        };
+        if let Some(streamed) = &self.streamed {
+            streamed.fetch_add(block.size_bytes() as u64, Ordering::Relaxed);
+        }
+        Ok(block)
     }
 
     fn fetch(&mut self, ordinal: u64) -> Result<EntryRef> {
@@ -240,14 +326,16 @@ impl<'a> RunRangeIter<'a> {
                     // re-deriving the position.
                     let next = b + 1;
                     self.block_base += n_in_block;
-                    self.cur_block = Some((next, self.run.data_block(next)?));
+                    let block = self.load_block(next)?;
+                    self.cur_block = Some((next, block));
                     continue;
                 }
             }
             // First positioning (or a non-sequential jump): one locate().
             let (b, slot) = self.run.locate(ordinal)?;
             self.block_base = ordinal - u64::from(slot);
-            self.cur_block = Some((b, self.run.data_block(b)?));
+            let block = self.load_block(b)?;
+            self.cur_block = Some((b, block));
         }
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use umzi_encoding::{ColumnType, Datum, IndexDef};
 use umzi_run::{IndexEntry, KeyLayout, Rid, RunBuilder, RunParams, RunSearcher, ZoneId};
-use umzi_storage::{Durability, SharedStorage, TieredConfig, TieredStorage};
+use umzi_storage::{DecodedCacheConfig, Durability, SharedStorage, TieredConfig, TieredStorage};
 
 fn layout() -> KeyLayout {
     let def = IndexDef::builder("stats")
@@ -25,7 +25,10 @@ fn storage_no_decoded_cache() -> Arc<TieredStorage> {
         SharedStorage::in_memory(),
         TieredConfig {
             chunk_size: 1024,
-            decoded_cache_bytes: 0,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 0,
+                ..DecodedCacheConfig::default()
+            },
             ..TieredConfig::default()
         },
     ))
@@ -196,4 +199,99 @@ fn decoded_cache_eliminates_repeat_reads() {
     let d = storage.stats().decoded;
     assert!(d.hits >= 100, "decoded-cache hits must be counted: {d:?}");
     assert!(d.hit_ratio().unwrap() > 0.9);
+}
+
+#[test]
+fn large_scan_stops_inserting_past_bypass_threshold() {
+    // A scan that streams more than `scan_bypass_bytes` obviously exceeds
+    // the cache; its tail must be fetched as never-admitted traffic instead
+    // of churning the probation segment.
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size: 1024,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 1 << 20,
+                shards: 1,
+                scan_bypass_bytes: 4096, // ~4 blocks
+                ..DecodedCacheConfig::default()
+            },
+            ..TieredConfig::default()
+        },
+    ));
+    let run = build_multi_block_run(&storage, 4000);
+    assert!(run.data_block_count() >= 16);
+
+    let searcher = RunSearcher::new(&run);
+    let n = searcher
+        .scan(&[], None, None, u64::MAX)
+        .unwrap()
+        .collect::<umzi_run::Result<Vec<_>>>()
+        .unwrap()
+        .len();
+    assert_eq!(n as i64, 4000);
+
+    let d = storage.stats().decoded;
+    assert!(
+        d.insertions <= 6,
+        "only the pre-threshold prefix may be cached: {d:?}"
+    );
+    assert!(
+        d.bypassed_inserts as u32 >= run.data_block_count() - 6,
+        "the scan tail must bypass insertion: {d:?}"
+    );
+    // The bypassed tail is still *scan* traffic: it must not leak into the
+    // maintenance pattern counters.
+    assert!(d.scan.misses as u32 >= run.data_block_count());
+    assert_eq!(d.maintenance.hits + d.maintenance.misses, 0);
+}
+
+#[test]
+fn partitioned_scan_shares_one_bypass_budget() {
+    // sub_range pieces of one scan must draw on a single scan_bypass_bytes
+    // budget — otherwise an N-way partitioned scan gets N× the insert
+    // allowance and churns probation exactly as if the knob were off.
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::in_memory(),
+        TieredConfig {
+            chunk_size: 1024,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 1 << 20,
+                shards: 1,
+                scan_bypass_bytes: 4096, // ~4 blocks
+                ..DecodedCacheConfig::default()
+            },
+            ..TieredConfig::default()
+        },
+    ));
+    let run = build_multi_block_run(&storage, 4000);
+    let searcher = RunSearcher::new(&run);
+    let it = searcher.scan(&[], None, None, u64::MAX).unwrap();
+    let (lo, hi) = it.ordinal_bounds();
+    // Every logical key is single-version here, so any ordinal is a valid
+    // group boundary for the cut.
+    let cuts = [
+        lo,
+        lo + (hi - lo) / 4,
+        lo + (hi - lo) / 2,
+        lo + 3 * (hi - lo) / 4,
+        hi,
+    ];
+    let mut n = 0usize;
+    for w in cuts.windows(2) {
+        n += it
+            .sub_range(w[0], w[1])
+            .collect::<umzi_run::Result<Vec<_>>>()
+            .unwrap()
+            .len();
+    }
+    assert_eq!(n as i64, 4000);
+    let d = storage.stats().decoded;
+    // One shared budget: the pre-threshold prefix plus one boundary block
+    // per cut (a piece may re-fetch the block its range starts in).
+    assert!(
+        d.insertions <= 6 + (cuts.len() - 1) as u64,
+        "partitions must not each get a fresh bypass budget: {d:?}"
+    );
+    assert!(d.bypassed_inserts as u32 >= run.data_block_count() - 10);
 }

@@ -1,4 +1,4 @@
-//! A sharded LRU cache of *decoded* data blocks.
+//! A sharded, scan-resistant cache of *decoded* data blocks.
 //!
 //! The tiered chunk caches hold raw bytes; every block access on top of
 //! them still pays a parse (offset-trailer validation + `Bytes` slicing).
@@ -8,6 +8,32 @@
 //! that repeated work entirely (the MV-PBT observation that structure-aware
 //! block caching, not raw-byte caching, is the decisive read-path lever).
 //!
+//! HTAP mixes two access patterns over the same blocks, and a plain LRU
+//! serves them badly: one analytical range scan touches every block of a
+//! run exactly once and sweeps the point-lookup working set out of the
+//! cache. The default [`CachePolicy::ScanResistant`] policy defends the
+//! working set with three mechanisms:
+//!
+//! 1. **Segmented LRU** per shard: a *probation* segment absorbs new and
+//!    once-seen blocks, a *protected* segment (a configurable fraction of
+//!    capacity) holds blocks re-referenced by point lookups. Scans flow
+//!    through probation and evict only each other.
+//! 2. **Frequency-sketch admission** (TinyLFU): a 4-bit count–min sketch
+//!    with periodic halving estimates each block's recent popularity. When
+//!    the shard is full, a cold candidate is admitted only if its estimate
+//!    at least matches the probation victim's, and a block evicted from
+//!    probation displaces the protected tail only if its estimated
+//!    frequency strictly wins.
+//! 3. **Access-pattern hints**: callers label traffic
+//!    [`AccessPattern::PointLookup`] (may promote into protected),
+//!    [`AccessPattern::RangeScan`] (probation-only; large scans bypass
+//!    insertion entirely past [`DecodedCacheConfig::scan_bypass_bytes`]),
+//!    or [`AccessPattern::Maintenance`] (groom/merge sweeps — never
+//!    admitted).
+//!
+//! [`CachePolicy::Lru`] keeps the previous single-segment always-admit
+//! behaviour for A/B comparison (the `cache_policy` bench group).
+//!
 //! The cache is value-type-agnostic (`Arc<dyn Any + Send + Sync>`) because
 //! the decoded block type lives upstream of this crate; `umzi-run` stores
 //! its `DataBlock` here keyed by `(object handle, data block number)`.
@@ -15,61 +41,343 @@
 //! scan fan-out.
 
 use std::any::Any;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::cache::ChunkKey;
+use crate::error::StorageError;
 use crate::lru::LruMap;
-use crate::stats::DecodedCacheStats;
+use crate::sketch::FrequencySketch;
+use crate::stats::{DecodedCacheStats, PatternCounters};
+
+/// What kind of access a block fetch serves. Plumbed from the query layer
+/// down to the cache so replacement can tell the hot point working set from
+/// one-pass analytical and maintenance sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPattern {
+    /// Point or batched lookup: re-reference promotes into the protected
+    /// segment.
+    #[default]
+    PointLookup,
+    /// Range-scan iteration: admitted to probation only; never promotes.
+    RangeScan,
+    /// Background maintenance (merge/groom/fence rebuilds): one-pass
+    /// traffic, never inserted.
+    Maintenance,
+}
+
+impl AccessPattern {
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            AccessPattern::PointLookup => 0,
+            AccessPattern::RangeScan => 1,
+            AccessPattern::Maintenance => 2,
+        }
+    }
+}
+
+/// Replacement policy of the decoded-block cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Single-segment LRU, every insert admitted (the pre-scan-resistance
+    /// behaviour; kept for A/B benchmarking).
+    Lru,
+    /// Segmented LRU + frequency-sketch admission + pattern hints.
+    #[default]
+    ScanResistant,
+}
+
+/// Configuration of the decoded-block cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedCacheConfig {
+    /// Total capacity in (raw-block) bytes, split evenly across shards;
+    /// 0 disables the cache.
+    pub capacity_bytes: u64,
+    /// Shard count (lock granularity under parallel scans). Fixed at
+    /// construction — [`DecodedBlockCache::reconfigure`] keeps the
+    /// existing shard count.
+    pub shards: usize,
+    /// Replacement policy.
+    pub policy: CachePolicy,
+    /// Fraction of each shard's capacity reserved for the protected
+    /// segment (blocks re-referenced by point lookups). Must be in (0, 1).
+    pub protected_fraction: f64,
+    /// A single range scan stops inserting into the cache once it has
+    /// streamed this many block bytes (it clearly won't fit, so caching
+    /// its tail only causes churn); 0 never bypasses.
+    pub scan_bypass_bytes: u64,
+    /// Frequency-sketch counters per shard; 0 sizes automatically from
+    /// the per-shard capacity (one counter per ~4 KiB).
+    pub sketch_counters: usize,
+    /// The sketch halves its counters after `sketch_sample_factor ×
+    /// counters` recorded accesses (aging horizon).
+    pub sketch_sample_factor: u32,
+}
+
+impl Default for DecodedCacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 64 * 1024 * 1024,
+            shards: 16,
+            policy: CachePolicy::ScanResistant,
+            protected_fraction: 0.8,
+            scan_bypass_bytes: 8 * 1024 * 1024,
+            sketch_counters: 0,
+            sketch_sample_factor: 8,
+        }
+    }
+}
+
+impl DecodedCacheConfig {
+    /// Validate structural invariants.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.shards == 0 {
+            return Err(StorageError::Config(
+                "decoded cache needs at least one shard".into(),
+            ));
+        }
+        if !(self.protected_fraction > 0.0 && self.protected_fraction < 1.0) {
+            return Err(StorageError::Config(format!(
+                "decoded cache protected_fraction must be in (0, 1), got {}",
+                self.protected_fraction
+            )));
+        }
+        if self.sketch_counters > 1 << 26 {
+            return Err(StorageError::Config(format!(
+                "decoded cache sketch_counters {} is absurd (cap is 2^26)",
+                self.sketch_counters
+            )));
+        }
+        if self.sketch_sample_factor == 0 {
+            return Err(StorageError::Config(
+                "decoded cache sketch_sample_factor must be ≥ 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn resolved_sketch_counters(&self, per_shard_capacity: u64) -> usize {
+        if self.sketch_counters != 0 {
+            // Same bound validate() enforces; new() clamps instead of
+            // erroring (infallible constructor).
+            return self.sketch_counters.min(1 << 26);
+        }
+        // ~8 counters per KiB ⇒ dozens per typical 4–8 KiB block, keeping
+        // count–min aliasing (which inflates estimates and can displace
+        // legitimately-protected blocks) rare at working-set scale.
+        (per_shard_capacity / 128).clamp(1024, 1 << 22) as usize
+    }
+
+    /// A copy with every out-of-range knob clamped into its documented
+    /// domain — the infallible construction path
+    /// ([`DecodedBlockCache::new`] / `TieredStorage::new`) uses this, while
+    /// [`DecodedBlockCache::reconfigure`] rejects the same configs via
+    /// [`Self::validate`].
+    fn clamped(&self) -> DecodedCacheConfig {
+        DecodedCacheConfig {
+            shards: self.shards.max(1),
+            protected_fraction: if self.protected_fraction > 0.0 && self.protected_fraction < 1.0 {
+                self.protected_fraction
+            } else {
+                0.8
+            },
+            sketch_sample_factor: self.sketch_sample_factor.max(1),
+            sketch_counters: self.sketch_counters.min(1 << 26),
+            ..self.clone()
+        }
+    }
+}
 
 /// A decoded block plus its accounting weight (the raw block size).
 type Slot = (std::sync::Arc<dyn Any + Send + Sync>, u64);
 
-#[derive(Default)]
-struct Shard {
-    map: LruMap<ChunkKey, Slot>,
-    used_bytes: u64,
+/// Policy parameters shared by all shards, swapped by
+/// [`DecodedBlockCache::reconfigure`]. Stored as individual atomics so the
+/// per-access load costs two relaxed reads, not a lock.
+#[derive(Debug, Clone, Copy)]
+struct PolicyParams {
+    policy: CachePolicy,
+    protected_fraction: f64,
 }
 
-/// Sharded LRU over decoded blocks. All operations are O(1) per shard.
+impl PolicyParams {
+    /// Encode the fraction in parts-per-million for atomic storage.
+    fn fraction_ppm(fraction: f64) -> u32 {
+        (fraction * 1_000_000.0) as u32
+    }
+}
+
+struct Shard {
+    /// New and once-seen blocks; scans live and die here.
+    probation: LruMap<ChunkKey, Slot>,
+    /// Blocks re-referenced by point lookups.
+    protected: LruMap<ChunkKey, Slot>,
+    probation_bytes: u64,
+    protected_bytes: u64,
+    sketch: FrequencySketch,
+}
+
+impl Shard {
+    fn new(sketch_counters: usize, sample_factor: u32) -> Self {
+        Self {
+            probation: LruMap::new(),
+            protected: LruMap::new(),
+            probation_bytes: 0,
+            protected_bytes: 0,
+            sketch: FrequencySketch::new(sketch_counters, sample_factor),
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.probation_bytes + self.protected_bytes
+    }
+
+    /// Demote protected-tail entries to probation until the protected
+    /// segment respects its cap. Total bytes are unchanged.
+    fn rebalance_protected(&mut self, protected_cap: u64, demotions: &mut u64) {
+        while self.protected_bytes > protected_cap {
+            let Some((k, (v, w))) = self.protected.pop_lru() else {
+                break;
+            };
+            self.protected_bytes -= w;
+            self.probation.insert(k, (v, w));
+            self.probation_bytes += w;
+            *demotions += 1;
+        }
+    }
+
+    /// Evict one entry to relieve capacity pressure. Probation's tail goes
+    /// first; if its sketch frequency strictly beats the protected tail's,
+    /// it earned protection and displaces that tail instead of dying.
+    /// Returns `false` when the shard is empty.
+    fn evict_one(&mut self, params: &PolicyParams, protected_cap: u64, c: &EvictCounters) -> bool {
+        if let Some((vk, (vv, vw))) = self.probation.pop_lru() {
+            self.probation_bytes -= vw;
+            if params.policy == CachePolicy::ScanResistant {
+                let vfreq = self.sketch.estimate(sketch_hash(vk));
+                let tail_freq = self
+                    .protected
+                    .peek_lru()
+                    .map(|(k, _)| self.sketch.estimate(sketch_hash(*k)));
+                if let Some(tf) = tail_freq {
+                    if vfreq > tf {
+                        // Frequency wins: the probation victim displaces the
+                        // protected tail.
+                        let (_, (_, pw)) = self.protected.pop_lru().expect("tail exists");
+                        self.protected_bytes -= pw;
+                        self.protected.insert(vk, (vv, vw));
+                        self.protected_bytes += vw;
+                        let mut demos = 0;
+                        self.rebalance_protected(protected_cap, &mut demos);
+                        c.demotions.fetch_add(demos, Ordering::Relaxed);
+                        c.promotions.fetch_add(1, Ordering::Relaxed);
+                        c.evictions.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+            }
+            c.evictions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        if let Some((_, (_, pw))) = self.protected.pop_lru() {
+            self.protected_bytes -= pw;
+            c.evictions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+/// Eviction-related counters passed into the shard helpers.
+struct EvictCounters {
+    evictions: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+}
+
+fn sketch_hash(key: ChunkKey) -> u64 {
+    (key.0 ^ (u64::from(key.1) << 32)).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Sharded scan-resistant cache over decoded blocks. All operations are
+/// O(1) per shard.
 pub struct DecodedBlockCache {
     shards: Vec<Mutex<Shard>>,
     /// Total capacity in (raw-block) bytes, split evenly across shards.
     capacity: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Replacement policy (0 = Lru, 1 = ScanResistant); atomic so the hot
+    /// path never takes a lock for it.
+    policy: AtomicU8,
+    /// Protected-segment fraction in parts-per-million.
+    protected_fraction_ppm: AtomicU32,
+    /// Scan-insert bypass threshold (read per scan, so kept lock-free).
+    scan_bypass_bytes: AtomicU64,
+    hits: [AtomicU64; 3],
+    misses: [AtomicU64; 3],
     insertions: AtomicU64,
-    evictions: AtomicU64,
+    admission_rejected: AtomicU64,
+    bypassed_inserts: AtomicU64,
+    evict: EvictCounters,
 }
 
 impl std::fmt::Debug for DecodedBlockCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DecodedBlockCache")
             .field("capacity", &self.capacity.load(Ordering::Relaxed))
+            .field("policy", &self.params().policy)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl DecodedBlockCache {
-    /// Create a cache with `capacity` bytes split over `shards` shards.
-    pub fn new(capacity: u64, shards: usize) -> Self {
-        let shards = shards.max(1);
+    /// Create a cache from its configuration. Out-of-range knobs are
+    /// clamped into their documented domains (construction is infallible;
+    /// use [`DecodedCacheConfig::validate`] /
+    /// [`Self::reconfigure`] where an error is preferable).
+    pub fn new(config: DecodedCacheConfig) -> Self {
+        let config = config.clamped();
+        let shards = config.shards.max(1);
+        let per_shard = config.capacity_bytes / shards as u64;
+        let counters = config.resolved_sketch_counters(per_shard);
         Self {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
-            capacity: AtomicU64::new(capacity),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(counters, config.sketch_sample_factor)))
+                .collect(),
+            capacity: AtomicU64::new(config.capacity_bytes),
+            policy: AtomicU8::new(config.policy as u8),
+            protected_fraction_ppm: AtomicU32::new(PolicyParams::fraction_ppm(
+                config.protected_fraction,
+            )),
+            scan_bypass_bytes: AtomicU64::new(config.scan_bypass_bytes),
+            hits: Default::default(),
+            misses: Default::default(),
             insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
+            bypassed_inserts: AtomicU64::new(0),
+            evict: EvictCounters {
+                evictions: AtomicU64::new(0),
+                promotions: AtomicU64::new(0),
+                demotions: AtomicU64::new(0),
+            },
         }
+    }
+
+    /// Convenience constructor: `capacity` bytes over `shards` shards with
+    /// default policy knobs.
+    pub fn with_capacity(capacity: u64, shards: usize) -> Self {
+        Self::new(DecodedCacheConfig {
+            capacity_bytes: capacity,
+            shards,
+            ..DecodedCacheConfig::default()
+        })
     }
 
     fn shard_of(&self, key: ChunkKey) -> &Mutex<Shard> {
         // Fibonacci-hash the (handle, block) pair so consecutive blocks of
         // one object spread across shards.
-        let h = (key.0 ^ (u64::from(key.1) << 32)).wrapping_mul(0x9E3779B97F4A7C15);
+        let h = sketch_hash(key);
         &self.shards[(h >> 48) as usize % self.shards.len()]
     }
 
@@ -77,33 +385,105 @@ impl DecodedBlockCache {
         self.capacity.load(Ordering::Relaxed) / self.shards.len() as u64
     }
 
+    fn params(&self) -> PolicyParams {
+        PolicyParams {
+            policy: if self.policy.load(Ordering::Relaxed) == CachePolicy::Lru as u8 {
+                CachePolicy::Lru
+            } else {
+                CachePolicy::ScanResistant
+            },
+            protected_fraction: f64::from(self.protected_fraction_ppm.load(Ordering::Relaxed))
+                / 1_000_000.0,
+        }
+    }
+
     /// Whether the cache is disabled (zero capacity).
     pub fn is_disabled(&self) -> bool {
         self.capacity.load(Ordering::Relaxed) == 0
     }
 
-    /// Look up a decoded block, refreshing recency. A disabled cache
-    /// answers `None` without touching shard locks or counters.
-    pub fn get(&self, key: ChunkKey) -> Option<std::sync::Arc<dyn Any + Send + Sync>> {
+    /// The scan-insert bypass threshold (bytes one scan may stream before
+    /// it stops inserting); 0 = never bypass.
+    pub fn scan_bypass_bytes(&self) -> u64 {
+        self.scan_bypass_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Whether a key is resident (no recency effect, no statistics).
+    pub fn contains(&self, key: ChunkKey) -> bool {
+        if self.is_disabled() {
+            return false;
+        }
+        let shard = self.shard_of(key).lock();
+        shard.probation.contains(&key) || shard.protected.contains(&key)
+    }
+
+    /// Look up a decoded block, refreshing recency. A `PointLookup` hit in
+    /// probation promotes the block into the protected segment; scan and
+    /// maintenance hits refresh recency only. A disabled cache answers
+    /// `None` without touching shard locks or counters.
+    pub fn get(
+        &self,
+        key: ChunkKey,
+        pattern: AccessPattern,
+    ) -> Option<std::sync::Arc<dyn Any + Send + Sync>> {
         if self.is_disabled() {
             return None;
         }
-        let found = self
-            .shard_of(key)
-            .lock()
-            .map
-            .get(&key)
-            .map(|(v, _)| v.clone());
+        let found = {
+            let mut shard = self.shard_of(key).lock();
+            // Load the policy under the shard lock: reconfigure() folds
+            // each shard's segments under the same lock, so a promotion can
+            // never race a policy switch and strand an entry in protected.
+            let params = self.params();
+            let protected_cap =
+                (self.per_shard_capacity() as f64 * params.protected_fraction) as u64;
+            if params.policy == CachePolicy::ScanResistant {
+                shard.sketch.increment(sketch_hash(key));
+            }
+            if let Some((v, _)) = shard.protected.get(&key) {
+                Some(v.clone())
+            } else if shard.probation.contains(&key) {
+                if params.policy == CachePolicy::ScanResistant
+                    && pattern == AccessPattern::PointLookup
+                {
+                    // Second touch by a point lookup: promote.
+                    let (v, w) = shard.probation.remove(&key).expect("present");
+                    shard.probation_bytes -= w;
+                    let out = v.clone();
+                    shard.protected.insert(key, (v, w));
+                    shard.protected_bytes += w;
+                    self.evict.promotions.fetch_add(1, Ordering::Relaxed);
+                    let mut demos = 0;
+                    shard.rebalance_protected(protected_cap, &mut demos);
+                    self.evict.demotions.fetch_add(demos, Ordering::Relaxed);
+                    Some(out)
+                } else {
+                    shard.probation.get(&key).map(|(v, _)| v.clone())
+                }
+            } else {
+                None
+            }
+        };
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits[pattern.idx()].fetch_add(1, Ordering::Relaxed),
+            None => self.misses[pattern.idx()].fetch_add(1, Ordering::Relaxed),
         };
         found
     }
 
-    /// Insert a decoded block with its accounting weight, evicting LRU
-    /// entries of the same shard while over per-shard capacity.
-    pub fn insert(&self, key: ChunkKey, value: std::sync::Arc<dyn Any + Send + Sync>, weight: u64) {
+    /// Insert a decoded block with its accounting weight.
+    ///
+    /// Under [`CachePolicy::ScanResistant`]: `Maintenance` traffic is never
+    /// admitted; new blocks enter probation, but when the shard is full a
+    /// candidate whose sketch frequency is below the probation victim's is
+    /// rejected instead of churning the cache.
+    pub fn insert(
+        &self,
+        key: ChunkKey,
+        value: std::sync::Arc<dyn Any + Send + Sync>,
+        weight: u64,
+        pattern: AccessPattern,
+    ) {
         if self.is_disabled() {
             return;
         }
@@ -111,25 +491,126 @@ impl DecodedBlockCache {
         if weight > cap {
             return; // would immediately evict everything; not cacheable
         }
-        let mut evicted = 0u64;
-        {
-            let mut shard = self.shard_of(key).lock();
-            if let Some((_, old_w)) = shard.map.insert(key, (value, weight)) {
-                shard.used_bytes -= old_w;
+        let mut shard = self.shard_of(key).lock();
+        // Policy loaded under the shard lock (see get()).
+        let params = self.params();
+        let protected_cap = (cap as f64 * params.protected_fraction) as u64;
+        let scan_resistant = params.policy == CachePolicy::ScanResistant;
+        // Armed on a fresh scan-resistant admission: (candidate key, its
+        // sketch frequency at insert time). See the eviction loop below.
+        let mut duel: Option<(ChunkKey, u64)> = None;
+
+        // Replace in place when already resident (weight may change).
+        if shard.protected.contains(&key) {
+            let (_, old_w) = shard
+                .protected
+                .insert(key, (value, weight))
+                .expect("present");
+            shard.protected_bytes = shard.protected_bytes - old_w + weight;
+            let mut demos = 0;
+            shard.rebalance_protected(protected_cap, &mut demos);
+            self.evict.demotions.fetch_add(demos, Ordering::Relaxed);
+        } else if shard.probation.contains(&key) {
+            let (_, old_w) = shard
+                .probation
+                .insert(key, (value, weight))
+                .expect("present");
+            shard.probation_bytes = shard.probation_bytes - old_w + weight;
+        } else {
+            if scan_resistant && pattern == AccessPattern::Maintenance {
+                // One-pass background sweeps never pollute the cache.
+                self.bypassed_inserts.fetch_add(1, Ordering::Relaxed);
+                return;
             }
-            shard.used_bytes += weight;
-            while shard.used_bytes > cap {
-                match shard.map.pop_lru() {
-                    Some((_, (_, w))) => {
-                        shard.used_bytes -= w;
-                        evicted += 1;
+            if scan_resistant {
+                // No sketch increment here: every fetch path records its
+                // access in get() before inserting on a miss, so counting the
+                // insert too would double-bill miss-served blocks relative to
+                // hit-served ones (TinyLFU records one increment per access).
+                // Admission filter: only gate when the insert would force
+                // evictions, and compare the candidate against **every**
+                // probation victim that would have to die to make room — a
+                // heavy candidate must beat (or tie; recency breaks ties,
+                // preserving LRU semantics for equal-frequency flows) each
+                // of them, not just the first, so admitting one big cold
+                // block cannot silently evict a pile of warm small ones.
+                let cfreq = shard.sketch.estimate(sketch_hash(key));
+                if shard.used_bytes() + weight > cap {
+                    let mut to_free = (shard.used_bytes() + weight).saturating_sub(cap);
+                    for (vk, (_, vw)) in shard.probation.iter_lru() {
+                        if to_free == 0 {
+                            break;
+                        }
+                        if shard.sketch.estimate(sketch_hash(*vk)) > cfreq {
+                            self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        to_free = to_free.saturating_sub(*vw);
                     }
-                    None => break,
+                }
+                // The walk above assumes each inspected victim frees its full
+                // weight, but evict_one may displace a victim into protected
+                // and free only the (smaller) protected tail instead, pulling
+                // eviction past the inspected prefix. Arm a late duel so each
+                // *actual* victim is still compared against the candidate.
+                duel = Some((key, cfreq));
+            }
+            shard.probation.insert(key, (value, weight));
+            shard.probation_bytes += weight;
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+
+        while shard.used_bytes() > cap {
+            if let Some((ck, cfreq)) = duel {
+                if !shard.probation.contains(&ck) {
+                    // The candidate left probation mid-loop — either evicted
+                    // (nothing to back out) or displaced into protected by
+                    // winning a frequency duel (it earned its place). Either
+                    // way the duel is over and eviction proceeds normally.
+                    duel = None;
+                } else {
+                    let hotter_victim = shard.probation.peek_lru().is_some_and(|(vk, _)| {
+                        *vk != ck && shard.sketch.estimate(sketch_hash(*vk)) > cfreq
+                    });
+                    if hotter_victim {
+                        // A block hotter than the candidate would die next:
+                        // back the admission out instead of evicting it.
+                        let (_, w) = shard.probation.remove(&ck).expect("checked above");
+                        shard.probation_bytes -= w;
+                        // The entry never became resident: it counts as a
+                        // rejected admission, not an insertion.
+                        self.insertions.fetch_sub(1, Ordering::Relaxed);
+                        self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+                        duel = None;
+                        continue;
+                    }
                 }
             }
+            if !shard.evict_one(&params, protected_cap, &self.evict) {
+                break;
+            }
         }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Insert for the tail of a range scan that has exceeded its
+    /// [`scan_bypass_bytes`](Self::scan_bypass_bytes) budget. Under the
+    /// scan-resistant policy the block is not admitted (counted as a
+    /// bypassed insert); under the plain-LRU fallback it inserts normally,
+    /// matching that policy's lack of scan resistance.
+    pub fn insert_scan_bypassed(
+        &self,
+        key: ChunkKey,
+        value: std::sync::Arc<dyn Any + Send + Sync>,
+        weight: u64,
+    ) {
+        if self.is_disabled() {
+            return;
+        }
+        if self.params().policy == CachePolicy::ScanResistant {
+            self.bypassed_inserts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.insert(key, value, weight, AccessPattern::RangeScan);
     }
 
     /// Drop every cached block of one object (purge / delete).
@@ -137,8 +618,11 @@ impl DecodedBlockCache {
         let mut dropped = 0;
         for shard in &self.shards {
             let mut s = shard.lock();
-            let gone = s.map.drain_filter(|&(h, _), _| h == handle);
-            s.used_bytes -= gone.iter().map(|(_, (_, w))| w).sum::<u64>();
+            let gone = s.probation.drain_filter(|&(h, _), _| h == handle);
+            s.probation_bytes -= gone.iter().map(|(_, (_, w))| w).sum::<u64>();
+            dropped += gone.len();
+            let gone = s.protected.drain_filter(|&(h, _), _| h == handle);
+            s.protected_bytes -= gone.iter().map(|(_, (_, w))| w).sum::<u64>();
             dropped += gone.len();
         }
         dropped
@@ -148,32 +632,85 @@ impl DecodedBlockCache {
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut s = shard.lock();
-            s.map.clear();
-            s.used_bytes = 0;
+            s.probation.clear();
+            s.protected.clear();
+            s.probation_bytes = 0;
+            s.protected_bytes = 0;
         }
     }
 
-    /// Re-target the total capacity; over-full shards shrink on their next
-    /// insert.
-    pub fn set_capacity(&self, bytes: u64) {
-        self.capacity.store(bytes, Ordering::Relaxed);
+    /// Apply a new configuration to the live cache: capacity, policy and
+    /// sketch knobs change; the shard count is fixed at construction (the
+    /// `shards` field is ignored). Resident entries survive — switching to
+    /// [`CachePolicy::Lru`] folds the protected segment back into the
+    /// single LRU list.
+    pub fn reconfigure(&self, config: &DecodedCacheConfig) -> crate::Result<()> {
+        config.validate()?;
+        self.capacity
+            .store(config.capacity_bytes, Ordering::Relaxed);
+        self.scan_bypass_bytes
+            .store(config.scan_bypass_bytes, Ordering::Relaxed);
+        self.policy.store(config.policy as u8, Ordering::Relaxed);
+        self.protected_fraction_ppm.store(
+            PolicyParams::fraction_ppm(config.protected_fraction),
+            Ordering::Relaxed,
+        );
+        let counters = config.resolved_sketch_counters(self.per_shard_capacity());
+        let protected_cap = (self.per_shard_capacity() as f64 * config.protected_fraction) as u64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.sketch = FrequencySketch::new(counters, config.sketch_sample_factor);
+            if config.policy == CachePolicy::Lru {
+                // Fold protected into probation, oldest first, so the merged
+                // list keeps protected entries ahead of nothing they had not
+                // already outlived.
+                while let Some((k, (v, w))) = s.protected.pop_lru() {
+                    s.protected_bytes -= w;
+                    s.probation.insert(k, (v, w));
+                    s.probation_bytes += w;
+                }
+            } else {
+                // Enforce the new protected cap now: a shrunk fraction must
+                // not wait for the next promotion to take effect (scan-only
+                // workloads never trigger one).
+                let mut demos = 0;
+                s.rebalance_protected(protected_cap, &mut demos);
+                self.evict.demotions.fetch_add(demos, Ordering::Relaxed);
+            }
+        }
+        Ok(())
     }
 
     /// Current statistics.
     pub fn stats(&self) -> DecodedCacheStats {
-        let (mut entries, mut used) = (0u64, 0u64);
+        let (mut entries, mut probation, mut protected) = (0u64, 0u64, 0u64);
         for shard in &self.shards {
             let s = shard.lock();
-            entries += s.map.len() as u64;
-            used += s.used_bytes;
+            entries += (s.probation.len() + s.protected.len()) as u64;
+            probation += s.probation_bytes;
+            protected += s.protected_bytes;
         }
+        let pat = |i: usize| PatternCounters {
+            hits: self.hits[i].load(Ordering::Relaxed),
+            misses: self.misses[i].load(Ordering::Relaxed),
+        };
+        let (point, scan, maintenance) = (pat(0), pat(1), pat(2));
         DecodedCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: point.hits + scan.hits + maintenance.hits,
+            misses: point.misses + scan.misses + maintenance.misses,
+            point,
+            scan,
+            maintenance,
             insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions: self.evict.evictions.load(Ordering::Relaxed),
+            admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
+            promotions: self.evict.promotions.load(Ordering::Relaxed),
+            demotions: self.evict.demotions.load(Ordering::Relaxed),
+            bypassed_inserts: self.bypassed_inserts.load(Ordering::Relaxed),
             entries,
-            used_bytes: used,
+            used_bytes: probation + protected,
+            probation_bytes: probation,
+            protected_bytes: protected,
         }
     }
 }
@@ -183,53 +720,75 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    const PT: AccessPattern = AccessPattern::PointLookup;
+    const SC: AccessPattern = AccessPattern::RangeScan;
+    const MT: AccessPattern = AccessPattern::Maintenance;
+
     fn val(n: u32) -> Arc<dyn Any + Send + Sync> {
         Arc::new(n)
     }
 
+    /// One-shard cache with deterministic behaviour; the oversized sketch
+    /// makes count–min aliasing impossible at unit-test key counts.
+    fn cache(capacity: u64, policy: CachePolicy) -> DecodedBlockCache {
+        DecodedBlockCache::new(DecodedCacheConfig {
+            capacity_bytes: capacity,
+            shards: 1,
+            policy,
+            protected_fraction: 0.5,
+            sketch_counters: 1 << 16,
+            ..DecodedCacheConfig::default()
+        })
+    }
+
     #[test]
     fn get_insert_downcast_roundtrip() {
-        let c = DecodedBlockCache::new(1 << 20, 4);
-        c.insert((1, 0), val(42), 100);
-        let got = c.get((1, 0)).unwrap().downcast::<u32>().unwrap();
+        let c = DecodedBlockCache::with_capacity(1 << 20, 4);
+        c.insert((1, 0), val(42), 100, PT);
+        let got = c.get((1, 0), PT).unwrap().downcast::<u32>().unwrap();
         assert_eq!(*got, 42);
-        assert!(c.get((1, 1)).is_none());
+        assert!(c.get((1, 1), PT).is_none());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries, s.used_bytes), (1, 1, 1, 100));
+        assert_eq!((s.point.hits, s.point.misses), (1, 1));
     }
 
     #[test]
     fn eviction_under_pressure_is_lru() {
-        let c = DecodedBlockCache::new(250, 1); // one shard: deterministic
-        c.insert((1, 0), val(0), 100);
-        c.insert((1, 1), val(1), 100);
-        c.get((1, 0)); // (1,1) becomes LRU
-        c.insert((1, 2), val(2), 100);
-        assert!(c.get((1, 0)).is_some());
-        assert!(c.get((1, 1)).is_none(), "LRU entry must be evicted");
-        assert!(c.get((1, 2)).is_some());
+        let c = cache(250, CachePolicy::ScanResistant);
+        c.insert((1, 0), val(0), 100, PT);
+        c.insert((1, 1), val(1), 100, PT);
+        c.get((1, 0), PT); // (1,1) becomes LRU; (1,0) promotes
+        c.insert((1, 2), val(2), 100, PT);
+        assert!(c.get((1, 0), PT).is_some());
+        assert!(c.get((1, 1), PT).is_none(), "LRU entry must be evicted");
+        assert!(c.get((1, 2), PT).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert!(c.stats().used_bytes <= 250);
     }
 
     #[test]
     fn oversized_entries_are_not_cached() {
-        let c = DecodedBlockCache::new(100, 1);
-        c.insert((1, 0), val(1), 200);
-        assert!(c.get((1, 0)).is_none());
+        let c = cache(100, CachePolicy::ScanResistant);
+        c.insert((1, 0), val(1), 200, PT);
+        assert!(c.get((1, 0), PT).is_none());
         assert_eq!(c.stats().used_bytes, 0);
     }
 
     #[test]
     fn invalidate_object_drops_all_its_blocks() {
-        let c = DecodedBlockCache::new(1 << 20, 8);
+        let c = DecodedBlockCache::with_capacity(1 << 20, 8);
         for b in 0..32 {
-            c.insert((7, b), val(b), 10);
-            c.insert((8, b), val(b), 10);
+            c.insert((7, b), val(b), 10, PT);
+            c.insert((8, b), val(b), 10, PT);
+        }
+        // Promote a few of object 7's blocks so both segments are hit.
+        for b in 0..8 {
+            c.get((7, b), PT);
         }
         assert_eq!(c.invalidate_object(7), 32);
-        assert!(c.get((7, 3)).is_none());
-        assert!(c.get((8, 3)).is_some());
+        assert!(c.get((7, 3), PT).is_none());
+        assert!(c.get((8, 3), PT).is_some());
         assert_eq!(c.stats().used_bytes, 320);
         c.clear();
         assert_eq!(c.stats().entries, 0);
@@ -237,10 +796,350 @@ mod tests {
 
     #[test]
     fn replacing_a_key_accounts_weight_once() {
-        let c = DecodedBlockCache::new(1000, 1);
-        c.insert((1, 0), val(1), 100);
-        c.insert((1, 0), val(2), 300);
+        let c = cache(1000, CachePolicy::ScanResistant);
+        c.insert((1, 0), val(1), 100, PT);
+        c.insert((1, 0), val(2), 300, PT);
         assert_eq!(c.stats().used_bytes, 300);
-        assert_eq!(*c.get((1, 0)).unwrap().downcast::<u32>().unwrap(), 2);
+        assert_eq!(*c.get((1, 0), PT).unwrap().downcast::<u32>().unwrap(), 2);
+    }
+
+    /// The headline property: a scan sweep evicts only probation; the
+    /// point-lookup working set in the protected segment survives.
+    #[test]
+    fn scan_sweep_does_not_evict_protected_working_set() {
+        let c = cache(1000, CachePolicy::ScanResistant); // protected cap 500
+                                                         // Warm 4 point blocks (2 touches each → protected).
+        for b in 0..4 {
+            c.insert((1, b), val(b), 100, PT);
+            c.get((1, b), PT);
+        }
+        assert_eq!(c.stats().protected_bytes, 400);
+        // A "table scan" 10× the cache size flows through probation.
+        for b in 0..100 {
+            c.insert((2, b), val(b), 100, SC);
+        }
+        for b in 0..4 {
+            assert!(
+                c.get((1, b), PT).is_some(),
+                "protected block (1,{b}) must survive the scan"
+            );
+        }
+        assert_eq!(c.stats().protected_bytes, 400);
+    }
+
+    /// Under plain LRU the same scan washes the working set out — the
+    /// behaviour the scan-resistant policy exists to fix.
+    #[test]
+    fn lru_policy_is_washed_out_by_scans() {
+        let c = cache(1000, CachePolicy::Lru);
+        for b in 0..4 {
+            c.insert((1, b), val(b), 100, PT);
+            c.get((1, b), PT);
+        }
+        for b in 0..100 {
+            c.insert((2, b), val(b), 100, SC);
+        }
+        for b in 0..4 {
+            assert!(c.get((1, b), PT).is_none(), "plain LRU must have evicted");
+        }
+    }
+
+    #[test]
+    fn scan_hits_do_not_promote() {
+        let c = cache(1000, CachePolicy::ScanResistant);
+        c.insert((1, 0), val(0), 100, SC);
+        c.get((1, 0), SC);
+        c.get((1, 0), SC);
+        assert_eq!(c.stats().protected_bytes, 0, "scan touches stay probation");
+        c.get((1, 0), PT);
+        assert_eq!(c.stats().protected_bytes, 100, "point touch promotes");
+    }
+
+    #[test]
+    fn maintenance_inserts_bypass() {
+        let c = cache(1000, CachePolicy::ScanResistant);
+        c.insert((1, 0), val(0), 100, MT);
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().bypassed_inserts, 1);
+        // Under the Lru fallback maintenance inserts behave as before.
+        let c = cache(1000, CachePolicy::Lru);
+        c.insert((1, 0), val(0), 100, MT);
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn cold_candidate_is_rejected_against_frequent_victim() {
+        let c = cache(200, CachePolicy::ScanResistant);
+        c.insert((1, 0), val(0), 100, PT);
+        c.insert((1, 1), val(1), 100, PT);
+        // Bump (1,0)'s frequency with scan touches (no promotion), then
+        // refresh (1,1) so (1,0) is the probation LRU victim — frequent but
+        // not recent, exactly what the admission filter protects.
+        for _ in 0..4 {
+            c.get((1, 0), SC);
+        }
+        c.get((1, 1), SC);
+        let before = c.stats().admission_rejected;
+        c.insert((2, 0), val(9), 100, SC);
+        assert_eq!(c.stats().admission_rejected, before + 1);
+        assert!(c.get((2, 0), SC).is_none(), "cold block was not admitted");
+        assert!(c.get((1, 0), SC).is_some());
+    }
+
+    /// The displacement rule: a block evicted from probation displaces the
+    /// protected tail only when its estimated frequency strictly wins.
+    #[test]
+    fn frequent_probation_victim_displaces_protected_tail() {
+        let c = cache(400, CachePolicy::ScanResistant); // protected cap 200
+                                                        // (1,0) promoted once → protected, then left idle (freq 2).
+        c.insert((1, 0), val(0), 100, PT);
+        c.get((1, 0), PT);
+        // (1,1) hammered by scans in probation (high freq, no promotion),
+        // then two quiet blocks fill the shard; (1,1) ends up probation LRU.
+        c.insert((1, 1), val(1), 100, SC);
+        for _ in 0..10 {
+            c.get((1, 1), SC);
+        }
+        c.insert((1, 2), val(2), 100, SC);
+        c.insert((1, 3), val(3), 100, SC);
+        // A similarly hot newcomer passes admission (≥ victim), forcing one
+        // eviction: probation victim (1,1) beats the idle protected tail
+        // (1,0) and takes its slot instead of dying.
+        for _ in 0..11 {
+            c.get((2, 0), SC); // misses still record frequency
+        }
+        c.insert((2, 0), val(9), 100, SC);
+        assert!(c.get((1, 0), PT).is_none(), "idle protected tail displaced");
+        assert!(
+            c.get((1, 1), SC).is_some(),
+            "hot victim got a second chance"
+        );
+        assert!(c.contains((2, 0)), "the newcomer was admitted");
+        assert!(c.stats().used_bytes <= 400);
+        let s = c.stats();
+        assert!(s.promotions >= 1 && s.evictions >= 1);
+    }
+
+    #[test]
+    fn reconfigure_switches_policy_and_capacity() {
+        let c = cache(1000, CachePolicy::ScanResistant);
+        for b in 0..4 {
+            c.insert((1, b), val(b), 100, PT);
+            c.get((1, b), PT); // promote
+        }
+        assert_eq!(c.stats().protected_bytes, 400);
+        c.reconfigure(&DecodedCacheConfig {
+            capacity_bytes: 500,
+            shards: 1,
+            policy: CachePolicy::Lru,
+            ..DecodedCacheConfig::default()
+        })
+        .unwrap();
+        let s = c.stats();
+        assert_eq!(s.protected_bytes, 0, "protected folded into the LRU");
+        assert_eq!(s.entries, 4, "entries survive reconfiguration");
+        // Next insert enforces the shrunk capacity.
+        c.insert((2, 0), val(9), 100, PT);
+        assert!(c.stats().used_bytes <= 500);
+        // Invalid configs are rejected without touching the cache.
+        assert!(c
+            .reconfigure(&DecodedCacheConfig {
+                protected_fraction: 1.5,
+                ..DecodedCacheConfig::default()
+            })
+            .is_err());
+    }
+
+    /// Shrinking `protected_fraction` must rebalance immediately: scan-only
+    /// workloads never trigger a promotion, so a stale oversized protected
+    /// segment would otherwise hold its bytes indefinitely.
+    #[test]
+    fn reconfigure_shrinks_protected_segment_immediately() {
+        let c = cache(1000, CachePolicy::ScanResistant); // protected cap 500
+        for b in 0..4 {
+            c.insert((1, b), val(b), 100, PT);
+            c.get((1, b), PT); // promote
+        }
+        assert_eq!(c.stats().protected_bytes, 400);
+        c.reconfigure(&DecodedCacheConfig {
+            capacity_bytes: 1000,
+            shards: 1,
+            policy: CachePolicy::ScanResistant,
+            protected_fraction: 0.2, // new cap 200
+            sketch_counters: 1 << 16,
+            ..DecodedCacheConfig::default()
+        })
+        .unwrap();
+        let s = c.stats();
+        assert!(s.protected_bytes <= 200, "demoted to the new cap: {s:?}");
+        assert_eq!(s.entries, 4, "demotion moves entries, not drops them");
+        assert_eq!(s.used_bytes, 400);
+        assert!(s.demotions >= 2);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DecodedCacheConfig::default().validate().is_ok());
+        for bad in [
+            DecodedCacheConfig {
+                shards: 0,
+                ..DecodedCacheConfig::default()
+            },
+            DecodedCacheConfig {
+                protected_fraction: 0.0,
+                ..DecodedCacheConfig::default()
+            },
+            DecodedCacheConfig {
+                protected_fraction: 1.0,
+                ..DecodedCacheConfig::default()
+            },
+            DecodedCacheConfig {
+                sketch_sample_factor: 0,
+                ..DecodedCacheConfig::default()
+            },
+            DecodedCacheConfig {
+                sketch_counters: 1 << 27,
+                ..DecodedCacheConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    /// Weighted admission: a heavy cold candidate must beat every victim
+    /// its admission would evict, not just the first one.
+    #[test]
+    fn heavy_candidate_must_beat_every_victim_it_would_evict() {
+        let c = cache(400, CachePolicy::ScanResistant);
+        // Four warm small blocks; the *first* victim is cold but the ones
+        // behind it are warm.
+        c.insert((1, 0), val(0), 100, SC); // stays cold (freq 1)
+        for b in 1..4 {
+            c.insert((1, b), val(b), 100, SC);
+            for _ in 0..4 {
+                c.get((1, b), SC);
+            }
+        }
+        // A 300-byte cold candidate ties the cold first victim but would
+        // also have to evict two warm blocks — rejected.
+        let before = c.stats().admission_rejected;
+        c.insert((2, 0), val(9), 300, SC);
+        assert_eq!(c.stats().admission_rejected, before + 1);
+        assert!(!c.contains((2, 0)));
+        assert!(c.contains((1, 1)) && c.contains((1, 2)) && c.contains((1, 3)));
+    }
+
+    /// Displacement-cascade guard: when an inspected victim displaces the
+    /// protected tail instead of dying, eviction frees fewer bytes than the
+    /// admission walk assumed and reaches victims the filter never compared.
+    /// The late duel must then back the candidate out rather than evict a
+    /// block hotter than it.
+    #[test]
+    fn admission_backs_out_when_displacement_reaches_hotter_victims() {
+        let c = cache(400, CachePolicy::ScanResistant); // protected cap 200
+                                                        // Idle protected tail P: small (40 B), freq 2.
+        c.insert((1, 9), val(9), 40, PT);
+        c.get((1, 9), PT);
+        // Probation LRU order [A, B]: A warm (freq 3), B hot (freq 9).
+        c.insert((1, 0), val(0), 100, SC);
+        for _ in 0..2 {
+            c.get((1, 0), SC);
+        }
+        c.insert((1, 1), val(1), 100, SC);
+        for _ in 0..8 {
+            c.get((1, 1), SC);
+        }
+        // Candidate ties A (freq 3) and needs 90 B freed, so the filter
+        // inspects only A — but A displaces P (freeing just 40 B) and the
+        // old loop would go on to disturb B (freq 9).
+        for _ in 0..2 {
+            c.get((2, 0), SC);
+        }
+        let before = c.stats().admission_rejected;
+        c.insert((2, 0), val(7), 250, SC);
+        assert_eq!(c.stats().admission_rejected, before + 1);
+        assert!(!c.contains((2, 0)), "candidate backed out mid-eviction");
+        assert!(c.contains((1, 1)), "hot block B must not be disturbed");
+        assert!(c.contains((1, 0)), "A earned protection via displacement");
+        assert!(c.stats().used_bytes <= 400);
+    }
+
+    /// If evict_one displaces the candidate itself into protected while the
+    /// duel is armed, the back-out must become a no-op (the candidate earned
+    /// its place) instead of decrementing `insertions` and counting a
+    /// spurious `admission_rejected` for a resident entry.
+    #[test]
+    fn duel_disarms_when_candidate_is_displaced_into_protected() {
+        let c = DecodedBlockCache::new(DecodedCacheConfig {
+            capacity_bytes: 1000,
+            shards: 1,
+            policy: CachePolicy::ScanResistant,
+            protected_fraction: 0.75,
+            sketch_counters: 1 << 16,
+            ..DecodedCacheConfig::default()
+        });
+        // Protected: idle tail e1 (40 B, freq 1) and hot e2 (400 B, freq 7).
+        c.insert((1, 1), val(1), 40, PT);
+        c.get((1, 1), PT);
+        c.insert((1, 2), val(2), 400, PT);
+        for _ in 0..7 {
+            c.get((1, 2), PT);
+        }
+        // One cold probation block, then a hot heavy candidate: the filter
+        // inspects only the cold block, the candidate displaces e1 (probation
+        // drains to it alone), and rebalance demotes hot e2 into probation
+        // while the duel is still armed.
+        c.insert((2, 1), val(3), 100, SC);
+        for _ in 0..3 {
+            c.get((3, 0), SC);
+        }
+        let before = c.stats();
+        c.insert((3, 0), val(4), 650, SC);
+        let after = c.stats();
+        assert_eq!(
+            after.admission_rejected, before.admission_rejected,
+            "no spurious rejection for an admitted candidate"
+        );
+        assert_eq!(after.insertions, before.insertions + 1);
+        assert!(c.contains((1, 2)), "hot e2 survives via its own duel");
+        assert!(!c.contains((3, 0)), "candidate lost to the hotter e2");
+        assert!(after.used_bytes <= 1000);
+    }
+
+    /// The infallible constructor clamps out-of-range knobs instead of
+    /// accepting them verbatim (validate()/reconfigure() reject the same
+    /// configs with an error).
+    #[test]
+    fn new_clamps_out_of_range_config() {
+        // An absurd sketch size must not allocate gigabytes; a nonsense
+        // protected fraction must not disable (0) or overflow (≥ 1) the
+        // protected cap. Behaviourally: promotion still works.
+        let c = DecodedBlockCache::new(DecodedCacheConfig {
+            capacity_bytes: 1000,
+            shards: 0,
+            protected_fraction: 7.5,
+            sketch_sample_factor: 0,
+            sketch_counters: usize::MAX,
+            ..DecodedCacheConfig::default()
+        });
+        c.insert((1, 0), val(0), 100, PT);
+        c.get((1, 0), PT);
+        let s = c.stats();
+        assert_eq!(
+            (s.protected_bytes, s.used_bytes),
+            (100, 100),
+            "clamped fraction still allows promotion: {s:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let c = DecodedBlockCache::with_capacity(0, 4);
+        assert!(c.is_disabled());
+        c.insert((1, 0), val(1), 10, PT);
+        assert!(c.get((1, 0), PT).is_none());
+        assert!(!c.contains((1, 0)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
     }
 }

@@ -42,6 +42,8 @@ pub enum StorageError {
     },
     /// Underlying filesystem error (filesystem-backed object store).
     Io(std::io::Error),
+    /// Invalid configuration (e.g. decoded-cache knobs out of range).
+    Config(String),
 }
 
 impl fmt::Display for StorageError {
@@ -68,6 +70,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::StaleHandle { handle } => write!(f, "stale object handle {handle}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Config(msg) => write!(f, "invalid storage configuration: {msg}"),
         }
     }
 }

@@ -49,16 +49,17 @@ pub mod latency;
 pub mod lru;
 pub mod object_store;
 pub mod shared;
+mod sketch;
 pub mod stats;
 pub mod tiered;
 
-pub use block_cache::DecodedBlockCache;
+pub use block_cache::{AccessPattern, CachePolicy, DecodedBlockCache, DecodedCacheConfig};
 pub use cache::CacheTier;
 pub use error::StorageError;
 pub use latency::{LatencyMode, LatencyModel, TierLatency};
 pub use object_store::{FsObjectStore, InMemoryObjectStore, ObjectStore};
 pub use shared::SharedStorage;
-pub use stats::{DecodedCacheStats, SharedStats, StorageStats, TierStats};
+pub use stats::{DecodedCacheStats, PatternCounters, SharedStats, StorageStats, TierStats};
 pub use tiered::{Durability, ObjectHandle, TieredConfig, TieredStorage};
 
 /// Result alias for storage operations.

@@ -118,6 +118,15 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         Some(slot.value)
     }
 
+    /// Borrow the least-recently-used entry without disturbing recency.
+    pub fn peek_lru(&self) -> Option<(&K, &V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.slots[self.tail].as_ref().expect("live slot");
+        Some((&slot.key, &slot.value))
+    }
+
     /// Remove and return the least-recently-used entry.
     pub fn pop_lru(&mut self) -> Option<(K, V)> {
         if self.tail == NIL {
@@ -136,6 +145,20 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         self.slots
             .iter()
             .filter_map(|s| s.as_ref().map(|s| (&s.key, &s.value)))
+    }
+
+    /// Iterate in eviction order, least-recently-used first (no recency
+    /// effect).
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut idx = self.tail;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let slot = self.slots[idx].as_ref().expect("live slot");
+            idx = slot.prev;
+            Some((&slot.key, &slot.value))
+        })
     }
 
     /// Remove all entries for which `pred` returns true, returning them.
@@ -226,6 +249,9 @@ mod tests {
         lru.insert(3, ());
         // Touch 1 so 2 becomes LRU.
         lru.get(&1);
+        assert_eq!(lru.peek_lru().map(|(k, _)| *k), Some(2));
+        let order: Vec<i32> = lru.iter_lru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![2, 3, 1], "iter_lru walks LRU → MRU");
         assert_eq!(lru.pop_lru().map(|(k, _)| k), Some(2));
         assert_eq!(lru.pop_lru().map(|(k, _)| k), Some(3));
         assert_eq!(lru.pop_lru().map(|(k, _)| k), Some(1));

@@ -1,0 +1,167 @@
+//! A TinyLFU-style frequency sketch: a 4-bit count–min sketch with
+//! periodic halving.
+//!
+//! The sketch approximates "how often was this block touched recently?"
+//! in O(1) space per counter. Four independent hash rows bound
+//! over-estimation (count–min takes the minimum), 4-bit counters saturate
+//! at 15, and once the number of recorded accesses reaches the *sample
+//! size* every counter is halved — an exponential-decay aging scheme, so
+//! the sketch tracks recent popularity rather than all-time popularity.
+//! This is the admission filter's brain: the segmented LRU asks it whether
+//! a cold candidate block is likely to out-earn the eviction victim.
+//!
+//! Not thread-safe by design: each cache shard owns one sketch and
+//! mutates it under the shard lock.
+
+/// Counters per 64-bit word (16 nibbles).
+const COUNTERS_PER_WORD: u64 = 16;
+/// A saturated 4-bit counter.
+const MAX_COUNT: u64 = 15;
+/// Per-row seeds (odd constants from SplitMix64 / golden-ratio family).
+const SEEDS: [u64; 4] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xBF58_476D_1CE4_E5B9,
+    0x94D0_49BB_1331_11EB,
+    0xD6E8_FEB8_6659_FD93,
+];
+
+/// 4-bit count–min sketch with reset-to-half aging.
+#[derive(Debug)]
+pub(crate) struct FrequencySketch {
+    /// Each word packs 16 4-bit counters.
+    table: Vec<u64>,
+    /// `table.len() - 1`; the table length is a power of two.
+    word_mask: u64,
+    /// Accesses recorded since the last halving.
+    additions: u64,
+    /// Halve all counters once `additions` reaches this.
+    sample_size: u64,
+}
+
+impl FrequencySketch {
+    /// A sketch with roughly `counters` counters (rounded up to a
+    /// power-of-two word count) that halves after `sample_factor ×
+    /// counters` recorded accesses.
+    pub(crate) fn new(counters: usize, sample_factor: u32) -> Self {
+        let words = (counters as u64)
+            .div_ceil(COUNTERS_PER_WORD)
+            .next_power_of_two()
+            .max(1);
+        let effective = words * COUNTERS_PER_WORD;
+        Self {
+            table: vec![0u64; words as usize],
+            word_mask: words - 1,
+            additions: 0,
+            sample_size: (effective * u64::from(sample_factor.max(1))).max(16),
+        }
+    }
+
+    /// The four (word, nibble) cells one key hashes to.
+    fn cells(&self, hash: u64) -> [(usize, u32); 4] {
+        let mut out = [(0usize, 0u32); 4];
+        for (i, seed) in SEEDS.iter().enumerate() {
+            let h = (hash ^ seed).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            // Multiplicative mixing concentrates entropy in the high bits;
+            // fold them down before masking the word index.
+            let h = h ^ (h >> 33);
+            let word = (h & self.word_mask) as usize;
+            let nibble = ((h >> 44) & 0xF) as u32;
+            out[i] = (word, nibble);
+        }
+        out
+    }
+
+    fn read(&self, word: usize, nibble: u32) -> u64 {
+        (self.table[word] >> (nibble * 4)) & MAX_COUNT
+    }
+
+    /// Record one access.
+    pub(crate) fn increment(&mut self, hash: u64) {
+        let mut added = false;
+        for (word, nibble) in self.cells(hash) {
+            if self.read(word, nibble) < MAX_COUNT {
+                self.table[word] += 1u64 << (nibble * 4);
+                added = true;
+            }
+        }
+        if added {
+            self.additions += 1;
+            if self.additions >= self.sample_size {
+                self.halve();
+            }
+        }
+    }
+
+    /// Estimated access frequency (min over the four rows; ≤ 15).
+    pub(crate) fn estimate(&self, hash: u64) -> u64 {
+        self.cells(hash)
+            .iter()
+            .map(|&(w, n)| self.read(w, n))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halve every counter (aging): history decays exponentially, so a
+    /// once-hot block stops outranking the current working set.
+    fn halve(&mut self) {
+        for word in &mut self.table {
+            // Halve all 16 nibbles at once: shift, then clear the bit that
+            // bled in from each nibble's upper neighbour.
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.additions /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_keys_outrank_cold_keys() {
+        let mut s = FrequencySketch::new(1024, 8);
+        for _ in 0..10 {
+            s.increment(42);
+        }
+        s.increment(7);
+        assert!(s.estimate(42) > s.estimate(7));
+        assert_eq!(s.estimate(999), 0, "never-seen key estimates zero");
+    }
+
+    #[test]
+    fn counters_saturate_at_fifteen() {
+        let mut s = FrequencySketch::new(64, 1024);
+        for _ in 0..1000 {
+            s.increment(1);
+        }
+        assert!(s.estimate(1) <= 15);
+    }
+
+    #[test]
+    fn halving_decays_history() {
+        let mut s = FrequencySketch::new(64, 1);
+        for _ in 0..10 {
+            s.increment(5);
+        }
+        let before = s.estimate(5);
+        // Flood with other keys until the sample size trips halving (the
+        // small sample factor makes this fast).
+        for k in 100..3000u64 {
+            s.increment(k);
+        }
+        assert!(
+            s.estimate(5) < before.max(1),
+            "aging must shrink an idle key's estimate: {} -> {}",
+            before,
+            s.estimate(5)
+        );
+    }
+
+    #[test]
+    fn word_count_rounds_to_power_of_two() {
+        let s = FrequencySketch::new(100, 8);
+        assert!(s.table.len().is_power_of_two());
+        let s = FrequencySketch::new(0, 8);
+        assert_eq!(s.table.len(), 1, "degenerate sizing still works");
+    }
+}

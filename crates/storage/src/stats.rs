@@ -101,25 +101,65 @@ pub struct SharedStats {
     pub charged_latency: Duration,
 }
 
-/// Point-in-time statistics of the decoded-block cache.
+/// Hit/miss counters of one access pattern against the decoded cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DecodedCacheStats {
-    /// Lookups served from the cache (no chunk read, no re-parse).
+pub struct PatternCounters {
+    /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that fell through to the chunk tiers.
     pub misses: u64,
+}
+
+impl PatternCounters {
+    /// Hit ratio in `[0, 1]`; `None` when no lookups happened.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Point-in-time statistics of the decoded-block cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodedCacheStats {
+    /// Lookups served from the cache (no chunk read, no re-parse), all
+    /// patterns combined.
+    pub hits: u64,
+    /// Lookups that fell through to the chunk tiers, all patterns combined.
+    pub misses: u64,
+    /// Point/batch-lookup traffic.
+    pub point: PatternCounters,
+    /// Range-scan traffic.
+    pub scan: PatternCounters,
+    /// Background-maintenance traffic (merge, groom, fence rebuilds).
+    pub maintenance: PatternCounters,
     /// Blocks inserted.
     pub insertions: u64,
     /// Blocks evicted under capacity pressure.
     pub evictions: u64,
+    /// Inserts rejected by the frequency-sketch admission filter (the
+    /// candidate's estimate lost against the eviction victim's).
+    pub admission_rejected: u64,
+    /// Blocks promoted into the protected segment (point re-references and
+    /// frequency-winning probation victims).
+    pub promotions: u64,
+    /// Blocks demoted from protected back to probation (segment cap).
+    pub demotions: u64,
+    /// Inserts that bypassed the cache entirely: maintenance traffic, plus
+    /// the tail of any range scan past its `scan_bypass_bytes` budget.
+    pub bypassed_inserts: u64,
     /// Currently resident blocks.
     pub entries: u64,
     /// Accounting weight (raw-block bytes) of resident blocks.
     pub used_bytes: u64,
+    /// Bytes resident in the probation segment.
+    pub probation_bytes: u64,
+    /// Bytes resident in the protected segment.
+    pub protected_bytes: u64,
 }
 
 impl DecodedCacheStats {
-    /// Hit ratio in `[0, 1]`; `None` when no lookups happened.
+    /// Hit ratio in `[0, 1]` over all patterns; `None` when no lookups
+    /// happened.
     pub fn hit_ratio(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         (total > 0).then(|| self.hits as f64 / total as f64)

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
-use crate::block_cache::DecodedBlockCache;
+use crate::block_cache::{DecodedBlockCache, DecodedCacheConfig};
 use crate::cache::CacheTier;
 use crate::error::StorageError;
 use crate::latency::{LatencyMode, LatencyModel, TierLatency};
@@ -63,12 +63,10 @@ pub struct TieredConfig {
     pub shared_latency: TierLatency,
     /// Whether latencies sleep or only account.
     pub latency_mode: LatencyMode,
-    /// Decoded-block cache capacity in (raw-block) bytes. Parsed blocks are
-    /// served without a chunk read or re-parse; 0 disables the cache.
-    pub decoded_cache_bytes: u64,
-    /// Decoded-block cache shard count (lock granularity under parallel
-    /// scans).
-    pub decoded_cache_shards: usize,
+    /// Decoded-block cache sizing and replacement policy. Parsed blocks are
+    /// served without a chunk read or re-parse; a zero capacity disables
+    /// the cache.
+    pub decoded_cache: DecodedCacheConfig,
 }
 
 impl Default for TieredConfig {
@@ -80,8 +78,7 @@ impl Default for TieredConfig {
             ssd_latency: TierLatency::free(),
             shared_latency: TierLatency::free(),
             latency_mode: LatencyMode::Accounting,
-            decoded_cache_bytes: 64 * 1024 * 1024,
-            decoded_cache_shards: 16,
+            decoded_cache: DecodedCacheConfig::default(),
         }
     }
 }
@@ -140,8 +137,7 @@ impl TieredStorage {
             config.ssd_capacity,
             LatencyModel::new(config.ssd_latency, config.latency_mode),
         );
-        let decoded =
-            DecodedBlockCache::new(config.decoded_cache_bytes, config.decoded_cache_shards);
+        let decoded = DecodedBlockCache::new(config.decoded_cache.clone());
         Self {
             config,
             shared,

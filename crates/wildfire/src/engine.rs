@@ -25,7 +25,7 @@ use umzi_core::{
 };
 use umzi_encoding::Datum;
 use umzi_run::{Rid, SortBound};
-use umzi_storage::TieredStorage;
+use umzi_storage::{AccessPattern, TieredStorage};
 
 use crate::maintenance::EngineExecutor;
 use crate::shard::{Shard, ShardConfig};
@@ -199,6 +199,13 @@ impl WildfireEngine {
     /// Maintenance-daemon statistics, when daemons are running.
     pub fn maintenance_stats(&self) -> Option<MaintenanceStats> {
         self.daemon().map(|d| d.stats())
+    }
+
+    /// Decoded-block cache statistics (shared across all shards' indexes),
+    /// including the per-access-pattern counters that show whether scan and
+    /// groom traffic is staying out of the point-lookup working set.
+    pub fn decoded_cache_stats(&self) -> umzi_storage::DecodedCacheStats {
+        self.storage.stats().decoded
     }
 
     /// The worst shard's level-0 run count — what the backpressure gate
@@ -550,8 +557,14 @@ impl WildfireEngine {
                     probes.push((peq, psort));
                     resolved.push((row, begin_ts, rid));
                 }
-                // One batched validation pass against the primary index.
-                let current = shard.index().batch_lookup(&probes, ts)?;
+                // One batched validation pass against the primary index,
+                // labelled as scan traffic: these probes serve an analytical
+                // scan and must not promote one-pass blocks into the cache's
+                // protected segment.
+                let current =
+                    shard
+                        .index()
+                        .batch_lookup_as(&probes, ts, AccessPattern::RangeScan)?;
                 for ((row, begin_ts, rid), newest) in resolved.into_iter().zip(current) {
                     if newest.map(|o| o.begin_ts == begin_ts).unwrap_or(false) {
                         views.push(RecordView {
@@ -926,6 +939,48 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         daemons.shutdown();
+    }
+
+    /// The access-pattern hints must survive the whole engine stack: point
+    /// gets label decoded-cache traffic as point lookups, analytic scans as
+    /// range scans, and merge/groom maintenance never pollutes the cache.
+    #[test]
+    fn access_pattern_hints_flow_through_engine() {
+        let e = engine(1);
+        for d in 0..8 {
+            for m in 0..200 {
+                e.upsert(row(d, m, 100, d * 200 + m)).unwrap();
+            }
+        }
+        e.quiesce().unwrap();
+
+        let before = e.decoded_cache_stats();
+        for d in 0..8 {
+            e.get(&[Datum::Int64(d)], &[Datum::Int64(3)], Freshness::Latest)
+                .unwrap()
+                .unwrap();
+        }
+        let after_points = e.decoded_cache_stats();
+        assert!(
+            after_points.point.hits + after_points.point.misses
+                > before.point.hits + before.point.misses,
+            "point gets must be labelled PointLookup: {after_points:?}"
+        );
+
+        e.scan_index(
+            vec![Datum::Int64(2)],
+            SortBound::Unbounded,
+            SortBound::Unbounded,
+            Freshness::Latest,
+            ReconcileStrategy::PriorityQueue,
+        )
+        .unwrap();
+        let after_scan = e.decoded_cache_stats();
+        assert!(
+            after_scan.scan.hits + after_scan.scan.misses
+                > after_points.scan.hits + after_points.scan.misses,
+            "index scans must be labelled RangeScan: {after_scan:?}"
+        );
     }
 
     #[test]

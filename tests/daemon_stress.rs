@@ -168,9 +168,11 @@ fn parallel_scans_survive_concurrent_maintenance() {
     config.n_shards = 2;
     // Force the partitioned merge on even modest scans, with more
     // partitions than cores so the path is exercised regardless of the
-    // machine.
+    // machine (the adaptive min-rows floor would otherwise keep scans
+    // this small sequential).
     config.shard.umzi.scan.max_scan_partitions = 4;
     config.shard.umzi.scan.parallel_row_threshold = 64;
+    config.shard.umzi.scan.min_partition_rows = 16;
     let storage = Arc::new(TieredStorage::in_memory());
     let engine = WildfireEngine::create(storage, Arc::new(iot_table()), config).unwrap();
     let daemons = engine.start_daemons();

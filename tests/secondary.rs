@@ -85,6 +85,31 @@ fn secondary_lookup_by_non_key_column() {
 }
 
 #[test]
+fn secondary_scan_validation_probes_are_labelled_scan_traffic() {
+    // scan_secondary validates its hits with one batched primary-index
+    // lookup per shard. Those probes serve an analytical scan: they must be
+    // labelled RangeScan for the decoded cache (no promotion into the
+    // protected segment), not PointLookup.
+    let e = engine();
+    for i in 0..200i64 {
+        e.upsert(row(i % 2, i, i % 10, i * 10)).unwrap();
+    }
+    e.quiesce().unwrap();
+    let before = e.decoded_cache_stats();
+    assert_eq!(customer_orders(&e, 3).len(), 20);
+    let after = e.decoded_cache_stats();
+    assert_eq!(
+        after.point.hits + after.point.misses,
+        before.point.hits + before.point.misses,
+        "validation probes must not count as point traffic: {after:?}"
+    );
+    assert!(
+        after.scan.hits + after.scan.misses > before.scan.hits + before.scan.misses,
+        "the scan and its validation probes are scan traffic: {after:?}"
+    );
+}
+
+#[test]
 fn secondary_survives_full_pipeline_and_merges() {
     let e = engine();
     for c in 0..6i64 {
