@@ -138,6 +138,7 @@ fn run_daemon_mode() -> Outcome {
         throttle: None,
         janitor_interval: Duration::from_millis(50),
         adaptive_cache: false,
+        ..MaintenanceConfig::default()
     }));
     let daemons = e.start_daemons();
     let t0 = Instant::now();

@@ -163,6 +163,18 @@ pub struct MaintenanceConfig {
     pub janitor_interval: std::time::Duration,
     /// Whether the janitor runs adaptive SSD cache maintenance (§6.2).
     pub adaptive_cache: bool,
+    /// Retries a failed job gets (re-enqueued with exponential backoff)
+    /// before it is quarantined. 0 quarantines on the first failure.
+    pub job_retries: u32,
+    /// First-retry backoff for a failed job; doubles per attempt.
+    pub job_retry_backoff: std::time::Duration,
+    /// Cadence at which the janitor re-probes quarantined jobs.
+    pub quarantine_probe_interval: std::time::Duration,
+    /// How long a writer may sit behind the backpressure gate before it
+    /// gets a `Backpressure` error instead of blocking further. `None`
+    /// blocks indefinitely (pre-existing behavior; risks an unbounded hang
+    /// when maintenance is quarantined).
+    pub stall_timeout: Option<std::time::Duration>,
 }
 
 impl Default for MaintenanceConfig {
@@ -174,6 +186,10 @@ impl Default for MaintenanceConfig {
             throttle: None,
             janitor_interval: std::time::Duration::from_millis(100),
             adaptive_cache: true,
+            job_retries: 3,
+            job_retry_backoff: std::time::Duration::from_millis(10),
+            quarantine_probe_interval: std::time::Duration::from_secs(1),
+            stall_timeout: Some(std::time::Duration::from_secs(10)),
         }
     }
 }
@@ -195,6 +211,11 @@ impl MaintenanceConfig {
         if self.l0_high_watermark == 0 {
             return Err(UmziError::Config(
                 "l0_high_watermark must be ≥ 1 (0 would stall every write)".into(),
+            ));
+        }
+        if self.stall_timeout == Some(std::time::Duration::ZERO) {
+            return Err(UmziError::Config(
+                "stall_timeout must be > 0 (use None to wait indefinitely)".into(),
             ));
         }
         Ok(())
@@ -221,6 +242,12 @@ pub struct UmziConfig {
     pub cache: CacheConfig,
     /// Read-path scan tuning (partitioned parallel reconcile).
     pub scan: ScanConfig,
+    /// Override for the storage hierarchy's transient-IO retry policy,
+    /// applied when the index is created or recovered. `None` keeps the
+    /// policy the [`umzi_storage::TieredConfig`] was built with. Like
+    /// [`CacheConfig::decoded_cache`], this reconfigures state shared by
+    /// every index on the same `TieredStorage`.
+    pub retry: Option<umzi_storage::RetryConfig>,
     /// Background-maintenance daemon tuning (worker count, ingest
     /// watermarks, throttle, janitor cadence). Consumed by
     /// [`crate::daemon::IndexDaemon::spawn`] for a standalone index; the
@@ -251,6 +278,7 @@ impl UmziConfig {
             non_persisted_levels: Vec::new(),
             cache: CacheConfig::default(),
             scan: ScanConfig::default(),
+            retry: None,
             maintenance: MaintenanceConfig::default(),
         }
     }
@@ -319,6 +347,11 @@ impl UmziConfig {
         }
         if let Some(dc) = &self.cache.decoded_cache {
             dc.validate()
+                .map_err(|e| UmziError::Config(e.to_string()))?;
+        }
+        if let Some(retry) = &self.retry {
+            retry
+                .validate()
                 .map_err(|e| UmziError::Config(e.to_string()))?;
         }
         self.scan.validate()?;

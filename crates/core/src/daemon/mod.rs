@@ -22,20 +22,23 @@
 //! shards.
 
 mod job;
+mod retry;
 mod scheduler;
 mod stats;
 mod throttle;
 
 pub use job::{Job, JobExecutor, JobKind, JobOutcome, JobResult};
+pub use retry::QuarantinedJob;
 pub use stats::{JobKindStats, MaintenanceStats};
 pub use throttle::{Backpressure, BackpressureStats};
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::config::MaintenanceConfig;
 use crate::index::{MaintEvent, UmziIndex};
+use retry::{FailureDecision, RetryTracker};
 use scheduler::JobQueue;
 use stats::DaemonCounters;
 
@@ -102,6 +105,7 @@ pub struct MaintenanceDaemon {
     queue: Arc<JobQueue>,
     counters: Arc<DaemonCounters>,
     gate: Arc<Backpressure>,
+    retry: Arc<RetryTracker>,
     config: MaintenanceConfig,
     stop_ticks: Arc<StopSignal>,
     threads: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -120,6 +124,11 @@ impl MaintenanceDaemon {
             config.l0_low_watermark,
         ));
         gate.set_enabled(true);
+        let retry = Arc::new(RetryTracker::new(
+            config.job_retries,
+            config.job_retry_backoff,
+            config.quarantine_probe_interval,
+        ));
         let stop_ticks = Arc::new(StopSignal::new());
         let mut threads = Vec::with_capacity(config.workers + 1);
 
@@ -128,6 +137,7 @@ impl MaintenanceDaemon {
             let counters = Arc::clone(&counters);
             let executor = Arc::clone(&executor);
             let gate = Arc::clone(&gate);
+            let retry = Arc::clone(&retry);
             let throttle = config.throttle;
             threads.push(
                 std::thread::Builder::new()
@@ -139,6 +149,7 @@ impl MaintenanceDaemon {
                             let mut worked = false;
                             match executor.execute(job) {
                                 Ok(outcome) => {
+                                    retry.on_success(job);
                                     if outcome.did_work {
                                         worked = true;
                                         kind.runs.fetch_add(1, Ordering::Relaxed);
@@ -156,10 +167,22 @@ impl MaintenanceDaemon {
                                         gate.update(l0);
                                     }
                                 }
-                                Err(_) => {
-                                    // Swallowed: maintenance is retried by
-                                    // the next trigger, never fatal.
+                                Err(e) => {
+                                    // Never fatal: the job is re-enqueued
+                                    // with backoff until its retry budget
+                                    // runs out, then quarantined for slow
+                                    // janitor re-probes.
                                     kind.failures.fetch_add(1, Ordering::Relaxed);
+                                    match retry.on_failure(job, &e.to_string(), Instant::now()) {
+                                        FailureDecision::Retry { .. } => {
+                                            kind.retries.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        FailureDecision::Quarantined { newly } => {
+                                            if newly {
+                                                kind.quarantined.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                    }
                                 }
                             }
                             kind.busy_nanos
@@ -178,21 +201,38 @@ impl MaintenanceDaemon {
 
         // Janitor tick: periodically poke the retire job for every shard,
         // catching deferred deprecated blocks whose covering runs were
-        // GC'd since the last evolve.
+        // GC'd since the last evolve. The same thread is the retry pump —
+        // it moves failed jobs whose backoff has elapsed (and quarantined
+        // jobs due a slow re-probe) back into the queue, so no worker ever
+        // sleeps out a backoff.
         {
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop_ticks);
+            let retry = Arc::clone(&retry);
             let interval = config.janitor_interval;
             let shards = executor.shard_count();
             threads.push(
                 std::thread::Builder::new()
                     .name("umzi-janitor".into())
-                    .spawn(move || loop {
-                        for shard in 0..shards {
-                            queue.push(Job::RetireDeprecatedBlocks { shard });
-                        }
-                        if stop.wait(interval) {
-                            break;
+                    .spawn(move || {
+                        // Retry backoffs are usually much shorter than the
+                        // janitor interval; pump on a finer cadence.
+                        let pump = interval.min(Duration::from_millis(10));
+                        let mut next_retire = Instant::now();
+                        loop {
+                            let now = Instant::now();
+                            if now >= next_retire {
+                                for shard in 0..shards {
+                                    queue.push(Job::RetireDeprecatedBlocks { shard });
+                                }
+                                next_retire = now + interval;
+                            }
+                            for job in retry.due(now) {
+                                queue.push(job);
+                            }
+                            if stop.wait(pump) {
+                                break;
+                            }
                         }
                     })
                     .expect("spawn janitor tick"),
@@ -203,6 +243,7 @@ impl MaintenanceDaemon {
             queue,
             counters,
             gate,
+            retry,
             config,
             stop_ticks,
             threads: parking_lot::Mutex::new(threads),
@@ -249,7 +290,16 @@ impl MaintenanceDaemon {
             enqueued: self.queue.enqueued.load(Ordering::Relaxed),
             workers: self.config.workers.max(1),
             backpressure: self.gate.stats(),
+            quarantined_now: self.retry.quarantined_count(),
+            degraded: self.retry.quarantined_count() > 0,
+            quarantined_jobs: self.retry.quarantined_jobs(),
         }
+    }
+
+    /// Whether any job is quarantined (failed past its retry budget); the
+    /// write path uses this to label backpressure errors.
+    pub fn is_degraded(&self) -> bool {
+        self.retry.quarantined_count() > 0
     }
 
     /// Graceful shutdown: stop the ticks, stop accepting new jobs, let the
@@ -519,6 +569,124 @@ mod tests {
         );
         // Drained queue ⇒ all triggered merges actually ran.
         assert!(idx.stats().merges >= 4);
+    }
+
+    /// Fails each job a fixed number of times before succeeding; a
+    /// negative-testing executor for the retry/quarantine pipeline.
+    struct FlakyExecutor {
+        failures_per_job: u64,
+        attempts: AtomicU64,
+        successes: AtomicU64,
+    }
+
+    use std::sync::atomic::AtomicU64;
+
+    impl JobExecutor for FlakyExecutor {
+        fn shard_count(&self) -> usize {
+            1
+        }
+
+        fn execute(&self, job: Job) -> JobResult {
+            // The janitor tick enqueues retire jobs on its own; keep the
+            // flakiness (and the counters) scoped to the groom under test.
+            if job.kind() != JobKind::Groom {
+                return Ok(JobOutcome::idle());
+            }
+            let n = self.attempts.fetch_add(1, Ordering::SeqCst);
+            if n < self.failures_per_job {
+                Err(format!("injected failure #{n}").into())
+            } else {
+                self.successes.fetch_add(1, Ordering::SeqCst);
+                Ok(JobOutcome {
+                    did_work: true,
+                    ..JobOutcome::default()
+                })
+            }
+        }
+    }
+
+    fn flaky_config() -> MaintenanceConfig {
+        MaintenanceConfig {
+            workers: 1,
+            janitor_interval: Duration::from_secs(3600),
+            adaptive_cache: false,
+            job_retries: 2,
+            job_retry_backoff: Duration::from_millis(1),
+            quarantine_probe_interval: Duration::from_millis(20),
+            ..MaintenanceConfig::default()
+        }
+    }
+
+    #[test]
+    fn failed_jobs_retry_with_backoff_then_succeed() {
+        let executor = Arc::new(FlakyExecutor {
+            failures_per_job: 2,
+            attempts: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+        });
+        let daemon = MaintenanceDaemon::spawn(Arc::clone(&executor) as _, flaky_config());
+        daemon.enqueue(Job::Groom { shard: 0 });
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while executor.successes.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = daemon.stats();
+        daemon.shutdown();
+
+        assert_eq!(executor.successes.load(Ordering::SeqCst), 1);
+        let groom = stats.kind(JobKind::Groom);
+        assert_eq!(groom.failures, 2);
+        assert_eq!(groom.retries, 2, "both failures were within the budget");
+        assert_eq!(groom.quarantined, 0);
+        assert!(!stats.degraded);
+        assert_eq!(stats.quarantined_now, 0);
+    }
+
+    #[test]
+    fn persistent_failure_quarantines_then_probe_recovers() {
+        // Fail far past the retry budget (2), so the job quarantines; the
+        // janitor's slow probe eventually hits the success threshold and
+        // releases it.
+        let executor = Arc::new(FlakyExecutor {
+            failures_per_job: 5,
+            attempts: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+        });
+        let daemon = MaintenanceDaemon::spawn(Arc::clone(&executor) as _, flaky_config());
+        daemon.enqueue(Job::Groom { shard: 0 });
+
+        // Phase 1: the job must land in quarantine (3 attempts: initial +
+        // 2 retries, all failing).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !daemon.is_degraded() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(daemon.is_degraded(), "job should quarantine");
+        let mid = daemon.stats();
+        assert_eq!(mid.quarantined_now, 1);
+        assert_eq!(mid.kind(JobKind::Groom).quarantined, 1);
+        assert_eq!(mid.quarantined_jobs.len(), 1);
+        assert_eq!(mid.quarantined_jobs[0].job, Job::Groom { shard: 0 });
+        assert!(mid.quarantined_jobs[0].last_error.contains("injected"));
+
+        // Phase 2: quarantine probes keep re-running the job; once the
+        // executor starts succeeding the daemon recovers.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while daemon.is_degraded() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = daemon.stats();
+        daemon.shutdown();
+
+        assert_eq!(executor.successes.load(Ordering::SeqCst), 1);
+        assert!(!stats.degraded, "probe success releases the quarantine");
+        assert_eq!(stats.quarantined_now, 0);
+        assert_eq!(
+            stats.kind(JobKind::Groom).quarantined,
+            1,
+            "the quarantine transition is counted once"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub(crate) struct KindCounters {
     pub runs: AtomicU64,
     pub no_work: AtomicU64,
     pub failures: AtomicU64,
+    pub retries: AtomicU64,
+    pub quarantined: AtomicU64,
     pub items_moved: AtomicU64,
     pub bytes_moved: AtomicU64,
     pub busy_nanos: AtomicU64,
@@ -23,9 +25,13 @@ pub struct JobKindStats {
     pub runs: u64,
     /// Jobs executed that found nothing to do (redundant triggers).
     pub no_work: u64,
-    /// Jobs that returned an error (swallowed; retried by the next
-    /// trigger).
+    /// Jobs that returned an error (each failure also either schedules a
+    /// retry or lands/keeps the job in quarantine).
     pub failures: u64,
+    /// Failed executions re-enqueued with backoff (within the retry budget).
+    pub retries: u64,
+    /// Jobs moved into quarantine after exhausting the retry budget.
+    pub quarantined: u64,
     /// Logical items moved (rows groomed, entries merged/evolved, blocks
     /// retired).
     pub items_moved: u64,
@@ -56,6 +62,8 @@ impl DaemonCounters {
             runs: c.runs.load(Ordering::Relaxed),
             no_work: c.no_work.load(Ordering::Relaxed),
             failures: c.failures.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
             items_moved: c.items_moved.load(Ordering::Relaxed),
             bytes_moved: c.bytes_moved.load(Ordering::Relaxed),
             busy_nanos: c.busy_nanos.load(Ordering::Relaxed),
@@ -81,6 +89,13 @@ pub struct MaintenanceStats {
     pub workers: usize,
     /// Ingest-gate counters.
     pub backpressure: BackpressureStats,
+    /// Jobs currently quarantined (failed past their retry budget and now
+    /// only re-probed slowly by the janitor).
+    pub quarantined_now: usize,
+    /// Whether the daemon is degraded: at least one job is quarantined.
+    pub degraded: bool,
+    /// The quarantined jobs themselves, for diagnostics.
+    pub quarantined_jobs: Vec<crate::daemon::retry::QuarantinedJob>,
 }
 
 impl MaintenanceStats {

@@ -24,6 +24,9 @@ pub struct BackpressureStats {
     pub stall_nanos: u64,
     /// Whether the gate is currently stalled.
     pub stalled: bool,
+    /// Admissions abandoned because the stall outlived the configured
+    /// timeout (the writer got an error instead of blocking forever).
+    pub timeouts: u64,
 }
 
 /// The ingest gate.
@@ -42,6 +45,7 @@ pub struct Backpressure {
     enabled: AtomicBool,
     stalls: AtomicU64,
     stall_nanos: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl Backpressure {
@@ -60,6 +64,7 @@ impl Backpressure {
             enabled: AtomicBool::new(false),
             stalls: AtomicU64::new(0),
             stall_nanos: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
         }
     }
 
@@ -105,31 +110,58 @@ impl Backpressure {
     /// first when `current()` (the live level-0 run count) has reached the
     /// high watermark. Returns the time spent stalled, if any.
     pub fn admit(&self, current: &dyn Fn() -> usize) -> Option<Duration> {
+        self.admit_timeout(current, None).unwrap_or_else(Some)
+    }
+
+    /// [`Backpressure::admit`] with a stall deadline: if the gate stays
+    /// stalled for `timeout`, stop waiting and return `Err(waited)` so the
+    /// writer can surface a typed backpressure error instead of hanging
+    /// forever behind quarantined maintenance. The gate itself stays
+    /// stalled — the condition has not cleared — so later writers fail fast
+    /// along the same path until maintenance catches up.
+    pub fn admit_timeout(
+        &self,
+        current: &dyn Fn() -> usize,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Duration>, Duration> {
         if !self.enabled.load(Ordering::Acquire) {
-            return None;
+            return Ok(None);
         }
         // Lock-free fast path: while the gate is clear and the run count is
         // below the high watermark, writers never touch the mutex.
         if !self.stalled_flag.load(Ordering::Acquire) && current() < self.high {
-            return None;
+            return Ok(None);
         }
         let mut stalled = self.lock();
         if !*stalled {
             if current() < self.high {
-                return None;
+                return Ok(None);
             }
             self.set_stalled(&mut stalled, true);
         }
         let t0 = Instant::now();
+        let deadline = timeout.map(|t| t0 + t);
         while *stalled && self.enabled.load(Ordering::Acquire) {
             if current() <= self.low {
                 self.set_stalled(&mut stalled, false);
                 self.cv.notify_all();
                 break;
             }
+            let mut wait = Duration::from_millis(5);
+            if let Some(deadline) = deadline {
+                let Some(rest) = deadline.checked_duration_since(Instant::now()) else {
+                    drop(stalled);
+                    let waited = t0.elapsed();
+                    self.stall_nanos
+                        .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(waited);
+                };
+                wait = wait.min(rest);
+            }
             let (guard, _) = self
                 .cv
-                .wait_timeout(stalled, Duration::from_millis(5))
+                .wait_timeout(stalled, wait)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             stalled = guard;
         }
@@ -137,7 +169,7 @@ impl Backpressure {
         let waited = t0.elapsed();
         self.stall_nanos
             .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
-        Some(waited)
+        Ok(Some(waited))
     }
 
     /// Maintenance-side poke after work that changed the run count: engages
@@ -168,6 +200,7 @@ impl Backpressure {
             stalls: self.stalls.load(Ordering::Relaxed),
             stall_nanos: self.stall_nanos.load(Ordering::Relaxed),
             stalled: self.is_stalled(),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -218,6 +251,51 @@ mod tests {
         assert_eq!(s.stalls, 1);
         assert!(s.stall_nanos > 0);
         assert!(!s.stalled);
+    }
+
+    #[test]
+    fn stall_timeout_returns_error_instead_of_hanging() {
+        let g = Backpressure::new(1, 0);
+        g.set_enabled(true);
+        // No maintenance will ever relieve the gate; the writer must get
+        // its time back after the deadline.
+        let t0 = Instant::now();
+        let waited = g
+            .admit_timeout(&|| 100, Some(Duration::from_millis(30)))
+            .expect_err("must time out");
+        assert!(waited >= Duration::from_millis(30), "waited {waited:?}");
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        let s = g.stats();
+        assert_eq!(s.timeouts, 1);
+        assert!(s.stalled, "the stall condition itself has not cleared");
+        // A second writer fails fast along the same path.
+        assert!(g
+            .admit_timeout(&|| 100, Some(Duration::from_millis(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn timeout_not_charged_when_relieved_in_time() {
+        let g = Arc::new(Backpressure::new(4, 2));
+        g.set_enabled(true);
+        let count = Arc::new(AtomicUsize::new(8));
+        let relief = {
+            let count = Arc::clone(&count);
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                count.store(1, Ordering::Release);
+                g.update(1);
+            })
+        };
+        let count2 = Arc::clone(&count);
+        let out = g.admit_timeout(
+            &move || count2.load(Ordering::Acquire),
+            Some(Duration::from_secs(10)),
+        );
+        relief.join().unwrap();
+        assert!(out.expect("relieved before deadline").is_some());
+        assert_eq!(g.stats().timeouts, 0);
     }
 
     #[test]

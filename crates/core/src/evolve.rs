@@ -128,7 +128,9 @@ impl UmziIndex {
                 if let Some(a) = self.ancestor_pool.lock().remove(ancestor) {
                     self.bury([a]);
                 } else {
-                    let _ = self.storage.shared().delete(ancestor);
+                    let _ = self
+                        .storage
+                        .with_retry(|| self.storage.shared().delete(ancestor));
                 }
             }
         }
@@ -281,12 +283,10 @@ mod tests {
             entries: pg_entries(&idx, 1, 5),
         })
         .unwrap();
-        let m = crate::manifest::Manifest::load_latest(
-            idx.storage().shared(),
-            &idx.config().manifest_prefix(),
-        )
-        .unwrap()
-        .unwrap();
+        let m =
+            crate::manifest::Manifest::load_latest(idx.storage(), &idx.config().manifest_prefix())
+                .unwrap()
+                .unwrap();
         assert_eq!(m.watermarks, vec![5], "exclusive bound: blocks < 5 covered");
         assert_eq!(m.indexed_psn, 1);
     }

@@ -131,6 +131,9 @@ impl UmziIndex {
                 .reconfigure(dc)
                 .map_err(|e| crate::error::UmziError::Config(e.to_string()))?;
         }
+        if let Some(retry) = config.retry {
+            storage.set_retry_config(retry);
+        }
         let index = Self::empty(storage, def, config);
         index.persist_manifest()?;
         Ok(Arc::new(index))
@@ -260,11 +263,8 @@ impl UmziIndex {
                 .map(|w| w.load(Ordering::Acquire))
                 .collect(),
         };
-        manifest.persist(
-            self.storage.shared(),
-            &self.config.manifest_object_name(seq),
-        )?;
-        Manifest::gc(self.storage.shared(), &self.config.manifest_prefix(), 2)?;
+        manifest.persist(&self.storage, &self.config.manifest_object_name(seq))?;
+        Manifest::gc(&self.storage, &self.config.manifest_prefix(), 2)?;
         Ok(())
     }
 

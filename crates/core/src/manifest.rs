@@ -16,7 +16,7 @@
 
 use bytes::Bytes;
 use umzi_encoding::hash64;
-use umzi_storage::SharedStorage;
+use umzi_storage::TieredStorage;
 
 use crate::error::UmziError;
 use crate::Result;
@@ -105,34 +105,40 @@ impl Manifest {
         })
     }
 
-    /// Persist this manifest as the object `name`.
-    pub fn persist(&self, shared: &SharedStorage, name: &str) -> Result<()> {
-        shared.put(name, self.serialize())?;
+    /// Persist this manifest as the object `name`. The put runs under the
+    /// storage retry policy: a transient shared-storage hiccup must not fail
+    /// an otherwise-complete groom or evolve.
+    pub fn persist(&self, storage: &TieredStorage, name: &str) -> Result<()> {
+        let data = self.serialize();
+        storage.with_retry(|| storage.shared().put(name, data.clone()))?;
         Ok(())
     }
 
     /// Load the newest valid manifest under `prefix`. Invalid (truncated or
-    /// checksum-failing) manifests are skipped — a crash mid-write must not
-    /// block recovery.
-    pub fn load_latest(shared: &SharedStorage, prefix: &str) -> Result<Option<Manifest>> {
-        let mut names = shared.list(prefix)?;
+    /// checksum-failing) manifests are **deleted**, not just skipped: shared
+    /// storage is create-once, so a torn manifest left under its name would
+    /// permanently block the recovered index from reusing that sequence
+    /// number.
+    pub fn load_latest(storage: &TieredStorage, prefix: &str) -> Result<Option<Manifest>> {
+        let mut names = storage.with_retry(|| storage.shared().list(prefix))?;
         names.sort();
         for name in names.iter().rev() {
-            let data = shared.get(name)?;
+            let data = storage.with_retry(|| storage.shared().get(name))?;
             if let Ok(m) = Manifest::deserialize(&data) {
                 return Ok(Some(m));
             }
+            let _ = storage.with_retry(|| storage.shared().delete(name));
         }
         Ok(None)
     }
 
     /// Delete all manifests under `prefix` except the `keep` newest.
-    pub fn gc(shared: &SharedStorage, prefix: &str, keep: usize) -> Result<usize> {
-        let mut names = shared.list(prefix)?;
+    pub fn gc(storage: &TieredStorage, prefix: &str, keep: usize) -> Result<usize> {
+        let mut names = storage.with_retry(|| storage.shared().list(prefix))?;
         names.sort();
         let n = names.len().saturating_sub(keep);
         for name in &names[..n] {
-            let _ = shared.delete(name);
+            let _ = storage.with_retry(|| storage.shared().delete(name));
         }
         Ok(n)
     }
@@ -172,48 +178,53 @@ mod tests {
 
     #[test]
     fn persist_and_load_latest() {
-        let shared = SharedStorage::in_memory();
+        let storage = TieredStorage::in_memory();
         for seq in 1..=3 {
             sample(seq)
-                .persist(&shared, &format!("idx/manifest/manifest-{seq:020}"))
+                .persist(&storage, &format!("idx/manifest/manifest-{seq:020}"))
                 .unwrap();
         }
-        let latest = Manifest::load_latest(&shared, "idx/manifest/")
+        let latest = Manifest::load_latest(&storage, "idx/manifest/")
             .unwrap()
             .unwrap();
         assert_eq!(latest.seq, 3);
     }
 
     #[test]
-    fn corrupt_latest_falls_back() {
-        let shared = SharedStorage::in_memory();
-        sample(1).persist(&shared, "m/manifest-01").unwrap();
-        shared
+    fn corrupt_latest_falls_back_and_is_deleted() {
+        let storage = TieredStorage::in_memory();
+        sample(1).persist(&storage, "m/manifest-01").unwrap();
+        storage
+            .shared()
             .put("m/manifest-02", Bytes::from_static(b"garbage"))
             .unwrap();
-        let latest = Manifest::load_latest(&shared, "m/").unwrap().unwrap();
+        let latest = Manifest::load_latest(&storage, "m/").unwrap().unwrap();
         assert_eq!(latest.seq, 1, "corrupt newest manifest must be skipped");
+        assert!(
+            !storage.shared().exists("m/manifest-02"),
+            "torn manifest must be deleted so its name can be reused"
+        );
     }
 
     #[test]
     fn empty_prefix_gives_none() {
-        let shared = SharedStorage::in_memory();
-        assert!(Manifest::load_latest(&shared, "nothing/")
+        let storage = TieredStorage::in_memory();
+        assert!(Manifest::load_latest(&storage, "nothing/")
             .unwrap()
             .is_none());
     }
 
     #[test]
     fn gc_keeps_newest() {
-        let shared = SharedStorage::in_memory();
+        let storage = TieredStorage::in_memory();
         for seq in 1..=5 {
             sample(seq)
-                .persist(&shared, &format!("m/manifest-{seq:020}"))
+                .persist(&storage, &format!("m/manifest-{seq:020}"))
                 .unwrap();
         }
-        let deleted = Manifest::gc(&shared, "m/", 2).unwrap();
+        let deleted = Manifest::gc(&storage, "m/", 2).unwrap();
         assert_eq!(deleted, 3);
-        assert_eq!(shared.list("m/").unwrap().len(), 2);
+        assert_eq!(storage.shared().list("m/").unwrap().len(), 2);
     }
 
     #[test]

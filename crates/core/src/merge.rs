@@ -255,7 +255,9 @@ impl UmziIndex {
                         self.bury([a]);
                     } else {
                         // Post-recovery ancestor without a live handle.
-                        let _ = self.storage.shared().delete(ancestor);
+                        let _ = self
+                            .storage
+                            .with_retry(|| self.storage.shared().delete(ancestor));
                     }
                 }
             }

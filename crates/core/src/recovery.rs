@@ -39,10 +39,13 @@ impl UmziIndex {
                 .reconfigure(dc)
                 .map_err(|e| crate::error::UmziError::Config(e.to_string()))?;
         }
+        if let Some(retry) = config.retry {
+            storage.set_retry_config(retry);
+        }
         let index = Self::empty(Arc::clone(&storage), def, config);
 
         // Durable state from the newest valid manifest.
-        if let Some(m) = Manifest::load_latest(storage.shared(), &index.config.manifest_prefix())? {
+        if let Some(m) = Manifest::load_latest(&storage, &index.config.manifest_prefix())? {
             index.indexed_psn.store(m.indexed_psn, Ordering::Release);
             index
                 .next_run_id
@@ -62,11 +65,18 @@ impl UmziIndex {
         // objects — a crash mid-write leaves a torn run that the checksum
         // rejects.
         let layout = KeyLayout::new(Arc::clone(&index.def));
-        let names = storage.shared().list(&index.config.run_prefix())?;
+        let names = storage.with_retry(|| storage.shared().list(&index.config.run_prefix()))?;
         let mut per_zone: Vec<Vec<Arc<Run>>> = index.zones.iter().map(|_| Vec::new()).collect();
         let mut max_run_id = 0u64;
         for name in names {
-            match Run::open(Arc::clone(&storage), &name, layout.clone()) {
+            // A torn put lands a strict prefix whose header may still parse;
+            // verify_tail proves the data blocks the header promises are
+            // actually there before the run is trusted.
+            let opened = Run::open(Arc::clone(&storage), &name, layout.clone()).and_then(|run| {
+                run.verify_tail()?;
+                Ok(run)
+            });
+            match opened {
                 Ok(run) => {
                     max_run_id = max_run_id.max(run.run_id());
                     match index.config.zone_of_level(run.level()) {
@@ -79,12 +89,17 @@ impl UmziIndex {
                         }
                     }
                 }
-                Err(_) => {
-                    // Incomplete/corrupt run: clean it up.
+                Err(e) if e.indicates_bad_object() => {
+                    // Incomplete/corrupt run: clean it up (also frees the
+                    // name — shared storage is create-once).
                     if let Ok(h) = storage.open_object(&name, 0) {
                         let _ = storage.delete_object(h);
                     }
                 }
+                // Storage is sick (transient budget exhausted, store down) or
+                // the definition doesn't match: deleting would lose data —
+                // fail the recovery instead.
+                Err(e) => return Err(e.into()),
             }
         }
         index

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use umzi_encoding::hash_prefix;
+use umzi_encoding::{hash64, hash_prefix};
 use umzi_storage::{Durability, TieredStorage};
 
 use crate::entry::IndexEntry;
@@ -63,6 +63,8 @@ pub struct RunBuilder {
     prefix_counts: Vec<u64>,
     /// First key of each finished block (the fence index).
     fence_keys: Vec<Vec<u8>>,
+    /// `hash64` of each finished block, for read-path integrity checks.
+    block_checksums: Vec<u64>,
     cur_data: Vec<u8>,
     cur_offsets: Vec<u16>,
     /// First key of the block currently being filled.
@@ -94,6 +96,7 @@ impl RunBuilder {
             blocks: Vec::new(),
             prefix_counts: Vec::new(),
             fence_keys: Vec::new(),
+            block_checksums: Vec::new(),
             cur_data: Vec::with_capacity(chunk_size),
             cur_offsets: Vec::new(),
             cur_first_key: Vec::new(),
@@ -183,6 +186,7 @@ impl RunBuilder {
         self.prefix_counts.push(prev + offsets.len() as u64);
         self.fence_keys
             .push(std::mem::take(&mut self.cur_first_key));
+        self.block_checksums.push(hash64(&block));
         self.blocks.push(Bytes::from(block));
     }
 
@@ -230,6 +234,7 @@ impl RunBuilder {
             offset_array,
             block_prefix_counts: self.prefix_counts.clone(),
             fence_keys: std::mem::take(&mut self.fence_keys),
+            block_checksums: std::mem::take(&mut self.block_checksums),
             synopsis: self.synopsis.clone(),
             ancestors: self.params.ancestors.clone(),
         };

@@ -36,6 +36,26 @@ pub enum RunError {
     },
 }
 
+impl RunError {
+    /// Whether a failed `Run::open`/`verify_tail` means the *object itself*
+    /// is bad (torn or corrupt on shared storage) rather than the storage
+    /// being momentarily sick. Recovery deletes objects in the first class
+    /// and must propagate the second — deleting a healthy run because a read
+    /// exhausted its transient-retry budget would be data loss.
+    pub fn indicates_bad_object(&self) -> bool {
+        use umzi_storage::StorageError;
+        match self {
+            RunError::Corrupt { .. } | RunError::Encoding(_) => true,
+            // The header demanded more bytes than the object holds, or the
+            // object vanished between list and open.
+            RunError::Storage(
+                StorageError::RangeOutOfBounds { .. } | StorageError::NotFound { .. },
+            ) => true,
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -23,6 +23,8 @@
 //! block_prefix_counts         u64 × n_data_blocks (cumulative entries)
 //! fence_keys                  len-prefixed bytes × n_data_blocks (if flag
 //!                             set): the first key of each data block
+//! block_checksums             u64 × n_data_blocks (if flag set): hash64 of
+//!                             each raw data block, for read-path integrity
 //! synopsis                    min/max beginTS + per-column byte ranges
 //! ancestors                   persisted ancestor run names (§6.1)
 //! checksum                    u64   hash64 of all preceding bytes
@@ -46,6 +48,7 @@ pub const FORMAT_VERSION: u16 = 1;
 const MAGIC: &[u8; 8] = b"UMZIRN01";
 const FLAG_HAS_OFFSET_ARRAY: u16 = 1;
 const FLAG_HAS_FENCE_INDEX: u16 = 2;
+const FLAG_HAS_BLOCK_CHECKSUMS: u16 = 4;
 /// Byte offset of the `header_len` field.
 const HEADER_LEN_OFFSET: usize = 8;
 
@@ -86,6 +89,11 @@ pub struct RunHeader {
     /// runs serialized before the fence index existed (the reader rebuilds
     /// them lazily); otherwise length `n_data_blocks`.
     pub fence_keys: Vec<Vec<u8>>,
+    /// `block_checksums[b]` = `hash64` of raw data block `b`, verified on
+    /// every cache-miss block read. Empty for runs serialized before block
+    /// checksums existed (those runs skip verification); otherwise length
+    /// `n_data_blocks`.
+    pub block_checksums: Vec<u64>,
     /// Key-column min/max synopsis.
     pub synopsis: Synopsis,
     /// Persisted ancestor runs (non-persisted-level recovery, §6.1).
@@ -107,6 +115,9 @@ impl RunHeader {
         };
         if !self.fence_keys.is_empty() {
             flags |= FLAG_HAS_FENCE_INDEX;
+        }
+        if !self.block_checksums.is_empty() {
+            flags |= FLAG_HAS_BLOCK_CHECKSUMS;
         }
         w.u16(flags);
         w.u64(self.index_fingerprint);
@@ -136,6 +147,12 @@ impl RunHeader {
             debug_assert_eq!(self.fence_keys.len(), self.n_data_blocks as usize);
             for k in &self.fence_keys {
                 w.bytes(k);
+            }
+        }
+        if !self.block_checksums.is_empty() {
+            debug_assert_eq!(self.block_checksums.len(), self.n_data_blocks as usize);
+            for &c in &self.block_checksums {
+                w.u64(c);
             }
         }
         // Synopsis.
@@ -254,6 +271,15 @@ impl RunHeader {
         } else {
             Vec::new()
         };
+        let block_checksums = if flags & FLAG_HAS_BLOCK_CHECKSUMS != 0 {
+            let mut v = Vec::with_capacity(n_data_blocks as usize);
+            for _ in 0..n_data_blocks {
+                v.push(r.u64()?);
+            }
+            v
+        } else {
+            Vec::new()
+        };
         let min_begin_ts = r.u64()?;
         let max_begin_ts = r.u64()?;
         let syn_count = r.u64()?;
@@ -292,6 +318,7 @@ impl RunHeader {
             offset_array,
             block_prefix_counts,
             fence_keys,
+            block_checksums,
             synopsis,
             ancestors,
         })
@@ -399,6 +426,7 @@ mod tests {
             offset_array: vec![0, 1, 2, 2, 2, 6, 6, 6],
             block_prefix_counts: vec![500, 1000, 1234],
             fence_keys: vec![b"aaa".to_vec(), b"mmm".to_vec(), b"zzz".to_vec()],
+            block_checksums: vec![0x1111, 0x2222, 0x3333],
             synopsis,
             ancestors: vec!["runs/old-1".into(), "runs/old-2".into()],
         }
@@ -414,6 +442,7 @@ mod tests {
         assert_eq!(parsed.offset_array, h.offset_array);
         assert_eq!(parsed.block_prefix_counts, h.block_prefix_counts);
         assert_eq!(parsed.fence_keys, h.fence_keys);
+        assert_eq!(parsed.block_checksums, h.block_checksums);
         assert_eq!(parsed.synopsis, h.synopsis);
         assert_eq!(parsed.ancestors, h.ancestors);
         assert_eq!(parsed.header_chunks, 1);
@@ -444,6 +473,21 @@ mod tests {
         let parsed = RunHeader::deserialize(&buf).unwrap();
         assert!(parsed.fence_keys.is_empty());
         assert_eq!(parsed.block_prefix_counts, h.block_prefix_counts);
+        assert_eq!(parsed.synopsis, h.synopsis);
+        assert_eq!(parsed.ancestors, h.ancestors);
+    }
+
+    #[test]
+    fn legacy_header_without_block_checksums_roundtrips() {
+        // Runs serialized before block checksums existed carry no checksum
+        // section; the flag bit stays clear and the reader simply skips
+        // verification for them.
+        let mut h = sample_header();
+        h.block_checksums = Vec::new();
+        let buf = h.serialize(4096);
+        let parsed = RunHeader::deserialize(&buf).unwrap();
+        assert!(parsed.block_checksums.is_empty());
+        assert_eq!(parsed.fence_keys, h.fence_keys);
         assert_eq!(parsed.synopsis, h.synopsis);
         assert_eq!(parsed.ancestors, h.ancestors);
     }

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
+use umzi_encoding::hash64;
 use umzi_storage::{AccessPattern, ObjectHandle, TieredStorage};
 
 use crate::entry::EntryRef;
@@ -188,6 +189,33 @@ impl Run {
         self.data_block_as(b, AccessPattern::PointLookup)
     }
 
+    /// Verify that the run's object actually holds every data block the
+    /// header promises. A torn put lands a strict prefix of the object: the
+    /// header (written first) can deserialize cleanly while the data tail is
+    /// missing or truncated. Since a tear only ever removes a suffix,
+    /// checking that the chunk count matches and that the **last** block
+    /// parses (and passes its checksum, when present) is a complete
+    /// tear-detection probe. Recovery calls this before trusting a run.
+    pub fn verify_tail(&self) -> Result<()> {
+        let n = self.header.n_data_blocks;
+        if n == 0 {
+            return Ok(());
+        }
+        let expected = self.header.header_chunks + n;
+        let actual = self.storage.chunk_count(self.handle)?;
+        if actual < expected {
+            return Err(RunError::Corrupt {
+                context: format!(
+                    "run {}: object truncated to {actual} chunks, header requires {expected} \
+                     ({} header + {n} data blocks)",
+                    self.name, self.header.header_chunks
+                ),
+            });
+        }
+        self.data_block_as(n - 1, AccessPattern::Maintenance)
+            .map(|_| ())
+    }
+
     /// Fetch data block `b` (0-based): decoded-block cache first, then the
     /// chunk hierarchy plus a parse (inserting the parsed block back). The
     /// access-pattern hint steers the cache's scan-resistant replacement:
@@ -225,9 +253,9 @@ impl Run {
                 return Ok(DataBlock::clone(&block));
             }
         }
-        let chunk = self
-            .storage
-            .read_chunk(self.handle, self.header.header_chunks + b)?;
+        let chunk_no = self.header.header_chunks + b;
+        let chunk = self.storage.read_chunk(self.handle, chunk_no)?;
+        let chunk = self.verify_block_checksum(b, chunk_no, chunk)?;
         let block = DataBlock::parse(chunk)?;
         let cache = self.storage.decoded_cache();
         if bypass_insert {
@@ -241,6 +269,36 @@ impl Run {
             );
         }
         Ok(block)
+    }
+
+    /// Corruption containment for one fetched data block: verify the raw
+    /// bytes against the header's persisted `hash64` (runs written before
+    /// block checksums existed skip this). On a mismatch the poisoned chunk
+    /// is evicted from every cache tier and re-fetched from shared storage
+    /// **once** — a flipped bit in a cache or on the local SSD heals
+    /// transparently — before the read fails as [`RunError::Corrupt`] with
+    /// the run name and block number.
+    fn verify_block_checksum(&self, b: u32, chunk_no: u32, chunk: Bytes) -> Result<Bytes> {
+        let Some(&expected) = self.header.block_checksums.get(b as usize) else {
+            return Ok(chunk);
+        };
+        if hash64(&chunk) == expected {
+            return Ok(chunk);
+        }
+        let reread = self
+            .storage
+            .reread_chunk_from_shared(self.handle, chunk_no)?;
+        if hash64(&reread) == expected {
+            return Ok(reread);
+        }
+        Err(RunError::Corrupt {
+            context: format!(
+                "run {} data block {b}: checksum mismatch persists after refetch \
+                 (expected {expected:#018x}, got {:#018x})",
+                self.name,
+                hash64(&reread)
+            ),
+        })
     }
 
     /// Map an entry ordinal to `(block index, slot within block)`.
@@ -599,5 +657,93 @@ mod tests {
         let storage = Arc::new(TieredStorage::in_memory());
         let run = build_run(&storage, 10);
         assert!(run.data_block(run.data_block_count()).is_err());
+    }
+
+    use umzi_storage::{
+        FaultEvent, FaultInjectingStore, FaultPlan, InMemoryObjectStore, LatencyModel, ObjectStore,
+        SharedStorage, TieredConfig,
+    };
+
+    /// Build a run on a clean store, then reopen it through a
+    /// fault-injecting wrapper over the same backing objects (fresh caches,
+    /// so the header read is shared-read #1 and the first data-block fetch
+    /// is shared-read #2).
+    fn reopen_with_faults(plan: FaultPlan) -> (Arc<FaultInjectingStore>, Arc<TieredStorage>, Run) {
+        let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+        let clean = Arc::new(TieredStorage::new(
+            SharedStorage::new(Arc::clone(&inner), LatencyModel::off()),
+            TieredConfig::default(),
+        ));
+        build_run(&clean, 100);
+
+        let faulty = Arc::new(FaultInjectingStore::new(inner, plan));
+        let storage = Arc::new(TieredStorage::new(
+            SharedStorage::new(
+                Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+                LatencyModel::off(),
+            ),
+            TieredConfig::default(),
+        ));
+        let run = Run::open(Arc::clone(&storage), "runs/t", layout()).unwrap();
+        (faulty, storage, run)
+    }
+
+    #[test]
+    fn transient_block_corruption_heals_by_refetch() {
+        // Flip a bit in shared-read #2 — the first data-block fetch. The
+        // checksum catches it, the poisoned chunk is evicted and re-fetched
+        // (read #3, clean), and the read succeeds.
+        let plan = FaultPlan::none().with_event(FaultEvent::BitFlipAt { nth: 2 });
+        let (faulty, storage, run) = reopen_with_faults(plan);
+        let e = run.entry(0).unwrap();
+        assert!(!e.key.is_empty());
+        assert_eq!(faulty.stats().bit_flips, 1, "the flip really happened");
+        assert_eq!(storage.stats().corruption_refetches, 1);
+        // The healed chunk is cached: further reads stay clean and cheap.
+        run.entry(1).unwrap();
+        assert_eq!(storage.stats().corruption_refetches, 1);
+    }
+
+    #[test]
+    fn persistent_block_corruption_surfaces_as_corrupt() {
+        // Both the original fetch and the containment refetch come back
+        // flipped: the read must fail as Corrupt naming the run and block,
+        // not return garbage entries.
+        let plan = FaultPlan::none()
+            .with_event(FaultEvent::BitFlipAt { nth: 2 })
+            .with_event(FaultEvent::BitFlipAt { nth: 3 });
+        let (faulty, storage, run) = reopen_with_faults(plan);
+        let err = run.entry(0).unwrap_err();
+        match err {
+            RunError::Corrupt { context } => {
+                assert!(context.contains("runs/t"), "{context}");
+                assert!(context.contains("data block 0"), "{context}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        assert_eq!(faulty.stats().bit_flips, 2);
+        assert_eq!(storage.stats().corruption_refetches, 1);
+    }
+
+    #[test]
+    fn legacy_run_without_checksums_still_reads() {
+        // A header with the checksum section stripped (as written before the
+        // flag existed) must skip verification rather than reject every
+        // block.
+        let storage = Arc::new(TieredStorage::in_memory());
+        let run = build_run(&storage, 50);
+        let mut header = run.header().clone();
+        header.block_checksums = Vec::new();
+        let legacy = Run::from_parts(
+            Arc::clone(&storage),
+            run.handle(),
+            header,
+            layout(),
+            "runs/t",
+        );
+        for ord in 0..legacy.entry_count() {
+            legacy.entry(ord).unwrap();
+        }
+        assert_eq!(storage.stats().corruption_refetches, 0);
     }
 }

@@ -44,6 +44,43 @@ pub enum StorageError {
     Io(std::io::Error),
     /// Invalid configuration (e.g. decoded-cache knobs out of range).
     Config(String),
+    /// A transient fault: the operation failed but left no side effects and
+    /// may succeed if retried (network hiccup, throttling, injected fault).
+    Transient {
+        /// The operation that failed (`put`, `get`, ...).
+        op: &'static str,
+        /// Object name the operation targeted.
+        name: String,
+        /// Human-readable fault detail.
+        detail: String,
+    },
+    /// The store is unavailable and every operation fails — e.g. a
+    /// fault-injected crash point poisoned it to simulate process death.
+    /// Permanent until the store is revived; retrying is pointless.
+    Unavailable {
+        /// Why the store went away.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Whether the error is transient: the operation had no side effects and
+    /// a bounded retry with backoff is worthwhile. Permanent errors (missing
+    /// objects, stale handles, corruption, an unavailable store) are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Transient { .. } => true,
+            // Interrupted syscalls and timeouts are the classic retryable
+            // IO failures; everything else (ENOSPC, EACCES, ...) is not.
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -71,6 +108,12 @@ impl fmt::Display for StorageError {
             StorageError::StaleHandle { handle } => write!(f, "stale object handle {handle}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Config(msg) => write!(f, "invalid storage configuration: {msg}"),
+            StorageError::Transient { op, name, detail } => {
+                write!(f, "transient {op} failure on {name}: {detail}")
+            }
+            StorageError::Unavailable { reason } => {
+                write!(f, "object store unavailable: {reason}")
+            }
         }
     }
 }

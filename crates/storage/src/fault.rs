@@ -1,0 +1,575 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! [`FaultInjectingStore`] wraps any [`ObjectStore`] and executes a seeded,
+//! reproducible [`FaultPlan`]: transient IO errors (by op type, probability
+//! or nth-op schedule), torn writes (a partial object lands in the inner
+//! store, then the writer dies), bit-flip corruption on reads, and crash
+//! points that poison the store so every later operation fails — simulating
+//! process death mid-operation. The same `(plan, seed)` always injects the
+//! same faults in the same order for a single-threaded caller, which is what
+//! lets the crash-torture harness replay a failing schedule from its seed
+//! alone.
+//!
+//! Faults injected *before* the inner call (transient errors, crash points)
+//! leave no side effects, so a retry against the same name is safe. Torn
+//! writes are the exception by design: they deliberately leave a partial
+//! object behind and then poison the store, because a torn object can only
+//! arise when the writer dies mid-write — recovery must find and delete it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::StorageError;
+use crate::object_store::ObjectStore;
+use crate::Result;
+
+/// The operation classes faults can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Object creation.
+    Put,
+    /// Whole-object read.
+    Get,
+    /// Range read.
+    GetRange,
+    /// Size query.
+    Len,
+    /// Prefix listing.
+    List,
+    /// Object deletion.
+    Delete,
+}
+
+impl FaultOp {
+    /// All operation classes, in counter order.
+    pub const ALL: [FaultOp; 6] = [
+        FaultOp::Put,
+        FaultOp::Get,
+        FaultOp::GetRange,
+        FaultOp::Len,
+        FaultOp::List,
+        FaultOp::Delete,
+    ];
+
+    /// Index of this op in the per-op counter arrays ([`FaultOp::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            FaultOp::Put => 0,
+            FaultOp::Get => 1,
+            FaultOp::GetRange => 2,
+            FaultOp::Len => 3,
+            FaultOp::List => 4,
+            FaultOp::Delete => 5,
+        }
+    }
+
+    /// Short label (`put`, `get`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOp::Put => "put",
+            FaultOp::Get => "get",
+            FaultOp::GetRange => "get_range",
+            FaultOp::Len => "len",
+            FaultOp::List => "list",
+            FaultOp::Delete => "delete",
+        }
+    }
+}
+
+/// One scheduled fault. Op counts are 1-based and per [`FaultOp`]; the crash
+/// point counts *global* operations across all op types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Fail the `nth` operation of `op` with a transient error (no side
+    /// effects — a retry may succeed).
+    TransientAt {
+        /// Targeted operation class.
+        op: FaultOp,
+        /// 1-based per-op ordinal.
+        nth: u64,
+    },
+    /// Fail every operation of `op` strictly after the `nth` one (persistent
+    /// degradation: e.g. "writes stop working after a while").
+    TransientAfter {
+        /// Targeted operation class.
+        op: FaultOp,
+        /// 1-based per-op ordinal after which every call fails.
+        nth: u64,
+    },
+    /// Tear the `nth` put: a strict prefix of the object is written under
+    /// its real name, then the store is poisoned (the writer died mid-write).
+    TornWriteAt {
+        /// 1-based put ordinal.
+        nth: u64,
+    },
+    /// Flip one random bit in the data returned by the `nth` read
+    /// (`get` and `get_range` share the read counter).
+    BitFlipAt {
+        /// 1-based read ordinal.
+        nth: u64,
+    },
+    /// Poison the store at the `nth` global operation: that operation and
+    /// every later one fail with [`StorageError::Unavailable`], simulating
+    /// process death mid-operation.
+    CrashAt {
+        /// 1-based global-op ordinal.
+        nth: u64,
+    },
+}
+
+/// A seeded, reproducible fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the plan's private RNG (probabilistic faults, bit and tear
+    /// positions). The same seed replays the same faults.
+    pub seed: u64,
+    /// Per-op transient-error probability in `[0, 1]`, indexed by
+    /// [`FaultOp::ALL`] order.
+    pub transient_prob: [f64; 6],
+    /// Probability that a read (`get`/`get_range`) returns data with one
+    /// flipped bit.
+    pub bit_flip_prob: f64,
+    /// Exact fault schedule, applied before the probabilistic knobs.
+    pub schedule: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (pass-through wrapper).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_prob: [0.0; 6],
+            bit_flip_prob: 0.0,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// A plan injecting transient errors on every op class with probability
+    /// `prob`, and nothing else.
+    pub fn transient_only(seed: u64, prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            transient_prob: [prob; 6],
+            bit_flip_prob: 0.0,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Set the transient probability of one op class (builder style).
+    pub fn with_transient(mut self, op: FaultOp, prob: f64) -> Self {
+        self.transient_prob[op.index()] = prob;
+        self
+    }
+
+    /// Append a scheduled fault (builder style).
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.schedule.push(event);
+        self
+    }
+}
+
+/// Per-op totals of operations seen and faults injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Operations observed per class, indexed by [`FaultOp::ALL`] order.
+    pub ops: [u64; 6],
+    /// Transient errors injected per class, same indexing.
+    pub injected: [u64; 6],
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// Reads whose result had a bit flipped.
+    pub bit_flips: u64,
+    /// Operations rejected because the store was poisoned.
+    pub rejected_while_crashed: u64,
+    /// Whether the store is currently poisoned.
+    pub crashed: bool,
+}
+
+impl FaultStats {
+    /// Total transient faults injected across all op classes.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Render per-op counters for a failure log.
+    pub fn summary(&self) -> String {
+        let per_op: Vec<String> = FaultOp::ALL
+            .iter()
+            .map(|op| {
+                format!(
+                    "{}={}/{}",
+                    op.label(),
+                    self.injected[op.index()],
+                    self.ops[op.index()]
+                )
+            })
+            .collect();
+        format!(
+            "faults[{}] torn={} bitflips={} rejected={} crashed={}",
+            per_op.join(" "),
+            self.torn_writes,
+            self.bit_flips,
+            self.rejected_while_crashed,
+            self.crashed
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultCounters {
+    ops: [AtomicU64; 6],
+    injected: [AtomicU64; 6],
+    torn_writes: AtomicU64,
+    bit_flips: AtomicU64,
+    rejected_while_crashed: AtomicU64,
+}
+
+/// An [`ObjectStore`] decorator that injects faults per a [`FaultPlan`].
+pub struct FaultInjectingStore {
+    inner: Arc<dyn ObjectStore>,
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    /// Global op ordinal (all classes), for crash points.
+    global_ops: AtomicU64,
+    /// Read ordinal (`get` + `get_range`), for bit-flip scheduling.
+    reads: AtomicU64,
+    counters: FaultCounters,
+    crashed: AtomicBool,
+    armed: AtomicBool,
+}
+
+impl std::fmt::Debug for FaultInjectingStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjectingStore")
+            .field("plan", &self.plan)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FaultInjectingStore {
+    /// Wrap `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn ObjectStore>, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            inner,
+            plan,
+            rng: Mutex::new(rng),
+            global_ops: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            counters: FaultCounters::default(),
+            crashed: AtomicBool::new(false),
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// The wrapped store (e.g. to inspect surviving objects after a crash).
+    pub fn inner(&self) -> &Arc<dyn ObjectStore> {
+        &self.inner
+    }
+
+    /// Point-in-time fault statistics.
+    pub fn stats(&self) -> FaultStats {
+        let load = |a: &[AtomicU64; 6]| {
+            let mut out = [0u64; 6];
+            for (o, v) in out.iter_mut().zip(a.iter()) {
+                *o = v.load(Ordering::Relaxed);
+            }
+            out
+        };
+        FaultStats {
+            ops: load(&self.counters.ops),
+            injected: load(&self.counters.injected),
+            torn_writes: self.counters.torn_writes.load(Ordering::Relaxed),
+            bit_flips: self.counters.bit_flips.load(Ordering::Relaxed),
+            rejected_while_crashed: self.counters.rejected_while_crashed.load(Ordering::Relaxed),
+            crashed: self.crashed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a crash point has poisoned the store.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Poison the store manually: every subsequent op fails.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Relaxed);
+    }
+
+    /// Clear the crash poison — the "process" restarted. Scheduled and
+    /// probabilistic faults keep applying unless disarmed.
+    pub fn revive(&self) {
+        self.crashed.store(false, Ordering::Relaxed);
+    }
+
+    /// Arm or disarm fault injection entirely (counters keep counting ops).
+    /// Disarming does not clear an existing crash poison.
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::Relaxed);
+    }
+
+    fn unavailable(&self) -> StorageError {
+        self.counters
+            .rejected_while_crashed
+            .fetch_add(1, Ordering::Relaxed);
+        StorageError::Unavailable {
+            reason: "simulated crash (fault-injected crash point)".to_owned(),
+        }
+    }
+
+    fn transient(&self, op: FaultOp, name: &str, detail: &str) -> StorageError {
+        self.counters.injected[op.index()].fetch_add(1, Ordering::Relaxed);
+        StorageError::Transient {
+            op: op.label(),
+            name: name.to_owned(),
+            detail: detail.to_owned(),
+        }
+    }
+
+    /// Count the op and decide whether to inject, before touching the inner
+    /// store. Returns the per-op ordinal of this call on success.
+    fn before(&self, op: FaultOp, name: &str) -> Result<u64> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(self.unavailable());
+        }
+        let global = self.global_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let nth = self.counters.ops[op.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.armed.load(Ordering::Relaxed) {
+            return Ok(nth);
+        }
+        for ev in &self.plan.schedule {
+            match *ev {
+                FaultEvent::CrashAt { nth: g } if g == global => {
+                    self.crashed.store(true, Ordering::Relaxed);
+                    return Err(self.unavailable());
+                }
+                FaultEvent::TransientAt { op: o, nth: n } if o == op && n == nth => {
+                    return Err(self.transient(op, name, "scheduled transient fault"));
+                }
+                FaultEvent::TransientAfter { op: o, nth: n } if o == op && nth > n => {
+                    return Err(self.transient(op, name, "scheduled persistent degradation"));
+                }
+                _ => {}
+            }
+        }
+        let prob = self.plan.transient_prob[op.index()];
+        if prob > 0.0 && self.rng.lock().random_bool(prob) {
+            return Err(self.transient(op, name, "probabilistic transient fault"));
+        }
+        Ok(nth)
+    }
+
+    /// Whether this read (by ordinal) should have a bit flipped.
+    fn should_flip(&self, read_nth: u64) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let scheduled = self
+            .plan
+            .schedule
+            .iter()
+            .any(|ev| matches!(*ev, FaultEvent::BitFlipAt { nth } if nth == read_nth));
+        scheduled
+            || (self.plan.bit_flip_prob > 0.0
+                && self.rng.lock().random_bool(self.plan.bit_flip_prob))
+    }
+
+    fn maybe_flip(&self, data: Bytes, read_nth: u64) -> Bytes {
+        if data.is_empty() || !self.should_flip(read_nth) {
+            return data;
+        }
+        self.counters.bit_flips.fetch_add(1, Ordering::Relaxed);
+        let mut v = data.to_vec();
+        let bit = self.rng.lock().random_range(0..v.len() as u64 * 8);
+        v[(bit / 8) as usize] ^= 1 << (bit % 8);
+        Bytes::from(v)
+    }
+}
+
+impl ObjectStore for FaultInjectingStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        let nth = self.before(FaultOp::Put, name)?;
+        let torn = self
+            .plan
+            .schedule
+            .iter()
+            .any(|ev| matches!(*ev, FaultEvent::TornWriteAt { nth: n } if n == nth));
+        if torn && self.armed.load(Ordering::Relaxed) && data.len() > 1 {
+            // Writer dies mid-write: a strict prefix lands under the real
+            // name and the store is poisoned. Recovery must clean this up.
+            let cut = self.rng.lock().random_range(1..data.len() as u64) as usize;
+            let _ = self.inner.put(name, data.slice(0..cut));
+            self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
+            self.crashed.store(true, Ordering::Relaxed);
+            return Err(self.unavailable());
+        }
+        self.inner.put(name, data)
+    }
+
+    fn get(&self, name: &str) -> Result<Bytes> {
+        self.before(FaultOp::Get, name)?;
+        let read_nth = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        let data = self.inner.get(name)?;
+        Ok(self.maybe_flip(data, read_nth))
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Bytes> {
+        self.before(FaultOp::GetRange, name)?;
+        let read_nth = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        let data = self.inner.get_range(name, offset, len)?;
+        Ok(self.maybe_flip(data, read_nth))
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        self.before(FaultOp::Len, name)?;
+        self.inner.len(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        // Existence probes are not an IO fault target (and cannot report an
+        // error), but a crashed store sees nothing.
+        if self.crashed.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.inner.exists(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.before(FaultOp::List, prefix)?;
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.before(FaultOp::Delete, name)?;
+        self.inner.delete(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_store::InMemoryObjectStore;
+
+    fn store(plan: FaultPlan) -> (Arc<InMemoryObjectStore>, FaultInjectingStore) {
+        let inner = Arc::new(InMemoryObjectStore::new());
+        let faulty = FaultInjectingStore::new(inner.clone() as Arc<dyn ObjectStore>, plan);
+        (inner, faulty)
+    }
+
+    #[test]
+    fn pass_through_with_empty_plan() {
+        let (_, s) = store(FaultPlan::none());
+        s.put("a", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.get("a").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.get_range("a", 1, 3).unwrap(), Bytes::from_static(b"ell"));
+        assert_eq!(s.len("a").unwrap(), 5);
+        assert_eq!(s.list("").unwrap(), vec!["a".to_owned()]);
+        s.delete("a").unwrap();
+        assert_eq!(s.stats().total_injected(), 0);
+    }
+
+    #[test]
+    fn scheduled_transient_fails_exactly_the_nth_op() {
+        let plan = FaultPlan::none().with_event(FaultEvent::TransientAt {
+            op: FaultOp::Put,
+            nth: 2,
+        });
+        let (_, s) = store(plan);
+        s.put("a", Bytes::from_static(b"x")).unwrap();
+        let err = s.put("b", Bytes::from_static(b"y")).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(!s.exists("b"), "transient put left no side effects");
+        // Retrying the same name succeeds: no partial state.
+        s.put("b", Bytes::from_static(b"y")).unwrap();
+        assert_eq!(s.stats().injected[FaultOp::Put.index()], 1);
+    }
+
+    #[test]
+    fn transient_after_degrades_permanently() {
+        let plan = FaultPlan::none().with_event(FaultEvent::TransientAfter {
+            op: FaultOp::Put,
+            nth: 1,
+        });
+        let (_, s) = store(plan);
+        s.put("a", Bytes::from_static(b"x")).unwrap();
+        for i in 0..5 {
+            assert!(s.put(&format!("b{i}"), Bytes::from_static(b"y")).is_err());
+        }
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let run = |seed| {
+            let (_, s) = store(FaultPlan::transient_only(seed, 0.5));
+            (0..64)
+                .map(|i| s.put(&format!("o{i}"), Bytes::from_static(b"z")).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_and_poisons() {
+        let plan = FaultPlan::none().with_event(FaultEvent::TornWriteAt { nth: 1 });
+        let (inner, s) = store(plan);
+        let err = s.put("r", Bytes::from(vec![7u8; 100])).unwrap_err();
+        assert!(matches!(err, StorageError::Unavailable { .. }), "{err}");
+        let torn = inner.get("r").unwrap();
+        assert!(!torn.is_empty() && torn.len() < 100, "strict prefix");
+        assert!(s.is_crashed());
+        assert!(s.get("r").is_err(), "poisoned store rejects everything");
+        s.revive();
+        assert_eq!(s.get("r").unwrap().len(), torn.len());
+        assert_eq!(s.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let plan = FaultPlan::none().with_event(FaultEvent::BitFlipAt { nth: 2 });
+        let (_, s) = store(plan);
+        let payload = Bytes::from(vec![0u8; 64]);
+        s.put("r", payload.clone()).unwrap();
+        assert_eq!(s.get("r").unwrap(), payload, "first read clean");
+        let flipped = s.get("r").unwrap();
+        let diff_bits: u32 = flipped
+            .iter()
+            .zip(payload.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1, "exactly one bit flipped");
+        assert_eq!(s.get("r").unwrap(), payload, "third read clean again");
+        assert_eq!(s.stats().bit_flips, 1);
+    }
+
+    #[test]
+    fn crash_point_poisons_at_global_ordinal() {
+        let plan = FaultPlan::none().with_event(FaultEvent::CrashAt { nth: 3 });
+        let (_, s) = store(plan);
+        s.put("a", Bytes::from_static(b"1")).unwrap();
+        s.put("b", Bytes::from_static(b"2")).unwrap();
+        assert!(matches!(
+            s.get("a").unwrap_err(),
+            StorageError::Unavailable { .. }
+        ));
+        assert!(s.is_crashed());
+        assert!(s.list("").is_err());
+        assert!(s.stats().rejected_while_crashed >= 2);
+        s.revive();
+        assert_eq!(s.get("a").unwrap(), Bytes::from_static(b"1"));
+    }
+
+    #[test]
+    fn disarm_stops_injection() {
+        let (_, s) = store(FaultPlan::transient_only(3, 1.0));
+        assert!(s.put("a", Bytes::from_static(b"x")).is_err());
+        s.set_armed(false);
+        s.put("a", Bytes::from_static(b"x")).unwrap();
+    }
+}

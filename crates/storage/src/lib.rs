@@ -45,6 +45,7 @@
 pub mod block_cache;
 pub mod cache;
 pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod lru;
 pub mod object_store;
@@ -56,11 +57,12 @@ pub mod tiered;
 pub use block_cache::{AccessPattern, CachePolicy, DecodedBlockCache, DecodedCacheConfig};
 pub use cache::CacheTier;
 pub use error::StorageError;
+pub use fault::{FaultEvent, FaultInjectingStore, FaultOp, FaultPlan, FaultStats};
 pub use latency::{LatencyMode, LatencyModel, TierLatency};
 pub use object_store::{FsObjectStore, InMemoryObjectStore, ObjectStore};
 pub use shared::SharedStorage;
 pub use stats::{DecodedCacheStats, PatternCounters, SharedStats, StorageStats, TierStats};
-pub use tiered::{Durability, ObjectHandle, TieredConfig, TieredStorage};
+pub use tiered::{Durability, ObjectHandle, RetryConfig, TieredConfig, TieredStorage};
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

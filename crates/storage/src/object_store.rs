@@ -174,6 +174,22 @@ impl FsObjectStore {
     fn path_for(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }
+
+    /// Fsync the directory containing `path`, making a completed rename (or
+    /// unlink) inside it durable. `File::sync_all` on the object file alone
+    /// persists the *data*, but the directory entry created by the rename
+    /// lives in the parent directory's metadata — without this a committed
+    /// object can vanish on power loss. Directory fsync is a Unix notion;
+    /// elsewhere this is a no-op.
+    fn sync_parent_dir(path: &std::path::Path) -> Result<()> {
+        #[cfg(unix)]
+        if let Some(parent) = path.parent() {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        let _ = path;
+        Ok(())
+    }
 }
 
 impl ObjectStore for FsObjectStore {
@@ -198,6 +214,11 @@ impl ObjectStore for FsObjectStore {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
+        // The rename only becomes crash-durable once the parent directory's
+        // entry table reaches disk. (Intermediate directories created above
+        // are not individually synced; a lost empty directory is harmless
+        // because the object entry itself is what recovery keys on.)
+        Self::sync_parent_dir(&path)?;
         Ok(())
     }
 
@@ -281,8 +302,14 @@ impl ObjectStore for FsObjectStore {
 
     fn delete(&self, name: &str) -> Result<()> {
         let _guard = self.write_lock.lock();
-        match std::fs::remove_file(self.path_for(name)) {
-            Ok(()) => Ok(()),
+        let path = self.path_for(name);
+        match std::fs::remove_file(&path) {
+            Ok(()) => {
+                // Same durability rule as `put`: the unlink must reach the
+                // parent directory's on-disk state, or a crashed GC pass can
+                // resurrect a deleted (possibly superseded) run.
+                Self::sync_parent_dir(&path)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StorageError::NotFound {
                 name: name.to_owned(),
             }),

@@ -183,6 +183,14 @@ pub struct StorageStats {
     pub chunk_reads: u64,
     /// Virtual latency charged by the SSD tier.
     pub ssd_charged_latency: Duration,
+    /// Shared-storage operations re-attempted after a transient failure.
+    pub retries: u64,
+    /// Operations that kept failing transiently until the retry budget ran
+    /// out (the error then propagated to the caller).
+    pub retries_exhausted: u64,
+    /// Chunks re-fetched from shared storage after a checksum mismatch, to
+    /// distinguish in-transit bit flips from at-rest corruption.
+    pub corruption_refetches: u64,
 }
 
 impl StorageStats {

@@ -15,9 +15,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::block_cache::{DecodedBlockCache, DecodedCacheConfig};
 use crate::cache::CacheTier;
@@ -47,6 +50,55 @@ pub enum Durability {
     NonPersisted,
 }
 
+/// Bounded retry with decorrelated-jitter backoff for shared-storage IO.
+///
+/// Applied to every shared-storage read and write issued by
+/// [`TieredStorage`] when the error is transient
+/// ([`StorageError::is_transient`]). Each attempt's delay is drawn uniformly
+/// from `[base_backoff, 3 × previous_delay]` and capped at `max_backoff`
+/// (decorrelated jitter), so concurrent retriers spread out instead of
+/// thundering in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// First-retry backoff and the jitter floor.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// No retrying at all: transient errors propagate immediately.
+    pub fn disabled() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Validate the knobs.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.base_backoff > self.max_backoff {
+            return Err(StorageError::Config(format!(
+                "retry base_backoff ({:?}) exceeds max_backoff ({:?})",
+                self.base_backoff, self.max_backoff
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the tiered hierarchy.
 #[derive(Debug, Clone)]
 pub struct TieredConfig {
@@ -67,6 +119,8 @@ pub struct TieredConfig {
     /// served without a chunk read or re-parse; a zero capacity disables
     /// the cache.
     pub decoded_cache: DecodedCacheConfig,
+    /// Bounded retry with backoff for transient shared-storage failures.
+    pub retry: RetryConfig,
 }
 
 impl Default for TieredConfig {
@@ -79,6 +133,7 @@ impl Default for TieredConfig {
             shared_latency: TierLatency::free(),
             latency_mode: LatencyMode::Accounting,
             decoded_cache: DecodedCacheConfig::default(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -117,6 +172,15 @@ pub struct TieredStorage {
     /// Total `read_chunk` calls, regardless of which tier served them.
     chunk_reads: std::sync::atomic::AtomicU64,
     registry: RwLock<Registry>,
+    /// Retry policy for shared-storage IO; reconfigurable (index configs may
+    /// override the hierarchy default).
+    retry: RwLock<RetryConfig>,
+    /// Jitter source for retry backoff. Seeded deterministically so tests
+    /// replay the same delays.
+    retry_rng: Mutex<StdRng>,
+    retries: std::sync::atomic::AtomicU64,
+    retries_exhausted: std::sync::atomic::AtomicU64,
+    corruption_refetches: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for TieredStorage {
@@ -138,6 +202,7 @@ impl TieredStorage {
             LatencyModel::new(config.ssd_latency, config.latency_mode),
         );
         let decoded = DecodedBlockCache::new(config.decoded_cache.clone());
+        let retry = config.retry;
         Self {
             config,
             shared,
@@ -146,6 +211,11 @@ impl TieredStorage {
             decoded,
             chunk_reads: std::sync::atomic::AtomicU64::new(0),
             registry: RwLock::new(Registry::default()),
+            retry: RwLock::new(retry),
+            retry_rng: Mutex::new(StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15)),
+            retries: std::sync::atomic::AtomicU64::new(0),
+            retries_exhausted: std::sync::atomic::AtomicU64::new(0),
+            corruption_refetches: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -164,6 +234,54 @@ impl TieredStorage {
         &self.shared
     }
 
+    /// The active retry policy.
+    pub fn retry_config(&self) -> RetryConfig {
+        *self.retry.read()
+    }
+
+    /// Replace the retry policy (index configs may override the default).
+    pub fn set_retry_config(&self, retry: RetryConfig) {
+        *self.retry.write() = retry;
+    }
+
+    /// Run a shared-storage operation under the retry policy: transient
+    /// failures are re-attempted with decorrelated-jitter backoff up to the
+    /// budget; permanent failures propagate immediately.
+    ///
+    /// Public so callers that go to [`Self::shared`] directly (manifest IO,
+    /// sidecar delta objects, recovery listings) stay under the same policy
+    /// and counters as the chunk paths.
+    pub fn with_retry<T>(&self, op: impl Fn() -> Result<T>) -> Result<T> {
+        let retry = *self.retry.read();
+        let mut prev = retry.base_backoff;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() && attempt < retry.max_retries => {
+                    attempt += 1;
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    // Decorrelated jitter: uniform in [base, 3 × previous],
+                    // capped. Degenerates to the base when base is 0.
+                    let base = retry.base_backoff.as_nanos() as u64;
+                    let ceiling = (prev.as_nanos() as u64).saturating_mul(3).max(base + 1);
+                    let jittered = self.retry_rng.lock().random_range(base..ceiling);
+                    let delay = Duration::from_nanos(jittered).min(retry.max_backoff);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    prev = delay.max(retry.base_backoff);
+                }
+                Err(e) if e.is_transient() => {
+                    self.retries_exhausted
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Err(e);
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Create an immutable object and register it.
     ///
     /// * `header_chunks` — number of leading chunks pinned in the SSD tier.
@@ -179,7 +297,7 @@ impl TieredStorage {
         write_through: bool,
     ) -> Result<ObjectHandle> {
         if durability == Durability::Persisted {
-            self.shared.put(name, data.clone())?;
+            self.with_retry(|| self.shared.put(name, data.clone()))?;
         } else if self.registry.read().by_name.contains_key(name) {
             return Err(StorageError::AlreadyExists {
                 name: name.to_owned(),
@@ -214,7 +332,7 @@ impl TieredStorage {
         if let Some(&h) = self.registry.read().by_name.get(name) {
             return Ok(ObjectHandle(h));
         }
-        let len = self.shared.len(name)?;
+        let len = self.with_retry(|| self.shared.len(name))?;
         let handle = self.register(name, len, Durability::Persisted, header_chunks);
         for c in 0..header_chunks.min(self.chunk_count_for_len(len)) {
             let chunk = self.fetch_from_shared(handle, c)?;
@@ -296,8 +414,19 @@ impl TieredStorage {
         }
         let cs = self.config.chunk_size as u64;
         let offset = u64::from(chunk_no) * cs;
+        // A chunk past the object's end means the object is shorter than its
+        // header claims (torn write that recovery did not catch) — surface a
+        // typed error instead of underflowing.
+        if offset >= meta.len {
+            return Err(StorageError::RangeOutOfBounds {
+                name: meta.name.to_string(),
+                offset,
+                len: cs as usize,
+                size: meta.len,
+            });
+        }
         let len = cs.min(meta.len - offset) as usize;
-        self.shared.get_range(&meta.name, offset, len)
+        self.with_retry(|| self.shared.get_range(&meta.name, offset, len))
     }
 
     /// Read one chunk through the hierarchy (memory → SSD → shared),
@@ -315,6 +444,24 @@ impl TieredStorage {
         }
         // Miss in both local tiers: go to shared storage (block-basis
         // transfer into the SSD cache, then memory).
+        let data = self.fetch_from_shared(handle, chunk_no)?;
+        let pinned = chunk_no < self.meta(handle)?.header_chunks;
+        self.ssd.insert(key, data.clone(), pinned);
+        self.mem.insert(key, data.clone(), false);
+        Ok(data)
+    }
+
+    /// Drop one chunk from the local tiers and re-fetch it from shared
+    /// storage, re-populating the tiers. Used by corruption containment: a
+    /// checksum mismatch may be a bit flip in transit (the copy on shared
+    /// storage is fine) rather than at-rest damage, so the reader evicts the
+    /// poisoned copy and retries the fetch once before failing the query.
+    pub fn reread_chunk_from_shared(&self, handle: ObjectHandle, chunk_no: u32) -> Result<Bytes> {
+        self.corruption_refetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let key = (handle.0, chunk_no);
+        self.mem.remove(key);
+        self.ssd.remove(key);
         let data = self.fetch_from_shared(handle, chunk_no)?;
         let pinned = chunk_no < self.meta(handle)?.header_chunks;
         self.ssd.insert(key, data.clone(), pinned);
@@ -405,7 +552,7 @@ impl TieredStorage {
             reg.by_name.remove(&meta.name);
         }
         if meta.durability == Durability::Persisted {
-            self.shared.delete(&meta.name)?;
+            self.with_retry(|| self.shared.delete(&meta.name))?;
         }
         Ok(())
     }
@@ -432,6 +579,13 @@ impl TieredStorage {
             decoded: self.decoded.stats(),
             chunk_reads: self.chunk_reads.load(std::sync::atomic::Ordering::Relaxed),
             ssd_charged_latency: self.ssd.latency().charged(),
+            retries: self.retries.load(std::sync::atomic::Ordering::Relaxed),
+            retries_exhausted: self
+                .retries_exhausted
+                .load(std::sync::atomic::Ordering::Relaxed),
+            corruption_refetches: self
+                .corruption_refetches
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -609,6 +763,70 @@ mod tests {
         assert!(ts
             .create_object("n", payload(10), Durability::NonPersisted, 0, false)
             .is_err());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted() {
+        use crate::fault::{FaultEvent, FaultInjectingStore, FaultOp, FaultPlan};
+        // Every first attempt of the first two puts fails transiently.
+        let plan = FaultPlan::none()
+            .with_event(FaultEvent::TransientAt {
+                op: FaultOp::Put,
+                nth: 1,
+            })
+            .with_event(FaultEvent::TransientAt {
+                op: FaultOp::GetRange,
+                nth: 1,
+            });
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            plan,
+        ));
+        let mut cfg = small_config();
+        cfg.retry.base_backoff = Duration::ZERO;
+        let ts = TieredStorage::new(SharedStorage::new(store, LatencyModel::off()), cfg);
+        let h = ts
+            .create_object("r", payload(128), Durability::Persisted, 0, false)
+            .unwrap();
+        assert_eq!(ts.read_chunk(h, 0).unwrap(), payload(128).slice(0..64));
+        let s = ts.stats();
+        assert_eq!(s.retries, 2, "one retry per faulted op");
+        assert_eq!(s.retries_exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            FaultPlan::transient_only(1, 1.0),
+        ));
+        let mut cfg = small_config();
+        cfg.retry.max_retries = 2;
+        cfg.retry.base_backoff = Duration::ZERO;
+        let ts = TieredStorage::new(SharedStorage::new(store, LatencyModel::off()), cfg);
+        let err = ts
+            .create_object("r", payload(64), Durability::Persisted, 0, false)
+            .unwrap_err();
+        assert!(err.is_transient());
+        let s = ts.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.retries_exhausted, 1);
+    }
+
+    #[test]
+    fn reread_chunk_replaces_cached_copy() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let data = payload(128);
+        let h = ts
+            .create_object("r", data.clone(), Durability::Persisted, 0, true)
+            .unwrap();
+        ts.read_chunk(h, 1).unwrap();
+        let before = ts.stats().shared.reads;
+        let fresh = ts.reread_chunk_from_shared(h, 1).unwrap();
+        assert_eq!(fresh, data.slice(64..128));
+        assert_eq!(ts.stats().shared.reads, before + 1, "went back to shared");
+        assert_eq!(ts.stats().corruption_refetches, 1);
     }
 
     #[test]

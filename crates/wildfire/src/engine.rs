@@ -90,6 +90,34 @@ pub struct RecordView {
     pub rid: Option<Rid>,
 }
 
+/// A point-in-time fault-and-recovery health snapshot of the whole engine:
+/// IO retry pressure on the storage path, maintenance retry/quarantine
+/// state, and write-path backpressure. The one-stop answer to "is this
+/// engine struggling, and where".
+#[derive(Debug, Clone, Default)]
+pub struct EngineHealth {
+    /// Transient storage IO errors that were retried (and may have
+    /// succeeded on a later attempt).
+    pub storage_retries: u64,
+    /// Storage operations that failed even after exhausting the retry
+    /// budget.
+    pub storage_retries_exhausted: u64,
+    /// Data blocks whose checksum failed and were re-fetched from shared
+    /// storage for corruption containment.
+    pub corruption_refetches: u64,
+    /// Failed maintenance jobs re-enqueued with backoff, across all kinds.
+    pub maintenance_retries: u64,
+    /// Maintenance jobs currently quarantined (failed past their retry
+    /// budget; re-probed slowly).
+    pub quarantined_jobs: usize,
+    /// Whether maintenance is degraded (at least one quarantined job).
+    pub degraded: bool,
+    /// Writers that hit the backpressure stall timeout and got an error.
+    pub backpressure_timeouts: u64,
+    /// Whether the ingest gate is currently stalled.
+    pub ingest_stalled: bool,
+}
+
 /// The Wildfire engine.
 pub struct WildfireEngine {
     table: Arc<TableDef>,
@@ -208,6 +236,28 @@ impl WildfireEngine {
         self.storage.stats().decoded
     }
 
+    /// Fault-and-recovery health snapshot: storage retry pressure,
+    /// maintenance quarantine state and write-path backpressure in one
+    /// struct. Daemon-related fields are zero when no daemon is running.
+    pub fn health(&self) -> EngineHealth {
+        let st = self.storage.stats();
+        let mut h = EngineHealth {
+            storage_retries: st.retries,
+            storage_retries_exhausted: st.retries_exhausted,
+            corruption_refetches: st.corruption_refetches,
+            ..EngineHealth::default()
+        };
+        if let Some(daemon) = self.daemon() {
+            let ms = daemon.stats();
+            h.maintenance_retries = ms.per_kind.iter().map(|(_, s)| s.retries).sum();
+            h.quarantined_jobs = ms.quarantined_now;
+            h.degraded = ms.degraded;
+            h.backpressure_timeouts = ms.backpressure.timeouts;
+            h.ingest_stalled = daemon.backpressure().is_stalled();
+        }
+        h
+    }
+
     /// The worst shard's level-0 run count — what the backpressure gate
     /// watches.
     pub fn max_l0_runs(&self) -> usize {
@@ -221,15 +271,20 @@ impl WildfireEngine {
     /// Write-path admission: when level-0 runs have piled up to the high
     /// watermark, poke relief jobs (level-0 merges and evolve) and stall on
     /// the backpressure gate until maintenance brings the count back to the
-    /// low watermark. Free when no daemon is running.
-    fn admit_ingest(&self) {
-        let Some(daemon) = self.daemon() else { return };
+    /// low watermark — or until the configured stall timeout elapses, in
+    /// which case the writer gets [`WildfireError::Backpressure`] instead of
+    /// hanging on maintenance that is not making progress. Free when no
+    /// daemon is running.
+    fn admit_ingest(&self) -> Result<()> {
+        let Some(daemon) = self.daemon() else {
+            return Ok(());
+        };
         let gate = Arc::clone(daemon.backpressure());
         let current = || self.max_l0_runs();
         // Fast path: gate clear and run count healthy — one lock-free list
         // walk, no relief enqueue, no mutex.
         if !gate.is_stalled() && current() < gate.high_watermark() {
-            return;
+            return Ok(());
         }
         // Pressure: poke the jobs that shrink level 0 before (possibly)
         // blocking on the gate.
@@ -240,7 +295,14 @@ impl WildfireEngine {
             });
             daemon.enqueue(Job::Evolve { shard: si });
         }
-        gate.admit(&current);
+        match gate.admit_timeout(&current, daemon.config().stall_timeout) {
+            Ok(_) => Ok(()),
+            Err(waited) => Err(crate::error::WildfireError::Backpressure {
+                waited,
+                l0_runs: self.max_l0_runs(),
+                degraded: daemon.is_degraded(),
+            }),
+        }
     }
 
     /// Ingest-path groom trigger: enqueue a groom job once the shard's
@@ -256,7 +318,7 @@ impl WildfireEngine {
 
     /// Upsert one row (routed by sharding key).
     pub fn upsert(&self, row: Vec<Datum>) -> Result<()> {
-        self.admit_ingest();
+        self.admit_ingest()?;
         let shard = self.table.shard_of(&row, self.shards.len());
         self.shards[shard].upsert(vec![row])?;
         self.maybe_trigger_groom(shard);
@@ -266,7 +328,7 @@ impl WildfireEngine {
     /// Upsert a batch, grouped per shard (each shard's group commits as one
     /// transaction).
     pub fn upsert_many(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
-        self.admit_ingest();
+        self.admit_ingest()?;
         let mut per_shard: Vec<Vec<Vec<Datum>>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for row in rows {
@@ -981,6 +1043,121 @@ mod tests {
                 > after_points.scan.hits + after_points.scan.misses,
             "index scans must be labelled RangeScan: {after_scan:?}"
         );
+    }
+
+    /// Satellite regression: with a groom job quarantined (storage puts
+    /// failing) and level 0 at the high watermark, writers must get a
+    /// [`WildfireError::Backpressure`] error within the stall timeout — not
+    /// hang forever on a gate no one will ever open.
+    #[test]
+    fn stalled_writers_error_instead_of_hanging() {
+        use umzi_core::MergePolicy;
+        use umzi_storage::{
+            FaultInjectingStore, FaultOp, FaultPlan, InMemoryObjectStore, LatencyModel,
+            ObjectStore, SharedStorage, TieredConfig,
+        };
+
+        let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+        let faulty = Arc::new(FaultInjectingStore::new(
+            inner,
+            FaultPlan::none().with_transient(FaultOp::Put, 1.0),
+        ));
+        faulty.set_armed(false); // healthy until the setup is in place
+        let mut tc = TieredConfig::default();
+        tc.retry.base_backoff = Duration::ZERO; // fast exhaustion in-test
+        let storage = Arc::new(TieredStorage::new(
+            SharedStorage::new(
+                Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+                LatencyModel::off(),
+            ),
+            tc,
+        ));
+
+        let mut cfg = EngineConfig {
+            n_shards: 1,
+            // Manual grooming only: no tickers are started in this test and
+            // upserts never auto-trigger.
+            groom_trigger_rows: usize::MAX,
+            maintenance: Some(MaintenanceConfig {
+                workers: 1,
+                janitor_interval: Duration::from_secs(3600),
+                adaptive_cache: false,
+                l0_high_watermark: 2,
+                l0_low_watermark: 1,
+                stall_timeout: Some(Duration::from_millis(100)),
+                job_retries: 0,
+                quarantine_probe_interval: Duration::from_secs(3600),
+                ..MaintenanceConfig::default()
+            }),
+            ..EngineConfig::default()
+        };
+        // Merges must not relieve level 0 behind the test's back.
+        cfg.shard.umzi.merge = MergePolicy {
+            k: 100,
+            t: u64::MAX,
+        };
+        let e = WildfireEngine::create(storage, Arc::new(iot_table()), cfg).unwrap();
+        let daemons = e.start_daemons();
+
+        // Fill level 0 to the high watermark with healthy storage.
+        for batch in 0..2 {
+            for m in 0..20 {
+                e.upsert(row(1, batch * 100 + m, 100, m)).unwrap();
+            }
+            e.groom_all().unwrap();
+        }
+        assert_eq!(e.max_l0_runs(), 2);
+
+        // Park rows in the live zone (shard-direct, bypassing admission),
+        // then break storage and let the daemon quarantine the groom.
+        e.shards()[0]
+            .upsert((0..10).map(|m| row(1, 500 + m, 100, m)).collect())
+            .unwrap();
+        faulty.set_armed(true);
+        daemons.daemon().unwrap().enqueue(Job::Groom { shard: 0 });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !e.health().degraded {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "groom job never quarantined: {:?}",
+                e.maintenance_stats()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The writer must come back with an error, promptly.
+        let t0 = std::time::Instant::now();
+        let err = e.upsert(row(1, 999, 100, 0)).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "writer did not return promptly"
+        );
+        match err {
+            crate::error::WildfireError::Backpressure {
+                waited,
+                l0_runs,
+                degraded,
+            } => {
+                assert!(waited >= Duration::from_millis(100), "waited {waited:?}");
+                assert_eq!(l0_runs, 2);
+                assert!(degraded, "quarantined groom must mark the stall degraded");
+            }
+            other => panic!("expected Backpressure, got {other}"),
+        }
+
+        let h = e.health();
+        assert!(h.storage_retries > 0, "failing puts were retried: {h:?}");
+        assert!(h.storage_retries_exhausted > 0, "{h:?}");
+        assert!(h.degraded);
+        // The groom is quarantined for sure; the relief evolve job enqueued
+        // by admission may have failed on the same broken storage and joined
+        // it.
+        assert!(h.quarantined_jobs >= 1, "{h:?}");
+        let stats = e.maintenance_stats().unwrap();
+        assert_eq!(stats.kind(umzi_core::JobKind::Groom).quarantined, 1);
+        assert!(h.backpressure_timeouts >= 1, "{h:?}");
+        assert!(h.ingest_stalled, "timed-out gate stays stalled");
+        daemons.shutdown();
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub enum WildfireError {
     RowMismatch(String),
     /// An RID referenced a block or row that does not exist.
     DanglingRid(String),
+    /// The write path stalled on the ingest backpressure gate past the
+    /// configured stall timeout — maintenance is not draining level 0.
+    /// The writer gets this error instead of hanging forever; retrying later
+    /// (or checking [`crate::WildfireEngine::health`]) is the caller's call.
+    Backpressure {
+        /// How long the writer waited before giving up.
+        waited: std::time::Duration,
+        /// The level-0 run count that kept the gate closed.
+        l0_runs: usize,
+        /// Whether maintenance is degraded (quarantined jobs) — i.e. the
+        /// stall is unlikely to clear on its own soon.
+        degraded: bool,
+    },
     /// The engine is shutting down.
     ShuttingDown,
 }
@@ -33,6 +46,19 @@ impl fmt::Display for WildfireError {
             WildfireError::InvalidTable(m) => write!(f, "invalid table: {m}"),
             WildfireError::RowMismatch(m) => write!(f, "row mismatch: {m}"),
             WildfireError::DanglingRid(m) => write!(f, "dangling RID: {m}"),
+            WildfireError::Backpressure {
+                waited,
+                l0_runs,
+                degraded,
+            } => write!(
+                f,
+                "ingest stalled on backpressure for {waited:?} ({l0_runs} level-0 runs{})",
+                if *degraded {
+                    ", maintenance degraded"
+                } else {
+                    ""
+                }
+            ),
             WildfireError::ShuttingDown => write!(f, "engine is shutting down"),
         }
     }

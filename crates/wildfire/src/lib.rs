@@ -39,7 +39,9 @@ pub mod table;
 pub mod timestamps;
 
 pub use colblock::{ColumnBlock, EndTsDelta};
-pub use engine::{EngineConfig, EngineDaemons, Freshness, RecordView, WildfireEngine};
+pub use engine::{
+    EngineConfig, EngineDaemons, EngineHealth, Freshness, RecordView, WildfireEngine,
+};
 pub use error::WildfireError;
 pub use livezone::{CommittedLog, LogRecord};
 pub use shard::{GroomReport, PostGroomReport, Shard, ShardConfig};

@@ -463,9 +463,9 @@ impl Shard {
         // Persist cross-batch endTS closures as a sidecar delta object.
         if !deltas.is_empty() {
             let name = format!("{}/deltas/d-{psn:020}", self.prefix);
+            let payload = serialize_deltas(&deltas);
             self.storage
-                .shared()
-                .put(&name, serialize_deltas(&deltas))?;
+                .with_retry(|| self.storage.shared().put(&name, payload.clone()))?;
         }
 
         // Index entries over the post-groomed rows (same beginTS, new RIDs).
@@ -722,9 +722,18 @@ impl Shard {
         let mut registry = Registry::default();
         let mut groomed_max = 0u64;
         let mut pg_max = 0u64;
-        for object in storage.shared().list(&format!("{prefix}/blocks/"))? {
-            let data = storage.shared().get(&object)?;
-            let block = Arc::new(ColumnBlock::deserialize(&data)?);
+        for object in storage.with_retry(|| storage.shared().list(&format!("{prefix}/blocks/")))? {
+            let data = storage.with_retry(|| storage.shared().get(&object))?;
+            let block = match ColumnBlock::deserialize(&data) {
+                Ok(b) => Arc::new(b),
+                Err(_) => {
+                    // Torn put from a groom that died mid-write: nothing
+                    // references it (the groom never committed a run), and
+                    // storage is create-once, so delete it to free the name.
+                    let _ = storage.with_retry(|| storage.shared().delete(&object));
+                    continue;
+                }
+            };
             let file = object.rsplit('/').next().unwrap_or("");
             let (zone, id) = match file.split_once('-') {
                 Some(("g", id)) => (
@@ -750,9 +759,18 @@ impl Shard {
                 .insert((zone, id), BlockEntry { block, object });
         }
         // Replay endTS closures.
-        for object in storage.shared().list(&format!("{prefix}/deltas/"))? {
-            let data = storage.shared().get(&object)?;
-            for delta in crate::colblock::deserialize_deltas(&data)? {
+        for object in storage.with_retry(|| storage.shared().list(&format!("{prefix}/deltas/")))? {
+            let data = storage.with_retry(|| storage.shared().get(&object))?;
+            let deltas = match crate::colblock::deserialize_deltas(&data) {
+                Ok(d) => d,
+                Err(_) => {
+                    // Torn delta sidecar: the post-groom that wrote it
+                    // failed, so its PSN was never published. Free the name.
+                    let _ = storage.with_retry(|| storage.shared().delete(&object));
+                    continue;
+                }
+            };
+            for delta in deltas {
                 if let Some(entry) = registry.blocks.get(&(delta.rid.zone, delta.rid.block_id)) {
                     if (delta.rid.offset as usize) < entry.block.n_rows() {
                         entry

@@ -1,0 +1,368 @@
+//! Crash-recovery torture harness.
+//!
+//! Each seed derives a reproducible [`FaultPlan`] — transient IO error
+//! probabilities, an optional torn write, and a crash point — and runs an
+//! ingest → groom → post-groom → evolve → merge → GC workload against a
+//! [`FaultInjectingStore`] until the store "dies". The harness then revives
+//! the backing objects (the process restarted; whatever reached shared
+//! storage survived), recovers the engine, and asserts:
+//!
+//! - every **acked** row (covered by a groom that returned `Ok`) is visible
+//!   with its exact payload;
+//! - full scans resolve every record (no dangling RIDs);
+//! - recovery is idempotent (a second crash+recover sees the same data);
+//! - torn/partial run objects were cleaned out of shared storage.
+//!
+//! Seed count defaults to 32 and is overridable via `UMZI_TORTURE_SEEDS`.
+//! Per-seed fault/retry counters go to the test log (visible with
+//! `--nocapture`), so a failing seed's schedule is diagnosable offline.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use umzi::prelude::*;
+use umzi_core::ReconcileStrategy;
+use umzi_storage::{
+    FaultEvent, FaultInjectingStore, FaultPlan, FaultStats, InMemoryObjectStore, LatencyModel,
+    ObjectStore, RetryConfig, SharedStorage, TieredConfig,
+};
+
+const DEVICES: i64 = 4;
+
+fn seed_count() -> u64 {
+    std::env::var("UMZI_TORTURE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn row(device: i64, msg: i64, payload: i64) -> Vec<Datum> {
+    vec![
+        Datum::Int64(device),
+        Datum::Int64(msg),
+        Datum::Int64(0),
+        Datum::Int64(payload),
+    ]
+}
+
+/// Derive this seed's fault plan: mild transient noise on every IO class,
+/// sometimes a torn write, and a crash point somewhere in the workload.
+fn plan_for(seed: u64) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut plan = FaultPlan::transient_only(seed, rng.random_range(0..50) as f64 / 1000.0);
+    if rng.random_bool(0.5) {
+        plan = plan.with_event(FaultEvent::TornWriteAt {
+            nth: rng.random_range(3..40),
+        });
+    }
+    plan.with_event(FaultEvent::CrashAt {
+        nth: rng.random_range(60..600),
+    })
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        n_shards: 1,
+        maintenance: None, // the harness drives the pipeline deterministically
+        ..EngineConfig::default()
+    }
+}
+
+fn storage_over(faulty: &Arc<FaultInjectingStore>) -> Arc<TieredStorage> {
+    // Fast retry exhaustion: the point is the counter arithmetic and the
+    // typed errors, not wall-clock backoff.
+    let tc = TieredConfig {
+        retry: RetryConfig {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        ..Default::default()
+    };
+    Arc::new(TieredStorage::new(
+        SharedStorage::new(
+            Arc::clone(faulty) as Arc<dyn ObjectStore>,
+            LatencyModel::off(),
+        ),
+        tc,
+    ))
+}
+
+/// Everything the workload learned before the crash: rows acked durable by a
+/// successful groom, keyed `(device, msg) → payload`.
+struct WorkloadOutcome {
+    acked: BTreeMap<(i64, i64), i64>,
+    stats: FaultStats,
+}
+
+/// Run the ingest/maintenance workload until the store dies (or the round
+/// budget runs out, for plans whose crash point is never reached).
+fn run_workload(
+    engine: &WildfireEngine,
+    faulty: &FaultInjectingStore,
+    seed: u64,
+) -> WorkloadOutcome {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut acked = BTreeMap::new();
+    let mut pending: Vec<(i64, i64, i64)> = Vec::new();
+    let mut msg = 0i64;
+
+    'rounds: for _round in 0..40 {
+        // A batch of unique-key upserts (in-memory; survives only if a
+        // later groom commits it).
+        for _ in 0..rng.random_range(4..16) {
+            let device = rng.random_range(0..DEVICES as u64) as i64;
+            let payload = msg * 7 + device;
+            if engine.upsert(row(device, msg, payload)).is_err() {
+                break 'rounds;
+            }
+            pending.push((device, msg, payload));
+            msg += 1;
+        }
+
+        // Groom: on Ok, the batch is durable (run + manifest committed) —
+        // ack it. On Err, nothing of the batch may be assumed durable.
+        match engine.groom_all() {
+            Ok(_) => {
+                for (d, m, p) in pending.drain(..) {
+                    acked.insert((d, m), p);
+                }
+            }
+            Err(_) => break 'rounds,
+        }
+
+        // Occasional deeper maintenance; any failure ends the run (the
+        // store is dying or dead — recovery takes over from here).
+        let shard = &engine.shards()[0];
+        let step: u32 = rng.random_range(0..4) as u32;
+        let result = match step {
+            0 => engine.post_groom_all().map(|_| ()),
+            1 => engine.evolve_all().map(|_| ()),
+            2 => shard.index().drain_merges().map(|_| ()).map_err(Into::into),
+            _ => shard
+                .index()
+                .collect_garbage()
+                .map(|_| ())
+                .map_err(Into::into),
+        };
+        if result.is_err() {
+            break 'rounds;
+        }
+    }
+
+    WorkloadOutcome {
+        acked,
+        stats: faulty.stats(),
+    }
+}
+
+/// Post-recovery invariants for one seed.
+fn assert_recovered(engine: &WildfireEngine, outcome: &WorkloadOutcome, seed: u64, pass: &str) {
+    // Every acked row is visible with its exact payload.
+    for (&(device, m), &payload) in &outcome.acked {
+        let got = engine
+            .get(
+                &[Datum::Int64(device)],
+                &[Datum::Int64(m)],
+                Freshness::Latest,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} {pass}: get({device},{m}) failed: {e}\n  {}",
+                    outcome.stats.summary()
+                )
+            });
+        let got = got.unwrap_or_else(|| {
+            panic!(
+                "seed {seed} {pass}: acked row ({device},{m}) lost after recovery\n  {}",
+                outcome.stats.summary()
+            )
+        });
+        assert_eq!(
+            got.row[3],
+            Datum::Int64(payload),
+            "seed {seed} {pass}: acked row ({device},{m}) has wrong payload"
+        );
+    }
+
+    // Full scans resolve every record: no dangling RIDs anywhere in the
+    // recovered index, and no duplicate logical keys.
+    let mut seen = 0usize;
+    for device in 0..DEVICES {
+        let recs = engine
+            .scan_records(
+                vec![Datum::Int64(device)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} {pass}: scan(device {device}) failed: {e}\n  {}",
+                    outcome.stats.summary()
+                )
+            });
+        let mut msgs: Vec<i64> = recs
+            .iter()
+            .map(|r| match r.row[1] {
+                Datum::Int64(m) => m,
+                ref other => panic!("seed {seed} {pass}: bad msg datum {other:?}"),
+            })
+            .collect();
+        seen += msgs.len();
+        msgs.sort_unstable();
+        msgs.dedup();
+        assert_eq!(
+            msgs.len(),
+            recs.len(),
+            "seed {seed} {pass}: duplicate keys on device {device}"
+        );
+    }
+    assert!(
+        seen >= outcome.acked.len(),
+        "seed {seed} {pass}: {seen} visible < {} acked",
+        outcome.acked.len()
+    );
+
+    // Torn-object cleanup: every surviving run object opens cleanly (the
+    // recovered index already proved the ones it kept; a leftover torn run
+    // would have failed recovery or the scans above).
+    let runs = engine
+        .storage()
+        .shared()
+        .list("iot/s0/index/runs/")
+        .unwrap();
+    for name in &runs {
+        let len = engine.storage().shared().len(name).unwrap();
+        assert!(len > 0, "seed {seed} {pass}: zero-length run object {name}");
+    }
+}
+
+#[test]
+fn torture_many_seeds() {
+    let seeds = seed_count();
+    for seed in 0..seeds {
+        let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+        let faulty = Arc::new(FaultInjectingStore::new(Arc::clone(&inner), plan_for(seed)));
+        // Healthy while the engine bootstraps; the plan's ordinals keep
+        // counting, so the crash point still lands inside the workload.
+        faulty.set_armed(false);
+        let storage = storage_over(&faulty);
+        let engine =
+            WildfireEngine::create(Arc::clone(&storage), Arc::new(iot_table()), engine_config())
+                .unwrap_or_else(|e| panic!("seed {seed}: create on healthy store failed: {e}"));
+        faulty.set_armed(true);
+
+        let outcome = run_workload(&engine, &faulty, seed);
+        drop(engine);
+        println!(
+            "seed {seed}: acked={} {}  storage: retries={} exhausted={}",
+            outcome.acked.len(),
+            outcome.stats.summary(),
+            storage.stats().retries,
+            storage.stats().retries_exhausted,
+        );
+
+        // The process restarted: the poison clears, faults stop, and the
+        // local tiers are gone. Shared storage keeps whatever survived.
+        faulty.revive();
+        faulty.set_armed(false);
+        storage.simulate_crash();
+        let engine =
+            WildfireEngine::recover(Arc::clone(&storage), Arc::new(iot_table()), engine_config())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: recover failed: {e}\n  {}",
+                        outcome.stats.summary()
+                    )
+                });
+        assert_recovered(&engine, &outcome, seed, "first recovery");
+
+        // Crash again immediately: recovery must be idempotent.
+        drop(engine);
+        storage.simulate_crash();
+        let engine =
+            WildfireEngine::recover(Arc::clone(&storage), Arc::new(iot_table()), engine_config())
+                .unwrap_or_else(|e| panic!("seed {seed}: second recover failed: {e}"));
+        assert_recovered(&engine, &outcome, seed, "second recovery");
+
+        // And the pipeline still works going forward.
+        engine.upsert(row(0, i64::MAX - seed as i64, 42)).unwrap();
+        engine.quiesce().unwrap_or_else(|e| {
+            panic!("seed {seed}: post-recovery quiesce failed: {e}");
+        });
+    }
+}
+
+/// Transient-fault smoke test: under retryable noise (no crash point, no
+/// tears), the retry loop must absorb every transient error — work
+/// completes, `retries > 0`, and nothing exhausts its budget.
+#[test]
+fn transient_noise_is_absorbed_by_retries() {
+    let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+    // 20% transient failures on every op class; generous retry budget.
+    let faulty = Arc::new(FaultInjectingStore::new(
+        Arc::clone(&inner),
+        FaultPlan::transient_only(7, 0.2),
+    ));
+    let tc = TieredConfig {
+        retry: RetryConfig {
+            max_retries: 24, // (1 - 0.2^25) ≈ certainty per op
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        ..Default::default()
+    };
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::new(
+            Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+            LatencyModel::off(),
+        ),
+        tc,
+    ));
+    let engine =
+        WildfireEngine::create(Arc::clone(&storage), Arc::new(iot_table()), engine_config())
+            .unwrap();
+
+    for m in 0..200 {
+        engine.upsert(row(m % DEVICES, m, m * 3)).unwrap();
+        if m % 25 == 24 {
+            engine.groom_all().unwrap();
+        }
+    }
+    engine.quiesce().unwrap();
+
+    let st = storage.stats();
+    println!(
+        "transient smoke: {}  retries={} exhausted={}",
+        faulty.stats().summary(),
+        st.retries,
+        st.retries_exhausted
+    );
+    assert!(
+        faulty.stats().total_injected() > 0,
+        "noise must actually fire: {}",
+        faulty.stats().summary()
+    );
+    assert!(st.retries > 0, "transient errors must be retried");
+    assert_eq!(st.retries_exhausted, 0, "no op may exhaust its budget");
+
+    // All 200 rows present and correct.
+    let mut total = 0;
+    for d in 0..DEVICES {
+        total += engine
+            .scan_index(
+                vec![Datum::Int64(d)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap()
+            .len();
+    }
+    assert_eq!(total, 200);
+}

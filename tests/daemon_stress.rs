@@ -44,6 +44,7 @@ fn stress_config() -> EngineConfig {
             throttle: None,
             janitor_interval: Duration::from_millis(15),
             adaptive_cache: false,
+            ..MaintenanceConfig::default()
         }),
     }
 }
@@ -304,6 +305,7 @@ fn backpressure_stalls_and_resumes_ingest() {
         throttle: Some(Duration::from_millis(2)),
         janitor_interval: Duration::from_millis(20),
         adaptive_cache: false,
+        ..MaintenanceConfig::default()
     });
     config.n_shards = 1;
     let storage = Arc::new(TieredStorage::in_memory());
