@@ -253,6 +253,14 @@ pub struct UmziConfig {
     /// [`crate::daemon::IndexDaemon::spawn`] for a standalone index; the
     /// Wildfire engine carries its own copy in its `EngineConfig`.
     pub maintenance: MaintenanceConfig,
+    /// Override for the storage hierarchy's telemetry (master switch,
+    /// slow-query threshold and log capacity), applied when the index is
+    /// created or recovered. `None` keeps the handle's current settings
+    /// (enabled, 100 ms threshold by default). Like
+    /// [`CacheConfig::decoded_cache`], this reconfigures state shared by
+    /// every index on the same `TieredStorage`; applying it never resets
+    /// accumulated histograms.
+    pub telemetry: Option<umzi_storage::TelemetryConfig>,
 }
 
 impl UmziConfig {
@@ -280,6 +288,7 @@ impl UmziConfig {
             scan: ScanConfig::default(),
             retry: None,
             maintenance: MaintenanceConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -353,6 +362,9 @@ impl UmziConfig {
             retry
                 .validate()
                 .map_err(|e| UmziError::Config(e.to_string()))?;
+        }
+        if let Some(tc) = &self.telemetry {
+            tc.validate().map_err(UmziError::Config)?;
         }
         self.scan.validate()?;
         self.maintenance.validate()?;
@@ -517,6 +529,18 @@ mod tests {
         });
         assert!(c.validate().is_err());
         c.cache.decoded_cache = Some(umzi_storage::DecodedCacheConfig::default());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_telemetry_override() {
+        let mut c = UmziConfig::two_zone("t");
+        c.telemetry = Some(umzi_storage::TelemetryConfig {
+            slow_query_log_len: (1 << 20) + 1,
+            ..umzi_storage::TelemetryConfig::default()
+        });
+        assert!(c.validate().is_err());
+        c.telemetry = Some(umzi_storage::TelemetryConfig::default());
         c.validate().unwrap();
     }
 

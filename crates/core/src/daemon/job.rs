@@ -47,6 +47,17 @@ impl JobKind {
             JobKind::RetireDeprecatedBlocks => "retire_deprecated",
         }
     }
+
+    /// Position in [`JobKind::ALL`]; also the index into the telemetry
+    /// per-job-kind histogram array (`JOB_LABELS` follows the same order).
+    pub fn index(self) -> usize {
+        match self {
+            JobKind::Groom => 0,
+            JobKind::Merge => 1,
+            JobKind::Evolve => 2,
+            JobKind::RetireDeprecatedBlocks => 3,
+        }
+    }
 }
 
 /// One maintenance job. `shard` selects the executor's target (always 0 for
@@ -160,6 +171,15 @@ pub trait JobExecutor: Send + Sync + 'static {
     /// failed maintenance job is retried by the next trigger, never fatal
     /// to the daemon).
     fn execute(&self, job: Job) -> JobResult;
+
+    /// Telemetry sink for per-job-kind latency histograms. Executors backed
+    /// by a [`umzi_storage::TieredStorage`] return its handle so job timings
+    /// land on the same surface as query and storage metrics; the default
+    /// (`None`) keeps bare executors — tests, external embedders — free of
+    /// any instrumentation cost.
+    fn telemetry(&self) -> Option<std::sync::Arc<umzi_storage::Telemetry>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +197,14 @@ mod tests {
         assert!(merge0.priority() < merge3.priority());
         assert!(merge3.priority() < evolve.priority());
         assert!(evolve.priority() < groom.priority());
+    }
+
+    #[test]
+    fn kind_index_matches_all_order_and_telemetry_labels() {
+        for (i, k) in JobKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(k.label(), umzi_storage::telemetry::JOB_LABELS[i]);
+        }
     }
 
     #[test]

@@ -138,6 +138,7 @@ impl MaintenanceDaemon {
             let executor = Arc::clone(&executor);
             let gate = Arc::clone(&gate);
             let retry = Arc::clone(&retry);
+            let telemetry = executor.telemetry();
             let throttle = config.throttle;
             threads.push(
                 std::thread::Builder::new()
@@ -185,8 +186,13 @@ impl MaintenanceDaemon {
                                     }
                                 }
                             }
-                            kind.busy_nanos
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            let elapsed = t0.elapsed().as_nanos() as u64;
+                            kind.busy_nanos.fetch_add(elapsed, Ordering::Relaxed);
+                            if let Some(tel) = &telemetry {
+                                if tel.is_enabled() {
+                                    tel.ops().jobs[job.kind().index()].record(elapsed);
+                                }
+                            }
                             queue.done();
                             if worked {
                                 if let Some(pause) = throttle {
@@ -345,6 +351,10 @@ struct IndexExecutor {
 impl JobExecutor for IndexExecutor {
     fn shard_count(&self) -> usize {
         1
+    }
+
+    fn telemetry(&self) -> Option<Arc<umzi_storage::Telemetry>> {
+        Some(Arc::clone(self.index.storage().telemetry()))
     }
 
     fn execute(&self, job: Job) -> JobResult {

@@ -134,6 +134,9 @@ impl UmziIndex {
         if let Some(retry) = config.retry {
             storage.set_retry_config(retry);
         }
+        if let Some(tc) = &config.telemetry {
+            storage.telemetry().configure(tc);
+        }
         let index = Self::empty(storage, def, config);
         index.persist_manifest()?;
         Ok(Arc::new(index))

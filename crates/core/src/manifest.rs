@@ -110,8 +110,11 @@ impl Manifest {
     /// an otherwise-complete groom or evolve.
     pub fn persist(&self, storage: &TieredStorage, name: &str) -> Result<()> {
         let data = self.serialize();
-        storage.with_retry(|| storage.shared().put(name, data.clone()))?;
-        Ok(())
+        let tel = storage.telemetry();
+        let t0 = tel.start();
+        let out = storage.with_retry(|| storage.shared().put(name, data.clone()));
+        tel.record_since(&tel.ops().manifest_io, t0);
+        Ok(out?)
     }
 
     /// Load the newest valid manifest under `prefix`. Invalid (truncated or
@@ -120,6 +123,14 @@ impl Manifest {
     /// permanently block the recovered index from reusing that sequence
     /// number.
     pub fn load_latest(storage: &TieredStorage, prefix: &str) -> Result<Option<Manifest>> {
+        let tel = storage.telemetry();
+        let t0 = tel.start();
+        let out = Self::load_latest_inner(storage, prefix);
+        tel.record_since(&tel.ops().manifest_io, t0);
+        out
+    }
+
+    fn load_latest_inner(storage: &TieredStorage, prefix: &str) -> Result<Option<Manifest>> {
         let mut names = storage.with_retry(|| storage.shared().list(prefix))?;
         names.sort();
         for name in names.iter().rev() {

@@ -7,12 +7,14 @@
 //! pruned by their synopses (§4.2). Per-run results are reconciled with the
 //! set or priority-queue strategy (§7.1.2).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use umzi_encoding::{hash_prefix, Datum, IndexDef};
 use umzi_run::synopsis::encode_eq_values;
 use umzi_run::{AccessPattern, KeyLayout, Rid, Run, RunSearcher, SearchHit, SortBound};
+use umzi_storage::telemetry::QueryTrace;
 
 use crate::index::UmziIndex;
 use crate::reconcile::{
@@ -291,6 +293,50 @@ impl UmziIndex {
         query: &RangeQuery,
         strategy: ReconcileStrategy,
     ) -> Result<Vec<QueryOutput>> {
+        let tel = self.storage.telemetry();
+        if !tel.is_enabled() {
+            return self.range_scan_impl(query, strategy, None);
+        }
+        // Storage-counter deltas attribute block/cache/retry activity to
+        // this scan (approximately, under concurrency — see the telemetry
+        // crate docs); the parallel_scans delta classifies seq vs
+        // partitioned without threading a flag through the reconcile path.
+        let probe0 = self.storage.trace_probe();
+        let pscans0 = self.counters.parallel_scans.load(Ordering::Relaxed);
+        let parts0 = self.counters.scan_partitions.load(Ordering::Relaxed);
+        let mut trace = QueryTrace::begin("range_scan_seq");
+        let out = self.range_scan_impl(query, strategy, Some(&mut trace));
+        let probe = self.storage.trace_probe().since(&probe0);
+        trace.blocks_read = probe.chunk_reads;
+        trace.cache_hits = probe.cache_hits;
+        trace.bytes_decoded = probe.decoded_bytes;
+        trace.retries = probe.retries;
+        if self.counters.parallel_scans.load(Ordering::Relaxed) > pscans0 {
+            trace.op = "range_scan_partitioned";
+            trace.partitions = self
+                .counters
+                .scan_partitions
+                .load(Ordering::Relaxed)
+                .saturating_sub(parts0);
+        }
+        let partitioned = trace.partitions > 0;
+        let record = trace.finish();
+        let hist = if partitioned {
+            &tel.ops().range_scan_partitioned
+        } else {
+            &tel.ops().range_scan_seq
+        };
+        hist.record(record.total_nanos);
+        tel.maybe_log_slow(record);
+        out
+    }
+
+    fn range_scan_impl(
+        &self,
+        query: &RangeQuery,
+        strategy: ReconcileStrategy,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<Vec<QueryOutput>> {
         let (lower, upper) =
             self.layout
                 .query_range(&query.equality, &query.lower, &query.upper)?;
@@ -316,6 +362,9 @@ impl UmziIndex {
                 )
             })
             .collect();
+        if let Some(t) = trace.as_deref_mut() {
+            t.plan_nanos = t.elapsed_nanos();
+        }
 
         // A named fn (not a closure) so the iterator's borrow is tied to the
         // run reference, not to the closure's environment.
@@ -349,6 +398,9 @@ impl UmziIndex {
                 })
                 .collect()
         })?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.position_nanos = t.elapsed_nanos() - t.plan_nanos;
+        }
 
         let hits = match strategy {
             ReconcileStrategy::Set => reconcile_set(iters)?,
@@ -356,6 +408,9 @@ impl UmziIndex {
                 self.reconcile_pq_maybe_parallel(iters, &lower, upper.as_ref(), &candidates)?
             }
         };
+        if let Some(t) = trace {
+            t.merge_nanos = t.elapsed_nanos() - t.plan_nanos - t.position_nanos;
+        }
         Ok(hits.into_iter().map(QueryOutput::from_hit).collect())
     }
 
@@ -363,6 +418,22 @@ impl UmziIndex {
     /// specified; runs are searched newest→oldest and the search stops at
     /// the first match.
     pub fn point_lookup(
+        &self,
+        equality: &[Datum],
+        sort_values: &[Datum],
+        query_ts: u64,
+    ) -> Result<Option<QueryOutput>> {
+        // Histogram-only instrumentation: a point lookup runs in ~1–2 µs
+        // when cached, so even the pair of counter probes a full trace takes
+        // would be a measurable fraction of the operation.
+        let tel = self.storage.telemetry();
+        let t0 = tel.start();
+        let out = self.point_lookup_impl(equality, sort_values, query_ts);
+        tel.record_since(&tel.ops().point_lookup, t0);
+        out
+    }
+
+    fn point_lookup_impl(
         &self,
         equality: &[Datum],
         sort_values: &[Datum],
@@ -418,6 +489,20 @@ impl UmziIndex {
     /// in bulk, and labelling them point traffic would promote them into
     /// the protected segment and wash out the real point working set.
     pub fn batch_lookup_as(
+        &self,
+        keys: &[(Vec<Datum>, Vec<Datum>)],
+        query_ts: u64,
+        pattern: AccessPattern,
+    ) -> Result<Vec<Option<QueryOutput>>> {
+        // Per batch, not per key: batch latency is what the caller observes.
+        let tel = self.storage.telemetry();
+        let t0 = tel.start();
+        let out = self.batch_lookup_as_impl(keys, query_ts, pattern);
+        tel.record_since(&tel.ops().batch_lookup, t0);
+        out
+    }
+
+    fn batch_lookup_as_impl(
         &self,
         keys: &[(Vec<Datum>, Vec<Datum>)],
         query_ts: u64,

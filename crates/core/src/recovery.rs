@@ -42,6 +42,9 @@ impl UmziIndex {
         if let Some(retry) = config.retry {
             storage.set_retry_config(retry);
         }
+        if let Some(tc) = &config.telemetry {
+            storage.telemetry().configure(tc);
+        }
         let index = Self::empty(Arc::clone(&storage), def, config);
 
         // Durable state from the newest valid manifest.

@@ -43,7 +43,7 @@
 use std::any::Any;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::ChunkKey;
 use crate::error::StorageError;
@@ -107,8 +107,8 @@ pub struct DecodedCacheConfig {
     /// streamed this many block bytes (it clearly won't fit, so caching
     /// its tail only causes churn); 0 never bypasses.
     pub scan_bypass_bytes: u64,
-    /// Frequency-sketch counters per shard; 0 sizes automatically from
-    /// the per-shard capacity (one counter per ~4 KiB).
+    /// Counters in the frequency sketch (one sketch shared by all shards);
+    /// 0 sizes automatically from the total capacity (~8 counters per KiB).
     pub sketch_counters: usize,
     /// The sketch halves its counters after `sketch_sample_factor ×
     /// counters` recorded accesses (aging horizon).
@@ -157,7 +157,7 @@ impl DecodedCacheConfig {
         Ok(())
     }
 
-    fn resolved_sketch_counters(&self, per_shard_capacity: u64) -> usize {
+    fn resolved_sketch_counters(&self, total_capacity: u64) -> usize {
         if self.sketch_counters != 0 {
             // Same bound validate() enforces; new() clamps instead of
             // erroring (infallible constructor).
@@ -166,7 +166,7 @@ impl DecodedCacheConfig {
         // ~8 counters per KiB ⇒ dozens per typical 4–8 KiB block, keeping
         // count–min aliasing (which inflates estimates and can displace
         // legitimately-protected blocks) rare at working-set scale.
-        (per_shard_capacity / 128).clamp(1024, 1 << 22) as usize
+        (total_capacity / 128).clamp(1024, 1 << 22) as usize
     }
 
     /// A copy with every out-of-range knob clamped into its documented
@@ -215,17 +215,15 @@ struct Shard {
     protected: LruMap<ChunkKey, Slot>,
     probation_bytes: u64,
     protected_bytes: u64,
-    sketch: FrequencySketch,
 }
 
 impl Shard {
-    fn new(sketch_counters: usize, sample_factor: u32) -> Self {
+    fn new() -> Self {
         Self {
             probation: LruMap::new(),
             protected: LruMap::new(),
             probation_bytes: 0,
             protected_bytes: 0,
-            sketch: FrequencySketch::new(sketch_counters, sample_factor),
         }
     }
 
@@ -251,15 +249,21 @@ impl Shard {
     /// first; if its sketch frequency strictly beats the protected tail's,
     /// it earned protection and displaces that tail instead of dying.
     /// Returns `false` when the shard is empty.
-    fn evict_one(&mut self, params: &PolicyParams, protected_cap: u64, c: &EvictCounters) -> bool {
+    fn evict_one(
+        &mut self,
+        params: &PolicyParams,
+        protected_cap: u64,
+        sketch: &FrequencySketch,
+        c: &EvictCounters,
+    ) -> bool {
         if let Some((vk, (vv, vw))) = self.probation.pop_lru() {
             self.probation_bytes -= vw;
             if params.policy == CachePolicy::ScanResistant {
-                let vfreq = self.sketch.estimate(sketch_hash(vk));
+                let vfreq = sketch.estimate(sketch_hash(vk));
                 let tail_freq = self
                     .protected
                     .peek_lru()
-                    .map(|(k, _)| self.sketch.estimate(sketch_hash(*k)));
+                    .map(|(k, _)| sketch.estimate(sketch_hash(*k)));
                 if let Some(tf) = tail_freq {
                     if vfreq > tf {
                         // Frequency wins: the probation victim displaces the
@@ -304,6 +308,11 @@ fn sketch_hash(key: ChunkKey) -> u64 {
 /// O(1) per shard.
 pub struct DecodedBlockCache {
     shards: Vec<Mutex<Shard>>,
+    /// One frequency sketch shared by every shard (striped-atomic, so no
+    /// shard lock is needed to record or estimate). Replaced wholesale on
+    /// [`Self::reconfigure`] — always acquired *after* a shard lock, never
+    /// while holding the write half across shard work.
+    sketch: RwLock<FrequencySketch>,
     /// Total capacity in (raw-block) bytes, split evenly across shards.
     capacity: AtomicU64,
     /// Replacement policy (0 = Lru, 1 = ScanResistant); atomic so the hot
@@ -318,6 +327,10 @@ pub struct DecodedBlockCache {
     insertions: AtomicU64,
     admission_rejected: AtomicU64,
     bypassed_inserts: AtomicU64,
+    /// Cumulative bytes of blocks handed to `insert`/`insert_scan_bypassed`
+    /// — each call follows one decode upstream, so this approximates total
+    /// bytes parsed (the per-query trace reads its delta).
+    decoded_bytes: AtomicU64,
     evict: EvictCounters,
 }
 
@@ -339,12 +352,10 @@ impl DecodedBlockCache {
     pub fn new(config: DecodedCacheConfig) -> Self {
         let config = config.clamped();
         let shards = config.shards.max(1);
-        let per_shard = config.capacity_bytes / shards as u64;
-        let counters = config.resolved_sketch_counters(per_shard);
+        let counters = config.resolved_sketch_counters(config.capacity_bytes);
         Self {
-            shards: (0..shards)
-                .map(|_| Mutex::new(Shard::new(counters, config.sketch_sample_factor)))
-                .collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            sketch: RwLock::new(FrequencySketch::new(counters, config.sketch_sample_factor)),
             capacity: AtomicU64::new(config.capacity_bytes),
             policy: AtomicU8::new(config.policy as u8),
             protected_fraction_ppm: AtomicU32::new(PolicyParams::fraction_ppm(
@@ -356,6 +367,7 @@ impl DecodedBlockCache {
             insertions: AtomicU64::new(0),
             admission_rejected: AtomicU64::new(0),
             bypassed_inserts: AtomicU64::new(0),
+            decoded_bytes: AtomicU64::new(0),
             evict: EvictCounters {
                 evictions: AtomicU64::new(0),
                 promotions: AtomicU64::new(0),
@@ -438,7 +450,7 @@ impl DecodedBlockCache {
             let protected_cap =
                 (self.per_shard_capacity() as f64 * params.protected_fraction) as u64;
             if params.policy == CachePolicy::ScanResistant {
-                shard.sketch.increment(sketch_hash(key));
+                self.sketch.read().increment(sketch_hash(key));
             }
             if let Some((v, _)) = shard.protected.get(&key) {
                 Some(v.clone())
@@ -484,6 +496,9 @@ impl DecodedBlockCache {
         weight: u64,
         pattern: AccessPattern,
     ) {
+        // The block was decoded upstream whether or not it is admitted (or
+        // the cache is even enabled) — count it before any early return.
+        self.decoded_bytes.fetch_add(weight, Ordering::Relaxed);
         if self.is_disabled() {
             return;
         }
@@ -492,6 +507,9 @@ impl DecodedBlockCache {
             return; // would immediately evict everything; not cacheable
         }
         let mut shard = self.shard_of(key).lock();
+        // Lock order everywhere: shard Mutex first, then the sketch read
+        // lock (reconfigure takes the write half with no shard lock held).
+        let sketch = self.sketch.read();
         // Policy loaded under the shard lock (see get()).
         let params = self.params();
         let protected_cap = (cap as f64 * params.protected_fraction) as u64;
@@ -534,14 +552,14 @@ impl DecodedBlockCache {
                 // preserving LRU semantics for equal-frequency flows) each
                 // of them, not just the first, so admitting one big cold
                 // block cannot silently evict a pile of warm small ones.
-                let cfreq = shard.sketch.estimate(sketch_hash(key));
+                let cfreq = sketch.estimate(sketch_hash(key));
                 if shard.used_bytes() + weight > cap {
                     let mut to_free = (shard.used_bytes() + weight).saturating_sub(cap);
                     for (vk, (_, vw)) in shard.probation.iter_lru() {
                         if to_free == 0 {
                             break;
                         }
-                        if shard.sketch.estimate(sketch_hash(*vk)) > cfreq {
+                        if sketch.estimate(sketch_hash(*vk)) > cfreq {
                             self.admission_rejected.fetch_add(1, Ordering::Relaxed);
                             return;
                         }
@@ -570,7 +588,7 @@ impl DecodedBlockCache {
                     duel = None;
                 } else {
                     let hotter_victim = shard.probation.peek_lru().is_some_and(|(vk, _)| {
-                        *vk != ck && shard.sketch.estimate(sketch_hash(*vk)) > cfreq
+                        *vk != ck && sketch.estimate(sketch_hash(*vk)) > cfreq
                     });
                     if hotter_victim {
                         // A block hotter than the candidate would die next:
@@ -586,7 +604,7 @@ impl DecodedBlockCache {
                     }
                 }
             }
-            if !shard.evict_one(&params, protected_cap, &self.evict) {
+            if !shard.evict_one(&params, protected_cap, &sketch, &self.evict) {
                 break;
             }
         }
@@ -604,9 +622,11 @@ impl DecodedBlockCache {
         weight: u64,
     ) {
         if self.is_disabled() {
+            self.decoded_bytes.fetch_add(weight, Ordering::Relaxed);
             return;
         }
         if self.params().policy == CachePolicy::ScanResistant {
+            self.decoded_bytes.fetch_add(weight, Ordering::Relaxed);
             self.bypassed_inserts.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -655,11 +675,14 @@ impl DecodedBlockCache {
             PolicyParams::fraction_ppm(config.protected_fraction),
             Ordering::Relaxed,
         );
-        let counters = config.resolved_sketch_counters(self.per_shard_capacity());
+        // Swap the shared sketch as a standalone step while holding *no*
+        // shard lock (the hot paths take shard → sketch, so taking the
+        // write half under a shard lock would invert the order).
+        let counters = config.resolved_sketch_counters(config.capacity_bytes);
+        *self.sketch.write() = FrequencySketch::new(counters, config.sketch_sample_factor);
         let protected_cap = (self.per_shard_capacity() as f64 * config.protected_fraction) as u64;
         for shard in &self.shards {
             let mut s = shard.lock();
-            s.sketch = FrequencySketch::new(counters, config.sketch_sample_factor);
             if config.policy == CachePolicy::Lru {
                 // Fold protected into probation, oldest first, so the merged
                 // list keeps protected entries ahead of nothing they had not
@@ -695,6 +718,10 @@ impl DecodedBlockCache {
             misses: self.misses[i].load(Ordering::Relaxed),
         };
         let (point, scan, maintenance) = (pat(0), pat(1), pat(2));
+        let (sketch_occupancy, sketch_halvings) = {
+            let sketch = self.sketch.read();
+            (sketch.occupancy(), sketch.halvings())
+        };
         DecodedCacheStats {
             hits: point.hits + scan.hits + maintenance.hits,
             misses: point.misses + scan.misses + maintenance.misses,
@@ -711,7 +738,23 @@ impl DecodedBlockCache {
             used_bytes: probation + protected,
             probation_bytes: probation,
             protected_bytes: protected,
+            sketch_occupancy,
+            sketch_halvings,
+            decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Total hits across all access patterns — a cheap (lock-free) read for
+    /// the per-query trace probes, unlike [`Self::stats`] which walks every
+    /// shard.
+    pub fn hits_total(&self) -> u64 {
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Cumulative decoded bytes handed to the cache (see
+    /// [`DecodedCacheStats::decoded_bytes`]); cheap, for trace probes.
+    pub fn decoded_bytes(&self) -> u64 {
+        self.decoded_bytes.load(Ordering::Relaxed)
     }
 }
 

@@ -393,6 +393,10 @@ impl FaultInjectingStore {
 }
 
 impl ObjectStore for FaultInjectingStore {
+    fn fault_stats(&self) -> Option<FaultStats> {
+        Some(self.stats())
+    }
+
     fn put(&self, name: &str, data: Bytes) -> Result<()> {
         let nth = self.before(FaultOp::Put, name)?;
         let torn = self

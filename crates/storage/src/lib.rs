@@ -61,8 +61,15 @@ pub use fault::{FaultEvent, FaultInjectingStore, FaultOp, FaultPlan, FaultStats}
 pub use latency::{LatencyMode, LatencyModel, TierLatency};
 pub use object_store::{FsObjectStore, InMemoryObjectStore, ObjectStore};
 pub use shared::SharedStorage;
-pub use stats::{DecodedCacheStats, PatternCounters, SharedStats, StorageStats, TierStats};
+pub use stats::{
+    DecodedCacheStats, PatternCounters, SharedStats, StorageStats, TierStats, TraceProbe,
+};
 pub use tiered::{Durability, ObjectHandle, RetryConfig, TieredConfig, TieredStorage};
+
+// Re-exported so upstream layers (core, wildfire) reach the telemetry types
+// through the storage handle they already hold.
+pub use umzi_telemetry as telemetry;
+pub use umzi_telemetry::{Telemetry, TelemetryConfig};
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -46,6 +46,14 @@ pub trait ObjectStore: Send + Sync + 'static {
     /// Delete an object. Deleting a missing object is an error (callers track
     /// ownership; silent double-deletes hide GC bugs).
     fn delete(&self, name: &str) -> Result<()>;
+
+    /// Fault-injection statistics, if this store (or a decorator in its
+    /// chain) injects faults. Plain backends answer `None`; the engine folds
+    /// a `Some` answer into its health report so degraded-storage diagnosis
+    /// never requires reaching into the decorator by hand.
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        None
+    }
 }
 
 /// In-memory object store — the default simulation back-end.

@@ -111,6 +111,11 @@ impl SharedStorage {
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
     }
+
+    /// Fault-injection statistics of the backing store, if it injects any.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.store.fault_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! A TinyLFU-style frequency sketch: a 4-bit count–min sketch with
-//! periodic halving.
+//! periodic halving, shared by every cache shard.
 //!
 //! The sketch approximates "how often was this block touched recently?"
 //! in O(1) space per counter. Four independent hash rows bound
@@ -10,8 +10,16 @@
 //! This is the admission filter's brain: the segmented LRU asks it whether
 //! a cold candidate block is likely to out-earn the eviction victim.
 //!
-//! Not thread-safe by design: each cache shard owns one sketch and
-//! mutates it under the shard lock.
+//! The table is striped into `AtomicU64` words (16 nibble counters per
+//! word) mutated with CAS loops, so *one* sketch serves all shards
+//! concurrently instead of each shard keeping a private, blinkered copy
+//! under its lock: a block's popularity is judged against global traffic,
+//! and the per-shard memory multiplier is gone. Counter updates and the
+//! halving sweep are racy-by-design (a concurrent increment may land
+//! before or after the sweep touches its word) — admission decisions
+//! tolerate estimates that are off by one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters per 64-bit word (16 nibbles).
 const COUNTERS_PER_WORD: u64 = 16;
@@ -25,17 +33,20 @@ const SEEDS: [u64; 4] = [
     0xD6E8_FEB8_6659_FD93,
 ];
 
-/// 4-bit count–min sketch with reset-to-half aging.
+/// 4-bit count–min sketch with reset-to-half aging, safe for concurrent
+/// use from every cache shard.
 #[derive(Debug)]
 pub(crate) struct FrequencySketch {
     /// Each word packs 16 4-bit counters.
-    table: Vec<u64>,
+    table: Vec<AtomicU64>,
     /// `table.len() - 1`; the table length is a power of two.
     word_mask: u64,
     /// Accesses recorded since the last halving.
-    additions: u64,
+    additions: AtomicU64,
     /// Halve all counters once `additions` reaches this.
     sample_size: u64,
+    /// Completed halving sweeps (observability: how often history decayed).
+    halvings: AtomicU64,
 }
 
 impl FrequencySketch {
@@ -49,10 +60,11 @@ impl FrequencySketch {
             .max(1);
         let effective = words * COUNTERS_PER_WORD;
         Self {
-            table: vec![0u64; words as usize],
+            table: (0..words).map(|_| AtomicU64::new(0)).collect(),
             word_mask: words - 1,
-            additions: 0,
+            additions: AtomicU64::new(0),
             sample_size: (effective * u64::from(sample_factor.max(1))).max(16),
+            halvings: AtomicU64::new(0),
         }
     }
 
@@ -72,21 +84,45 @@ impl FrequencySketch {
     }
 
     fn read(&self, word: usize, nibble: u32) -> u64 {
-        (self.table[word] >> (nibble * 4)) & MAX_COUNT
+        (self.table[word].load(Ordering::Relaxed) >> (nibble * 4)) & MAX_COUNT
     }
 
     /// Record one access.
-    pub(crate) fn increment(&mut self, hash: u64) {
+    pub(crate) fn increment(&self, hash: u64) {
         let mut added = false;
         for (word, nibble) in self.cells(hash) {
-            if self.read(word, nibble) < MAX_COUNT {
-                self.table[word] += 1u64 << (nibble * 4);
-                added = true;
+            // CAS loop: bump the nibble unless saturated. A lost race just
+            // retries against the fresh word value.
+            let slot = &self.table[word];
+            let mut cur = slot.load(Ordering::Relaxed);
+            loop {
+                if (cur >> (nibble * 4)) & MAX_COUNT >= MAX_COUNT {
+                    break;
+                }
+                match slot.compare_exchange_weak(
+                    cur,
+                    cur + (1u64 << (nibble * 4)),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        added = true;
+                        break;
+                    }
+                    Err(actual) => cur = actual,
+                }
             }
         }
         if added {
-            self.additions += 1;
-            if self.additions >= self.sample_size {
+            let adds = self.additions.fetch_add(1, Ordering::Relaxed) + 1;
+            // Exactly one thread wins the CAS at the crossing and runs the
+            // halving sweep; losers see the already-halved addition count.
+            if adds >= self.sample_size
+                && self
+                    .additions
+                    .compare_exchange(adds, adds / 2, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
                 self.halve();
             }
         }
@@ -103,13 +139,46 @@ impl FrequencySketch {
 
     /// Halve every counter (aging): history decays exponentially, so a
     /// once-hot block stops outranking the current working set.
-    fn halve(&mut self) {
-        for word in &mut self.table {
+    fn halve(&self) {
+        for word in &self.table {
             // Halve all 16 nibbles at once: shift, then clear the bit that
-            // bled in from each nibble's upper neighbour.
-            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+            // bled in from each nibble's upper neighbour. CAS so a racing
+            // increment is not silently dropped wholesale.
+            let mut cur = word.load(Ordering::Relaxed);
+            loop {
+                let halved = (cur >> 1) & 0x7777_7777_7777_7777;
+                match word.compare_exchange_weak(cur, halved, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
         }
-        self.additions /= 2;
+        self.halvings.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed halving sweeps.
+    pub(crate) fn halvings(&self) -> u64 {
+        self.halvings.load(Ordering::Relaxed)
+    }
+
+    /// Number of non-zero counters (a full-table scan; observability only).
+    pub(crate) fn occupancy(&self) -> u64 {
+        self.table
+            .iter()
+            .map(|w| {
+                let w = w.load(Ordering::Relaxed);
+                (0..COUNTERS_PER_WORD)
+                    .filter(|n| (w >> (n * 4)) & MAX_COUNT != 0)
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Total counters in the table.
+    #[cfg(test)]
+    pub(crate) fn total_counters(&self) -> u64 {
+        self.table.len() as u64 * COUNTERS_PER_WORD
     }
 }
 
@@ -119,7 +188,7 @@ mod tests {
 
     #[test]
     fn frequent_keys_outrank_cold_keys() {
-        let mut s = FrequencySketch::new(1024, 8);
+        let s = FrequencySketch::new(1024, 8);
         for _ in 0..10 {
             s.increment(42);
         }
@@ -130,7 +199,7 @@ mod tests {
 
     #[test]
     fn counters_saturate_at_fifteen() {
-        let mut s = FrequencySketch::new(64, 1024);
+        let s = FrequencySketch::new(64, 1024);
         for _ in 0..1000 {
             s.increment(1);
         }
@@ -139,7 +208,7 @@ mod tests {
 
     #[test]
     fn halving_decays_history() {
-        let mut s = FrequencySketch::new(64, 1);
+        let s = FrequencySketch::new(64, 1);
         for _ in 0..10 {
             s.increment(5);
         }
@@ -155,6 +224,7 @@ mod tests {
             before,
             s.estimate(5)
         );
+        assert!(s.halvings() >= 1, "the sweep was counted");
     }
 
     #[test]
@@ -163,5 +233,40 @@ mod tests {
         assert!(s.table.len().is_power_of_two());
         let s = FrequencySketch::new(0, 8);
         assert_eq!(s.table.len(), 1, "degenerate sizing still works");
+    }
+
+    #[test]
+    fn occupancy_counts_nonzero_counters() {
+        let s = FrequencySketch::new(1024, 8);
+        assert_eq!(s.occupancy(), 0);
+        s.increment(1);
+        // One access touches ≤ 4 distinct cells (rows may collide).
+        let occ = s.occupancy();
+        assert!((1..=4).contains(&occ), "occupancy {occ}");
+        assert_eq!(s.total_counters() % COUNTERS_PER_WORD, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_keep_estimates_sane() {
+        use std::sync::Arc;
+        let s = Arc::new(FrequencySketch::new(4096, 64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        s.increment(i % 64 + t * 1000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every hammered key reads a sane, saturation-bounded estimate.
+        for k in 0..64u64 {
+            assert!(s.estimate(k) <= 15);
+        }
+        assert!(s.occupancy() > 0);
     }
 }

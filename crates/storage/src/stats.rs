@@ -155,6 +155,15 @@ pub struct DecodedCacheStats {
     pub probation_bytes: u64,
     /// Bytes resident in the protected segment.
     pub protected_bytes: u64,
+    /// Non-zero counters in the shared frequency sketch (a full-table scan,
+    /// computed at snapshot time).
+    pub sketch_occupancy: u64,
+    /// Completed halving sweeps of the shared frequency sketch — how often
+    /// recorded history has decayed.
+    pub sketch_halvings: u64,
+    /// Cumulative raw-block bytes handed to the cache after a decode
+    /// upstream (admitted or not) — approximates total bytes parsed.
+    pub decoded_bytes: u64,
 }
 
 impl DecodedCacheStats {
@@ -197,6 +206,35 @@ impl StorageStats {
     /// Total virtual latency charged across tiers.
     pub fn total_charged_latency(&self) -> Duration {
         self.ssd_charged_latency + self.shared.charged_latency
+    }
+}
+
+/// A cheap sample of the storage counters a per-query trace attributes by
+/// delta: probe once before the operation, once after, and subtract.
+/// Unlike [`StorageStats`] this reads four atomics and takes no locks, so
+/// it is safe on the query hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceProbe {
+    /// Total `read_chunk` calls (block reads through the tiers).
+    pub chunk_reads: u64,
+    /// Decoded-cache hits across all access patterns.
+    pub cache_hits: u64,
+    /// Cumulative decoded bytes handed to the decoded cache.
+    pub decoded_bytes: u64,
+    /// Shared-storage operations re-attempted after transient failures.
+    pub retries: u64,
+}
+
+impl TraceProbe {
+    /// Counter deltas since `earlier` (saturating: counters only grow, but
+    /// a probe pair straddling a concurrent reset must not wrap).
+    pub fn since(&self, earlier: &TraceProbe) -> TraceProbe {
+        TraceProbe {
+            chunk_reads: self.chunk_reads.saturating_sub(earlier.chunk_reads),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            decoded_bytes: self.decoded_bytes.saturating_sub(earlier.decoded_bytes),
+            retries: self.retries.saturating_sub(earlier.retries),
+        }
     }
 }
 

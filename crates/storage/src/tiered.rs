@@ -22,12 +22,14 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use umzi_telemetry::Telemetry;
+
 use crate::block_cache::{DecodedBlockCache, DecodedCacheConfig};
 use crate::cache::CacheTier;
 use crate::error::StorageError;
 use crate::latency::{LatencyMode, LatencyModel, TierLatency};
 use crate::shared::SharedStorage;
-use crate::stats::StorageStats;
+use crate::stats::{StorageStats, TraceProbe};
 use crate::Result;
 
 /// Opaque handle to a registered object; cheap to copy.
@@ -181,6 +183,9 @@ pub struct TieredStorage {
     retries: std::sync::atomic::AtomicU64,
     retries_exhausted: std::sync::atomic::AtomicU64,
     corruption_refetches: std::sync::atomic::AtomicU64,
+    /// Telemetry handle shared with every layer stacked on this hierarchy
+    /// (the index and engine record their own operation classes into it).
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for TieredStorage {
@@ -216,6 +221,7 @@ impl TieredStorage {
             retries: std::sync::atomic::AtomicU64::new(0),
             retries_exhausted: std::sync::atomic::AtomicU64::new(0),
             corruption_refetches: std::sync::atomic::AtomicU64::new(0),
+            telemetry: Arc::new(Telemetry::new()),
         }
     }
 
@@ -232,6 +238,30 @@ impl TieredStorage {
     /// The shared-storage layer (manifests, listing, recovery).
     pub fn shared(&self) -> &SharedStorage {
         &self.shared
+    }
+
+    /// The telemetry handle of this hierarchy. Every layer stacked on the
+    /// storage records into this one handle, so the engine snapshot sees
+    /// query, storage, and daemon metrics in a single registry.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Fault-injection statistics of the backing store, if it injects any.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.shared.fault_stats()
+    }
+
+    /// Sample the counters a per-query trace attributes by delta. Four
+    /// relaxed atomic loads — safe on the query hot path, unlike
+    /// [`Self::stats`].
+    pub fn trace_probe(&self) -> TraceProbe {
+        TraceProbe {
+            chunk_reads: self.chunk_reads.load(std::sync::atomic::Ordering::Relaxed),
+            cache_hits: self.decoded.hits_total(),
+            decoded_bytes: self.decoded.decoded_bytes(),
+            retries: self.retries.load(std::sync::atomic::Ordering::Relaxed),
+        }
     }
 
     /// The active retry policy.
@@ -426,7 +456,11 @@ impl TieredStorage {
             });
         }
         let len = cs.min(meta.len - offset) as usize;
-        self.with_retry(|| self.shared.get_range(&meta.name, offset, len))
+        let t0 = self.telemetry.start();
+        let out = self.with_retry(|| self.shared.get_range(&meta.name, offset, len));
+        self.telemetry
+            .record_since(&self.telemetry.ops().block_fetch, t0);
+        out
     }
 
     /// Read one chunk through the hierarchy (memory → SSD → shared),

@@ -1,0 +1,212 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Histogram`] spreads `u64` samples (nanoseconds, by convention) over
+//! [`BUCKETS`] geometric buckets: bucket `i` covers `[2^i, 2^(i+1))` (bucket
+//! 0 additionally absorbs 0). Recording is two relaxed atomic adds — no
+//! locks, no allocation — so the hot read path can afford one per operation.
+//! The geometric layout bounds quantile-estimation error by construction:
+//! any estimate drawn from the bucket containing the true quantile is within
+//! a factor of two (one bucket's relative error) of the exact order
+//! statistic, which is plenty for p50/p99/p999 latency reporting and lets
+//! two histograms merge by adding bucket counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets; covers the full `u64` range (bucket `i` holds values
+/// whose highest set bit is `i`).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// The half-open value range `[lo, hi)` of bucket `i` (bucket 0 also holds
+/// zero).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < BUCKETS);
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+    (lo, hi)
+}
+
+/// A fixed-layout, mergeable, lock-free latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy (individual buckets are read atomically;
+    /// cross-bucket consistency is best-effort, fine for observability).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub counts: [u64; BUCKETS],
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean sample value; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum as f64 / n as f64)
+    }
+
+    /// Fold another snapshot into this one. Bucket-wise addition, so the
+    /// operation is commutative and associative (saturating on overflow).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): the midpoint of the bucket
+    /// containing the rank-`ceil(q·n)` sample, hence within one bucket's
+    /// relative error (a factor of two) of the exact order statistic.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        unreachable!("rank ≤ total count");
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi);
+            assert_eq!(bucket_index(lo.max(1)), i);
+            assert_eq!(bucket_index(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.sum, 3106);
+        // The median sample is 100 (rank 4 of 7); the estimate must share
+        // its bucket.
+        assert_eq!(bucket_index(s.p50()), bucket_index(100));
+        assert_eq!(bucket_index(s.p999()), bucket_index(1000));
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(1000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum, 2010);
+        assert_eq!(bucket_index(m.p99()), bucket_index(1000));
+    }
+}

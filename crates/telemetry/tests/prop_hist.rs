@@ -1,0 +1,100 @@
+//! Property tests for the log-bucketed histogram.
+//!
+//! * **Quantile error bound**: for arbitrary sample sets and quantiles, the
+//!   histogram's estimate must land in the same geometric bucket as the
+//!   exact order statistic — i.e. within one bucket's relative error (a
+//!   factor of two), the bound the bucket layout guarantees by construction.
+//! * **Merge associativity**: bucket-wise addition means
+//!   `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)` and `a ⊕ b = b ⊕ a` exactly, so sharded
+//!   histograms can be folded in any order.
+
+use proptest::prelude::*;
+use umzi_telemetry::{bucket_index, Histogram, HistogramSnapshot};
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// Exact `q`-quantile under the same rank convention the histogram uses:
+/// the sample of rank `ceil(q·n)` (1-based) in sorted order.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The estimate shares the exact order statistic's bucket for every
+    /// quantile the subsystem reports, over samples spanning nanoseconds to
+    /// minutes (and the degenerate 0/1 bucket).
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        mut samples in proptest::collection::vec(0u64..200_000_000_000, 1..400),
+        qs_permille in proptest::collection::vec(0u32..1000, 1..8),
+    ) {
+        let snap = snapshot_of(&samples);
+        samples.sort_unstable();
+        let qs = qs_permille.into_iter().map(|p| f64::from(p) / 1000.0);
+        for q in qs.chain([0.5, 0.9, 0.99, 0.999]) {
+            let exact = exact_quantile(&samples, q);
+            let est = snap.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={} est={} exact={}",
+                q, est, exact
+            );
+        }
+    }
+
+    /// Sum and count survive the histogram round trip exactly.
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 0..300),
+    ) {
+        let snap = snapshot_of(&samples);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+
+    /// Merging is associative and commutative, and merging equals recording
+    /// everything into one histogram.
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a = a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Folding shards ≡ one histogram over the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+}

@@ -116,6 +116,11 @@ pub struct EngineHealth {
     pub backpressure_timeouts: u64,
     /// Whether the ingest gate is currently stalled.
     pub ingest_stalled: bool,
+    /// Fault-injection counters, when the engine runs on a
+    /// [`umzi_storage::FaultInjectingStore`] (torture harnesses); `None` on
+    /// production storage. Folding them here puts injected faults next to
+    /// the retry pressure they caused.
+    pub fault: Option<umzi_storage::FaultStats>,
 }
 
 /// The Wildfire engine.
@@ -245,6 +250,7 @@ impl WildfireEngine {
             storage_retries: st.retries,
             storage_retries_exhausted: st.retries_exhausted,
             corruption_refetches: st.corruption_refetches,
+            fault: self.storage.fault_stats(),
             ..EngineHealth::default()
         };
         if let Some(daemon) = self.daemon() {
@@ -318,6 +324,14 @@ impl WildfireEngine {
 
     /// Upsert one row (routed by sharding key).
     pub fn upsert(&self, row: Vec<Datum>) -> Result<()> {
+        let tel = self.storage.telemetry();
+        let t0 = tel.start();
+        let out = self.upsert_impl(row);
+        tel.record_since(&tel.ops().ingest, t0);
+        out
+    }
+
+    fn upsert_impl(&self, row: Vec<Datum>) -> Result<()> {
         self.admit_ingest()?;
         let shard = self.table.shard_of(&row, self.shards.len());
         self.shards[shard].upsert(vec![row])?;
@@ -326,8 +340,16 @@ impl WildfireEngine {
     }
 
     /// Upsert a batch, grouped per shard (each shard's group commits as one
-    /// transaction).
+    /// transaction). The ingest histogram records one sample per batch.
     pub fn upsert_many(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
+        let tel = self.storage.telemetry();
+        let t0 = tel.start();
+        let out = self.upsert_many_impl(rows);
+        tel.record_since(&tel.ops().ingest, t0);
+        out
+    }
+
+    fn upsert_many_impl(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
         self.admit_ingest()?;
         let mut per_shard: Vec<Vec<Vec<Datum>>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -1148,6 +1170,10 @@ mod tests {
         let h = e.health();
         assert!(h.storage_retries > 0, "failing puts were retried: {h:?}");
         assert!(h.storage_retries_exhausted > 0, "{h:?}");
+        let f = h
+            .fault
+            .expect("fault-injecting store surfaces its counters");
+        assert!(f.total_injected() > 0, "injected faults folded in: {f:?}");
         assert!(h.degraded);
         // The groom is quarantined for sure; the relief evolve job enqueued
         // by admission may have failed on the same broken storage and joined

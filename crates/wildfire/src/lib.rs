@@ -36,6 +36,7 @@ pub mod livezone;
 mod maintenance;
 pub mod shard;
 pub mod table;
+pub mod telemetry;
 pub mod timestamps;
 
 pub use colblock::{ColumnBlock, EndTsDelta};
@@ -46,6 +47,7 @@ pub use error::WildfireError;
 pub use livezone::{CommittedLog, LogRecord};
 pub use shard::{GroomReport, PostGroomReport, Shard, ShardConfig};
 pub use table::{iot_table, SecondaryDef, TableDef, TableDefBuilder};
+pub use telemetry::TelemetrySnapshot;
 pub use timestamps::{compose_begin_ts, decompose_begin_ts, OPEN_END_TS};
 
 /// Result alias for engine operations.

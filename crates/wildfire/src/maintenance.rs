@@ -59,6 +59,14 @@ impl JobExecutor for EngineExecutor {
         self.shards.len()
     }
 
+    fn telemetry(&self) -> Option<Arc<umzi_storage::Telemetry>> {
+        // Every shard stacks on the same storage hierarchy; the first
+        // shard's handle is the engine-wide one.
+        self.shards
+            .first()
+            .map(|s| Arc::clone(s.index().storage().telemetry()))
+    }
+
     fn execute(&self, job: Job) -> JobResult {
         let shard = &self.shards[job.shard()];
         match job {

@@ -1,0 +1,617 @@
+//! The unified telemetry surface: one snapshot folding every layer's stats.
+//!
+//! The lower layers each keep their own counters — the metrics registry and
+//! operation histograms live on the shared [`umzi_storage::Telemetry`]
+//! handle, the storage hierarchy snapshots [`StorageStats`] (tiers, decoded
+//! cache, retries), each shard's index snapshots [`IndexStats`], the daemon
+//! snapshots [`MaintenanceStats`], and [`WildfireEngine::health`] distills
+//! the fault-and-recovery view. [`WildfireEngine::telemetry`] captures all
+//! of them at once and renders the whole thing through two exporters:
+//! Prometheus text exposition ([`TelemetrySnapshot::to_prometheus`]) and
+//! JSON ([`TelemetrySnapshot::to_json`]). There is deliberately no network
+//! server — embedders scrape the strings.
+//!
+//! Naming follows the registry's convention (`umzi_<domain>_<quantity>`
+//! with inline labels), so folded gauges and registry-native series line up
+//! in the same scrape.
+
+use umzi_core::{IndexStats, JobKind, MaintenanceStats};
+use umzi_storage::telemetry::{
+    to_json as metrics_to_json, to_prometheus as metrics_to_prometheus, traces_to_json,
+    MetricsSnapshot, TraceRecord,
+};
+use umzi_storage::{DecodedCacheStats, StorageStats, TierStats};
+
+use crate::engine::{EngineHealth, WildfireEngine};
+
+/// Everything the engine knows about itself, captured at one instant
+/// (per-field atomic reads; cross-field consistency is best-effort, which
+/// is fine for observability).
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// The metrics registry: operation latency histograms plus any ad-hoc
+    /// counters and gauges layers registered.
+    pub metrics: MetricsSnapshot,
+    /// Slow-query trace records, oldest first.
+    pub slow_queries: Vec<TraceRecord>,
+    /// Slow-query records evicted from the ring so far.
+    pub slow_queries_evicted: u64,
+    /// Storage hierarchy: tiers, shared storage, decoded cache, retries.
+    pub storage: StorageStats,
+    /// Per-shard primary-index structure and operation counters.
+    pub shards: Vec<IndexStats>,
+    /// Maintenance daemon, when one is running.
+    pub maintenance: Option<MaintenanceStats>,
+    /// The fault-and-recovery health distillation.
+    pub health: EngineHealth,
+}
+
+impl WildfireEngine {
+    /// Capture the unified telemetry snapshot.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let tel = self.storage().telemetry();
+        TelemetrySnapshot {
+            metrics: tel.snapshot(),
+            slow_queries: tel.slow_queries(),
+            slow_queries_evicted: tel.slow_queries_evicted(),
+            storage: self.storage().stats(),
+            shards: self.shards().iter().map(|s| s.index().stats()).collect(),
+            maintenance: self.maintenance_stats(),
+            health: self.health(),
+        }
+    }
+}
+
+fn prom_line(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn prom_tier(out: &mut String, tier: &str, s: &TierStats) {
+    let l = |metric: &str| format!("umzi_storage_tier_{metric}{{tier=\"{tier}\"}}");
+    prom_line(out, &l("hits_total"), s.hits);
+    prom_line(out, &l("misses_total"), s.misses);
+    prom_line(out, &l("evictions_total"), s.evictions);
+    prom_line(out, &l("bytes_read_total"), s.bytes_read);
+    prom_line(out, &l("bytes_written_total"), s.bytes_written);
+    prom_line(out, &l("used_bytes"), s.used_bytes);
+}
+
+fn prom_cache(out: &mut String, d: &DecodedCacheStats) {
+    for (pattern, c) in [
+        ("point", &d.point),
+        ("scan", &d.scan),
+        ("maintenance", &d.maintenance),
+    ] {
+        prom_line(
+            out,
+            &format!("umzi_cache_hits_total{{pattern=\"{pattern}\"}}"),
+            c.hits,
+        );
+        prom_line(
+            out,
+            &format!("umzi_cache_misses_total{{pattern=\"{pattern}\"}}"),
+            c.misses,
+        );
+    }
+    prom_line(out, "umzi_cache_insertions_total", d.insertions);
+    prom_line(out, "umzi_cache_evictions_total", d.evictions);
+    prom_line(
+        out,
+        "umzi_cache_admission_rejected_total",
+        d.admission_rejected,
+    );
+    prom_line(out, "umzi_cache_promotions_total", d.promotions);
+    prom_line(out, "umzi_cache_demotions_total", d.demotions);
+    prom_line(out, "umzi_cache_bypassed_inserts_total", d.bypassed_inserts);
+    prom_line(out, "umzi_cache_entries", d.entries);
+    prom_line(out, "umzi_cache_used_bytes", d.used_bytes);
+    prom_line(out, "umzi_cache_probation_bytes", d.probation_bytes);
+    prom_line(out, "umzi_cache_protected_bytes", d.protected_bytes);
+    prom_line(out, "umzi_cache_sketch_occupancy", d.sketch_occupancy);
+    prom_line(out, "umzi_cache_sketch_halvings_total", d.sketch_halvings);
+    prom_line(out, "umzi_cache_decoded_bytes_total", d.decoded_bytes);
+}
+
+fn prom_shard(out: &mut String, shard: usize, s: &IndexStats) {
+    let l = |metric: &str| format!("umzi_index_{metric}{{shard=\"{shard}\"}}");
+    prom_line(out, &l("entries"), s.total_entries);
+    prom_line(out, &l("builds_total"), s.builds);
+    prom_line(out, &l("merges_total"), s.merges);
+    prom_line(out, &l("evolves_total"), s.evolves);
+    prom_line(out, &l("gc_runs_total"), s.gc_runs);
+    prom_line(out, &l("merge_conflicts_total"), s.merge_conflicts);
+    prom_line(out, &l("parallel_scans_total"), s.parallel_scans);
+    prom_line(out, &l("scan_partitions_total"), s.scan_partitions);
+    prom_line(out, &l("graveyard"), s.graveyard as u64);
+    prom_line(out, &l("indexed_psn"), s.indexed_psn);
+    for (zone, runs) in s.runs_per_zone.iter().enumerate() {
+        prom_line(
+            out,
+            &format!("umzi_index_runs{{shard=\"{shard}\",zone=\"{zone}\"}}"),
+            *runs as u64,
+        );
+    }
+}
+
+fn prom_maintenance(out: &mut String, m: &MaintenanceStats) {
+    for kind in JobKind::ALL {
+        let s = m.kind(kind);
+        let l = |metric: &str| format!("umzi_daemon_job_{metric}{{kind=\"{}\"}}", kind.label());
+        prom_line(out, &l("runs_total"), s.runs);
+        prom_line(out, &l("no_work_total"), s.no_work);
+        prom_line(out, &l("failures_total"), s.failures);
+        prom_line(out, &l("retries_total"), s.retries);
+        prom_line(out, &l("quarantined_total"), s.quarantined);
+        prom_line(out, &l("items_moved_total"), s.items_moved);
+        prom_line(out, &l("bytes_moved_total"), s.bytes_moved);
+        prom_line(out, &l("busy_nanos_total"), s.busy_nanos);
+    }
+    prom_line(out, "umzi_daemon_queue_depth", m.queue_depth as u64);
+    prom_line(out, "umzi_daemon_peak_queue_depth", m.peak_queue_depth);
+    prom_line(out, "umzi_daemon_dedup_hits_total", m.dedup_hits);
+    prom_line(out, "umzi_daemon_enqueued_total", m.enqueued);
+    prom_line(out, "umzi_daemon_workers", m.workers as u64);
+    prom_line(out, "umzi_daemon_quarantined_now", m.quarantined_now as u64);
+    prom_line(out, "umzi_backpressure_stalls_total", m.backpressure.stalls);
+    prom_line(
+        out,
+        "umzi_backpressure_stall_nanos_total",
+        m.backpressure.stall_nanos,
+    );
+    prom_line(
+        out,
+        "umzi_backpressure_timeouts_total",
+        m.backpressure.timeouts,
+    );
+    prom_line(
+        out,
+        "umzi_backpressure_stalled",
+        m.backpressure.stalled as u64,
+    );
+}
+
+fn prom_health(out: &mut String, h: &EngineHealth) {
+    prom_line(out, "umzi_health_storage_retries_total", h.storage_retries);
+    prom_line(
+        out,
+        "umzi_health_storage_retries_exhausted_total",
+        h.storage_retries_exhausted,
+    );
+    prom_line(
+        out,
+        "umzi_health_corruption_refetches_total",
+        h.corruption_refetches,
+    );
+    prom_line(
+        out,
+        "umzi_health_maintenance_retries_total",
+        h.maintenance_retries,
+    );
+    prom_line(
+        out,
+        "umzi_health_quarantined_jobs",
+        h.quarantined_jobs as u64,
+    );
+    prom_line(out, "umzi_health_degraded", h.degraded as u64);
+    prom_line(out, "umzi_health_ingest_stalled", h.ingest_stalled as u64);
+    if let Some(f) = &h.fault {
+        prom_line(out, "umzi_fault_injected_total", f.total_injected());
+        prom_line(out, "umzi_fault_torn_writes_total", f.torn_writes);
+        prom_line(out, "umzi_fault_bit_flips_total", f.bit_flips);
+        prom_line(
+            out,
+            "umzi_fault_rejected_while_crashed_total",
+            f.rejected_while_crashed,
+        );
+        prom_line(out, "umzi_fault_crashed", f.crashed as u64);
+    }
+}
+
+fn json_tier(s: &TierStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes_read\":{},\
+         \"bytes_written\":{},\"used_bytes\":{}}}",
+        s.hits, s.misses, s.evictions, s.bytes_read, s.bytes_written, s.used_bytes
+    )
+}
+
+fn json_cache(d: &DecodedCacheStats) -> String {
+    let pattern = |c: &umzi_storage::PatternCounters| {
+        format!("{{\"hits\":{},\"misses\":{}}}", c.hits, c.misses)
+    };
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"point\":{},\"scan\":{},\"maintenance\":{},\
+         \"insertions\":{},\"evictions\":{},\"admission_rejected\":{},\
+         \"promotions\":{},\"demotions\":{},\"bypassed_inserts\":{},\
+         \"entries\":{},\"used_bytes\":{},\"probation_bytes\":{},\
+         \"protected_bytes\":{},\"sketch_occupancy\":{},\"sketch_halvings\":{},\
+         \"decoded_bytes\":{}}}",
+        d.hits,
+        d.misses,
+        pattern(&d.point),
+        pattern(&d.scan),
+        pattern(&d.maintenance),
+        d.insertions,
+        d.evictions,
+        d.admission_rejected,
+        d.promotions,
+        d.demotions,
+        d.bypassed_inserts,
+        d.entries,
+        d.used_bytes,
+        d.probation_bytes,
+        d.protected_bytes,
+        d.sketch_occupancy,
+        d.sketch_halvings,
+        d.decoded_bytes
+    )
+}
+
+fn json_shard(s: &IndexStats) -> String {
+    let runs: Vec<String> = s.runs_per_zone.iter().map(|r| r.to_string()).collect();
+    format!(
+        "{{\"total_entries\":{},\"builds\":{},\"merges\":{},\"evolves\":{},\
+         \"gc_runs\":{},\"merge_conflicts\":{},\"parallel_scans\":{},\
+         \"scan_partitions\":{},\"graveyard\":{},\"indexed_psn\":{},\
+         \"runs_per_zone\":[{}]}}",
+        s.total_entries,
+        s.builds,
+        s.merges,
+        s.evolves,
+        s.gc_runs,
+        s.merge_conflicts,
+        s.parallel_scans,
+        s.scan_partitions,
+        s.graveyard,
+        s.indexed_psn,
+        runs.join(",")
+    )
+}
+
+fn json_maintenance(m: &MaintenanceStats) -> String {
+    let kinds: Vec<String> = JobKind::ALL
+        .iter()
+        .map(|kind| {
+            let s = m.kind(*kind);
+            format!(
+                "\"{}\":{{\"runs\":{},\"no_work\":{},\"failures\":{},\"retries\":{},\
+                 \"quarantined\":{},\"items_moved\":{},\"bytes_moved\":{},\
+                 \"busy_nanos\":{}}}",
+                kind.label(),
+                s.runs,
+                s.no_work,
+                s.failures,
+                s.retries,
+                s.quarantined,
+                s.items_moved,
+                s.bytes_moved,
+                s.busy_nanos
+            )
+        })
+        .collect();
+    format!(
+        "{{\"per_kind\":{{{}}},\"queue_depth\":{},\"peak_queue_depth\":{},\
+         \"dedup_hits\":{},\"enqueued\":{},\"workers\":{},\"quarantined_now\":{},\
+         \"degraded\":{},\"backpressure\":{{\"stalls\":{},\"stall_nanos\":{},\
+         \"timeouts\":{},\"stalled\":{}}}}}",
+        kinds.join(","),
+        m.queue_depth,
+        m.peak_queue_depth,
+        m.dedup_hits,
+        m.enqueued,
+        m.workers,
+        m.quarantined_now,
+        m.degraded,
+        m.backpressure.stalls,
+        m.backpressure.stall_nanos,
+        m.backpressure.timeouts,
+        m.backpressure.stalled
+    )
+}
+
+fn json_health(h: &EngineHealth) -> String {
+    let fault = match &h.fault {
+        Some(f) => format!(
+            "{{\"injected\":{},\"torn_writes\":{},\"bit_flips\":{},\
+             \"rejected_while_crashed\":{},\"crashed\":{}}}",
+            f.total_injected(),
+            f.torn_writes,
+            f.bit_flips,
+            f.rejected_while_crashed,
+            f.crashed
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"storage_retries\":{},\"storage_retries_exhausted\":{},\
+         \"corruption_refetches\":{},\"maintenance_retries\":{},\
+         \"quarantined_jobs\":{},\"degraded\":{},\"backpressure_timeouts\":{},\
+         \"ingest_stalled\":{},\"fault\":{}}}",
+        h.storage_retries,
+        h.storage_retries_exhausted,
+        h.corruption_refetches,
+        h.maintenance_retries,
+        h.quarantined_jobs,
+        h.degraded,
+        h.backpressure_timeouts,
+        h.ingest_stalled,
+        fault
+    )
+}
+
+impl TelemetrySnapshot {
+    /// Render the whole snapshot in the Prometheus text exposition format:
+    /// the registry's native series (histograms in the summary convention)
+    /// followed by gauges folded from the domain stats structs.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = metrics_to_prometheus(&self.metrics);
+        prom_line(
+            &mut out,
+            "umzi_slow_queries",
+            self.slow_queries.len() as u64,
+        );
+        prom_line(
+            &mut out,
+            "umzi_slow_queries_evicted_total",
+            self.slow_queries_evicted,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_chunk_reads_total",
+            self.storage.chunk_reads,
+        );
+        prom_line(&mut out, "umzi_storage_retries_total", self.storage.retries);
+        prom_line(
+            &mut out,
+            "umzi_storage_retries_exhausted_total",
+            self.storage.retries_exhausted,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_corruption_refetches_total",
+            self.storage.corruption_refetches,
+        );
+        prom_tier(&mut out, "mem", &self.storage.mem);
+        prom_tier(&mut out, "ssd", &self.storage.ssd);
+        prom_line(
+            &mut out,
+            "umzi_storage_shared_reads_total",
+            self.storage.shared.reads,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_shared_writes_total",
+            self.storage.shared.writes,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_shared_bytes_read_total",
+            self.storage.shared.bytes_read,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_shared_bytes_written_total",
+            self.storage.shared.bytes_written,
+        );
+        prom_cache(&mut out, &self.storage.decoded);
+        for (i, s) in self.shards.iter().enumerate() {
+            prom_shard(&mut out, i, s);
+        }
+        if let Some(m) = &self.maintenance {
+            prom_maintenance(&mut out, m);
+        }
+        prom_health(&mut out, &self.health);
+        out
+    }
+
+    /// Render the whole snapshot as one JSON object with `metrics`,
+    /// `slow_queries`, `storage`, `shards`, `maintenance` (null without a
+    /// daemon), and `health` members. The same data as
+    /// [`TelemetrySnapshot::to_prometheus`], structured for artifacts and
+    /// offline analysis.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(json_shard).collect();
+        let maintenance = match &self.maintenance {
+            Some(m) => json_maintenance(m),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"metrics\":{},\"slow_queries\":{},\"slow_queries_evicted\":{},\
+             \"storage\":{{\"chunk_reads\":{},\"retries\":{},\"retries_exhausted\":{},\
+             \"corruption_refetches\":{},\"mem\":{},\"ssd\":{},\
+             \"shared\":{{\"reads\":{},\"writes\":{},\"bytes_read\":{},\
+             \"bytes_written\":{}}},\"decoded\":{}}},\
+             \"shards\":[{}],\"maintenance\":{},\"health\":{}}}",
+            metrics_to_json(&self.metrics),
+            traces_to_json(&self.slow_queries),
+            self.slow_queries_evicted,
+            self.storage.chunk_reads,
+            self.storage.retries,
+            self.storage.retries_exhausted,
+            self.storage.corruption_refetches,
+            json_tier(&self.storage.mem),
+            json_tier(&self.storage.ssd),
+            self.storage.shared.reads,
+            self.storage.shared.writes,
+            self.storage.shared.bytes_read,
+            self.storage.shared.bytes_written,
+            json_cache(&self.storage.decoded),
+            shards.join(","),
+            maintenance,
+            json_health(&self.health)
+        )
+    }
+
+    /// The histogram snapshot registered under `name` (exact registry key,
+    /// including inline labels), if present.
+    pub fn histogram(&self, name: &str) -> Option<&umzi_storage::telemetry::HistogramSnapshot> {
+        self.metrics
+            .histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Freshness};
+    use crate::table::iot_table;
+    use std::sync::Arc;
+    use umzi_core::ReconcileStrategy;
+    use umzi_encoding::Datum;
+    use umzi_run::SortBound;
+    use umzi_storage::TieredStorage;
+
+    fn loaded_engine() -> Arc<WildfireEngine> {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let e = WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig {
+                n_shards: 2,
+                maintenance: None,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for d in 0..6i64 {
+            for m in 0..40i64 {
+                e.upsert(vec![
+                    Datum::Int64(d),
+                    Datum::Int64(m),
+                    Datum::Int64(100),
+                    Datum::Int64(d * 100 + m),
+                ])
+                .unwrap();
+            }
+        }
+        e.quiesce().unwrap();
+        for d in 0..6i64 {
+            e.get(&[Datum::Int64(d)], &[Datum::Int64(3)], Freshness::Latest)
+                .unwrap()
+                .unwrap();
+        }
+        e.scan_index(
+            vec![Datum::Int64(1)],
+            SortBound::Unbounded,
+            SortBound::Unbounded,
+            Freshness::Latest,
+            ReconcileStrategy::PriorityQueue,
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn snapshot_covers_every_domain() {
+        let e = loaded_engine();
+        let snap = e.telemetry();
+
+        // Query domain: the instrumented paths recorded latencies.
+        let point = snap
+            .histogram("umzi_query_duration_nanos{op=\"point_lookup\"}")
+            .expect("point-lookup histogram registered");
+        assert!(point.count() >= 6, "one sample per get: {}", point.count());
+        assert!(point.p50() > 0 && point.p99() >= point.p50());
+        let scan = snap
+            .histogram("umzi_query_duration_nanos{op=\"range_scan_seq\"}")
+            .expect("range-scan histogram registered");
+        assert!(scan.count() >= 1);
+        let ingest = snap
+            .histogram("umzi_ingest_duration_nanos")
+            .expect("ingest histogram registered");
+        assert!(ingest.count() >= 240, "one sample per upsert");
+
+        // Storage and cache domains.
+        assert!(snap.storage.chunk_reads > 0);
+        assert!(snap.storage.decoded.decoded_bytes > 0);
+        // Index domain: both shards report structure.
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(
+            snap.shards.iter().map(|s| s.total_entries).sum::<u64>(),
+            240
+        );
+        // No daemon in this configuration.
+        assert!(snap.maintenance.is_none());
+    }
+
+    #[test]
+    fn exporters_round_trip_the_same_data() {
+        let e = loaded_engine();
+        let snap = e.telemetry();
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("umzi_query_duration_nanos{op=\"point_lookup\",quantile=\"0.5\"}"));
+        assert!(prom.contains("umzi_storage_chunk_reads_total "));
+        assert!(prom.contains("umzi_cache_hits_total{pattern=\"point\"}"));
+        assert!(prom.contains("umzi_index_entries{shard=\"0\"}"));
+        assert!(prom.contains("umzi_health_degraded 0\n"));
+        // Every line is `name[{labels}] value`.
+        for line in prom.lines() {
+            assert_eq!(
+                line.rsplitn(2, ' ').count(),
+                2,
+                "malformed exposition line: {line:?}"
+            );
+        }
+
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"metrics\":",
+            "\"slow_queries\":",
+            "\"storage\":",
+            "\"shards\":",
+            "\"maintenance\":null",
+            "\"health\":",
+            "\"decoded\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The folded chunk-read counter agrees between the two renderings.
+        let prom_reads = prom
+            .lines()
+            .find_map(|l| l.strip_prefix("umzi_storage_chunk_reads_total "))
+            .unwrap()
+            .to_string();
+        assert!(json.contains(&format!("\"chunk_reads\":{prom_reads}")));
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing_new() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        storage.telemetry().set_enabled(false);
+        let e = WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig {
+                n_shards: 1,
+                maintenance: None,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        e.upsert(vec![
+            Datum::Int64(1),
+            Datum::Int64(1),
+            Datum::Int64(100),
+            Datum::Int64(7),
+        ])
+        .unwrap();
+        e.quiesce().unwrap();
+        e.get(&[Datum::Int64(1)], &[Datum::Int64(1)], Freshness::Latest)
+            .unwrap()
+            .unwrap();
+        let snap = e.telemetry();
+        for (name, h) in &snap.metrics.histograms {
+            assert_eq!(h.count(), 0, "{name} recorded while disabled");
+        }
+        // Domain stats still fold: counters are orthogonal to the switch.
+        assert!(snap.storage.chunk_reads > 0);
+    }
+}

@@ -49,11 +49,32 @@ def main():
             print(f"{workload:<30} {runs!s:>5} {o:>12.1f} {n:>12.1f} {delta:>8}")
         else:
             print(f"{workload:<30} {runs!s:>5} {'—':>12} {n:>12.1f} {'new':>8}")
+
+    # Call out group membership changes explicitly: a PR that adds or drops a
+    # bench group should be visible at a glance, not inferred from which rows
+    # lack a committed column.
+    added = sorted(set(new) - set(old), key=str)
+    removed = sorted(set(old) - set(new), key=str)
+    if added:
+        print(f"added groups ({len(added)}):")
+        for workload, runs in added:
+            print(f"  + {workload} (runs={runs})")
+    if removed:
+        print(f"removed groups ({len(removed)}):")
+        for workload, runs in removed:
+            print(f"  - {workload} (runs={runs})")
+    if committed is not None and not added and not removed:
+        print("group set unchanged")
+
+    old_scalars = {k for k in (committed or {}) if "speedup" in k}
+    new_scalars = {k for k in fresh if "speedup" in k}
     for k, v in fresh.items():
         if "speedup" in k:
             o = (committed or {}).get(k)
-            base = f" (committed: {o})" if o is not None else ""
+            base = f" (committed: {o})" if o is not None else " (new scalar)"
             print(f"{k}: {v}{base}")
+    for k in sorted(old_scalars - new_scalars):
+        print(f"{k}: removed (committed: {committed[k]})")
 
 
 if __name__ == "__main__":
