@@ -155,6 +155,23 @@ pub struct MaintenanceConfig {
     /// runs, so a lower setting is unreachable and writers would stall
     /// until evolve GC empties the zone.
     pub l0_low_watermark: usize,
+    /// Ingest stalls when the serialized bytes outstanding in level-0 runs
+    /// reach this many bytes — the **primary** backpressure signal: run
+    /// count is blind to run size, while bytes track the actual un-merged
+    /// backlog. `0` disables the byte gate (run count alone governs, the
+    /// pre-existing behavior). The run-count watermarks stay armed as a
+    /// secondary bound either way.
+    pub l0_bytes_high_watermark: u64,
+    /// Stalled ingest resumes only once level-0 bytes are back at or below
+    /// this (and the run count is at or below its own low watermark).
+    /// Ignored when `l0_bytes_high_watermark` is 0.
+    pub l0_bytes_low_watermark: u64,
+    /// Weighted-aging per-shard dequeue: the scheduler picks each worker's
+    /// next job across per-shard queues with a priority score that decays
+    /// as a job waits, so one hot shard's endless merge chain cannot
+    /// starve another shard's groom indefinitely. `false` restores strict
+    /// global (priority, FIFO) order.
+    pub fair_dequeue: bool,
     /// Minimum pause a worker inserts after each job that did work — bounds
     /// the background IO/CPU share. `None` runs flat out.
     pub throttle: Option<std::time::Duration>,
@@ -183,6 +200,9 @@ impl Default for MaintenanceConfig {
             workers: 2,
             l0_high_watermark: 12,
             l0_low_watermark: 6,
+            l0_bytes_high_watermark: 256 << 20,
+            l0_bytes_low_watermark: 128 << 20,
+            fair_dequeue: true,
             throttle: None,
             janitor_interval: std::time::Duration::from_millis(100),
             adaptive_cache: true,
@@ -212,6 +232,12 @@ impl MaintenanceConfig {
             return Err(UmziError::Config(
                 "l0_high_watermark must be ≥ 1 (0 would stall every write)".into(),
             ));
+        }
+        if self.l0_bytes_low_watermark > self.l0_bytes_high_watermark {
+            return Err(UmziError::Config(format!(
+                "maintenance byte watermarks must satisfy low ≤ high, got {} > {}",
+                self.l0_bytes_low_watermark, self.l0_bytes_high_watermark
+            )));
         }
         if self.stall_timeout == Some(std::time::Duration::ZERO) {
             return Err(UmziError::Config(
@@ -478,6 +504,26 @@ mod tests {
             ..MaintenanceConfig::default()
         };
         assert!(c.validate().is_err());
+        // Byte watermarks: low ≤ high, and zero-high means disabled — which
+        // makes a nonzero low nonsensical (it is > high and rejected).
+        c.maintenance = MaintenanceConfig {
+            l0_bytes_high_watermark: 1 << 20,
+            l0_bytes_low_watermark: 2 << 20,
+            ..MaintenanceConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.maintenance = MaintenanceConfig {
+            l0_bytes_high_watermark: 0,
+            l0_bytes_low_watermark: 1,
+            ..MaintenanceConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.maintenance = MaintenanceConfig {
+            l0_bytes_high_watermark: 0,
+            l0_bytes_low_watermark: 0, // byte gate disabled
+            ..MaintenanceConfig::default()
+        };
+        c.validate().unwrap();
         c.maintenance = MaintenanceConfig::default();
         c.validate().unwrap();
     }

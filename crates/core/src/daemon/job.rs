@@ -152,6 +152,10 @@ pub struct JobOutcome {
     /// The level-0 run count observed after the job, if it may have changed
     /// it — the worker forwards this to the ingest backpressure gate.
     pub l0_runs: Option<usize>,
+    /// Total bytes held in level-0 runs observed after the job. Executors
+    /// set this alongside [`JobOutcome::l0_runs`] so the gate sees one
+    /// coherent load sample; a missing axis is reported as zero.
+    pub l0_bytes: Option<u64>,
 }
 
 impl JobOutcome {

@@ -30,7 +30,7 @@ mod throttle;
 pub use job::{Job, JobExecutor, JobKind, JobOutcome, JobResult};
 pub use retry::QuarantinedJob;
 pub use stats::{JobKindStats, MaintenanceStats};
-pub use throttle::{Backpressure, BackpressureStats};
+pub use throttle::{Backpressure, BackpressureStats, GateLoad};
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -117,12 +117,15 @@ impl MaintenanceDaemon {
         executor: Arc<dyn JobExecutor>,
         config: MaintenanceConfig,
     ) -> Arc<MaintenanceDaemon> {
-        let queue = Arc::new(JobQueue::new());
+        let queue = Arc::new(JobQueue::new(config.fair_dequeue));
         let counters = Arc::new(DaemonCounters::default());
-        let gate = Arc::new(Backpressure::new(
-            config.l0_high_watermark,
-            config.l0_low_watermark,
-        ));
+        let gate = Arc::new(
+            Backpressure::new(config.l0_high_watermark, config.l0_low_watermark)
+                .with_byte_watermarks(
+                    config.l0_bytes_high_watermark,
+                    config.l0_bytes_low_watermark,
+                ),
+        );
         gate.set_enabled(true);
         let retry = Arc::new(RetryTracker::new(
             config.job_retries,
@@ -164,8 +167,11 @@ impl MaintenanceDaemon {
                                     for f in outcome.follow_ups {
                                         queue.push_follow_up(f);
                                     }
-                                    if let Some(l0) = outcome.l0_runs {
-                                        gate.update(l0);
+                                    if outcome.l0_runs.is_some() || outcome.l0_bytes.is_some() {
+                                        gate.update(GateLoad {
+                                            l0_runs: outcome.l0_runs.unwrap_or(0),
+                                            l0_bytes: outcome.l0_bytes.unwrap_or(0),
+                                        });
                                     }
                                 }
                                 Err(e) => {
@@ -299,6 +305,9 @@ impl MaintenanceDaemon {
             quarantined_now: self.retry.quarantined_count(),
             degraded: self.retry.quarantined_count() > 0,
             quarantined_jobs: self.retry.quarantined_jobs(),
+            peak_dequeue_age: std::array::from_fn(|i| {
+                self.queue.peak_dequeue_age[i].load(Ordering::Relaxed)
+            }),
         }
     }
 
@@ -372,6 +381,7 @@ impl JobExecutor for IndexExecutor {
                     bytes_moved: report.output_bytes,
                     did_work: true,
                     l0_runs: Some(self.index.level0_run_count()),
+                    l0_bytes: Some(self.index.level0_run_bytes()),
                 }),
                 Ok(None) => Ok(JobOutcome::idle()),
                 // Inputs were concurrently removed (e.g. evolve GC); the
@@ -390,6 +400,7 @@ impl JobExecutor for IndexExecutor {
                     bytes_moved: 0,
                     did_work: deleted > 0,
                     l0_runs: None,
+                    l0_bytes: None,
                 })
             }
             Job::Groom { .. } | Job::Evolve { .. } => Ok(JobOutcome::idle()),

@@ -1,19 +1,43 @@
-//! The prioritized, deduplicating job queue.
+//! The prioritized, deduplicating, shard-fair job queue.
 //!
-//! One mutex-protected heap with a condvar: workers block on [`JobQueue::pop`]
-//! until a job or shutdown arrives. Enqueueing a job equal to one already
-//! pending is a counted no-op (redundant triggers are the common case — every
-//! upsert may poke `Groom`, every build may poke `Merge`), so the queue depth
-//! stays proportional to the *distinct* outstanding work, not the trigger
-//! rate. Jobs of equal priority run in FIFO order via a monotonic sequence
-//! number.
+//! Jobs live in one mutex-protected heap *per shard* with a shared condvar:
+//! workers block on [`JobQueue::pop`] until a job or shutdown arrives.
+//! Enqueueing a job equal to one already pending is a counted no-op
+//! (redundant triggers are the common case — every upsert may poke `Groom`,
+//! every build may poke `Merge`), so the queue depth stays proportional to
+//! the *distinct* outstanding work, not the trigger rate.
+//!
+//! # Weighted-aging dequeue
+//!
+//! A strict global (priority, seq) order lets one hot shard starve the rest:
+//! its merge chain re-enqueues level-0 merges forever, and a cold shard's
+//! `Groom` (the lowest priority) never runs even though its live zone keeps
+//! growing. In fair mode, `pop` instead scores each shard's head job as
+//!
+//! ```text
+//! score = priority_class * AGE_WEIGHT - age        (saturating at 0)
+//! ```
+//!
+//! where `age` is the number of enqueues that happened since the job was
+//! queued (a virtual clock — no wall time), and takes the minimum
+//! `(score, priority, seq)` across shard heads. A freshly queued job keeps
+//! its class order, but every [`AGE_WEIGHT`] enqueues a waiting job
+//! effectively climbs one priority class, so a starved groom overtakes a
+//! stream of fresh merges after a bounded number of pushes. With `fair`
+//! off, every score is zero and the order reduces exactly to the old global
+//! (priority, seq) FIFO.
 
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::daemon::job::Job;
+
+/// Enqueues a job must wait through to gain one priority class (see the
+/// module docs). Small enough that starvation is bounded by tens of pushes,
+/// large enough that the class order holds under ordinary interleaving.
+pub(crate) const AGE_WEIGHT: u64 = 32;
 
 struct QueuedJob {
     job: Job,
@@ -44,7 +68,9 @@ impl Ord for QueuedJob {
 
 #[derive(Default)]
 struct QueueState {
-    heap: BinaryHeap<QueuedJob>,
+    /// Per-shard pending heaps; `BTreeMap` so candidate iteration (and thus
+    /// equal-score tie-breaking) is deterministic.
+    shards: BTreeMap<usize, BinaryHeap<QueuedJob>>,
     pending: HashSet<Job>,
     /// Jobs popped but not yet reported done (drain waits on these too).
     in_flight: usize,
@@ -54,28 +80,42 @@ struct QueueState {
     discarding: bool,
 }
 
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.shards.values().map(BinaryHeap::len).sum()
+    }
+}
+
 /// The shared scheduler state between enqueuers and the worker pool.
 pub(crate) struct JobQueue {
     state: std::sync::Mutex<QueueState>,
     cv: std::sync::Condvar,
     seq: AtomicU64,
+    /// Weighted-aging dequeue on; off reduces to strict global priority FIFO.
+    fair: bool,
     /// Deduplicated enqueue attempts (observability).
     pub(crate) dedup_hits: AtomicU64,
     /// Accepted enqueues.
     pub(crate) enqueued: AtomicU64,
     /// High-water mark of the pending-queue depth.
     pub(crate) peak_depth: AtomicU64,
+    /// Per-kind high-water mark of dequeue age (enqueues waited through
+    /// before being popped), indexed by [`crate::daemon::JobKind::index`].
+    /// The starvation observable: a starved kind's age grows without bound.
+    pub(crate) peak_dequeue_age: [AtomicU64; 4],
 }
 
 impl JobQueue {
-    pub(crate) fn new() -> JobQueue {
+    pub(crate) fn new(fair: bool) -> JobQueue {
         JobQueue {
             state: std::sync::Mutex::new(QueueState::default()),
             cv: std::sync::Condvar::new(),
             seq: AtomicU64::new(0),
+            fair,
             dedup_hits: AtomicU64::new(0),
             enqueued: AtomicU64::new(0),
             peak_depth: AtomicU64::new(0),
+            peak_dequeue_age: [const { AtomicU64::new(0) }; 4],
         }
     }
 
@@ -109,14 +149,14 @@ impl JobQueue {
             return false;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        s.heap.push(QueuedJob {
+        s.shards.entry(job.shard()).or_default().push(QueuedJob {
             job,
             priority: job.priority(),
             seq,
         });
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         self.peak_depth
-            .fetch_max(s.heap.len() as u64, Ordering::Relaxed);
+            .fetch_max(s.depth() as u64, Ordering::Relaxed);
         drop(s);
         // notify_all, not notify_one: pop() workers and wait_idle() waiters
         // share this condvar, and a single wakeup could land on an
@@ -124,6 +164,25 @@ impl JobQueue {
         // until the next push.
         self.cv.notify_all();
         true
+    }
+
+    /// Pick the shard whose head job wins the (score, priority, seq) race.
+    fn select_shard(&self, s: &QueueState) -> Option<usize> {
+        let now = self.seq.load(Ordering::Relaxed);
+        let mut best: Option<(u64, (u8, u32), u64, usize)> = None;
+        for (&shard, heap) in &s.shards {
+            let Some(head) = heap.peek() else { continue };
+            let score = if self.fair {
+                (u64::from(head.priority.0) * AGE_WEIGHT).saturating_sub(now - head.seq)
+            } else {
+                0
+            };
+            let key = (score, head.priority, head.seq, shard);
+            if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, _, shard)| shard)
     }
 
     /// Block until a job is available (returning it) or until shutdown with
@@ -135,9 +194,16 @@ impl JobQueue {
             if s.discarding {
                 return None;
             }
-            if let Some(q) = s.heap.pop() {
+            if let Some(shard) = self.select_shard(&s) {
+                let heap = s.shards.get_mut(&shard).expect("selected shard exists");
+                let q = heap.pop().expect("selected head exists");
+                if heap.is_empty() {
+                    s.shards.remove(&shard);
+                }
                 s.pending.remove(&q.job);
                 s.in_flight += 1;
+                let age = self.seq.load(Ordering::Relaxed).saturating_sub(q.seq);
+                self.peak_dequeue_age[q.job.kind().index()].fetch_max(age, Ordering::Relaxed);
                 return Some(q.job);
             }
             if s.closing {
@@ -154,7 +220,7 @@ impl JobQueue {
     pub(crate) fn done(&self) {
         let mut s = self.lock();
         s.in_flight = s.in_flight.saturating_sub(1);
-        let idle = s.in_flight == 0 && s.heap.is_empty();
+        let idle = s.in_flight == 0 && s.shards.is_empty();
         drop(s);
         if idle {
             self.cv.notify_all();
@@ -163,13 +229,13 @@ impl JobQueue {
 
     /// Pending jobs (not counting in-flight).
     pub(crate) fn depth(&self) -> usize {
-        self.lock().heap.len()
+        self.lock().depth()
     }
 
     /// Whether nothing is pending or in flight.
     pub(crate) fn is_idle(&self) -> bool {
         let s = self.lock();
-        s.heap.is_empty() && s.in_flight == 0
+        s.shards.is_empty() && s.in_flight == 0
     }
 
     /// Block until the queue is idle (pending and in-flight both empty) or
@@ -178,7 +244,7 @@ impl JobQueue {
         let deadline = std::time::Instant::now() + timeout;
         let mut s = self.lock();
         loop {
-            if s.heap.is_empty() && s.in_flight == 0 {
+            if s.shards.is_empty() && s.in_flight == 0 {
                 return true;
             }
             let Some(rest) = deadline.checked_duration_since(std::time::Instant::now()) else {
@@ -200,7 +266,7 @@ impl JobQueue {
         s.closing = true;
         if discard {
             s.discarding = true;
-            s.heap.clear();
+            s.shards.clear();
             s.pending.clear();
         }
         drop(s);
@@ -212,9 +278,8 @@ impl JobQueue {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_priority_then_fifo_order() {
-        let q = JobQueue::new();
+    fn priority_then_fifo_order(fair: bool) {
+        let q = JobQueue::new(fair);
         q.push(Job::Groom { shard: 0 });
         q.push(Job::Merge { shard: 0, level: 2 });
         q.push(Job::Merge { shard: 0, level: 0 });
@@ -245,8 +310,61 @@ mod tests {
     }
 
     #[test]
+    fn pops_in_priority_then_fifo_order() {
+        // Without pending-time aging, fair mode agrees with strict FIFO.
+        priority_then_fifo_order(false);
+        priority_then_fifo_order(true);
+    }
+
+    #[test]
+    fn aged_groom_overtakes_fresh_merges_in_fair_mode() {
+        let q = JobQueue::new(true);
+        q.push(Job::Groom { shard: 1 });
+        // A hot shard keeps producing fresh merges; each pop sees one merge
+        // and the ever-older groom.
+        let mut groom_at = None;
+        for i in 0..200u32 {
+            q.push(Job::Merge { shard: 0, level: i });
+            let job = q.pop().expect("queue is non-empty");
+            q.done();
+            if matches!(job, Job::Groom { .. }) {
+                groom_at = Some(i);
+                break;
+            }
+        }
+        let at = groom_at.expect("weighted aging must surface the groom");
+        // Groom (class 3) starts AGE_WEIGHT * (3 - 1) enqueues behind a
+        // fresh merge (class 1) and gains one enqueue per iteration.
+        assert!(
+            u64::from(at) <= 2 * AGE_WEIGHT + 2,
+            "groom surfaced only at iteration {at}"
+        );
+        let groom_age =
+            q.peak_dequeue_age[crate::daemon::JobKind::Groom.index()].load(Ordering::Relaxed);
+        assert!(
+            groom_age >= 2 * AGE_WEIGHT,
+            "dequeue-age stat must record the wait ({groom_age})"
+        );
+    }
+
+    #[test]
+    fn fifo_mode_starves_low_priority_under_merge_pressure() {
+        let q = JobQueue::new(false);
+        q.push(Job::Groom { shard: 1 });
+        for i in 0..200u32 {
+            q.push(Job::Merge { shard: 0, level: i });
+            let job = q.pop().expect("queue is non-empty");
+            q.done();
+            assert!(
+                matches!(job, Job::Merge { .. }),
+                "strict priority order never reaches the groom at iteration {i}"
+            );
+        }
+    }
+
+    #[test]
     fn duplicate_pending_jobs_dedup() {
-        let q = JobQueue::new();
+        let q = JobQueue::new(true);
         assert!(q.push(Job::Groom { shard: 0 }));
         assert!(!q.push(Job::Groom { shard: 0 }));
         assert_eq!(q.depth(), 1);
@@ -259,7 +377,7 @@ mod tests {
 
     #[test]
     fn close_drains_then_stops() {
-        let q = JobQueue::new();
+        let q = JobQueue::new(true);
         q.push(Job::Groom { shard: 0 });
         q.close(false);
         assert!(!q.push(Job::Groom { shard: 1 }), "closed queue rejects");
@@ -270,7 +388,7 @@ mod tests {
 
     #[test]
     fn close_discard_drops_pending() {
-        let q = JobQueue::new();
+        let q = JobQueue::new(true);
         q.push(Job::Groom { shard: 0 });
         q.push(Job::Evolve { shard: 0 });
         q.close(true);

@@ -96,6 +96,12 @@ pub struct MaintenanceStats {
     pub degraded: bool,
     /// The quarantined jobs themselves, for diagnostics.
     pub quarantined_jobs: Vec<crate::daemon::retry::QuarantinedJob>,
+    /// Per-kind high-water mark of dequeue age — how many enqueues a job of
+    /// that kind waited through before a worker picked it up, in
+    /// [`JobKind::ALL`] order. The starvation observable: under a fair
+    /// scheduler every kind's peak stays bounded even when one shard floods
+    /// the queue.
+    pub peak_dequeue_age: [u64; 4],
 }
 
 impl MaintenanceStats {
@@ -111,6 +117,11 @@ impl MaintenanceStats {
     /// Total jobs that found work, across kinds.
     pub fn total_runs(&self) -> u64 {
         self.per_kind.iter().map(|(_, s)| s.runs).sum()
+    }
+
+    /// Peak dequeue age (enqueues waited through) for one kind.
+    pub fn peak_dequeue_age(&self, kind: JobKind) -> u64 {
+        self.peak_dequeue_age[kind.index()]
     }
 }
 

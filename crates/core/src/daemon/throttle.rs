@@ -2,18 +2,47 @@
 //!
 //! Sustained ingest must not outrun grooming: every groom cycle adds a
 //! level-0 run, and queries pay per live run. The [`Backpressure`] gate
-//! watches the level-0 run count — writers stall when it reaches the high
+//! watches the level-0 backlog — writers stall when it reaches the high
 //! watermark and resume once maintenance has merged it down to the low
 //! watermark (classic hysteresis, the same shape as the §6.2 SSD
 //! watermarks). Maintenance itself is never gated.
 //!
-//! The gate is self-releasing: stalled writers re-evaluate the run count on
-//! a short timeout as well as on explicit [`Backpressure::update`] pokes
+//! The backlog is measured on two axes, folded into one [`GateLoad`]:
+//! **bytes outstanding** in level-0 runs (the primary signal — run count is
+//! blind to run size, bytes track the actual work maintenance still has to
+//! chew through) and the **run count** (a secondary bound on per-query run
+//! fan-out). The gate stalls when *either* axis reaches its high watermark
+//! and resumes only once *both* are back at their low watermarks. A zero
+//! byte watermark disables that axis (run count alone governs).
+//!
+//! The gate is self-releasing: stalled writers re-evaluate the load on a
+//! short timeout as well as on explicit [`Backpressure::update`] pokes
 //! from completing jobs, so a missed wakeup degrades to polling instead of
 //! a deadlock. A disabled gate (no daemon running) admits everything.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A point-in-time reading of the level-0 backlog the gate watches: both
+/// axes sampled together so stall/resume decisions are consistent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateLoad {
+    /// Live level-0 run count (worst shard).
+    pub l0_runs: usize,
+    /// Serialized bytes outstanding in level-0 runs (worst shard).
+    pub l0_bytes: u64,
+}
+
+impl GateLoad {
+    /// A run-count-only reading (byte axis zero) — callers without byte
+    /// accounting, and tests of the run-count axis.
+    pub fn runs(l0_runs: usize) -> GateLoad {
+        GateLoad {
+            l0_runs,
+            l0_bytes: 0,
+        }
+    }
+}
 
 /// Point-in-time backpressure statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +62,9 @@ pub struct BackpressureStats {
 pub struct Backpressure {
     high: usize,
     low: usize,
+    /// Byte-axis watermarks; `bytes_high == 0` disables the byte axis.
+    bytes_high: u64,
+    bytes_low: u64,
     /// Writers stall while set; maintenance completions and the timeout
     /// poll clear it. Source of truth, coordinated with `cv`.
     stalled: std::sync::Mutex<bool>,
@@ -49,7 +81,9 @@ pub struct Backpressure {
 }
 
 impl Backpressure {
-    /// A gate with the given level-0 run-count watermarks (`low ≤ high`).
+    /// A gate with the given level-0 run-count watermarks (`low ≤ high`)
+    /// and the byte axis disabled; chain
+    /// [`Backpressure::with_byte_watermarks`] to arm it.
     pub fn new(high: usize, low: usize) -> Backpressure {
         assert!(
             low <= high,
@@ -58,6 +92,8 @@ impl Backpressure {
         Backpressure {
             high,
             low,
+            bytes_high: 0,
+            bytes_low: 0,
             stalled: std::sync::Mutex::new(false),
             stalled_flag: AtomicBool::new(false),
             cv: std::sync::Condvar::new(),
@@ -66,6 +102,32 @@ impl Backpressure {
             stall_nanos: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
         }
+    }
+
+    /// Arm the bytes-outstanding axis (`low ≤ high`; `high == 0` leaves it
+    /// disabled).
+    pub fn with_byte_watermarks(mut self, high: u64, low: u64) -> Backpressure {
+        assert!(
+            low <= high,
+            "backpressure byte watermarks: low {low} > high {high}"
+        );
+        self.bytes_high = high;
+        self.bytes_low = low;
+        self
+    }
+
+    /// Whether `load` is at/above a high watermark on either axis — the
+    /// stall-engage condition. Public so writers can run the same predicate
+    /// on their lock-free fast path.
+    pub fn over_high(&self, load: GateLoad) -> bool {
+        load.l0_runs >= self.high || (self.bytes_high > 0 && load.l0_bytes >= self.bytes_high)
+    }
+
+    /// Whether `load` is at/below the low watermark on *both* axes — the
+    /// resume condition (hysteresis: strictly lower than the engage
+    /// threshold on each axis).
+    pub fn under_low(&self, load: GateLoad) -> bool {
+        load.l0_runs <= self.low && (self.bytes_high == 0 || load.l0_bytes <= self.bytes_low)
     }
 
     /// Set the stall state; callers must hold the `stalled` mutex guard.
@@ -77,14 +139,24 @@ impl Backpressure {
         }
     }
 
-    /// High watermark (stall at/above).
+    /// Run-count high watermark (stall at/above).
     pub fn high_watermark(&self) -> usize {
         self.high
     }
 
-    /// Low watermark (resume at/below).
+    /// Run-count low watermark (resume at/below).
     pub fn low_watermark(&self) -> usize {
         self.low
+    }
+
+    /// Byte-axis high watermark (0 = byte axis disabled).
+    pub fn bytes_high_watermark(&self) -> u64 {
+        self.bytes_high
+    }
+
+    /// Byte-axis low watermark.
+    pub fn bytes_low_watermark(&self) -> u64 {
+        self.bytes_low
     }
 
     /// Arm or disarm the gate. Disarming releases any stalled writer — a
@@ -107,9 +179,9 @@ impl Backpressure {
     }
 
     /// Writer-side admission: blocks while the gate is stalled, engaging it
-    /// first when `current()` (the live level-0 run count) has reached the
-    /// high watermark. Returns the time spent stalled, if any.
-    pub fn admit(&self, current: &dyn Fn() -> usize) -> Option<Duration> {
+    /// first when `current()` (the live level-0 backlog) has reached a high
+    /// watermark on either axis. Returns the time spent stalled, if any.
+    pub fn admit(&self, current: &dyn Fn() -> GateLoad) -> Option<Duration> {
         self.admit_timeout(current, None).unwrap_or_else(Some)
     }
 
@@ -121,20 +193,20 @@ impl Backpressure {
     /// along the same path until maintenance catches up.
     pub fn admit_timeout(
         &self,
-        current: &dyn Fn() -> usize,
+        current: &dyn Fn() -> GateLoad,
         timeout: Option<Duration>,
     ) -> Result<Option<Duration>, Duration> {
         if !self.enabled.load(Ordering::Acquire) {
             return Ok(None);
         }
-        // Lock-free fast path: while the gate is clear and the run count is
-        // below the high watermark, writers never touch the mutex.
-        if !self.stalled_flag.load(Ordering::Acquire) && current() < self.high {
+        // Lock-free fast path: while the gate is clear and the backlog is
+        // below every high watermark, writers never touch the mutex.
+        if !self.stalled_flag.load(Ordering::Acquire) && !self.over_high(current()) {
             return Ok(None);
         }
         let mut stalled = self.lock();
         if !*stalled {
-            if current() < self.high {
+            if !self.over_high(current()) {
                 return Ok(None);
             }
             self.set_stalled(&mut stalled, true);
@@ -142,7 +214,7 @@ impl Backpressure {
         let t0 = Instant::now();
         let deadline = timeout.map(|t| t0 + t);
         while *stalled && self.enabled.load(Ordering::Acquire) {
-            if current() <= self.low {
+            if self.under_low(current()) {
                 self.set_stalled(&mut stalled, false);
                 self.cv.notify_all();
                 break;
@@ -172,17 +244,18 @@ impl Backpressure {
         Ok(Some(waited))
     }
 
-    /// Maintenance-side poke after work that changed the run count: engages
-    /// the gate at/above the high watermark, releases it at/below the low
-    /// one, and wakes stalled writers either way.
-    pub fn update(&self, current: usize) {
+    /// Maintenance-side poke after work that changed the level-0 backlog:
+    /// engages the gate when either axis reaches its high watermark, releases
+    /// it once every axis is back at its low one, and wakes stalled writers
+    /// either way.
+    pub fn update(&self, load: GateLoad) {
         if !self.enabled.load(Ordering::Acquire) {
             return;
         }
         let mut stalled = self.lock();
-        if *stalled && current <= self.low {
+        if *stalled && self.under_low(load) {
             self.set_stalled(&mut stalled, false);
-        } else if !*stalled && current >= self.high {
+        } else if !*stalled && self.over_high(load) {
             self.set_stalled(&mut stalled, true);
         }
         drop(stalled);
@@ -214,7 +287,7 @@ mod tests {
     #[test]
     fn disabled_gate_admits_everything() {
         let g = Backpressure::new(2, 1);
-        assert_eq!(g.admit(&|| 1000), None);
+        assert_eq!(g.admit(&|| GateLoad::runs(1000)), None);
         assert!(!g.is_stalled());
     }
 
@@ -222,7 +295,11 @@ mod tests {
     fn below_high_watermark_is_free() {
         let g = Backpressure::new(4, 2);
         g.set_enabled(true);
-        assert_eq!(g.admit(&|| 3), None, "no stall below high watermark");
+        assert_eq!(
+            g.admit(&|| GateLoad::runs(3)),
+            None,
+            "no stall below high watermark"
+        );
         assert_eq!(g.stats().stalls, 0);
     }
 
@@ -238,12 +315,12 @@ mod tests {
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(30));
                 count.store(1, Ordering::Release);
-                g.update(1);
+                g.update(GateLoad::runs(1));
             })
         };
         let count2 = Arc::clone(&count);
         let waited = g
-            .admit(&move || count2.load(Ordering::Acquire))
+            .admit(&move || GateLoad::runs(count2.load(Ordering::Acquire)))
             .expect("must stall at count 8");
         relief.join().unwrap();
         assert!(waited >= Duration::from_millis(10), "waited {waited:?}");
@@ -261,7 +338,7 @@ mod tests {
         // its time back after the deadline.
         let t0 = Instant::now();
         let waited = g
-            .admit_timeout(&|| 100, Some(Duration::from_millis(30)))
+            .admit_timeout(&|| GateLoad::runs(100), Some(Duration::from_millis(30)))
             .expect_err("must time out");
         assert!(waited >= Duration::from_millis(30), "waited {waited:?}");
         assert!(t0.elapsed() < Duration::from_secs(5));
@@ -270,7 +347,7 @@ mod tests {
         assert!(s.stalled, "the stall condition itself has not cleared");
         // A second writer fails fast along the same path.
         assert!(g
-            .admit_timeout(&|| 100, Some(Duration::from_millis(1)))
+            .admit_timeout(&|| GateLoad::runs(100), Some(Duration::from_millis(1)))
             .is_err());
     }
 
@@ -285,12 +362,12 @@ mod tests {
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(20));
                 count.store(1, Ordering::Release);
-                g.update(1);
+                g.update(GateLoad::runs(1));
             })
         };
         let count2 = Arc::clone(&count);
         let out = g.admit_timeout(
-            &move || count2.load(Ordering::Acquire),
+            &move || GateLoad::runs(count2.load(Ordering::Acquire)),
             Some(Duration::from_secs(10)),
         );
         relief.join().unwrap();
@@ -304,11 +381,107 @@ mod tests {
         g.set_enabled(true);
         let writer = {
             let g = Arc::clone(&g);
-            std::thread::spawn(move || g.admit(&|| 100))
+            std::thread::spawn(move || g.admit(&|| GateLoad::runs(100)))
         };
         std::thread::sleep(Duration::from_millis(20));
         g.set_enabled(false);
         assert!(writer.join().unwrap().is_some());
         assert!(!g.is_stalled());
+    }
+
+    #[test]
+    fn byte_watermarks_stall_and_resume_with_hysteresis() {
+        let g = Backpressure::new(1000, 500).with_byte_watermarks(1 << 20, 512 << 10);
+        g.set_enabled(true);
+        // Run count is far below its watermark; bytes alone drive the gate.
+        let load = |bytes: u64| GateLoad {
+            l0_runs: 1,
+            l0_bytes: bytes,
+        };
+        g.update(load(1 << 20));
+        assert!(g.is_stalled(), "bytes at high watermark must engage");
+        // Between low and high: hysteresis keeps the gate stalled.
+        g.update(load(700 << 10));
+        assert!(g.is_stalled(), "above low watermark the gate stays engaged");
+        g.update(load(512 << 10));
+        assert!(!g.is_stalled(), "bytes at low watermark must release");
+        // Re-engaging needs the high watermark again, not just above-low.
+        g.update(load(700 << 10));
+        assert!(!g.is_stalled(), "below high watermark the gate stays clear");
+    }
+
+    #[test]
+    fn either_axis_over_high_stalls_both_must_clear() {
+        let g = Backpressure::new(4, 2).with_byte_watermarks(1 << 20, 512 << 10);
+        g.set_enabled(true);
+        // Runs over high, bytes fine: stalled.
+        g.update(GateLoad {
+            l0_runs: 4,
+            l0_bytes: 0,
+        });
+        assert!(g.is_stalled());
+        // Runs recover but bytes are still above their low: still stalled.
+        g.update(GateLoad {
+            l0_runs: 1,
+            l0_bytes: 800 << 10,
+        });
+        assert!(g.is_stalled(), "resume requires BOTH axes at their low");
+        // Both at/below low: released.
+        g.update(GateLoad {
+            l0_runs: 1,
+            l0_bytes: 100 << 10,
+        });
+        assert!(!g.is_stalled());
+    }
+
+    #[test]
+    fn byte_stall_times_out_like_run_stall() {
+        let g = Backpressure::new(1000, 500).with_byte_watermarks(1 << 20, 512 << 10);
+        g.set_enabled(true);
+        let waited = g
+            .admit_timeout(
+                &|| GateLoad {
+                    l0_runs: 0,
+                    l0_bytes: 2 << 20,
+                },
+                Some(Duration::from_millis(20)),
+            )
+            .expect_err("byte-driven stall must honor the deadline");
+        assert!(waited >= Duration::from_millis(20), "waited {waited:?}");
+        assert_eq!(g.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn zero_byte_watermark_disables_byte_axis() {
+        let g = Backpressure::new(4, 2).with_byte_watermarks(0, 0);
+        g.set_enabled(true);
+        assert_eq!(
+            g.admit(&|| GateLoad {
+                l0_runs: 1,
+                l0_bytes: u64::MAX,
+            }),
+            None,
+            "byte axis disabled: any byte load admits"
+        );
+        // Run axis still works as before.
+        g.update(GateLoad {
+            l0_runs: 10,
+            l0_bytes: 0,
+        });
+        assert!(g.is_stalled());
+        g.update(GateLoad {
+            l0_runs: 1,
+            l0_bytes: u64::MAX,
+        });
+        assert!(
+            !g.is_stalled(),
+            "release must ignore the disabled byte axis"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "byte watermarks")]
+    fn byte_low_above_high_panics() {
+        let _ = Backpressure::new(4, 2).with_byte_watermarks(1 << 10, 2 << 10);
     }
 }

@@ -374,15 +374,22 @@ impl UmziIndex {
             upper: Option<Bytes>,
             bucket: Option<u32>,
             query_ts: u64,
+            budget: Arc<std::sync::atomic::AtomicU64>,
         ) -> umzi_run::Result<umzi_run::RunRangeIter<'r>> {
-            RunSearcher::new(run).scan_shared(
+            RunSearcher::new(run).scan_shared_with_budget(
                 lower,
                 upper,
                 bucket,
                 query_ts,
                 AccessPattern::RangeScan,
+                Some(budget),
             )
         }
+        // One streamed-bytes counter for the whole query: every per-run
+        // iterator draws from the same scan-bypass budget, so a multi-run
+        // scan stops churning the decoded cache after the *query* (not each
+        // run) crosses the threshold.
+        let scan_budget = Arc::new(std::sync::atomic::AtomicU64::new(0));
         // Bounded fan-out over candidate runs; chunk results concatenate in
         // order, so the reconcile order is unchanged.
         let iters = Self::fan_out_chunks(&candidates, 2, |runs| {
@@ -394,6 +401,7 @@ impl UmziIndex {
                         upper.clone(),
                         Self::bucket_for(run, hash),
                         query.query_ts,
+                        Arc::clone(&scan_budget),
                     )
                 })
                 .collect()

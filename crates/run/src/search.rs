@@ -129,6 +129,24 @@ impl<'a> RunSearcher<'a> {
         query_ts: u64,
         pattern: AccessPattern,
     ) -> Result<RunRangeIter<'a>> {
+        self.scan_shared_with_budget(lower, upper, bucket, query_ts, pattern, None)
+    }
+
+    /// Like [`Self::scan_shared`] but accepting a caller-owned streamed-bytes
+    /// counter. A multi-run query passes one counter to every per-run
+    /// iterator so the decoded cache's scan-bypass budget is spent per
+    /// *query*, not per run — without it, a scan over R runs churns R× the
+    /// configured budget through probation before bypass kicks in. `None`
+    /// falls back to a private per-iterator counter (single-run callers).
+    pub fn scan_shared_with_budget(
+        &self,
+        lower: &[u8],
+        upper: Option<Bytes>,
+        bucket: Option<u32>,
+        query_ts: u64,
+        pattern: AccessPattern,
+        budget: Option<Arc<AtomicU64>>,
+    ) -> Result<RunRangeIter<'a>> {
         let (blo, bhi) = self.run.bucket_range(bucket);
         let start = self
             .run
@@ -161,7 +179,8 @@ impl<'a> RunSearcher<'a> {
             } else {
                 0
             },
-            streamed: (pattern == AccessPattern::RangeScan).then(|| Arc::new(AtomicU64::new(0))),
+            streamed: (pattern == AccessPattern::RangeScan)
+                .then(|| budget.unwrap_or_else(|| Arc::new(AtomicU64::new(0)))),
         })
     }
 
@@ -236,7 +255,9 @@ pub struct RunRangeIter<'a> {
     /// [`umzi_storage::DecodedBlockCache::scan_bypass_bytes`].
     scan_bypass: u64,
     /// Block bytes streamed so far — shared across the sub-range pieces of
-    /// one partitioned scan, so the bypass budget is per scan, not per
+    /// one partitioned scan, and (via
+    /// [`RunSearcher::scan_shared_with_budget`]) across every run of one
+    /// multi-run query, so the bypass budget is per query, not per run or
     /// partition. `None` for non-scan patterns (bypass can never apply), so
     /// point/batch probes skip the allocation on their hot path.
     streamed: Option<Arc<AtomicU64>>,

@@ -35,6 +35,10 @@ fn storage_no_decoded_cache() -> Arc<TieredStorage> {
 }
 
 fn build_multi_block_run(storage: &Arc<TieredStorage>, n: i64) -> umzi_run::Run {
+    build_run_with_id(storage, n, 1)
+}
+
+fn build_run_with_id(storage: &Arc<TieredStorage>, n: i64, run_id: u64) -> umzi_run::Run {
     let l = layout();
     let mut entries: Vec<IndexEntry> = (0..n)
         .map(|i| {
@@ -53,7 +57,7 @@ fn build_multi_block_run(storage: &Arc<TieredStorage>, n: i64) -> umzi_run::Run 
     let mut b = RunBuilder::new(
         l,
         RunParams {
-            run_id: 1,
+            run_id,
             zone: ZoneId::GROOMED,
             level: 0,
             groomed_lo: 0,
@@ -67,8 +71,13 @@ fn build_multi_block_run(storage: &Arc<TieredStorage>, n: i64) -> umzi_run::Run 
     for e in &entries {
         b.push(e).unwrap();
     }
-    b.finish(storage, "runs/stats", Durability::Persisted, true)
-        .unwrap()
+    b.finish(
+        storage,
+        &format!("runs/stats{run_id}"),
+        Durability::Persisted,
+        true,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -294,4 +303,91 @@ fn partitioned_scan_shares_one_bypass_budget() {
         "partitions must not each get a fresh bypass budget: {d:?}"
     );
     assert!(d.bypassed_inserts as u32 >= run.data_block_count() - 10);
+}
+
+#[test]
+fn multi_run_scan_shares_one_bypass_budget() {
+    // A query over R runs must spend one scan_bypass_bytes budget across
+    // all of its per-run iterators — a fresh budget per run would churn R×
+    // the configured allowance through probation before bypass engages.
+    // Two identical storage+run setups isolate the comparison: cold caches
+    // on both sides, per-run budgets on one, a shared budget on the other.
+    use std::sync::atomic::AtomicU64;
+
+    use umzi_run::AccessPattern;
+
+    let fresh_storage = || {
+        Arc::new(TieredStorage::new(
+            SharedStorage::in_memory(),
+            TieredConfig {
+                chunk_size: 1024,
+                decoded_cache: DecodedCacheConfig {
+                    capacity_bytes: 1 << 20,
+                    shards: 1,
+                    scan_bypass_bytes: 4096, // ~4 blocks
+                    ..DecodedCacheConfig::default()
+                },
+                ..TieredConfig::default()
+            },
+        ))
+    };
+
+    // Per-run budgets (the old behaviour): each run caches its own prefix.
+    let storage = fresh_storage();
+    let runs: Vec<_> = (1..=3)
+        .map(|id| build_run_with_id(&storage, 4000, id))
+        .collect();
+    let mut n = 0usize;
+    for run in &runs {
+        n += RunSearcher::new(run)
+            .scan(&[], None, None, u64::MAX)
+            .unwrap()
+            .collect::<umzi_run::Result<Vec<_>>>()
+            .unwrap()
+            .len();
+    }
+    assert_eq!(n as i64, 3 * 4000);
+    let per_run = storage.stats().decoded.insertions;
+    assert!(
+        per_run >= 12,
+        "independent budgets should cache ~3 prefixes: {per_run}"
+    );
+
+    // Shared budget: the three iterators draw on one counter, so only the
+    // first ~budget bytes of the whole query are admitted.
+    let storage = fresh_storage();
+    let runs: Vec<_> = (1..=3)
+        .map(|id| build_run_with_id(&storage, 4000, id))
+        .collect();
+    let total_blocks: u32 = runs.iter().map(|r| r.data_block_count()).sum();
+    let budget = Arc::new(AtomicU64::new(0));
+    let mut n = 0usize;
+    for run in &runs {
+        n += RunSearcher::new(run)
+            .scan_shared_with_budget(
+                &[],
+                None,
+                None,
+                u64::MAX,
+                AccessPattern::RangeScan,
+                Some(Arc::clone(&budget)),
+            )
+            .unwrap()
+            .collect::<umzi_run::Result<Vec<_>>>()
+            .unwrap()
+            .len();
+    }
+    assert_eq!(n as i64, 3 * 4000);
+    let d = storage.stats().decoded;
+    assert!(
+        d.insertions <= 6,
+        "one budget across runs: expected ≤6 insertions, got {}",
+        d.insertions
+    );
+    assert!(
+        d.insertions < per_run / 2,
+        "shared budget must admit far less than per-run budgets: {} vs {per_run}",
+        d.insertions
+    );
+    assert!(d.bypassed_inserts as u32 >= total_blocks - 12);
 }

@@ -274,10 +274,21 @@ impl WildfireEngine {
             .unwrap_or(0)
     }
 
-    /// Write-path admission: when level-0 runs have piled up to the high
-    /// watermark, poke relief jobs (level-0 merges and evolve) and stall on
-    /// the backpressure gate until maintenance brings the count back to the
-    /// low watermark — or until the configured stall timeout elapses, in
+    /// The worst shard's level-0 byte backlog — the gate's primary
+    /// (byte-based) axis.
+    pub fn max_l0_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.index().level0_run_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Write-path admission: when the level-0 backlog (bytes outstanding,
+    /// with run count as a safety net) has piled up to a high watermark,
+    /// poke relief jobs (level-0 merges and evolve) and stall on the
+    /// backpressure gate until maintenance brings the backlog back to the
+    /// low watermarks — or until the configured stall timeout elapses, in
     /// which case the writer gets [`WildfireError::Backpressure`] instead of
     /// hanging on maintenance that is not making progress. Free when no
     /// daemon is running.
@@ -286,10 +297,13 @@ impl WildfireEngine {
             return Ok(());
         };
         let gate = Arc::clone(daemon.backpressure());
-        let current = || self.max_l0_runs();
-        // Fast path: gate clear and run count healthy — one lock-free list
-        // walk, no relief enqueue, no mutex.
-        if !gate.is_stalled() && current() < gate.high_watermark() {
+        let current = || umzi_core::GateLoad {
+            l0_runs: self.max_l0_runs(),
+            l0_bytes: self.max_l0_bytes(),
+        };
+        // Fast path: gate clear and backlog healthy — two lock-free list
+        // walks, no relief enqueue, no mutex.
+        if !gate.is_stalled() && !gate.over_high(current()) {
             return Ok(());
         }
         // Pressure: poke the jobs that shrink level 0 before (possibly)
@@ -1097,9 +1111,11 @@ mod tests {
 
         let mut cfg = EngineConfig {
             n_shards: 1,
-            // Manual grooming only: no tickers are started in this test and
-            // upserts never auto-trigger.
+            // Manual grooming only: upserts never auto-trigger, and the
+            // tickers are parked far out so only their startup pokes fire.
             groom_trigger_rows: usize::MAX,
+            groom_interval: Duration::from_secs(3600),
+            post_groom_interval: Duration::from_secs(3600),
             maintenance: Some(MaintenanceConfig {
                 workers: 1,
                 janitor_interval: Duration::from_secs(3600),
@@ -1120,6 +1136,22 @@ mod tests {
         };
         let e = WildfireEngine::create(storage, Arc::new(iot_table()), cfg).unwrap();
         let daemons = e.start_daemons();
+        // Wait for the tickers' startup pokes (groom + evolve + retire, all
+        // no-ops on an empty engine) to be enqueued AND drained, so a
+        // late-popping Evolve can't post-groom a level-0 run away mid-fill.
+        // (`wait_idle` alone races with the ticker threads still starting.)
+        {
+            let d = daemons.daemon().unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !(d.stats().enqueued >= 3 && d.is_idle()) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "startup pokes never drained: {:?}",
+                    d.stats()
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
 
         // Fill level 0 to the high watermark with healthy storage.
         for batch in 0..2 {

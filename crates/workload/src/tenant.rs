@@ -1,0 +1,534 @@
+//! Multi-tenant SLO workload: zipf-skewed tenants, per-tenant operation
+//! mixes and a bursty open-loop arrival schedule.
+//!
+//! [`MixedWorkload`](crate::MixedWorkload) replays one closed-loop HTAP
+//! stream; tail-latency work needs more texture than that. [`TenantMix`]
+//! models N tenants sharing one engine, each with
+//!
+//! * a **popularity skew**: keys are drawn zipf-distributed over the
+//!   tenant's key space (YCSB-style bounded zipfian, exponent 0 = uniform),
+//! * an **operation mix**: point lookups, batched lookups, range scans and
+//!   ingest batches in configurable ratios,
+//! * a **share of the arrival process**: tenants are weighted, and
+//! * a common **burst schedule**: arrivals come open-loop on a virtual tick
+//!   clock with periodic bursts — quiet ticks (possibly zero arrivals)
+//!   followed by multiplied bursts, which is what actually stresses
+//!   backpressure and maintenance fairness.
+//!
+//! Everything is seeded and tick-based: the generator never reads the wall
+//! clock, so the same `(config, seed)` always yields the identical op
+//! stream — replayable in benchmarks, CI and property tests. Keys are
+//! tenant-relative; the driver namespaces them (e.g. into a tenant column)
+//! when it maps ops onto a concrete table.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The operation classes a tenant issues (the latency-histogram axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-key point lookup.
+    Point,
+    /// Batched point lookups.
+    Batch,
+    /// Bounded range scan.
+    RangeScan,
+    /// Ingest (upsert) batch.
+    Ingest,
+}
+
+impl OpClass {
+    /// All classes, in reporting order.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Point,
+        OpClass::Batch,
+        OpClass::RangeScan,
+        OpClass::Ingest,
+    ];
+
+    /// Stable label for reports and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Point => "point",
+            OpClass::Batch => "batch",
+            OpClass::RangeScan => "range_scan",
+            OpClass::Ingest => "ingest",
+        }
+    }
+}
+
+/// Per-class ratios of one tenant's traffic. Ratios are relative weights —
+/// they need not sum to 1, only be non-negative with a positive total.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Point-lookup weight.
+    pub point: f64,
+    /// Batched-lookup weight.
+    pub batch: f64,
+    /// Range-scan weight.
+    pub range_scan: f64,
+    /// Ingest weight.
+    pub ingest: f64,
+}
+
+impl OpMix {
+    /// The weights in [`OpClass::ALL`] order.
+    pub fn weights(&self) -> [f64; 4] {
+        [self.point, self.batch, self.range_scan, self.ingest]
+    }
+
+    /// The mix normalized to fractions summing to 1.
+    pub fn fractions(&self) -> [f64; 4] {
+        let w = self.weights();
+        let total: f64 = w.iter().sum();
+        w.map(|x| x / total)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let w = self.weights();
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err("op-mix weights must be finite and non-negative".into());
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return Err("op mix must have a positive total weight".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix {
+            point: 0.55,
+            batch: 0.15,
+            range_scan: 0.10,
+            ingest: 0.20,
+        }
+    }
+}
+
+/// One tenant's traffic profile.
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    /// Share of the arrival process relative to other tenants.
+    pub weight: f64,
+    /// Operation-class ratios.
+    pub mix: OpMix,
+    /// Zipf exponent of key popularity: 0 = uniform, values toward 1 make
+    /// the head keys hot (clamped to `[0, 0.999]` — the bounded-zipfian
+    /// sampler's stable range).
+    pub zipf_exponent: f64,
+    /// Tenant-relative key space (keys are in `[0, key_space)`).
+    pub key_space: u64,
+    /// Keys per batched lookup.
+    pub batch_size: usize,
+    /// Keys covered by one range scan.
+    pub scan_span: u64,
+    /// Rows per ingest batch.
+    pub ingest_batch: usize,
+}
+
+impl Default for TenantProfile {
+    fn default() -> Self {
+        TenantProfile {
+            weight: 1.0,
+            mix: OpMix::default(),
+            zipf_exponent: 0.9,
+            key_space: 100_000,
+            batch_size: 64,
+            scan_span: 256,
+            ingest_batch: 200,
+        }
+    }
+}
+
+/// The shared open-loop arrival schedule: a virtual tick clock with
+/// periodic multiplicative bursts. Fractional rates carry credit across
+/// ticks, so quiet phases can contain genuinely idle (zero-arrival) ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstModel {
+    /// Mean arrivals per tick outside bursts (may be fractional).
+    pub base_ops_per_tick: f64,
+    /// Burst cycle length in ticks.
+    pub burst_period: u64,
+    /// Leading ticks of each cycle that burst.
+    pub burst_len: u64,
+    /// Arrival-rate multiplier during a burst.
+    pub burst_multiplier: f64,
+}
+
+impl Default for BurstModel {
+    fn default() -> Self {
+        BurstModel {
+            base_ops_per_tick: 0.5,
+            burst_period: 64,
+            burst_len: 8,
+            burst_multiplier: 8.0,
+        }
+    }
+}
+
+impl BurstModel {
+    /// Whether `tick` falls inside a burst window.
+    pub fn in_burst(&self, tick: u64) -> bool {
+        tick % self.burst_period < self.burst_len
+    }
+
+    /// The arrival rate at `tick`.
+    pub fn rate(&self, tick: u64) -> f64 {
+        if self.in_burst(tick) {
+            self.base_ops_per_tick * self.burst_multiplier
+        } else {
+            self.base_ops_per_tick
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.base_ops_per_tick.is_finite() && self.base_ops_per_tick > 0.0) {
+            return Err("base_ops_per_tick must be positive".into());
+        }
+        if self.burst_period == 0 || self.burst_len > self.burst_period {
+            return Err("burst_len must fit inside a positive burst_period".into());
+        }
+        if !(self.burst_multiplier.is_finite() && self.burst_multiplier >= 1.0) {
+            return Err("burst_multiplier must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Full tuning for [`TenantMix`].
+#[derive(Debug, Clone)]
+pub struct TenantMixConfig {
+    /// The tenants sharing the arrival process.
+    pub tenants: Vec<TenantProfile>,
+    /// The shared burst schedule.
+    pub burst: BurstModel,
+}
+
+impl Default for TenantMixConfig {
+    fn default() -> Self {
+        TenantMixConfig {
+            tenants: vec![TenantProfile::default(); 4],
+            burst: BurstModel::default(),
+        }
+    }
+}
+
+impl TenantMixConfig {
+    /// Validate the configuration (checked by [`TenantMix::new`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants.is_empty() {
+            return Err("at least one tenant".into());
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !(t.weight.is_finite() && t.weight > 0.0) {
+                return Err(format!("tenant {i}: weight must be positive"));
+            }
+            t.mix.validate().map_err(|e| format!("tenant {i}: {e}"))?;
+            if t.key_space == 0 {
+                return Err(format!("tenant {i}: empty key space"));
+            }
+            if t.batch_size == 0 || t.ingest_batch == 0 || t.scan_span == 0 {
+                return Err(format!("tenant {i}: batch/scan sizes must be positive"));
+            }
+            if !(0.0..=8.0).contains(&t.zipf_exponent) {
+                return Err(format!("tenant {i}: zipf exponent out of range"));
+            }
+        }
+        self.burst.validate()
+    }
+}
+
+/// What one arrival does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantOpKind {
+    /// Look up one key.
+    Point {
+        /// Tenant-relative key.
+        key: u64,
+    },
+    /// Look up a batch of keys.
+    Batch {
+        /// Tenant-relative keys.
+        keys: Vec<u64>,
+    },
+    /// Scan `[start, start + span)`.
+    RangeScan {
+        /// Tenant-relative start key.
+        start: u64,
+        /// Keys covered.
+        span: u64,
+    },
+    /// Upsert a batch of keys.
+    Ingest {
+        /// Tenant-relative keys.
+        keys: Vec<u64>,
+    },
+}
+
+/// One arrival of the multi-tenant stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantOp {
+    /// Which tenant issued it.
+    pub tenant: usize,
+    /// Virtual arrival tick (monotonically non-decreasing across the
+    /// stream).
+    pub tick: u64,
+    /// The operation.
+    pub kind: TenantOpKind,
+}
+
+impl TenantOp {
+    /// The operation's class.
+    pub fn class(&self) -> OpClass {
+        match self.kind {
+            TenantOpKind::Point { .. } => OpClass::Point,
+            TenantOpKind::Batch { .. } => OpClass::Batch,
+            TenantOpKind::RangeScan { .. } => OpClass::RangeScan,
+            TenantOpKind::Ingest { .. } => OpClass::Ingest,
+        }
+    }
+}
+
+/// Bounded zipfian sampler over `[0, n)` (the YCSB construction: one O(n)
+/// zeta precomputation, then O(1) per sample). Exponent 0 degenerates to
+/// uniform. Rank 0 is the most popular key.
+#[derive(Debug, Clone)]
+struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    fn new(n: u64, exponent: f64) -> Zipfian {
+        let theta = exponent.clamp(0.0, 0.999);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.theta == 0.0 || self.n <= 1 {
+            return rng.random_range(0..self.n);
+        }
+        let u: f64 = rng.random_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
+/// Deterministic multi-tenant op-stream generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    config: TenantMixConfig,
+    rng: StdRng,
+    zipf: Vec<Zipfian>,
+    /// Cumulative tenant weights for arrival attribution.
+    cum_weight: Vec<f64>,
+    tick: u64,
+    /// Fractional arrival credit carried across ticks.
+    credit: f64,
+    /// Arrivals still owed at the current tick.
+    pending: u64,
+}
+
+impl TenantMix {
+    /// Build a generator; fails on an invalid configuration.
+    pub fn new(config: TenantMixConfig, seed: u64) -> Result<TenantMix, String> {
+        config.validate()?;
+        let zipf = config
+            .tenants
+            .iter()
+            .map(|t| Zipfian::new(t.key_space, t.zipf_exponent))
+            .collect();
+        let mut acc = 0.0;
+        let cum_weight = config
+            .tenants
+            .iter()
+            .map(|t| {
+                acc += t.weight;
+                acc
+            })
+            .collect();
+        Ok(TenantMix {
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0x74656e616e74), // "tenant"
+            zipf,
+            cum_weight,
+            tick: 0,
+            credit: 0.0,
+            pending: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TenantMixConfig {
+        &self.config
+    }
+
+    /// The current virtual tick (arrival time of the next op).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Next arrival. Advances the virtual clock over idle ticks as needed;
+    /// the stream is infinite.
+    pub fn next_op(&mut self) -> TenantOp {
+        while self.pending == 0 {
+            self.credit += self.config.burst.rate(self.tick);
+            let due = self.credit.floor();
+            self.credit -= due;
+            self.pending = due as u64;
+            if self.pending == 0 {
+                self.tick += 1; // idle tick: credit below one whole arrival
+            }
+        }
+        self.pending -= 1;
+        let tick = self.tick;
+        if self.pending == 0 {
+            self.tick += 1;
+        }
+
+        let tenant = self.pick_tenant();
+        let kind = self.pick_op(tenant);
+        TenantOp { tenant, tick, kind }
+    }
+
+    fn pick_tenant(&mut self) -> usize {
+        let total = *self.cum_weight.last().expect("validated non-empty");
+        let x: f64 = self.rng.random_range(0.0..total);
+        self.cum_weight
+            .iter()
+            .position(|&c| x < c)
+            .unwrap_or(self.cum_weight.len() - 1)
+    }
+
+    fn pick_op(&mut self, tenant: usize) -> TenantOpKind {
+        let profile = self.config.tenants[tenant].clone();
+        let w = profile.mix.weights();
+        let total: f64 = w.iter().sum();
+        let mut x: f64 = self.rng.random_range(0.0..total);
+        let mut class = OpClass::Ingest;
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            if x < w[i] {
+                class = *c;
+                break;
+            }
+            x -= w[i];
+        }
+        match class {
+            OpClass::Point => TenantOpKind::Point {
+                key: self.sample_key(tenant),
+            },
+            OpClass::Batch => TenantOpKind::Batch {
+                keys: (0..profile.batch_size)
+                    .map(|_| self.sample_key(tenant))
+                    .collect(),
+            },
+            OpClass::RangeScan => {
+                let span = profile.scan_span.min(profile.key_space);
+                let start = self.sample_key(tenant).min(profile.key_space - span);
+                TenantOpKind::RangeScan { start, span }
+            }
+            OpClass::Ingest => TenantOpKind::Ingest {
+                keys: (0..profile.ingest_batch)
+                    .map(|_| self.sample_key(tenant))
+                    .collect(),
+            },
+        }
+    }
+
+    /// One zipf-popular key of the tenant's space (rank 0 = hottest).
+    fn sample_key(&mut self, tenant: usize) -> u64 {
+        self.zipf[tenant].sample(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let ok = TenantMixConfig::default();
+        assert!(ok.validate().is_ok());
+
+        let mut bad = TenantMixConfig::default();
+        bad.tenants.clear();
+        assert!(bad.validate().is_err());
+
+        let mut bad = TenantMixConfig::default();
+        bad.tenants[0].weight = 0.0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = TenantMixConfig::default();
+        bad.tenants[1].mix = OpMix {
+            point: 0.0,
+            batch: 0.0,
+            range_scan: 0.0,
+            ingest: 0.0,
+        };
+        assert!(bad.validate().is_err());
+
+        let mut bad = TenantMixConfig::default();
+        bad.burst.burst_len = bad.burst.burst_period + 1;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn stream_advances_ticks_and_attributes_tenants() {
+        let mut m = TenantMix::new(TenantMixConfig::default(), 9).unwrap();
+        let n_tenants = m.config().tenants.len();
+        let mut seen = vec![0usize; n_tenants];
+        let mut last_tick = 0;
+        for _ in 0..2000 {
+            let op = m.next_op();
+            assert!(op.tenant < n_tenants);
+            assert!(op.tick >= last_tick, "ticks are monotone");
+            last_tick = op.tick;
+            seen[op.tenant] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 0),
+            "equal weights reach every tenant: {seen:?}"
+        );
+        assert!(last_tick > 100, "open-loop clock advanced: {last_tick}");
+    }
+
+    #[test]
+    fn zipfian_is_bounded_and_head_heavy() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0u64;
+        const N: u64 = 20_000;
+        for _ in 0..N {
+            let k = z.sample(&mut rng);
+            assert!(k < 10_000);
+            if k < 100 {
+                head += 1;
+            }
+        }
+        // Under uniform the top-100 keys would see ~1% of draws; zipf 0.99
+        // concentrates far more there.
+        assert!(head > N / 10, "top-1% keys drew only {head}/{N} samples");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the multi-tenant SLO workload generator.
+//!
+//! * **Replayability**: the same `(config, seed)` yields the identical op
+//!   stream — the contract every SLO benchmark and CI comparison rests on.
+//! * **Skew**: the zipf exponent actually concentrates popularity — the
+//!   top 1% of keys receive at least the share a configured floor demands.
+//! * **Mix fidelity**: each tenant's observed op-class frequencies converge
+//!   to its configured ratios within tolerance.
+//! * **Burst schedule**: arrival ticks are deterministic, the clock is
+//!   monotone, bursts deliver their multiplier, and quiet phases contain
+//!   genuinely idle (zero-arrival) ticks.
+
+use proptest::prelude::*;
+use umzi_workload::{BurstModel, OpClass, OpMix, TenantMix, TenantMixConfig, TenantProfile};
+
+fn config_of(n_tenants: usize, zipf: f64, base_rate: f64) -> TenantMixConfig {
+    TenantMixConfig {
+        tenants: (0..n_tenants)
+            .map(|i| TenantProfile {
+                weight: 1.0 + i as f64,
+                zipf_exponent: zipf,
+                key_space: 10_000,
+                batch_size: 8,
+                scan_span: 64,
+                ingest_batch: 16,
+                ..TenantProfile::default()
+            })
+            .collect(),
+        burst: BurstModel {
+            base_ops_per_tick: base_rate,
+            burst_period: 32,
+            burst_len: 4,
+            burst_multiplier: 8.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed ⇒ identical stream; different seed ⇒ a different one.
+    #[test]
+    fn same_seed_same_stream(
+        seed in 0u64..1_000_000,
+        n_tenants in 1usize..5,
+    ) {
+        let cfg = config_of(n_tenants, 0.9, 0.7);
+        let mut a = TenantMix::new(cfg.clone(), seed).unwrap();
+        let mut b = TenantMix::new(cfg.clone(), seed).unwrap();
+        let stream_a: Vec<_> = (0..300).map(|_| a.next_op()).collect();
+        let stream_b: Vec<_> = (0..300).map(|_| b.next_op()).collect();
+        prop_assert_eq!(&stream_a, &stream_b);
+
+        let mut c = TenantMix::new(cfg, seed.wrapping_add(1)).unwrap();
+        let stream_c: Vec<_> = (0..300).map(|_| c.next_op()).collect();
+        prop_assert_ne!(&stream_a, &stream_c);
+    }
+
+    /// A zipf exponent near 1 concentrates at least `min_share` of all key
+    /// draws on the top-1% keys (uniform would put ~1% there).
+    #[test]
+    fn zipf_exponent_skews_key_popularity(seed in 0u64..1_000_000) {
+        let mut m = TenantMix::new(config_of(1, 0.99, 2.0), seed).unwrap();
+        let key_space = 10_000u64;
+        let top = key_space / 100;
+        let (mut total, mut head) = (0u64, 0u64);
+        for _ in 0..1500 {
+            let op = m.next_op();
+            let mut count = |k: u64| {
+                total += 1;
+                if k < top {
+                    head += 1;
+                }
+            };
+            match op.kind {
+                umzi_workload::TenantOpKind::Point { key } => count(key),
+                umzi_workload::TenantOpKind::Batch { keys }
+                | umzi_workload::TenantOpKind::Ingest { keys } => {
+                    keys.into_iter().for_each(&mut count)
+                }
+                umzi_workload::TenantOpKind::RangeScan { start, .. } => count(start),
+            }
+        }
+        let min_share = 0.10; // ≥10% on the top 1% — 10x the uniform share
+        prop_assert!(
+            head as f64 >= min_share * total as f64,
+            "top-1% keys got {head}/{total} draws"
+        );
+    }
+
+    /// Observed per-tenant class frequencies match the configured ratios
+    /// within tolerance, for arbitrary (valid) mixes.
+    #[test]
+    fn per_tenant_mix_matches_requested_ratios(
+        seed in 0u64..1_000_000,
+        w_point in 1u32..10,
+        w_batch in 0u32..10,
+        w_scan in 0u32..10,
+        w_ingest in 1u32..10,
+    ) {
+        let mix = OpMix {
+            point: f64::from(w_point),
+            batch: f64::from(w_batch),
+            range_scan: f64::from(w_scan),
+            ingest: f64::from(w_ingest),
+        };
+        let mut cfg = config_of(2, 0.5, 2.0);
+        for t in &mut cfg.tenants {
+            t.mix = mix;
+        }
+        let mut m = TenantMix::new(cfg, seed).unwrap();
+        const OPS: usize = 4000;
+        let mut counts = [[0usize; 4]; 2];
+        for _ in 0..OPS {
+            let op = m.next_op();
+            let class = OpClass::ALL.iter().position(|c| *c == op.class()).unwrap();
+            counts[op.tenant][class] += 1;
+        }
+        let want = mix.fractions();
+        for (tenant, per_class) in counts.iter().enumerate() {
+            let n: usize = per_class.iter().sum();
+            prop_assert!(n > 300, "tenant {tenant} starved: {n} ops");
+            for (ci, &c) in per_class.iter().enumerate() {
+                let got = c as f64 / n as f64;
+                prop_assert!(
+                    (got - want[ci]).abs() < 0.08,
+                    "tenant {} class {} got {:.3} want {:.3}",
+                    tenant, OpClass::ALL[ci].label(), got, want[ci]
+                );
+            }
+        }
+    }
+
+    /// The burst schedule is deterministic, monotone, and has real idle
+    /// gaps: with a fractional off-burst rate some ticks see no arrivals,
+    /// while burst windows see multiplied arrivals.
+    #[test]
+    fn burst_schedule_is_deterministic_and_leaves_idle_gaps(seed in 0u64..1_000_000) {
+        let cfg = config_of(2, 0.9, 0.4); // off-burst < 1 op/tick ⇒ gaps
+        let mut a = TenantMix::new(cfg.clone(), seed).unwrap();
+        let mut b = TenantMix::new(cfg.clone(), seed).unwrap();
+        let ticks_a: Vec<u64> = (0..600).map(|_| a.next_op().tick).collect();
+        let ticks_b: Vec<u64> = (0..600).map(|_| b.next_op().tick).collect();
+        prop_assert_eq!(&ticks_a, &ticks_b, "arrival schedule must replay");
+        prop_assert!(ticks_a.windows(2).all(|w| w[0] <= w[1]), "monotone clock");
+
+        // Per-tick arrival counts over the covered window.
+        let last = *ticks_a.last().unwrap();
+        let mut per_tick = vec![0u64; last as usize + 1];
+        for &t in &ticks_a {
+            per_tick[t as usize] += 1;
+        }
+        // Only full cycles: the tail cycle may be cut mid-burst.
+        let full = (per_tick.len() / 32) * 32;
+        prop_assert!(full >= 64, "stream covers at least two burst cycles");
+        let (mut burst_ops, mut quiet_ops, mut quiet_idle, mut quiet_ticks) = (0u64, 0u64, 0u64, 0u64);
+        for (t, &n) in per_tick[..full].iter().enumerate() {
+            if cfg.burst.in_burst(t as u64) {
+                burst_ops += n;
+            } else {
+                quiet_ops += n;
+                quiet_ticks += 1;
+                if n == 0 {
+                    quiet_idle += 1;
+                }
+            }
+        }
+        prop_assert!(quiet_idle > 0, "fractional off-burst rate must leave idle ticks");
+        // Burst windows are 1/7 of the quiet ticks but the multiplier is 8x:
+        // mean burst-tick arrivals must clearly exceed mean quiet-tick ones.
+        let burst_ticks = full as u64 - quiet_ticks;
+        prop_assert!(
+            burst_ops * quiet_ticks > 2 * quiet_ops * burst_ticks,
+            "bursts deliver the multiplier: {burst_ops}/{burst_ticks} vs {quiet_ops}/{quiet_ticks}"
+        );
+    }
+}

@@ -5,13 +5,23 @@ Usage: compare_bench.py COMMITTED.json FRESH.json
 
 Both files follow the shape the benches emit: a "results" list of
 measurements keyed by (workload, runs) with an "ops_per_sec" figure, plus
-optional top-level "*_speedup_*" scalars. Missing rows (new workloads, or a
-first run with no committed baseline) are reported as such rather than
-failing — CI must stay green when a PR adds a bench group.
+optional top-level "*_speedup_*" scalars and percentile scalars (keys with
+a p50/p90/p99/p999 component, e.g. "cold_shard_point_p99_nanos_fair").
+Missing rows (new workloads, or a first run with no committed baseline) are
+reported as such rather than failing — CI must stay green when a PR adds a
+bench group. Percentile scalars are the exception: they are SLO tracking
+points, so a committed percentile scalar that vanishes from the fresh run
+fails the comparison loudly — a renamed or dropped tail-latency gauge must
+never slip through as "group set changed".
 """
 
 import json
+import re
 import sys
+
+# A top-level scalar is a percentile tracking point when its key has a
+# standalone pNN component ("..._p99_nanos_...", not "...p99x...").
+PERCENTILE_KEY = re.compile(r"(?:^|_)p(?:50|90|99|999)(?:_|$)")
 
 
 def load(path):
@@ -66,15 +76,44 @@ def main():
     if committed is not None and not added and not removed:
         print("group set unchanged")
 
-    old_scalars = {k for k in (committed or {}) if "speedup" in k}
-    new_scalars = {k for k in fresh if "speedup" in k}
-    for k, v in fresh.items():
-        if "speedup" in k:
-            o = (committed or {}).get(k)
-            base = f" (committed: {o})" if o is not None else " (new scalar)"
-            print(f"{k}: {v}{base}")
+    def is_percentile(k):
+        return isinstance(fresh.get(k, (committed or {}).get(k)), (int, float)) and bool(
+            PERCENTILE_KEY.search(k)
+        )
+
+    old_scalars = {k for k in (committed or {}) if "speedup" in k and not is_percentile(k)}
+    new_scalars = {k for k in fresh if "speedup" in k and not is_percentile(k)}
+    for k in sorted(new_scalars):
+        o = (committed or {}).get(k)
+        base = f" (committed: {o})" if o is not None else " (new scalar)"
+        print(f"{k}: {fresh[k]}{base}")
     for k in sorted(old_scalars - new_scalars):
         print(f"{k}: removed (committed: {committed[k]})")
+
+    # Percentile scalars: diff every one, and fail loudly if a committed one
+    # is missing from the fresh run.
+    old_pcts = {k for k in (committed or {}) if is_percentile(k)}
+    new_pcts = {k for k in fresh if is_percentile(k)}
+    if old_pcts or new_pcts:
+        print("percentile scalars:")
+    for k in sorted(new_pcts):
+        n = fresh[k]
+        o = (committed or {}).get(k)
+        if isinstance(o, (int, float)) and o:
+            print(f"  {k}: {o} -> {n} ({(n - o) / o * 100:+.1f}%)")
+        elif o is not None:
+            print(f"  {k}: {o} -> {n}")
+        else:
+            print(f"  {k}: {n} (new scalar)")
+    lost = sorted(old_pcts - new_pcts)
+    if lost:
+        for k in lost:
+            print(f"  {k}: MISSING from fresh run (committed: {committed[k]})")
+        sys.exit(
+            f"FAIL: {len(lost)} committed percentile scalar(s) missing from "
+            f"{fresh_path} — a tail-latency tracking point was dropped or "
+            "renamed without updating the committed baseline"
+        )
 
 
 if __name__ == "__main__":

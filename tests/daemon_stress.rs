@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use umzi::prelude::*;
 use umzi_core::ReconcileStrategy;
+use umzi_wildfire::WildfireError;
 
 const DEVICES: i64 = 16;
 
@@ -283,6 +284,147 @@ fn parallel_scans_survive_concurrent_maintenance() {
     assert_eq!(total, written.load(Ordering::Acquire), "no row lost");
 }
 
+/// Maintenance fairness under a 10x ingest skew: one hot shard keeps a
+/// single slowed worker under sustained level-0 merge pressure (its runs
+/// are built inline, so real merge work — which outranks grooms — arrives
+/// faster than the worker drains it) while the cold shard takes a trickle.
+/// The weighted-aging dequeue must still get the cold shard's groom served
+/// while the pressure is on; with the run-count axis parked out of reach,
+/// the byte-based gate is the only ingest backpressure, and no acked row
+/// may be lost under it.
+#[test]
+fn cold_shard_groom_completes_under_hot_merge_pressure() {
+    let table = iot_table();
+    let shard_of = |device: i64| {
+        table.shard_of(
+            &[
+                Datum::Int64(device),
+                Datum::Int64(0),
+                Datum::Int64(0),
+                Datum::Int64(0),
+            ],
+            2,
+        )
+    };
+    let hot_dev = (0..100).find(|&d| shard_of(d) == 0).unwrap();
+    let cold_dev = (0..100).find(|&d| shard_of(d) == 1).unwrap();
+
+    let mut config = stress_config();
+    config.groom_trigger_rows = 64;
+    config.groom_interval = Duration::from_millis(10);
+    config.maintenance = Some(MaintenanceConfig {
+        workers: 1,
+        fair_dequeue: true,
+        // Park the run-count axis so the byte watermarks are the only
+        // ingest gate this test exercises.
+        l0_high_watermark: 1_000_000,
+        l0_low_watermark: 500_000,
+        l0_bytes_high_watermark: 32 << 10,
+        l0_bytes_low_watermark: 16 << 10,
+        // One slowed worker: merge arrivals outpace it, which is exactly
+        // the backlog the aging dequeue must let the cold groom overtake.
+        throttle: Some(Duration::from_millis(2)),
+        stall_timeout: Some(Duration::from_secs(2)),
+        janitor_interval: Duration::from_millis(15),
+        adaptive_cache: false,
+        ..MaintenanceConfig::default()
+    });
+    let storage = Arc::new(TieredStorage::in_memory());
+    let engine = WildfireEngine::create(storage, Arc::new(table), config).unwrap();
+    let daemons = engine.start_daemons();
+    let daemon = Arc::clone(daemons.daemon().expect("maintenance configured"));
+
+    // Hot flood: 10x the cold rate, groomed inline each round so the daemon
+    // queue always holds fresh level-0 merge work for the hot shard.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hot_acked = Arc::new(AtomicU64::new(0));
+    let flood = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let hot_acked = Arc::clone(&hot_acked);
+        std::thread::spawn(move || {
+            let mut msg = 0i64;
+            while !stop.load(Ordering::Acquire) {
+                let rows: Vec<Vec<Datum>> = (0..80).map(|i| row(hot_dev, msg + i)).collect();
+                match engine.upsert_many(rows) {
+                    Ok(()) => {
+                        hot_acked.fetch_add(80, Ordering::Release);
+                        msg += 80;
+                    }
+                    // A stall that outlives the timeout rejects the batch;
+                    // rejected rows are not acked and not expected back.
+                    Err(WildfireError::Backpressure { .. }) => {}
+                    Err(e) => panic!("hot ingest failed: {e}"),
+                }
+                engine.shards()[0].groom().expect("inline hot groom");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    // Cold trickle, polling for the cold shard's groom to land while the
+    // flood is still running. FIFO dequeue would leave it behind the hot
+    // merge backlog; the aging dequeue must serve it within the deadline.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut cold_acked = 0u64;
+    let mut cold_msg = 0i64;
+    let cold_shard = &engine.shards()[1];
+    while cold_shard.groomed_hi() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cold shard groom starved behind hot merge pressure: {:?}",
+            daemon.stats()
+        );
+        let rows: Vec<Vec<Datum>> = (0..8).map(|i| row(cold_dev, cold_msg + i)).collect();
+        match engine.upsert_many(rows) {
+            Ok(()) => {
+                cold_acked += 8;
+                cold_msg += 8;
+            }
+            Err(WildfireError::Backpressure { .. }) => {}
+            Err(e) => panic!("cold ingest failed: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The cold groom landed while the flood was live — now wind down.
+    stop.store(true, Ordering::Release);
+    flood.join().unwrap();
+    daemons.shutdown();
+
+    let stats = daemon.stats();
+    assert!(
+        stats.peak_dequeue_age(JobKind::Groom) > 0,
+        "aging dequeue never recorded a groom waiting in the queue: {stats:?}"
+    );
+    assert!(
+        stats.kind(JobKind::Merge).runs > 0,
+        "hot flood generated no merge work: {stats:?}"
+    );
+
+    // Integrity under the byte-based gate: every acked row is countable,
+    // whether or not the gate ever stalled (rejected batches were not
+    // acked and are excluded above).
+    engine.quiesce().unwrap();
+    let count = |device: i64| {
+        engine
+            .scan_index(
+                vec![Datum::Int64(device)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+                ReconcileStrategy::PriorityQueue,
+            )
+            .unwrap()
+            .len() as u64
+    };
+    assert_eq!(
+        count(hot_dev) + count(cold_dev),
+        hot_acked.load(Ordering::Acquire) + cold_acked,
+        "acked rows lost under the byte-based ingest gate"
+    );
+}
+
 /// (b) Sustained ingest against a deliberately slowed worker pool must hit
 /// the level-0 high watermark, stall, and then resume once merges catch up
 /// — and lose nothing in the process.
@@ -313,16 +455,35 @@ fn backpressure_stalls_and_resumes_ingest() {
     let daemons = engine.start_daemons();
     let daemon = Arc::clone(daemons.daemon().unwrap());
 
-    let rows: u64 = 20_000;
-    for k in 0..rows as i64 {
-        engine.upsert(row(k % DEVICES, k / DEVICES)).unwrap();
+    // Sustained ingest: keep writing until the gate has demonstrably
+    // engaged. A fixed row count would race the throttled worker — job
+    // dedup admits at most one queued groom per shard, so a fast writer
+    // can finish before two level-0 runs ever coexist. The deadline only
+    // bounds a broken gate; a healthy one engages within milliseconds.
+    let mut rows: u64 = 0;
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while daemon.stats().backpressure.stalls == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sustained ingest must hit the watermark: {:?}",
+            daemon.stats()
+        );
+        for _ in 0..64 {
+            engine
+                .upsert(row(rows as i64 % DEVICES, rows as i64 / DEVICES))
+                .unwrap();
+            rows += 1;
+        }
+    }
+    // Write on through the stall so the resume path is exercised too.
+    for _ in 0..10_000 {
+        engine
+            .upsert(row(rows as i64 % DEVICES, rows as i64 / DEVICES))
+            .unwrap();
+        rows += 1;
     }
     let stats = daemon.stats();
-    assert!(
-        stats.backpressure.stalls > 0,
-        "sustained ingest must hit the watermark: {:?}",
-        stats.backpressure
-    );
+    assert!(stats.backpressure.stalls > 0, "stall engaged: {stats:?}");
     assert!(stats.backpressure.stall_nanos > 0, "stall time accounted");
     // Every upsert returned, so each stall was followed by a resume.
 
