@@ -19,8 +19,8 @@ use umzi_core::{MergePolicy, RangeQuery, ReconcileStrategy, UmziConfig, UmziInde
 use umzi_encoding::Datum;
 use umzi_run::{RunSearcher, SortBound};
 use umzi_storage::{
-    CachePolicy, DecodedCacheConfig, LatencyMode, SharedStorage, TierLatency, TieredConfig,
-    TieredStorage,
+    CachePolicy, DecodedCacheConfig, InMemoryObjectStore, LatencyMode, LatencyModel,
+    PrefetchConfig, SharedStorage, TierLatency, TieredConfig, TieredStorage,
 };
 use umzi_workload::IndexPreset;
 
@@ -125,6 +125,38 @@ fn index_with_scan_partitions(name: &str, partitions: usize) -> Arc<UmziIndex> {
     };
     config.scan.max_scan_partitions = partitions;
     config.scan.parallel_row_threshold = 1;
+    UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
+}
+
+/// An index whose reads come off a slow *shared* tier: sleep-mode latency
+/// per shared GET (charged once per batched multi-range fetch), no decoded
+/// cache — the cold-scan regime where pipelined readahead amortises the
+/// per-request wait across a whole batch of blocks.
+fn index_with_prefetch(name: &str, depth: usize) -> Arc<UmziIndex> {
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::new(
+            Arc::new(InMemoryObjectStore::new()),
+            LatencyModel::new(TierLatency::micros(200, 0), LatencyMode::Sleep),
+        ),
+        TieredConfig {
+            mem_capacity: 8 << 30,
+            ssd_capacity: 64 << 30,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 0,
+                ..DecodedCacheConfig::default()
+            },
+            ..TieredConfig::default()
+        },
+    ));
+    storage.set_prefetch_config(PrefetchConfig {
+        depth,
+        ..PrefetchConfig::default()
+    });
+    let mut config = UmziConfig::two_zone(name);
+    config.merge = MergePolicy {
+        k: usize::MAX / 2,
+        t: 4,
+    };
     UmziIndex::create(storage, IndexPreset::I1.def(), config).expect("create index")
 }
 
@@ -267,6 +299,66 @@ fn main() {
                 }
             }
             par_results.push(measure(label, PAR_RUNS, &idx, 8, |_| {
+                std::hint::black_box(
+                    idx.range_scan(&whole_range, ReconcileStrategy::PriorityQueue)
+                        .expect("scan"),
+                );
+            }));
+        }
+    }
+
+    // Pipelined-prefetch A/B: the same cold multi-run scan off a slow
+    // shared tier, readahead off (depth 0, the synchronous block-at-a-time
+    // path) vs on. Every op purges the runs back to shared storage first,
+    // so each scan pays the full cold-read path; the depth-0 leg sleeps
+    // once per block, the pipelined leg once per batch.
+    const PF_RUNS: usize = 4;
+    const PF_DEPTH: usize = 8;
+    let mut prefetch_results = Vec::new();
+    {
+        let whole_range = RangeQuery {
+            equality: vec![Datum::Int64(0)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        let mut oracle: Option<FlatRows> = None;
+        for (label, depth) in [
+            ("prefetch_cold_scan_depth0", 0usize),
+            ("prefetch_cold_scan_pipelined", PF_DEPTH),
+        ] {
+            let idx = index_with_prefetch(&format!("qlat-{label}"), depth);
+            ingest_runs(
+                &idx,
+                IndexPreset::I1,
+                umzi_workload::KeyDist::Random,
+                PF_RUNS,
+                PER_RUN,
+                true,
+                17,
+            );
+            let handles: Vec<_> = idx.zones()[0]
+                .list
+                .snapshot()
+                .iter()
+                .map(|r| r.handle())
+                .collect();
+            let rows: FlatRows = idx
+                .range_scan(&whole_range, ReconcileStrategy::PriorityQueue)
+                .expect("scan")
+                .iter()
+                .map(|o| (o.key.to_vec(), o.value.to_vec(), o.begin_ts))
+                .collect();
+            match oracle {
+                None => oracle = Some(rows),
+                Some(ref want) => {
+                    assert_eq!(want, &rows, "pipelined scan diverged from depth 0")
+                }
+            }
+            prefetch_results.push(measure(label, PF_RUNS, &idx, 8, |_| {
+                for h in &handles {
+                    idx.storage().purge_object(*h).expect("purge");
+                }
                 std::hint::black_box(
                     idx.range_scan(&whole_range, ReconcileStrategy::PriorityQueue)
                         .expect("scan"),
@@ -465,6 +557,7 @@ fn main() {
     for m in results
         .iter()
         .chain(&par_results)
+        .chain(&prefetch_results)
         .chain(&cache_results)
         .chain(&telemetry_results)
         .chain([&before, &after])
@@ -488,6 +581,12 @@ fn main() {
         PAR_RUNS as u64 * PER_RUN,
         par_speedup
     );
+    let prefetch_speedup =
+        prefetch_results[1].ops_per_sec() / prefetch_results[0].ops_per_sec().max(1e-9);
+    eprintln!(
+        "pipelined prefetch depth 0→{PF_DEPTH} ({PF_RUNS} runs, cold shared reads): {:.2}x ops/sec",
+        prefetch_speedup
+    );
     let cache_hit_speedup = cache_hit_rates[1].1 / cache_hit_rates[0].1.max(1e-9);
     for (label, rate) in &cache_hit_rates {
         eprintln!("{label}: point hit rate {rate:.3}");
@@ -503,6 +602,7 @@ fn main() {
     let lines: Vec<String> = results
         .iter()
         .chain(&par_results)
+        .chain(&prefetch_results)
         .chain(&cache_results)
         .chain(&telemetry_results)
         .chain([&before, &after])
@@ -514,6 +614,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"parallel_scan_speedup_ops_per_sec\": {par_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"prefetch_speedup_ops_per_sec\": {prefetch_speedup:.2},"
     );
     for (label, rate) in &cache_hit_rates {
         let _ = writeln!(json, "  \"{label}_point_hit_rate\": {rate:.3},");

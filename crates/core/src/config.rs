@@ -57,7 +57,8 @@ pub struct CacheConfig {
     /// default) keeps the configuration the [`umzi_storage::TieredConfig`]
     /// was built with. **The decoded cache is shared by every index on the
     /// same `TieredStorage`** — setting this reconfigures that shared
-    /// cache (the shard count stays fixed), and when several indexes
+    /// cache (a changed shard count is rejected: it is fixed when the
+    /// `TieredStorage` is built), and when several indexes
     /// specify different values the last one created wins; prefer sizing
     /// it once in `TieredConfig` and reserve this knob for single-index
     /// deployments, benchmarks and tests.
@@ -287,6 +288,13 @@ pub struct UmziConfig {
     /// every index on the same `TieredStorage`; applying it never resets
     /// accumulated histograms.
     pub telemetry: Option<umzi_storage::TelemetryConfig>,
+    /// Override for the storage hierarchy's pipelined block-prefetch policy
+    /// (readahead depth and in-flight byte budget for cold range scans),
+    /// applied when the index is created or recovered. `None` keeps the
+    /// policy the [`umzi_storage::TieredConfig`] was built with. Like
+    /// [`CacheConfig::decoded_cache`], this reconfigures state shared by
+    /// every index on the same `TieredStorage`.
+    pub prefetch: Option<umzi_storage::PrefetchConfig>,
 }
 
 impl UmziConfig {
@@ -315,6 +323,7 @@ impl UmziConfig {
             retry: None,
             maintenance: MaintenanceConfig::default(),
             telemetry: None,
+            prefetch: None,
         }
     }
 
@@ -391,6 +400,10 @@ impl UmziConfig {
         }
         if let Some(tc) = &self.telemetry {
             tc.validate().map_err(UmziError::Config)?;
+        }
+        if let Some(pf) = &self.prefetch {
+            pf.validate()
+                .map_err(|e| UmziError::Config(e.to_string()))?;
         }
         self.scan.validate()?;
         self.maintenance.validate()?;
@@ -575,6 +588,21 @@ mod tests {
         });
         assert!(c.validate().is_err());
         c.cache.decoded_cache = Some(umzi_storage::DecodedCacheConfig::default());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_prefetch_override() {
+        let mut c = UmziConfig::two_zone("t");
+        c.prefetch = Some(umzi_storage::PrefetchConfig {
+            depth: 4,
+            max_inflight_bytes: 0,
+        });
+        assert!(c.validate().is_err());
+        c.prefetch = Some(umzi_storage::PrefetchConfig {
+            depth: 4,
+            ..umzi_storage::PrefetchConfig::default()
+        });
         c.validate().unwrap();
     }
 

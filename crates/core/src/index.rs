@@ -137,6 +137,9 @@ impl UmziIndex {
         if let Some(tc) = &config.telemetry {
             storage.telemetry().configure(tc);
         }
+        if let Some(pf) = config.prefetch {
+            storage.set_prefetch_config(pf);
+        }
         let index = Self::empty(storage, def, config);
         index.persist_manifest()?;
         Ok(Arc::new(index))

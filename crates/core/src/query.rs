@@ -204,13 +204,17 @@ impl UmziIndex {
 
     /// Reconcile positioned per-run iterators, taking the partitioned
     /// parallel path when the scan is large enough (§7.1.2 merge, split by
-    /// key range): plan boundaries from the largest run's block fences,
-    /// resolve each boundary to a per-run ordinal through the fence index
-    /// (one cheap, usually-cached lookup per run × boundary), split every
-    /// iterator with [`umzi_run::RunRangeIter::sub_range`], and merge the
-    /// partitions on scoped threads. Output is byte-for-byte the sequential
-    /// [`reconcile_pq`] result — partitions are key-disjoint, cut at
-    /// logical-key granularity, and concatenated in ascending order.
+    /// key range): plan boundaries from the merged block fences of every
+    /// candidate run, resolve each boundary to a per-run ordinal through the
+    /// fence index (one cheap, usually-cached lookup per run × boundary),
+    /// split every iterator with
+    /// [`umzi_run::RunRangeIter::sub_range_seeded`], and merge the
+    /// partitions on scoped threads. Boundary resolution decodes the block
+    /// containing each cut; that decoded block is handed to the partition
+    /// that *starts* at the cut, so adjacent partitions sharing a boundary
+    /// block don't each fetch it again. Output is byte-for-byte the
+    /// sequential [`reconcile_pq`] result — partitions are key-disjoint,
+    /// cut at logical-key granularity, and concatenated in ascending order.
     fn reconcile_pq_maybe_parallel(
         &self,
         iters: Vec<umzi_run::RunRangeIter<'_>>,
@@ -235,8 +239,10 @@ impl UmziIndex {
         // resolution may cost a block read, and they are the only
         // sequential I/O left in front of the parallel merge. Exact cuts:
         // no logical-key group straddles a boundary (prefix-free logical
-        // keys), so every version of a group lands on one side.
-        let cuts: Vec<Vec<u64>> = Self::fan_out_chunks(&iters, 2, |chunk| {
+        // keys), so every version of a group lands on one side. The decoded
+        // block each resolution already paid for rides along as a seed.
+        type Cut = (u64, Option<(u32, umzi_run::DataBlock, u64)>);
+        let cuts: Vec<Vec<Cut>> = Self::fan_out_chunks(&iters, 2, |chunk| {
             chunk
                 .iter()
                 .map(|it| {
@@ -245,11 +251,11 @@ impl UmziIndex {
                     boundaries
                         .iter()
                         .map(|boundary| {
-                            prev = it
+                            let (ord, seed) = it
                                 .run()
-                                .locate_first_geq_as(boundary, AccessPattern::RangeScan)?
-                                .clamp(prev, end);
-                            Ok(prev)
+                                .locate_first_geq_with_block(boundary, AccessPattern::RangeScan)?;
+                            prev = ord.clamp(prev, end);
+                            Ok((prev, seed))
                         })
                         .collect()
                 })
@@ -258,14 +264,30 @@ impl UmziIndex {
         let mut partitions: Vec<Vec<umzi_run::RunRangeIter<'_>>> = (0..=boundaries.len())
             .map(|_| Vec::with_capacity(iters.len()))
             .collect();
-        for (it, run_cuts) in iters.iter().zip(&cuts) {
+        for (it, run_cuts) in iters.iter().zip(cuts) {
             let (start, end) = it.ordinal_bounds();
             let mut prev = start;
-            for (p, &cut) in run_cuts.iter().enumerate() {
-                partitions[p].push(it.sub_range(prev, cut));
+            // A mid-block cut's decoded block holds the last entries of the
+            // partition ending at the cut AND the first entries of the one
+            // starting there — seed both sides (the clone is a refcount
+            // bump, not a byte copy). Fence-aligned cuts carry no block.
+            let mut carry: Option<(u32, umzi_run::DataBlock, u64)> = None;
+            for (p, (cut, seed)) in run_cuts.into_iter().enumerate() {
+                let mut seeds: Vec<_> = carry.take().into_iter().collect();
+                if let Some(s) = &seed {
+                    if seeds.first().map(|c: &(u32, _, _)| c.0) != Some(s.0) {
+                        seeds.push(s.clone());
+                    }
+                }
+                partitions[p].push(it.sub_range_seeded(prev, cut, seeds));
                 prev = cut;
+                carry = seed;
             }
-            partitions[boundaries.len()].push(it.sub_range(prev, end));
+            partitions[boundaries.len()].push(it.sub_range_seeded(
+                prev,
+                end,
+                carry.take().into_iter().collect(),
+            ));
         }
         self.counters
             .parallel_scans
@@ -874,6 +896,129 @@ mod tests {
         let pstats = par.stats();
         assert!(pstats.parallel_scans > 0, "forced config must fan out");
         assert!(pstats.scan_partitions >= 2 * pstats.parallel_scans);
+    }
+
+    /// PR 9 boundary over-fetch regression: adjacent partitions of a
+    /// parallel scan share their boundary blocks, and the cut resolution
+    /// already decodes each of them — the partitioned path must reuse those
+    /// decoded blocks instead of fetching once per side. A tiny decoded
+    /// cache keeps cache hits from masking a refetch; the partitioned scan
+    /// may then read at most one extra block per partition (the
+    /// fence-resolution reads) over the sequential scan.
+    #[test]
+    fn partitioned_scan_does_not_refetch_boundary_blocks() {
+        let build = |name: &str, partitions: usize, threshold: u64| {
+            let storage = Arc::new(TieredStorage::in_memory());
+            let def = Arc::new(
+                IndexDef::builder("t")
+                    .equality("device", ColumnType::Int64)
+                    .sort("msg", ColumnType::Int64)
+                    .included("val", ColumnType::Int64)
+                    .build()
+                    .unwrap(),
+            );
+            let mut cfg = UmziConfig::two_zone(name);
+            cfg.scan.max_scan_partitions = partitions;
+            cfg.scan.parallel_row_threshold = threshold;
+            cfg.scan.min_partition_rows = 1;
+            // Effectively no decoded cache: every block fetch must hit the
+            // chunk tiers, so a boundary-block refetch is visible in
+            // `chunk_reads` instead of being absorbed as a cache hit.
+            cfg.cache.decoded_cache = Some(umzi_storage::DecodedCacheConfig {
+                capacity_bytes: 1,
+                shards: 16,
+                ..umzi_storage::DecodedCacheConfig::default()
+            });
+            let idx = UmziIndex::create(storage, def, cfg).unwrap();
+            // Overlapping runs so merged-fence boundaries land mid-block in
+            // most runs — the shape that over-fetched before the fix.
+            for r in 0..4u64 {
+                let entries = (0..3000i64)
+                    .map(|m| {
+                        entry(
+                            &idx,
+                            ZoneId::GROOMED,
+                            1,
+                            (m + r as i64 * 500) % 3500,
+                            10 + r * 100 + (m % 7) as u64,
+                            m,
+                        )
+                    })
+                    .collect();
+                idx.build_groomed_run(entries, r + 1, r + 1).unwrap();
+            }
+            idx
+        };
+        let seq = build("q-reads-seq", 1, u64::MAX);
+        let par = build("q-reads-par", 4, 1);
+        let q = RangeQuery {
+            equality: vec![Datum::Int64(1)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        let reads = |idx: &Arc<UmziIndex>| {
+            let p0 = idx.storage().trace_probe();
+            let out = idx
+                .range_scan(&q, ReconcileStrategy::PriorityQueue)
+                .unwrap();
+            assert_eq!(out.len(), 3500);
+            idx.storage().trace_probe().since(&p0).chunk_reads
+        };
+        let seq_reads = reads(&seq);
+        let par_reads = reads(&par);
+        let pstats = par.stats();
+        assert!(pstats.parallel_scans > 0, "forced config must fan out");
+        assert!(
+            par_reads <= seq_reads + pstats.scan_partitions,
+            "partitioned scan refetches boundary blocks: \
+             {par_reads} reads > {seq_reads} sequential + {} partitions",
+            pstats.scan_partitions
+        );
+    }
+
+    /// PR 9 planner-skew regression: partition boundaries must be planned
+    /// from the merged fences of every candidate run, not any single run —
+    /// with two same-size runs over disjoint key ranges, a single-run plan
+    /// clusters every boundary inside that run's half and leaves the other
+    /// half as one giant partition.
+    #[test]
+    fn partition_planner_spans_all_candidate_runs() {
+        let idx = setup();
+        idx.build_groomed_run(
+            (0..3000i64)
+                .map(|m| entry(&idx, ZoneId::GROOMED, 1, m, 10, 0))
+                .collect(),
+            1,
+            1,
+        )
+        .unwrap();
+        idx.build_groomed_run(
+            (0..3000i64)
+                .map(|m| entry(&idx, ZoneId::GROOMED, 1, 100_000 + m, 11, 0))
+                .collect(),
+            2,
+            2,
+        )
+        .unwrap();
+        let runs = idx.candidate_runs();
+        assert_eq!(runs.len(), 2);
+        let boundaries = plan_scan_partitions(&runs, &[], None, 4).unwrap();
+        assert!(boundaries.len() >= 2, "two 3000-row runs must yield cuts");
+        // Any key of the low run sorts strictly below this split key (the
+        // largest possible key for msg = 100_000).
+        let split = idx
+            .layout()
+            .build_key(&[Datum::Int64(1)], &[Datum::Int64(100_000)], 0)
+            .unwrap();
+        assert!(
+            boundaries.iter().any(|b| b.as_slice() < split.as_slice()),
+            "no boundary in the low run's range — planned from one run only"
+        );
+        assert!(
+            boundaries.iter().any(|b| b.as_slice() > split.as_slice()),
+            "no boundary in the high run's range — planned from one run only"
+        );
     }
 
     /// ROADMAP "adaptive partition counts": the parallel fan-out must not

@@ -202,29 +202,32 @@ pub fn plan_partition_boundaries(
     out
 }
 
-/// Boundary planner over candidate runs: takes the fences of the *largest*
-/// run (most entries — the best proxy for where the data volume lies; with
-/// skewed run sizes the big run dominates merge cost, so balancing by its
-/// blocks balances the whole merge) and plans `target`-way boundaries
-/// within the scan range.
+/// Boundary planner over candidate runs: merges the fence keys of **every**
+/// candidate run into one sorted list — each fence stands for roughly one
+/// block of data volume in its run, so the merged list is a histogram of
+/// where the merge's total input volume lies — and plans `target`-way
+/// boundaries within the scan range from it.
+///
+/// Planning from a single run (the earlier largest-run-only heuristic)
+/// skews badly when same-sized runs cover disjoint key ranges: the chosen
+/// run's fences say nothing about the other runs' share of the key space,
+/// so every boundary lands inside one run's range and the other runs' rows
+/// all pile into a single partition.
 pub fn plan_scan_partitions(
     runs: &[Arc<Run>],
     lower: &[u8],
     upper: Option<&[u8]>,
     target: usize,
 ) -> Result<Vec<Vec<u8>>> {
-    if target <= 1 {
+    if target <= 1 || runs.is_empty() {
         return Ok(Vec::new());
     }
-    let Some(largest) = runs.iter().max_by_key(|r| r.entry_count()) else {
-        return Ok(Vec::new());
-    };
-    Ok(plan_partition_boundaries(
-        largest.fence_keys()?,
-        lower,
-        upper,
-        target,
-    ))
+    let mut merged: Vec<Vec<u8>> = Vec::new();
+    for run in runs {
+        merged.extend_from_slice(run.fence_keys()?);
+    }
+    merged.sort();
+    Ok(plan_partition_boundaries(&merged, lower, upper, target))
 }
 
 #[cfg(test)]

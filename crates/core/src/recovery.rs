@@ -45,6 +45,9 @@ impl UmziIndex {
         if let Some(tc) = &config.telemetry {
             storage.telemetry().configure(tc);
         }
+        if let Some(pf) = config.prefetch {
+            storage.set_prefetch_config(pf);
+        }
         let index = Self::empty(Arc::clone(&storage), def, config);
 
         // Durable state from the newest valid manifest.

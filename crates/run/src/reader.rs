@@ -250,6 +250,10 @@ impl Run {
         let key = (self.handle.raw(), b);
         if let Some(hit) = self.storage.decoded_cache().get(key, pattern) {
             if let Ok(block) = hit.downcast::<DataBlock>() {
+                // A block that readahead both staged and decoded is consumed
+                // here without any chunk read — still a prefetch hit.
+                self.storage
+                    .note_prefetch_consumed(self.handle, self.header.header_chunks + b);
                 return Ok(DataBlock::clone(&block));
             }
         }
@@ -269,6 +273,51 @@ impl Run {
             );
         }
         Ok(block)
+    }
+
+    /// Stage data blocks ahead of demand: one batched chunk prefetch through
+    /// the storage hierarchy ([`TieredStorage::prefetch_chunks`]), then each
+    /// arriving block is checksum-verified, parsed, and admitted to the
+    /// decoded cache as range-scan traffic (decode-on-arrival), or handed to
+    /// [`umzi_storage::DecodedBlockCache::insert_scan_bypassed`] when the
+    /// scan is past its bypass budget. Returns the number of chunks staged.
+    ///
+    /// Best-effort by design: a block that fails its checksum or parse here
+    /// is silently skipped — the staged chunk stays in the tiers and the
+    /// synchronous demand path re-verifies it with full corruption
+    /// containment. Callers on the scan path likewise swallow the `Err`
+    /// (batch fetch failure) and fall back to demand fetching.
+    pub fn prefetch_blocks(&self, blocks: &[u32], bypass_insert: bool) -> Result<usize> {
+        if blocks.is_empty() {
+            return Ok(0);
+        }
+        let chunk_nos: Vec<u32> = blocks
+            .iter()
+            .filter(|&&b| b < self.header.n_data_blocks)
+            .map(|&b| self.header.header_chunks + b)
+            .collect();
+        let fetched = self.storage.prefetch_chunks(self.handle, &chunk_nos)?;
+        let staged = fetched.len();
+        let cache = self.storage.decoded_cache();
+        for (chunk_no, chunk) in fetched {
+            let b = chunk_no - self.header.header_chunks;
+            if let Some(&expected) = self.header.block_checksums.get(b as usize) {
+                if hash64(&chunk) != expected {
+                    continue;
+                }
+            }
+            let Ok(block) = DataBlock::parse(chunk) else {
+                continue;
+            };
+            let key = (self.handle.raw(), b);
+            let weight = block.size_bytes() as u64;
+            if bypass_insert {
+                cache.insert_scan_bypassed(key, Arc::new(block), weight);
+            } else {
+                cache.insert(key, Arc::new(block), weight, AccessPattern::RangeScan);
+            }
+        }
+        Ok(staged)
     }
 
     /// Corruption containment for one fetched data block: verify the raw
@@ -382,6 +431,12 @@ impl Run {
         if pb == 0 {
             return Ok(0);
         }
+        // Exact fence hit: the answer is the start of block `pb`, already
+        // known from the in-memory prefix counts — no block read. Common
+        // for partitioned scans, whose cut boundaries are fence keys.
+        if pb < fences.len() && fences[pb].as_slice() == target {
+            return Ok(self.header.block_prefix_counts[pb - 1]);
+        }
         let b = (pb - 1) as u32;
         let base = if b == 0 {
             0
@@ -390,6 +445,43 @@ impl Run {
         };
         let block = self.data_block_as(b, pattern)?;
         Ok(base + u64::from(block.partition_point_geq(target)?))
+    }
+
+    /// Like [`Self::locate_first_geq_as`], but also returning the decoded
+    /// candidate block as a [`LocatedBlock`] when one was fetched. A partitioned scan resolves each cut boundary this way and
+    /// seeds the adjacent partition's iterator with the block
+    /// ([`crate::search::RunRangeIter::sub_range_seeded`]), so the two
+    /// partitions sharing the boundary do not each fetch it again. `None`
+    /// means the answer came from the fence index and prefix counts alone
+    /// (ordinal 0, or a target exactly on a fence key) — nothing was
+    /// fetched, so there is nothing to reuse.
+    pub fn locate_first_geq_with_block(
+        &self,
+        target: &[u8],
+        pattern: AccessPattern,
+    ) -> Result<(u64, Option<LocatedBlock>)> {
+        if self.header.entry_count == 0 {
+            return Ok((0, None));
+        }
+        let fences = self.fence_keys()?;
+        let pb = fences.partition_point(|f| f.as_slice() < target);
+        if pb == 0 {
+            return Ok((0, None));
+        }
+        // Exact fence hit — resolved from the prefix counts without a block
+        // read, so there is no decoded block to hand back.
+        if pb < fences.len() && fences[pb].as_slice() == target {
+            return Ok((self.header.block_prefix_counts[pb - 1], None));
+        }
+        let b = (pb - 1) as u32;
+        let base = if b == 0 {
+            0
+        } else {
+            self.header.block_prefix_counts[b as usize - 1]
+        };
+        let block = self.data_block_as(b, pattern)?;
+        let ordinal = base + u64::from(block.partition_point_geq(target)?);
+        Ok((ordinal, Some((b, block, base))))
     }
 
     /// The binary-search range `[lo, hi)` for a hash bucket, from the offset
@@ -409,6 +501,11 @@ impl Run {
         }
     }
 }
+
+/// A decoded block handed back by [`Run::locate_first_geq_with_block`]:
+/// `(block_no, block, first_ordinal)`. Cloning the block is a refcount
+/// bump, not a byte copy.
+pub type LocatedBlock = (u32, DataBlock, u64);
 
 /// A parsed data block: entries at the front, `u16` offset trailer at the
 /// back.

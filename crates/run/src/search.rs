@@ -181,6 +181,13 @@ impl<'a> RunSearcher<'a> {
             },
             streamed: (pattern == AccessPattern::RangeScan)
                 .then(|| budget.unwrap_or_else(|| Arc::new(AtomicU64::new(0)))),
+            prefetch_depth: if pattern == AccessPattern::RangeScan {
+                self.run.storage().prefetch_config().depth
+            } else {
+                0
+            },
+            prefetched_until: 0,
+            seeds: Vec::new(),
         })
     }
 
@@ -261,6 +268,20 @@ pub struct RunRangeIter<'a> {
     /// partition. `None` for non-scan patterns (bypass can never apply), so
     /// point/batch probes skip the allocation on their hot path.
     streamed: Option<Arc<AtomicU64>>,
+    /// Readahead depth (blocks kept staged ahead of the consumer), a
+    /// snapshot of the storage's [`umzi_storage::PrefetchConfig`] taken at
+    /// positioning time; 0 disables readahead (and is forced for non-scan
+    /// patterns, whose access order the fence index does not predict).
+    prefetch_depth: usize,
+    /// First block number not yet requested for readahead, so overlapping
+    /// triggers never re-request a block this iterator already asked for.
+    prefetched_until: u32,
+    /// Already-decoded blocks handed over by cut resolution
+    /// ([`Run::locate_first_geq_with_block`] via
+    /// [`Self::sub_range_seeded`]): a partition's first and/or last block,
+    /// consumed in place of a fetch when iteration reaches them. At most
+    /// two entries, so a linear scan beats any map.
+    seeds: Vec<(u32, DataBlock, u64)>,
 }
 
 impl<'a> RunRangeIter<'a> {
@@ -308,7 +329,29 @@ impl<'a> RunRangeIter<'a> {
             pattern: self.pattern,
             scan_bypass: self.scan_bypass,
             streamed: self.streamed.clone(),
+            prefetch_depth: self.prefetch_depth,
+            prefetched_until: 0,
+            seeds: Vec::new(),
         }
+    }
+
+    /// Like [`Self::sub_range`], but seeding the piece with already-decoded
+    /// blocks — `(block_no, block, first_ordinal)` tuples, typically from
+    /// [`Run::locate_first_geq_with_block`] resolving this piece's own cut
+    /// boundaries. A mid-block cut makes one block both the last block of
+    /// the partition ending there and the first block of the partition
+    /// starting there; handing each side the resolution's decoded copy
+    /// means the block is fetched once per scan, not once per side. Seeds
+    /// for blocks the piece never reaches are simply dropped.
+    pub fn sub_range_seeded(
+        &self,
+        lo: u64,
+        hi: u64,
+        seeds: Vec<(u32, DataBlock, u64)>,
+    ) -> RunRangeIter<'a> {
+        let mut piece = self.sub_range(lo, hi);
+        piece.seeds = seeds;
+        piece
     }
 
     /// Whether the next block fetch should skip cache admission: a range
@@ -323,7 +366,19 @@ impl<'a> RunRangeIter<'a> {
                 .is_some_and(|s| s.load(Ordering::Relaxed) >= self.scan_bypass)
     }
 
+    /// Consume the cut-resolution seed for block `b`, if one was attached.
+    /// Seeded blocks skip the fetch entirely and do not count against the
+    /// scan-bypass budget — the resolution already paid for them, the scan
+    /// streams no new bytes.
+    fn take_seed(&mut self, b: u32) -> Option<DataBlock> {
+        let i = self.seeds.iter().position(|(sb, _, _)| *sb == b)?;
+        Some(self.seeds.swap_remove(i).1)
+    }
+
     fn load_block(&mut self, b: u32) -> Result<DataBlock> {
+        if let Some(block) = self.take_seed(b) {
+            return Ok(block);
+        }
         let block = if self.bypassing() {
             self.run.data_block_scan_bypassed(b)?
         } else {
@@ -335,6 +390,36 @@ impl<'a> RunRangeIter<'a> {
         Ok(block)
     }
 
+    /// Refill the readahead pipeline when it has drained: stage the next
+    /// `prefetch_depth` blocks past `cur` in one batch, never past the
+    /// scan's last block. Refilling only on a drained pipeline keeps every
+    /// batch at full depth — one batched (concurrently issued) fetch per
+    /// `depth` consumed blocks, instead of degrading to one single-block
+    /// batch per step once primed. Advisory: a failed batch is dropped — the
+    /// demand path fetches (and retries) synchronously — so readahead can
+    /// never poison the iterator.
+    fn maybe_readahead(&mut self, cur: u32) {
+        if self.prefetch_depth == 0 || self.end == 0 {
+            return;
+        }
+        let next = cur.saturating_add(1);
+        if next < self.prefetched_until {
+            return; // staged blocks remain ahead of the consumer
+        }
+        // Last block the scan can touch, from the in-memory prefix counts.
+        let Ok((last, _)) = self.run.locate(self.end - 1) else {
+            return;
+        };
+        let from = next.max(self.prefetched_until);
+        let to = last.min(cur.saturating_add(self.prefetch_depth as u32));
+        if from > to {
+            return;
+        }
+        let blocks: Vec<u32> = (from..=to).collect();
+        self.prefetched_until = to + 1;
+        let _ = self.run.prefetch_blocks(&blocks, self.bypassing());
+    }
+
     fn fetch(&mut self, ordinal: u64) -> Result<EntryRef> {
         loop {
             if let Some((b, block)) = &self.cur_block {
@@ -344,9 +429,11 @@ impl<'a> RunRangeIter<'a> {
                 }
                 if ordinal == self.block_base + n_in_block && b + 1 < self.run.data_block_count() {
                     // Sequential advance: step into the next block without
-                    // re-deriving the position.
+                    // re-deriving the position. Top the readahead pipeline
+                    // up first so the fetch below finds its block staged.
                     let next = b + 1;
                     self.block_base += n_in_block;
+                    self.maybe_readahead(next);
                     let block = self.load_block(next)?;
                     self.cur_block = Some((next, block));
                     continue;
@@ -355,6 +442,7 @@ impl<'a> RunRangeIter<'a> {
             // First positioning (or a non-sequential jump): one locate().
             let (b, slot) = self.run.locate(ordinal)?;
             self.block_base = ordinal - u64::from(slot);
+            self.maybe_readahead(b);
             let block = self.load_block(b)?;
             self.cur_block = Some((b, block));
         }
@@ -676,6 +764,39 @@ mod tests {
         let empty = it.sub_range(end, start);
         assert_eq!(empty.remaining_entries(), 0);
         assert_eq!(empty.count(), 0);
+    }
+
+    /// A cold scan with readahead configured returns exactly what the warm
+    /// scan returned, and the storage counters attribute the staged blocks.
+    #[test]
+    fn readahead_scan_is_equivalent_and_attributed() {
+        let cfg = umzi_storage::TieredConfig {
+            chunk_size: 256,
+            prefetch: umzi_storage::PrefetchConfig {
+                depth: 3,
+                max_inflight_bytes: 1 << 20,
+            },
+            ..umzi_storage::TieredConfig::default()
+        };
+        let storage = Arc::new(TieredStorage::new(
+            umzi_storage::SharedStorage::in_memory(),
+            cfg,
+        ));
+        let rows: Vec<(i64, i64, u64)> = (0..400).map(|m| (3, m, 10)).collect();
+        let run = build(&storage, &rows, "runs/ra");
+        assert!(run.data_block_count() > 6, "need several blocks");
+
+        let warm = scan_pairs(&run, 3, 0, 399, 100);
+        assert_eq!(warm.len(), 400);
+
+        // Purge drops the local copies; the cold scan streams batched
+        // prefetches back in instead of stalling per block.
+        storage.purge_object(run.handle()).unwrap();
+        let cold = scan_pairs(&run, 3, 0, 399, 100);
+        assert_eq!(cold, warm, "readahead must not change scan results");
+        let s = storage.stats();
+        assert!(s.blocks_prefetched > 0, "scan staged blocks: {s:?}");
+        assert!(s.prefetch_hits > 0, "staged blocks served reads: {s:?}");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use umzi_encoding::{hash_prefix, ColumnType, Datum, IndexDef};
 use umzi_run::{
     IndexEntry, KeyLayout, Rid, Run, RunBuilder, RunParams, RunSearcher, SortBound, ZoneId,
 };
-use umzi_storage::{Durability, TieredStorage};
+use umzi_storage::{Durability, PrefetchConfig, SharedStorage, TieredConfig, TieredStorage};
 
 fn layout() -> KeyLayout {
     let def = IndexDef::builder("prop")
@@ -162,6 +162,106 @@ proptest! {
             let bucket = l.bucket_of(&e.key, offset_bits).unwrap();
             let (lo, hi) = run.bucket_range(Some(bucket));
             prop_assert!((lo..hi).contains(&ord));
+        }
+    }
+
+    /// Pipelined readahead is invisible in results: a cold scan with ANY
+    /// prefetch depth (including 0 = off) is byte-for-byte the depth-0 scan
+    /// over the same run, and a positive depth on a cold multi-block scan
+    /// actually stages blocks.
+    #[test]
+    fn prefetch_scan_equals_depth_zero(
+        rows in proptest::collection::vec((0i64..3, -20i64..40, 1u64..40), 1..300),
+        depth in 0usize..=9,
+        device in 0i64..3,
+        lo in -21i64..41,
+        len in 0i64..40,
+        query_ts in 0u64..45,
+    ) {
+        let hi = lo + len;
+        // Small chunks force multi-block runs so readahead has work to do.
+        let storage = Arc::new(TieredStorage::new(
+            SharedStorage::in_memory(),
+            TieredConfig {
+                chunk_size: 256,
+                ..TieredConfig::default()
+            },
+        ));
+        let l = layout();
+        let mut entries: Vec<IndexEntry> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(d, m, ts))| {
+                IndexEntry::new(
+                    &l,
+                    &[Datum::Int64(d)],
+                    &[Datum::Int64(m)],
+                    ts,
+                    Rid::new(ZoneId::GROOMED, i as u64, 0),
+                    &[],
+                )
+                .unwrap()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut b = RunBuilder::new(
+            l.clone(),
+            RunParams {
+                run_id: 1,
+                zone: ZoneId::GROOMED,
+                level: 0,
+                groomed_lo: 0,
+                groomed_hi: 0,
+                psn: 0,
+                offset_bits: 0,
+                ancestors: vec![],
+            },
+            storage.chunk_size(),
+        );
+        for e in &entries {
+            b.push(e).unwrap();
+        }
+        let run = b
+            .finish(&storage, "runs/prefetch", Durability::Persisted, true)
+            .unwrap();
+
+        let (lower, upper) = l
+            .query_range(
+                &[Datum::Int64(device)],
+                &SortBound::Included(vec![Datum::Int64(lo)]),
+                &SortBound::Included(vec![Datum::Int64(hi)]),
+            )
+            .unwrap();
+        let cold_scan = |d: usize| -> Vec<(Vec<u8>, Vec<u8>, u64)> {
+            storage.set_prefetch_config(PrefetchConfig {
+                depth: d,
+                ..PrefetchConfig::default()
+            });
+            storage.purge_object(run.handle()).unwrap();
+            storage.decoded_cache().clear();
+            RunSearcher::new(&run)
+                .scan(&lower, upper.as_deref(), None, query_ts)
+                .unwrap()
+                .map(|r| {
+                    let h = r.unwrap();
+                    (h.key.to_vec(), h.value.to_vec(), h.begin_ts)
+                })
+                .collect()
+        };
+        let baseline = cold_scan(0);
+        let staged0 = storage.stats().blocks_prefetched;
+        let with_readahead = cold_scan(depth);
+        prop_assert_eq!(&with_readahead, &baseline, "depth {} diverged", depth);
+        // A configured depth on a scan spanning several blocks must have
+        // actually staged something: ≥ 30 result rows at 256-byte chunks
+        // means the scanned range covers several data blocks, so at least
+        // one readahead trigger fires inside it.
+        if depth > 0 && baseline.len() >= 30 {
+            prop_assert!(
+                storage.stats().blocks_prefetched > staged0,
+                "multi-block cold scan at depth {} staged nothing",
+                depth
+            );
         }
     }
 

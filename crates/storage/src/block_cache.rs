@@ -95,8 +95,8 @@ pub struct DecodedCacheConfig {
     /// 0 disables the cache.
     pub capacity_bytes: u64,
     /// Shard count (lock granularity under parallel scans). Fixed at
-    /// construction — [`DecodedBlockCache::reconfigure`] keeps the
-    /// existing shard count.
+    /// construction — [`DecodedBlockCache::reconfigure`] rejects a config
+    /// that asks for a different count.
     pub shards: usize,
     /// Replacement policy.
     pub policy: CachePolicy,
@@ -660,12 +660,22 @@ impl DecodedBlockCache {
     }
 
     /// Apply a new configuration to the live cache: capacity, policy and
-    /// sketch knobs change; the shard count is fixed at construction (the
-    /// `shards` field is ignored). Resident entries survive — switching to
-    /// [`CachePolicy::Lru`] folds the protected segment back into the
-    /// single LRU list.
+    /// sketch knobs change; the shard count is fixed at construction, and a
+    /// config asking for a *different* count is rejected with
+    /// [`StorageError::Config`] — silently keeping the old count would let
+    /// an operator believe a lock-granularity change took effect. Resident
+    /// entries survive — switching to [`CachePolicy::Lru`] folds the
+    /// protected segment back into the single LRU list.
     pub fn reconfigure(&self, config: &DecodedCacheConfig) -> crate::Result<()> {
         config.validate()?;
+        if config.shards != self.shards.len() {
+            return Err(StorageError::Config(format!(
+                "decoded cache shard count is fixed at construction ({}); \
+                 reconfigure cannot change it to {}",
+                self.shards.len(),
+                config.shards
+            )));
+        }
         self.capacity
             .store(config.capacity_bytes, Ordering::Relaxed);
         self.scan_bypass_bytes
@@ -991,6 +1001,33 @@ mod tests {
                 ..DecodedCacheConfig::default()
             })
             .is_err());
+    }
+
+    /// The shard count is fixed at construction: a reconfigure keeping it
+    /// is accepted, one changing it is rejected before any knob changes.
+    #[test]
+    fn reconfigure_rejects_changed_shard_count() {
+        let c = cache(1000, CachePolicy::ScanResistant); // 1 shard
+        c.insert((1, 0), val(0), 100, PT);
+        let err = c
+            .reconfigure(&DecodedCacheConfig {
+                capacity_bytes: 500,
+                shards: 4,
+                ..DecodedCacheConfig::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Config(_)), "{err}");
+        assert_eq!(c.stats().entries, 1, "rejected reconfigure is a no-op");
+        // Capacity untouched: an insert past the would-be new cap still fits.
+        c.insert((1, 1), val(1), 800, PT);
+        assert!(c.stats().used_bytes > 500, "capacity was not shrunk");
+        // Matching shard count is accepted.
+        c.reconfigure(&DecodedCacheConfig {
+            capacity_bytes: 2000,
+            shards: 1,
+            ..DecodedCacheConfig::default()
+        })
+        .unwrap();
     }
 
     /// Shrinking `protected_fraction` must rebalance immediately: scan-only

@@ -64,7 +64,9 @@ pub use shared::SharedStorage;
 pub use stats::{
     DecodedCacheStats, PatternCounters, SharedStats, StorageStats, TierStats, TraceProbe,
 };
-pub use tiered::{Durability, ObjectHandle, RetryConfig, TieredConfig, TieredStorage};
+pub use tiered::{
+    Durability, ObjectHandle, PrefetchConfig, RetryConfig, TieredConfig, TieredStorage,
+};
 
 // Re-exported so upstream layers (core, wildfire) reach the telemetry types
 // through the storage handle they already hold.

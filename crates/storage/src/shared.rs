@@ -80,6 +80,23 @@ impl SharedStorage {
         Ok(data)
     }
 
+    /// Read several ranges of one object as a single batched request.
+    /// Counters record every constituent range, but the latency model is
+    /// charged **once**, for the largest range in the batch: the whole point
+    /// of batching is that the backend issues the reads concurrently, so the
+    /// caller waits for the slowest read, not the sum.
+    pub fn get_ranges(&self, name: &str, ranges: &[(u64, usize)]) -> Result<Vec<Bytes>> {
+        let data = self.store.get_ranges(name, ranges)?;
+        let total: u64 = data.iter().map(|d| d.len() as u64).sum();
+        self.counters
+            .reads
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.bytes_read.fetch_add(total, Ordering::Relaxed);
+        self.latency
+            .apply(data.iter().map(|d| d.len()).max().unwrap_or(0));
+        Ok(data)
+    }
+
     /// Object size.
     pub fn len(&self, name: &str) -> Result<u64> {
         self.store.len(name)
@@ -136,6 +153,27 @@ mod tests {
         assert_eq!(s.deletes, 1);
         assert_eq!(s.bytes_written, 6);
         assert_eq!(s.bytes_read, 9);
+    }
+
+    #[test]
+    fn batched_ranges_charge_latency_once() {
+        let shared = SharedStorage::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            LatencyModel::new(TierLatency::micros(500, 0), LatencyMode::Accounting),
+        );
+        shared.put("x", Bytes::from_static(b"abcdef")).unwrap();
+        let before = shared.stats().charged_latency;
+        let got = shared.get_ranges("x", &[(0, 2), (2, 2), (4, 2)]).unwrap();
+        assert_eq!(got.len(), 3);
+        // Three ranges, one latency charge — the batch models concurrent
+        // issuance, so the caller pays for the slowest read only.
+        assert_eq!(
+            shared.stats().charged_latency - before,
+            std::time::Duration::from_micros(500)
+        );
+        let s = shared.stats();
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.bytes_read, 6);
     }
 
     #[test]

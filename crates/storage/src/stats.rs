@@ -200,6 +200,16 @@ pub struct StorageStats {
     /// Chunks re-fetched from shared storage after a checksum mismatch, to
     /// distinguish in-transit bit flips from at-rest corruption.
     pub corruption_refetches: u64,
+    /// Chunks fetched ahead of demand by the readahead pipeline (batched
+    /// shared-storage reads staged into the cache tiers).
+    pub blocks_prefetched: u64,
+    /// `read_chunk` calls served by a chunk that prefetch staged (the
+    /// readahead paid off).
+    pub prefetch_hits: u64,
+    /// Prefetched chunks that aged out of the prefetch tracking window
+    /// without ever serving a read — wasted IO; the signal for shrinking
+    /// the readahead depth.
+    pub prefetch_wasted: u64,
 }
 
 impl StorageStats {

@@ -101,6 +101,54 @@ impl RetryConfig {
     }
 }
 
+/// Readahead pipelining for sequential block IO.
+///
+/// A range scan's future block sequence is fully predictable from the fence
+/// index, so instead of demand-fetching one chunk per stall, the run layer
+/// asks the hierarchy to stage the next `depth` chunks in **one** batched
+/// shared-storage read ([`crate::SharedStorage::get_ranges`]) while the
+/// merge consumes the current block. Prefetch is advisory: a failed batch
+/// is dropped (and retried synchronously by the demand path), never
+/// surfaced to the iterator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// How many blocks ahead of the consumer a scan keeps staged. `0`
+    /// disables prefetch entirely (the pre-existing synchronous path).
+    pub depth: usize,
+    /// Upper bound on the bytes one prefetch batch may put in flight; a
+    /// batch is truncated (never split) to stay under it.
+    pub max_inflight_bytes: u64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self {
+            depth: 0,
+            max_inflight_bytes: 4 << 20,
+        }
+    }
+}
+
+impl PrefetchConfig {
+    /// Validate the knobs.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.depth > 1024 {
+            return Err(StorageError::Config(format!(
+                "prefetch depth {} is absurd (cap is 1024)",
+                self.depth
+            )));
+        }
+        if self.depth > 0 && self.max_inflight_bytes == 0 {
+            return Err(StorageError::Config(
+                "prefetch max_inflight_bytes must be > 0 when depth > 0 \
+                 (a zero budget silently disables every batch)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the tiered hierarchy.
 #[derive(Debug, Clone)]
 pub struct TieredConfig {
@@ -123,6 +171,8 @@ pub struct TieredConfig {
     pub decoded_cache: DecodedCacheConfig,
     /// Bounded retry with backoff for transient shared-storage failures.
     pub retry: RetryConfig,
+    /// Readahead pipelining for sequential scans (disabled by default).
+    pub prefetch: PrefetchConfig,
 }
 
 impl Default for TieredConfig {
@@ -136,6 +186,7 @@ impl Default for TieredConfig {
             latency_mode: LatencyMode::Accounting,
             decoded_cache: DecodedCacheConfig::default(),
             retry: RetryConfig::default(),
+            prefetch: PrefetchConfig::default(),
         }
     }
 }
@@ -183,10 +234,36 @@ pub struct TieredStorage {
     retries: std::sync::atomic::AtomicU64,
     retries_exhausted: std::sync::atomic::AtomicU64,
     corruption_refetches: std::sync::atomic::AtomicU64,
+    /// Readahead policy; reconfigurable like the retry policy.
+    prefetch: RwLock<PrefetchConfig>,
+    /// Chunks staged ahead of demand that no read has consumed yet. Bounded
+    /// FIFO window: keys that age out unconsumed count as wasted readahead.
+    prefetched: Mutex<PrefetchWindow>,
+    /// Fast-path guard for `prefetched`: number of unconsumed tracked keys.
+    /// `read_chunk` only takes the window lock when this is non-zero, so the
+    /// prefetch-off hot path costs one relaxed load.
+    prefetch_outstanding: std::sync::atomic::AtomicU64,
+    blocks_prefetched: std::sync::atomic::AtomicU64,
+    prefetch_hits: std::sync::atomic::AtomicU64,
+    prefetch_wasted: std::sync::atomic::AtomicU64,
     /// Telemetry handle shared with every layer stacked on this hierarchy
     /// (the index and engine record their own operation classes into it).
     telemetry: Arc<Telemetry>,
 }
+
+/// Tracking window for outstanding prefetched chunks: a FIFO of keys plus a
+/// membership set for O(1) consume-on-read. The deque may briefly hold keys
+/// whose set entry was already consumed (lazy removal); trimming skips them.
+#[derive(Debug, Default)]
+struct PrefetchWindow {
+    set: std::collections::HashSet<(u64, u32)>,
+    order: std::collections::VecDeque<(u64, u32)>,
+}
+
+/// Keys the tracking window retains before the oldest unconsumed entry is
+/// aged out and counted as wasted readahead. Sized to cover several deep
+/// scans' worth of in-flight blocks; an approximation knob, not a cache.
+const PREFETCH_WINDOW: usize = 4096;
 
 impl std::fmt::Debug for TieredStorage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -208,6 +285,7 @@ impl TieredStorage {
         );
         let decoded = DecodedBlockCache::new(config.decoded_cache.clone());
         let retry = config.retry;
+        let prefetch = config.prefetch;
         Self {
             config,
             shared,
@@ -221,6 +299,12 @@ impl TieredStorage {
             retries: std::sync::atomic::AtomicU64::new(0),
             retries_exhausted: std::sync::atomic::AtomicU64::new(0),
             corruption_refetches: std::sync::atomic::AtomicU64::new(0),
+            prefetch: RwLock::new(prefetch),
+            prefetched: Mutex::new(PrefetchWindow::default()),
+            prefetch_outstanding: std::sync::atomic::AtomicU64::new(0),
+            blocks_prefetched: std::sync::atomic::AtomicU64::new(0),
+            prefetch_hits: std::sync::atomic::AtomicU64::new(0),
+            prefetch_wasted: std::sync::atomic::AtomicU64::new(0),
             telemetry: Arc::new(Telemetry::new()),
         }
     }
@@ -272,6 +356,136 @@ impl TieredStorage {
     /// Replace the retry policy (index configs may override the default).
     pub fn set_retry_config(&self, retry: RetryConfig) {
         *self.retry.write() = retry;
+    }
+
+    /// The active readahead policy.
+    pub fn prefetch_config(&self) -> PrefetchConfig {
+        *self.prefetch.read()
+    }
+
+    /// Replace the readahead policy (index configs may override the default).
+    pub fn set_prefetch_config(&self, prefetch: PrefetchConfig) {
+        *self.prefetch.write() = prefetch;
+    }
+
+    /// Stage chunks ahead of demand: chunks already resident in a local tier
+    /// are skipped, the rest are read from shared storage in **one** batched
+    /// [`SharedStorage::get_ranges`] call (telemetry-timed, under the retry
+    /// policy) and inserted into the SSD + memory tiers exactly like a
+    /// demand miss would. The batch is truncated at the policy's
+    /// `max_inflight_bytes`. Returns the `(chunk_no, bytes)` pairs actually
+    /// fetched so a caller may decode them on arrival.
+    ///
+    /// Prefetch is advisory: callers on the scan path swallow the error and
+    /// fall back to the synchronous [`Self::read_chunk`] path, which retries
+    /// independently — a failed batch never poisons an iterator.
+    pub fn prefetch_chunks(
+        &self,
+        handle: ObjectHandle,
+        chunk_nos: &[u32],
+    ) -> Result<Vec<(u32, Bytes)>> {
+        let meta = self.meta(handle)?;
+        if meta.durability == Durability::NonPersisted {
+            // Fully resident by definition; nothing to stage.
+            return Ok(Vec::new());
+        }
+        let policy = *self.prefetch.read();
+        let cs = self.config.chunk_size as u64;
+        let mut wanted: Vec<u32> = Vec::new();
+        let mut ranges: Vec<(u64, usize)> = Vec::new();
+        let mut inflight = 0u64;
+        for &c in chunk_nos {
+            if self.mem.contains((handle.0, c)) || self.ssd.contains((handle.0, c)) {
+                continue;
+            }
+            let offset = u64::from(c) * cs;
+            if offset >= meta.len {
+                // Past the end: the caller's block math is off, but a
+                // readahead guess is not worth an error — just stop.
+                break;
+            }
+            let len = cs.min(meta.len - offset) as usize;
+            if !wanted.is_empty() && inflight + len as u64 > policy.max_inflight_bytes {
+                break;
+            }
+            inflight += len as u64;
+            wanted.push(c);
+            ranges.push((offset, len));
+        }
+        if wanted.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t0 = self.telemetry.start();
+        let fetched = self.with_retry(|| self.shared.get_ranges(&meta.name, &ranges));
+        self.telemetry
+            .record_since(&self.telemetry.ops().prefetch_batch, t0);
+        let fetched = fetched?;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .ops()
+                .readahead_depth
+                .record(wanted.len() as u64);
+        }
+        let mut out = Vec::with_capacity(wanted.len());
+        for (&c, data) in wanted.iter().zip(fetched) {
+            let key = (handle.0, c);
+            let pinned = c < meta.header_chunks;
+            self.ssd.insert(key, data.clone(), pinned);
+            self.mem.insert(key, data.clone(), false);
+            self.track_prefetched(key);
+            out.push((c, data));
+        }
+        self.blocks_prefetched
+            .fetch_add(out.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Record a freshly staged chunk in the tracking window, aging out the
+    /// oldest unconsumed keys past the window bound as wasted readahead.
+    fn track_prefetched(&self, key: (u64, u32)) {
+        let mut w = self.prefetched.lock();
+        if !w.set.insert(key) {
+            return; // already tracked (re-staged before consumption)
+        }
+        w.order.push_back(key);
+        self.prefetch_outstanding
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        while w.order.len() > PREFETCH_WINDOW {
+            let old = w.order.pop_front().expect("len > bound implies non-empty");
+            if w.set.remove(&old) {
+                self.prefetch_outstanding
+                    .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                self.prefetch_wasted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// If `key` is an unconsumed prefetched chunk, count the hit and stop
+    /// tracking it. Cheap when no prefetch is outstanding.
+    fn note_prefetch_hit(&self, key: (u64, u32)) {
+        if self
+            .prefetch_outstanding
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 0
+        {
+            return;
+        }
+        let mut w = self.prefetched.lock();
+        if w.set.remove(&key) {
+            self.prefetch_outstanding
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            self.prefetch_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Mark a prefetched chunk as consumed by a read served *above* the
+    /// chunk tiers (e.g. a decoded-cache hit on a block that prefetch both
+    /// staged and decoded): the readahead paid off even though no
+    /// `read_chunk` call ever reached the staged copy.
+    pub fn note_prefetch_consumed(&self, handle: ObjectHandle, chunk_no: u32) {
+        self.note_prefetch_hit((handle.0, chunk_no));
     }
 
     /// Run a shared-storage operation under the retry policy: transient
@@ -470,9 +684,11 @@ impl TieredStorage {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let key = (handle.0, chunk_no);
         if let Some(data) = self.mem.get(key) {
+            self.note_prefetch_hit(key);
             return Ok(data);
         }
         if let Some(data) = self.ssd.get(key) {
+            self.note_prefetch_hit(key);
             self.mem.insert(key, data.clone(), false);
             return Ok(data);
         }
@@ -597,6 +813,15 @@ impl TieredStorage {
         self.decoded.clear();
         self.mem.clear();
         self.ssd.clear();
+        // Tracked prefetches died with the caches; a simulated crash is not
+        // wasted readahead, so the window resets without counting.
+        {
+            let mut w = self.prefetched.lock();
+            w.set.clear();
+            w.order.clear();
+            self.prefetch_outstanding
+                .store(0, std::sync::atomic::Ordering::Relaxed);
+        }
         let mut reg = self.registry.write();
         reg.by_name.clear();
         reg.by_handle.clear();
@@ -619,6 +844,15 @@ impl TieredStorage {
                 .load(std::sync::atomic::Ordering::Relaxed),
             corruption_refetches: self
                 .corruption_refetches
+                .load(std::sync::atomic::Ordering::Relaxed),
+            blocks_prefetched: self
+                .blocks_prefetched
+                .load(std::sync::atomic::Ordering::Relaxed),
+            prefetch_hits: self
+                .prefetch_hits
+                .load(std::sync::atomic::Ordering::Relaxed),
+            prefetch_wasted: self
+                .prefetch_wasted
                 .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -871,5 +1105,110 @@ mod tests {
             .unwrap();
         let h2 = ts.open_object("r", 0).unwrap();
         assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn prefetch_stages_cold_chunks_and_counts_hits() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let data = payload(256); // 4 chunks
+        let h = ts
+            .create_object("r", data.clone(), Durability::Persisted, 0, false)
+            .unwrap();
+        // One batched read stages chunks 1..=3.
+        let reads_before = ts.stats().shared.reads;
+        let staged = ts.prefetch_chunks(h, &[1, 2, 3]).unwrap();
+        assert_eq!(
+            staged.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(staged[0].1, data.slice(64..128));
+        assert_eq!(ts.stats().shared.reads, reads_before + 3);
+        // Consuming the staged chunks never goes back to shared and is
+        // attributed to the readahead.
+        for c in 1..4 {
+            assert_eq!(ts.read_chunk(h, c).unwrap(), ts.slice_chunk(&data, c));
+        }
+        let s = ts.stats();
+        assert_eq!(s.shared.reads, reads_before + 3);
+        assert_eq!(s.blocks_prefetched, 3);
+        assert_eq!(s.prefetch_hits, 3);
+        assert_eq!(s.prefetch_wasted, 0);
+        // Re-prefetching resident chunks is a no-op batch.
+        assert!(ts.prefetch_chunks(h, &[1, 2, 3]).unwrap().is_empty());
+        assert_eq!(ts.stats().shared.reads, reads_before + 3);
+    }
+
+    #[test]
+    fn prefetch_respects_inflight_budget_and_object_end() {
+        let mut cfg = small_config();
+        cfg.prefetch = PrefetchConfig {
+            depth: 8,
+            max_inflight_bytes: 128, // two 64-byte chunks per batch
+        };
+        let ts = TieredStorage::new(SharedStorage::in_memory(), cfg);
+        let h = ts
+            .create_object("r", payload(256), Durability::Persisted, 0, false)
+            .unwrap();
+        let staged = ts.prefetch_chunks(h, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(
+            staged.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![0, 1],
+            "batch truncated at max_inflight_bytes"
+        );
+        // Chunk numbers past the object end stop the batch, not the caller.
+        let staged = ts.prefetch_chunks(h, &[2, 9]).unwrap();
+        assert_eq!(staged.iter().map(|(c, _)| *c).collect::<Vec<_>>(), vec![2]);
+        // Non-persisted objects are fully resident: nothing to stage.
+        let np = ts
+            .create_object("np", payload(64), Durability::NonPersisted, 0, false)
+            .unwrap();
+        assert!(ts.prefetch_chunks(np, &[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prefetch_failure_leaves_demand_path_healthy() {
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        // Every get_range attempt fails transiently; retries exhaust.
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            FaultPlan::transient_only(u64::MAX, 1.0),
+        ));
+        let mut cfg = small_config();
+        cfg.retry.max_retries = 1;
+        cfg.retry.base_backoff = Duration::ZERO;
+        let ts = TieredStorage::new(SharedStorage::new(store.clone(), LatencyModel::off()), cfg);
+        let data = payload(128);
+        store.set_armed(false);
+        let h = ts
+            .create_object("r", data.clone(), Durability::Persisted, 0, false)
+            .unwrap();
+        store.set_armed(true);
+        assert!(ts.prefetch_chunks(h, &[0, 1]).is_err());
+        let s = ts.stats();
+        assert_eq!(s.blocks_prefetched, 0, "failed batch stages nothing");
+        // Demand path still works once the faults stop.
+        store.set_armed(false);
+        assert_eq!(ts.read_chunk(h, 0).unwrap(), data.slice(0..64));
+        assert_eq!(ts.stats().prefetch_hits, 0);
+    }
+
+    #[test]
+    fn unconsumed_prefetches_age_out_as_wasted() {
+        let ts = TieredStorage::new(SharedStorage::in_memory(), small_config());
+        let h = ts
+            .create_object("r", payload(128), Durability::Persisted, 0, false)
+            .unwrap();
+        ts.prefetch_chunks(h, &[0, 1]).unwrap();
+        // Roll the FIFO window over with distinct synthetic keys: the two
+        // real staged chunks (oldest, never read) age out as wasted.
+        for i in 0..PREFETCH_WINDOW as u32 {
+            ts.track_prefetched((u64::MAX, i));
+        }
+        let s = ts.stats();
+        assert_eq!(s.prefetch_wasted, 2);
+        assert_eq!(s.prefetch_hits, 0);
+        // An aged-out chunk read later is just a normal cache hit.
+        ts.read_chunk(h, 0).unwrap();
+        assert_eq!(ts.stats().prefetch_hits, 0);
     }
 }

@@ -98,6 +98,10 @@ pub struct OpMetrics {
     pub jobs: [Arc<Histogram>; JOB_KINDS],
     /// One shared-storage block fetch inside `TieredStorage`.
     pub block_fetch: Arc<Histogram>,
+    /// One batched readahead fetch (all ranges of the batch together).
+    pub prefetch_batch: Arc<Histogram>,
+    /// Blocks per readahead batch (a depth distribution, not a latency).
+    pub readahead_depth: Arc<Histogram>,
     /// One manifest persist/load/gc round trip.
     pub manifest_io: Arc<Histogram>,
 }
@@ -118,6 +122,8 @@ impl OpMetrics {
                 ))
             }),
             block_fetch: registry.histogram("umzi_storage_block_fetch_duration_nanos"),
+            prefetch_batch: registry.histogram("umzi_storage_prefetch_batch_duration_nanos"),
+            readahead_depth: registry.histogram("umzi_storage_readahead_depth_blocks"),
             manifest_io: registry.histogram("umzi_storage_manifest_io_duration_nanos"),
         }
     }

@@ -374,6 +374,21 @@ impl TelemetrySnapshot {
             "umzi_storage_corruption_refetches_total",
             self.storage.corruption_refetches,
         );
+        prom_line(
+            &mut out,
+            "umzi_storage_blocks_prefetched_total",
+            self.storage.blocks_prefetched,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_prefetch_hits_total",
+            self.storage.prefetch_hits,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_prefetch_wasted_total",
+            self.storage.prefetch_wasted,
+        );
         prom_tier(&mut out, "mem", &self.storage.mem);
         prom_tier(&mut out, "ssd", &self.storage.ssd);
         prom_line(
@@ -421,7 +436,8 @@ impl TelemetrySnapshot {
         format!(
             "{{\"metrics\":{},\"slow_queries\":{},\"slow_queries_evicted\":{},\
              \"storage\":{{\"chunk_reads\":{},\"retries\":{},\"retries_exhausted\":{},\
-             \"corruption_refetches\":{},\"mem\":{},\"ssd\":{},\
+             \"corruption_refetches\":{},\"blocks_prefetched\":{},\
+             \"prefetch_hits\":{},\"prefetch_wasted\":{},\"mem\":{},\"ssd\":{},\
              \"shared\":{{\"reads\":{},\"writes\":{},\"bytes_read\":{},\
              \"bytes_written\":{}}},\"decoded\":{}}},\
              \"shards\":[{}],\"maintenance\":{},\"health\":{}}}",
@@ -432,6 +448,9 @@ impl TelemetrySnapshot {
             self.storage.retries,
             self.storage.retries_exhausted,
             self.storage.corruption_refetches,
+            self.storage.blocks_prefetched,
+            self.storage.prefetch_hits,
+            self.storage.prefetch_wasted,
             json_tier(&self.storage.mem),
             json_tier(&self.storage.ssd),
             self.storage.shared.reads,

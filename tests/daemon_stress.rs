@@ -365,11 +365,14 @@ fn cold_shard_groom_completes_under_hot_merge_pressure() {
     // Cold trickle, polling for the cold shard's groom to land while the
     // flood is still running. FIFO dequeue would leave it behind the hot
     // merge backlog; the aging dequeue must serve it within the deadline.
+    // Keep the flood alive until a hot merge has actually *run* — on a
+    // fast machine the cold groom can land before the first merge job
+    // completes, which would make the pressure assertion below vacuous.
     let deadline = std::time::Instant::now() + Duration::from_secs(15);
     let mut cold_acked = 0u64;
     let mut cold_msg = 0i64;
     let cold_shard = &engine.shards()[1];
-    while cold_shard.groomed_hi() == 0 {
+    while cold_shard.groomed_hi() == 0 || daemon.stats().kind(JobKind::Merge).runs == 0 {
         assert!(
             std::time::Instant::now() < deadline,
             "cold shard groom starved behind hot merge pressure: {:?}",

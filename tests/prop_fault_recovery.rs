@@ -17,9 +17,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use umzi::prelude::*;
+use umzi_run::{IndexEntry, KeyLayout, Rid, RunBuilder, RunParams, RunSearcher, ZoneId};
 use umzi_storage::{
-    FaultEvent, FaultInjectingStore, FaultPlan, InMemoryObjectStore, ObjectStore, RetryConfig,
-    SharedStorage, TieredStorage as Tiered,
+    Durability, FaultEvent, FaultInjectingStore, FaultPlan, InMemoryObjectStore, ObjectStore,
+    PrefetchConfig, RetryConfig, SharedStorage, TieredStorage as Tiered,
 };
 
 const DEVICES: i64 = 3;
@@ -159,5 +160,126 @@ proptest! {
         // And the write path still works.
         engine.upsert(row(0, i64::MAX, 1)).unwrap();
         engine.quiesce().unwrap();
+    }
+
+    /// Transient faults racing the pipelined prefetcher surface as retries
+    /// (or a silent fallback to the synchronous path) — never as iterator
+    /// errors, and never as divergent scan results.
+    #[test]
+    fn prefetch_under_transient_faults_retries_not_errors(
+        seed in any::<u64>(),
+        depth in 1usize..=6,
+    ) {
+        let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Up to 20% per-op fault rate; with 8 retries a single op fails for
+        // good with probability ≤ 0.2^9 ≈ 5e-7, so the scan cannot flake.
+        let prob = rng.random_range(0..=200) as f64 / 1000.0;
+        let faulty = Arc::new(FaultInjectingStore::new(
+            Arc::clone(&inner),
+            FaultPlan::transient_only(seed, prob),
+        ));
+        faulty.set_armed(false);
+        let storage = Arc::new(Tiered::new(
+            SharedStorage::new(
+                Arc::clone(&faulty) as Arc<dyn ObjectStore>,
+                umzi_storage::LatencyModel::off(),
+            ),
+            umzi_storage::TieredConfig {
+                // Small chunks: the scanned range spans many blocks, so the
+                // readahead batches do real work under fire.
+                chunk_size: 256,
+                retry: RetryConfig {
+                    max_retries: 8,
+                    base_backoff: Duration::ZERO,
+                    max_backoff: Duration::ZERO,
+                },
+                ..Default::default()
+            },
+        ));
+        storage.set_prefetch_config(PrefetchConfig {
+            depth,
+            ..PrefetchConfig::default()
+        });
+
+        // Build a multi-block run while the storage is healthy.
+        let def = umzi_encoding::IndexDef::builder("pf")
+            .equality("d", umzi_encoding::ColumnType::Int64)
+            .sort("m", umzi_encoding::ColumnType::Int64)
+            .build()
+            .unwrap();
+        let l = KeyLayout::new(Arc::new(def));
+        let mut entries: Vec<IndexEntry> = (0..300i64)
+            .map(|i| {
+                IndexEntry::new(
+                    &l,
+                    &[Datum::Int64(i % 3)],
+                    &[Datum::Int64(i)],
+                    1 + (i as u64 % 20),
+                    Rid::new(ZoneId::GROOMED, i as u64, 0),
+                    &[],
+                )
+                .unwrap()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut b = RunBuilder::new(
+            l.clone(),
+            RunParams {
+                run_id: 1,
+                zone: ZoneId::GROOMED,
+                level: 0,
+                groomed_lo: 0,
+                groomed_hi: 0,
+                psn: 0,
+                offset_bits: 0,
+                ancestors: vec![],
+            },
+            storage.chunk_size(),
+        );
+        for e in &entries {
+            b.push(e).unwrap();
+        }
+        let run = b
+            .finish(&storage, "runs/pf", Durability::Persisted, true)
+            .unwrap();
+
+        let (lower, upper) = l
+            .query_range(
+                &[Datum::Int64(1)],
+                &SortBound::Unbounded,
+                &SortBound::Unbounded,
+            )
+            .unwrap();
+        let cold_scan = || -> umzi_run::Result<Vec<(Vec<u8>, u64)>> {
+            storage.purge_object(run.handle())?;
+            storage.decoded_cache().clear();
+            RunSearcher::new(&run)
+                .scan(&lower, upper.as_deref(), None, u64::MAX)?
+                .map(|r| r.map(|h| (h.key.to_vec(), h.begin_ts)))
+                .collect()
+        };
+        let healthy = cold_scan().unwrap();
+        prop_assert!(!healthy.is_empty());
+
+        // Same cold scan with the faults armed: every read — including the
+        // batched prefetches — may fail transiently, yet the iterator must
+        // deliver the identical result.
+        faulty.set_armed(true);
+        let under_fault = cold_scan();
+        prop_assert!(
+            under_fault.is_ok(),
+            "seed {seed} depth {depth}: cold scan under transient faults errored: {:?}\n  {}",
+            under_fault.err(),
+            faulty.stats().summary()
+        );
+        prop_assert_eq!(under_fault.unwrap(), healthy);
+        if faulty.stats().total_injected() > 0 {
+            prop_assert!(
+                storage.stats().retries > 0,
+                "seed {seed} depth {depth}: faults were injected but no retry was recorded\n  {}",
+                faulty.stats().summary()
+            );
+        }
     }
 }
