@@ -68,6 +68,7 @@ fn engine(maintenance: Option<MaintenanceConfig>) -> Arc<WildfireEngine> {
             post_groom_interval: Duration::from_millis(200),
             groom_trigger_rows: 1000,
             maintenance,
+            ..EngineConfig::default()
         },
     )
     .expect("create engine")

@@ -2,7 +2,7 @@
 //! operation class, plus a maintenance-fairness A/B that measures what the
 //! weighted-aging dequeue buys a cold shard sharing a daemon with a hot one.
 //!
-//! Two scenarios, one artifact:
+//! Three scenarios, one artifact:
 //!
 //! 1. **SLO mix** — a seeded [`TenantMix`] (zipf-skewed tenants, bursty
 //!    open-loop arrivals) drives a two-shard engine while the maintenance
@@ -17,6 +17,12 @@
 //!    live zone — which freshest reads scan linearly — grows without bound;
 //!    the weighted-aging dequeue lets the aged groom overtake. Cold-shard
 //!    point p99 under both modes lands in the artifact as scalars.
+//! 3. **Brownout degradation** — the shared store turns sick mid-run while
+//!    deadline-bounded scans and interactive point reads keep arriving.
+//!    Scans get shed by read admission, deadline-expired queries die typed
+//!    with bounded overshoot, the storage circuit breaker trips and then
+//!    recovers, and interactive point p99 stays bounded throughout. See
+//!    [`run_brownout`].
 //!
 //! Run with `cargo run --release -p umzi-bench --bin slo_harness`.
 //! Writes `BENCH_slo.json` (override with `UMZI_SLO_OUT`); CI diffs it via
@@ -33,8 +39,14 @@ use umzi_core::{JobKind, MaintenanceConfig, MergePolicy, ReconcileStrategy};
 use umzi_encoding::Datum;
 use umzi_run::SortBound;
 use umzi_storage::telemetry::{Histogram, HistogramSnapshot};
-use umzi_storage::{TelemetryConfig, TieredStorage};
-use umzi_wildfire::{iot_table, EngineConfig, Freshness, ShardConfig, WildfireEngine};
+use umzi_storage::{
+    BreakerConfig, DecodedCacheConfig, FaultInjectingStore, FaultOp, FaultPlan,
+    InMemoryObjectStore, LatencyModel, ObjectStore, QueryContext, RetryConfig, SharedStorage,
+    TelemetryConfig, TieredConfig, TieredStorage,
+};
+use umzi_wildfire::{
+    iot_table, AdmissionConfig, EngineConfig, Freshness, ShardConfig, WildfireEngine,
+};
 use umzi_workload::{
     BurstModel, OpClass, OpMix, TenantMix, TenantMixConfig, TenantOpKind, TenantProfile,
 };
@@ -168,6 +180,7 @@ fn run_slo_mix(ops_target: usize) -> SloOutcome {
                 adaptive_cache: false,
                 ..MaintenanceConfig::default()
             }),
+            ..EngineConfig::default()
         },
     )
     .expect("create engine");
@@ -341,6 +354,7 @@ fn run_fairness(fair: bool, cycles: usize) -> FairnessOutcome {
                 adaptive_cache: false,
                 ..MaintenanceConfig::default()
             }),
+            ..EngineConfig::default()
         },
     )
     .expect("create engine");
@@ -462,6 +476,261 @@ fn fair_row(device: u64, msg: i64) -> Vec<Datum> {
     ]
 }
 
+struct BrownoutOutcome {
+    /// Driver-side latency of every interactive point read across the whole
+    /// window (healthy → sick → healed), successes and failures alike.
+    point: HistogramSnapshot,
+    /// The engine's `umzi_query_deadline_overshoot_nanos` histogram: how far
+    /// past its deadline any query was allowed to run.
+    overshoot: HistogramSnapshot,
+    sheds: u64,
+    timeouts: u64,
+    breaker_transitions: u64,
+    breaker_rejections: u64,
+    /// Whether the block-fetch breaker closed again after the store healed.
+    breaker_recovered: bool,
+    degraded_hits: u64,
+    point_failures: u64,
+}
+
+const BROWNOUT_DEVICES: i64 = 24;
+const BROWNOUT_MSGS: i64 = 200;
+
+/// Scenario 3: brownout degradation. The engine runs on a fault-injectable
+/// shared store with starved warm tiers (every read goes back to shared
+/// storage), a circuit breaker armed on the storage tier, and read
+/// admission squeezed to one analytical slot. Three scanner threads hammer
+/// deadline-bounded range scans while the driver issues interactive point
+/// reads; one third of the way in the store turns *sick* (every shared get
+/// faults), and two thirds in it heals.
+///
+/// The claims under test, asserted below and exported as scalars:
+/// deadline-expired queries die **typed and promptly** (overshoot p99 stays
+/// within one clamped backoff step plus one block fetch), analytical scans
+/// are **shed** rather than queued to death, the breaker **trips and
+/// recovers** (nonzero transitions, fast rejections while open), and
+/// interactive point p99 over the whole window — sick phase included —
+/// stays bounded instead of inheriting the storage outage.
+fn run_brownout(cycles: usize) -> BrownoutOutcome {
+    let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+    let faults = Arc::new(FaultInjectingStore::new(
+        inner,
+        FaultPlan::none()
+            .with_transient(FaultOp::Get, 1.0)
+            .with_transient(FaultOp::GetRange, 1.0),
+    ));
+    faults.set_armed(false);
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::new(
+            Arc::clone(&faults) as Arc<dyn ObjectStore>,
+            LatencyModel::off(),
+        ),
+        TieredConfig {
+            chunk_size: 1024,
+            // Starve the warm tiers and decoded cache so reads keep going
+            // back to (fault-injectable) shared storage — the brownout has
+            // to be survived, not dodged by a cache.
+            mem_capacity: 2048,
+            ssd_capacity: 4096,
+            decoded_cache: DecodedCacheConfig {
+                capacity_bytes: 0,
+                ..DecodedCacheConfig::default()
+            },
+            retry: RetryConfig {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(5),
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 5,
+                window: Duration::from_secs(5),
+                cooldown: Duration::from_millis(100),
+                half_open_probes: 1,
+            },
+            ..TieredConfig::default()
+        },
+    ));
+    let engine = WildfireEngine::create(
+        Arc::clone(&storage),
+        Arc::new(iot_table()),
+        EngineConfig {
+            n_shards: 2,
+            maintenance: None,
+            admission: AdmissionConfig {
+                max_concurrent_scans: 1,
+                max_queue_depth: 1,
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .expect("create engine");
+
+    // Preload and groom while the store is healthy, then warm the admission
+    // controller's scan-cost estimate with a few unbounded scans.
+    for device in 0..BROWNOUT_DEVICES {
+        let rows: Vec<Vec<Datum>> = (0..BROWNOUT_MSGS)
+            .map(|m| fair_row(device as u64, m))
+            .collect();
+        engine.upsert_many(rows).expect("brownout preload");
+    }
+    engine.quiesce().expect("brownout quiesce");
+    for device in 0..4i64 {
+        engine
+            .scan_index(
+                vec![Datum::Int64(device)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+                ReconcileStrategy::PriorityQueue,
+            )
+            .expect("warm-up scan");
+    }
+
+    // Three scanner threads against one admission slot and a one-deep
+    // queue: scans contend all window long, so shedding is exercised under
+    // health as well as sickness, and deadline expiry inside retry backoff
+    // is exercised the moment the store turns sick.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scanners: Vec<_> = (0..3)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut device = i as i64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let ctx = QueryContext::with_deadline(Duration::from_millis(4));
+                    let _ = std::hint::black_box(engine.scan_index_with(
+                        &ctx,
+                        vec![Datum::Int64(device % BROWNOUT_DEVICES)],
+                        SortBound::Unbounded,
+                        SortBound::Unbounded,
+                        Freshness::Latest,
+                        ReconcileStrategy::PriorityQueue,
+                    ));
+                    device += 3;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        })
+        .collect();
+
+    let point_hist = Histogram::new();
+    let mut point_failures = 0u64;
+    let mut rng = StdRng::seed_from_u64(99);
+    let sick_from = cycles / 3;
+    let heal_from = cycles - cycles / 3;
+    for cycle in 0..cycles {
+        if cycle == sick_from {
+            faults.set_armed(true);
+        }
+        if cycle == heal_from {
+            faults.set_armed(false);
+        }
+        // Interactive points: indexed reads under a deadline generous
+        // enough to absorb one retry cycle but far below the outage length.
+        for _ in 0..16 {
+            let device = rng.random_range(0..BROWNOUT_DEVICES);
+            let msg = rng.random_range(0..BROWNOUT_MSGS);
+            let ctx = QueryContext::with_deadline(Duration::from_millis(20));
+            let t0 = Instant::now();
+            let out = engine.get_with(
+                &ctx,
+                &[Datum::Int64(device)],
+                &[Datum::Int64(msg)],
+                Freshness::Latest,
+            );
+            point_hist.record(t0.elapsed().as_nanos() as u64);
+            if out.is_err() {
+                point_failures += 1;
+            }
+        }
+        // Freshest reads of just-ingested rows: served straight from the
+        // live zone, these are the point lookups that keep answering — and
+        // get counted as degraded hits — while the block-fetch breaker is
+        // open.
+        let device = (cycle as i64) % BROWNOUT_DEVICES;
+        let fresh_msg = BROWNOUT_MSGS + cycle as i64;
+        engine
+            .upsert(fair_row(device as u64, fresh_msg))
+            .expect("fresh ingest");
+        let ctx = QueryContext::with_deadline(Duration::from_millis(20));
+        let t0 = Instant::now();
+        let out = engine.get_with(
+            &ctx,
+            &[Datum::Int64(device)],
+            &[Datum::Int64(fresh_msg)],
+            Freshness::Freshest,
+        );
+        point_hist.record(t0.elapsed().as_nanos() as u64);
+        if out.is_err() {
+            point_failures += 1;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Recovery: the store is healed, but a tripped breaker only closes
+    // after its cooldown elapses and a half-open probe succeeds. Keep
+    // traffic flowing (the scanners are still running) until the
+    // block-fetch breaker closes, bounded so a broken recovery path fails
+    // the harness instead of hanging it.
+    let recover_deadline = Instant::now() + Duration::from_secs(5);
+    let block_fetch_state = || storage.breaker().state(umzi_storage::OpClass::BlockFetch);
+    while block_fetch_state() != umzi_storage::BreakerState::Closed
+        && Instant::now() < recover_deadline
+    {
+        let _ = engine.get(&[Datum::Int64(0)], &[Datum::Int64(0)], Freshness::Latest);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let breaker_recovered = block_fetch_state() == umzi_storage::BreakerState::Closed;
+
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    for s in scanners {
+        s.join().expect("scanner thread");
+    }
+
+    let health = engine.health();
+    let st = storage.stats();
+    let snap = engine.telemetry();
+    let overshoot = snap
+        .histogram("umzi_query_deadline_overshoot_nanos")
+        .cloned()
+        .expect("overshoot histogram is registered at engine construction");
+    let degraded_hits = snap
+        .metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == "umzi_query_degraded_hits_total")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+
+    eprintln!(
+        "  brownout: point p99={} overshoot p99={} sheds={} timeouts={} \
+         breaker transitions={} rejections={} recovered={} degraded hits={} \
+         point failures={}",
+        point_hist.snapshot().p99(),
+        overshoot.p99(),
+        health.query_sheds,
+        health.query_timeouts,
+        st.breaker_transitions.iter().sum::<u64>(),
+        st.breaker_rejections.iter().sum::<u64>(),
+        breaker_recovered,
+        degraded_hits,
+        point_failures
+    );
+
+    BrownoutOutcome {
+        point: point_hist.snapshot(),
+        overshoot,
+        sheds: health.query_sheds,
+        timeouts: health.query_timeouts,
+        breaker_transitions: st.breaker_transitions.iter().sum(),
+        breaker_rejections: st.breaker_rejections.iter().sum(),
+        breaker_recovered,
+        degraded_hits,
+        point_failures,
+    }
+}
+
 fn main() {
     let ops = env_usize("UMZI_SLO_OPS", 4000);
     let cycles = env_usize("UMZI_SLO_CYCLES", 60);
@@ -492,6 +761,9 @@ fn main() {
         fifo.groom_peak_dequeue_age
     );
 
+    eprintln!("== slo_harness: brownout degradation ({cycles} cycles) ==");
+    let brownout = run_brownout(cycles.max(30));
+
     let mut failures: Vec<String> = Vec::new();
     for (t, per_class) in slo.hists.iter().enumerate() {
         for (ci, h) in per_class.iter().enumerate() {
@@ -513,6 +785,52 @@ fn main() {
                 out.rows_written, out.rows_counted
             ));
         }
+    }
+
+    // Brownout acceptance: the degradation has to be *graceful*, with
+    // receipts. Overshoot is bounded by construction — retry backoff is
+    // clamped to the remaining budget — so its p99 must fit in one clamped
+    // backoff step (≤ 5ms max_backoff) plus one in-memory block fetch, with
+    // slack for CI schedulers.
+    let overshoot_bound = Duration::from_millis(25).as_nanos() as u64;
+    if brownout.sheds == 0 {
+        failures.push("brownout: no scans were shed by read admission".into());
+    }
+    if brownout.timeouts == 0 {
+        failures.push("brownout: no queries died on their deadline".into());
+    }
+    if brownout.breaker_transitions == 0 {
+        failures.push("brownout: the storage circuit breaker never tripped".into());
+    }
+    if brownout.breaker_rejections == 0 {
+        failures.push("brownout: an open breaker never failed an op fast".into());
+    }
+    if !brownout.breaker_recovered {
+        failures.push("brownout: the breaker never closed again after the store healed".into());
+    }
+    if brownout.degraded_hits == 0 {
+        failures
+            .push("brownout: no point lookup was answered (degraded) under an open breaker".into());
+    }
+    if brownout.overshoot.count() == 0 {
+        failures.push("brownout: overshoot histogram recorded no samples".into());
+    } else if brownout.overshoot.p99() > overshoot_bound {
+        failures.push(format!(
+            "brownout: deadline overshoot p99 {}ns exceeds the {}ns bound \
+             (one clamped backoff step + one block fetch)",
+            brownout.overshoot.p99(),
+            overshoot_bound
+        ));
+    }
+    // Point reads during a full storage outage must stay *bounded* —
+    // answered, degraded, or failed fast, never hung. 100ms is five point
+    // deadlines of slack; an unclamped backoff chain or a queued-to-death
+    // read would blow through it.
+    if brownout.point.p99() > Duration::from_millis(100).as_nanos() as u64 {
+        failures.push(format!(
+            "brownout: interactive point p99 {}ns not bounded under brownout",
+            brownout.point.p99()
+        ));
     }
 
     // The artifact. Rows follow compare_bench.py's (workload, runs) keying
@@ -553,6 +871,33 @@ fn main() {
             out.rows_written
         );
     }
+    let _ = writeln!(
+        json,
+        "  \"brownout\": {{\"point\": {{{}}}, \"overshoot\": {{{}}}, \
+         \"sheds\": {}, \"timeouts\": {}, \"breaker_transitions\": {}, \
+         \"breaker_rejections\": {}, \"breaker_recovered\": {}, \
+         \"degraded_hits\": {}, \"point_failures\": {}}},",
+        quantile_fields(&brownout.point),
+        quantile_fields(&brownout.overshoot),
+        brownout.sheds,
+        brownout.timeouts,
+        brownout.breaker_transitions,
+        brownout.breaker_rejections,
+        brownout.breaker_recovered,
+        brownout.degraded_hits,
+        brownout.point_failures
+    );
+    let _ = writeln!(
+        json,
+        "  \"brownout_point_p99_nanos\": {},",
+        brownout.point.p99()
+    );
+    let _ = writeln!(
+        json,
+        "  \"deadline_overshoot_p99_nanos\": {},",
+        brownout.overshoot.p99()
+    );
+    let _ = writeln!(json, "  \"shed_count\": {},", brownout.sheds);
     let _ = writeln!(
         json,
         "  \"cold_shard_point_p99_nanos_fair\": {},",

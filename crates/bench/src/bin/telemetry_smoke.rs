@@ -114,6 +114,7 @@ fn main() {
                 adaptive_cache: false,
                 ..MaintenanceConfig::default()
             }),
+            ..EngineConfig::default()
         },
     )
     .expect("create engine");

@@ -112,7 +112,9 @@ impl Manifest {
         let data = self.serialize();
         let tel = storage.telemetry();
         let t0 = tel.start();
-        let out = storage.with_retry(|| storage.shared().put(name, data.clone()));
+        let out = storage.with_retry_as(umzi_storage::OpClass::Manifest, || {
+            storage.shared().put(name, data.clone())
+        });
         tel.record_since(&tel.ops().manifest_io, t0);
         Ok(out?)
     }
@@ -131,25 +133,45 @@ impl Manifest {
     }
 
     fn load_latest_inner(storage: &TieredStorage, prefix: &str) -> Result<Option<Manifest>> {
-        let mut names = storage.with_retry(|| storage.shared().list(prefix))?;
+        let mut names = storage.with_retry_as(umzi_storage::OpClass::Manifest, || {
+            storage.shared().list(prefix)
+        })?;
         names.sort();
         for name in names.iter().rev() {
-            let data = storage.with_retry(|| storage.shared().get(name))?;
+            let data = storage.with_retry_as(umzi_storage::OpClass::Manifest, || {
+                storage.shared().get(name)
+            })?;
             if let Ok(m) = Manifest::deserialize(&data) {
                 return Ok(Some(m));
             }
-            let _ = storage.with_retry(|| storage.shared().delete(name));
+            // Torn manifest: free the create-once name. A failed delete is
+            // counted and parked for the janitor instead of leaking.
+            if let Err(e) =
+                storage.with_retry_as(umzi_storage::OpClass::Gc, || storage.shared().delete(name))
+            {
+                if !matches!(e, umzi_storage::StorageError::NotFound { .. }) {
+                    storage.note_gc_delete_failure(name);
+                }
+            }
         }
         Ok(None)
     }
 
     /// Delete all manifests under `prefix` except the `keep` newest.
     pub fn gc(storage: &TieredStorage, prefix: &str, keep: usize) -> Result<usize> {
-        let mut names = storage.with_retry(|| storage.shared().list(prefix))?;
+        let mut names = storage.with_retry_as(umzi_storage::OpClass::Manifest, || {
+            storage.shared().list(prefix)
+        })?;
         names.sort();
         let n = names.len().saturating_sub(keep);
         for name in &names[..n] {
-            let _ = storage.with_retry(|| storage.shared().delete(name));
+            if let Err(e) =
+                storage.with_retry_as(umzi_storage::OpClass::Gc, || storage.shared().delete(name))
+            {
+                if !matches!(e, umzi_storage::StorageError::NotFound { .. }) {
+                    storage.note_gc_delete_failure(name);
+                }
+            }
         }
         Ok(n)
     }

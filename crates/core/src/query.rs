@@ -133,11 +133,18 @@ impl UmziIndex {
             return per_chunk(items);
         }
         let chunk = items.len().div_ceil(threads);
+        // Propagate the caller's deadline/cancellation to the workers.
+        let ctx = umzi_storage::context::current();
         std::thread::scope(|s| {
-            let per_chunk = &per_chunk;
+            let (per_chunk, ctx) = (&per_chunk, &ctx);
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|c| s.spawn(move || per_chunk(c)))
+                .map(|c| {
+                    s.spawn(move || {
+                        let _g = umzi_storage::context::enter(ctx.clone());
+                        per_chunk(c)
+                    })
+                })
                 .collect();
             let mut all = Vec::with_capacity(items.len());
             for h in handles {
@@ -176,11 +183,14 @@ impl UmziIndex {
             return per_chunk(items);
         }
         let cursor = std::sync::atomic::AtomicUsize::new(0);
+        // Propagate the caller's deadline/cancellation to the stealers.
+        let ctx = umzi_storage::context::current();
         std::thread::scope(|s| {
-            let (cursor, per_chunk) = (&cursor, &per_chunk);
+            let (cursor, per_chunk, ctx) = (&cursor, &per_chunk, &ctx);
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(move || -> umzi_run::Result<Vec<R>> {
+                        let _g = umzi_storage::context::enter(ctx.clone());
                         let mut out = Vec::new();
                         loop {
                             let start =

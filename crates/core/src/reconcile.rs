@@ -101,7 +101,16 @@ where
 
     let mut out: Vec<SearchHit> = Vec::new();
     let mut last_logical: Option<Vec<u8>> = None;
+    // The streams check their query context at block boundaries; this
+    // periodic check also bounds cancellation latency for merges running
+    // entirely out of the decoded cache.
+    let mut since_check = 0u32;
     while let Some(HeapEntry { hit, rank }) = heap.pop() {
+        since_check += 1;
+        if since_check >= 256 {
+            since_check = 0;
+            umzi_storage::context::check_current("reconcile")?;
+        }
         if let Some(next) = streams[rank].next().transpose()? {
             heap.push(HeapEntry { hit: next, rank });
         }
@@ -140,10 +149,19 @@ where
         _ => {}
     }
     let first = partitions.remove(0);
+    // Worker threads re-install the caller's query context so deadline and
+    // cancellation reach every partition's merge, not just partition 0.
+    let ctx = umzi_storage::context::current();
     let (head, rest) = std::thread::scope(|s| {
         let handles: Vec<_> = partitions
             .into_iter()
-            .map(|streams| s.spawn(move || reconcile_pq(streams)))
+            .map(|streams| {
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _g = umzi_storage::context::enter(ctx);
+                    reconcile_pq(streams)
+                })
+            })
             .collect();
         // The calling thread merges partition 0 while the others run.
         let head = reconcile_pq(first);

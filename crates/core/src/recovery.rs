@@ -71,7 +71,9 @@ impl UmziIndex {
         // objects — a crash mid-write leaves a torn run that the checksum
         // rejects.
         let layout = KeyLayout::new(Arc::clone(&index.def));
-        let names = storage.with_retry(|| storage.shared().list(&index.config.run_prefix()))?;
+        let names = storage.with_retry_as(umzi_storage::OpClass::Manifest, || {
+            storage.shared().list(&index.config.run_prefix())
+        })?;
         let mut per_zone: Vec<Vec<Arc<Run>>> = index.zones.iter().map(|_| Vec::new()).collect();
         let mut max_run_id = 0u64;
         for name in names {

@@ -1,0 +1,222 @@
+//! Cancellation-safety property harness: a query aborted at an *arbitrary*
+//! cooperative checkpoint — mid-partition merge, mid-prefetch batch, even
+//! mid-retry backoff against a faulted store — must come back as a typed
+//! query-abort error (`Cancelled` / `DeadlineExceeded`), never a panic and
+//! never a partial result presented as complete. And the very next
+//! uncancelled query over the same index must return byte-identical results:
+//! an abort may leave caches warm or cold, but never wrong.
+//!
+//! The trip point is deterministic: [`CancelToken::trip_after`] counts
+//! cooperative checkpoints (block positioning, block advance, reconcile
+//! ticks, retry pre/post-sleep checks) and fires on the n-th observation, so
+//! proptest shrinking walks the abort backward through the read path one
+//! checkpoint at a time.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use umzi_core::{RangeQuery, ReconcileStrategy, UmziConfig, UmziIndex};
+use umzi_encoding::{ColumnType, Datum, IndexDef};
+use umzi_run::{IndexEntry, Rid, SortBound, ZoneId};
+use umzi_storage::{
+    context, CancelToken, FaultInjectingStore, FaultOp, FaultPlan, InMemoryObjectStore,
+    LatencyModel, ObjectStore, PrefetchConfig, QueryContext, RetryConfig, SharedStorage,
+    StorageError, TieredConfig, TieredStorage,
+};
+
+/// A query abort (deadline / cancellation) surfaced through the core error
+/// chain, however deeply wrapped.
+fn is_query_abort(e: &umzi_core::UmziError) -> bool {
+    let storage: Option<&StorageError> = match e {
+        umzi_core::UmziError::Storage(s) => Some(s),
+        umzi_core::UmziError::Run(umzi_run::RunError::Storage(s)) => Some(s),
+        _ => None,
+    };
+    storage.is_some_and(|s| s.is_query_abort())
+}
+
+struct Fixture {
+    index: Arc<UmziIndex>,
+    faults: Arc<FaultInjectingStore>,
+}
+
+/// An index over a fault-injectable store with tiny chunks (multi-block
+/// runs), readahead pipelining armed, and the partitioned scan path enabled
+/// — every cooperative checkpoint class is reachable.
+fn fixture(partitions: usize, raw_runs: &[Vec<(i64, i64, u64)>]) -> Fixture {
+    let inner: Arc<dyn ObjectStore> = Arc::new(InMemoryObjectStore::new());
+    let faults = Arc::new(FaultInjectingStore::new(
+        inner,
+        // Chunked reads go through `get_range`; fault both read ops so the
+        // armed store is sick for every read path.
+        FaultPlan::none()
+            .with_transient(FaultOp::Get, 1.0)
+            .with_transient(FaultOp::GetRange, 1.0),
+    ));
+    faults.set_armed(false);
+    let storage = Arc::new(TieredStorage::new(
+        SharedStorage::new(
+            Arc::clone(&faults) as Arc<dyn ObjectStore>,
+            LatencyModel::off(),
+        ),
+        TieredConfig {
+            chunk_size: 256,
+            // Starve the warm tiers and disable the decoded cache so scans
+            // keep going back to (fault-injectable) shared storage — every
+            // checkpoint class stays reachable on every scan, without
+            // invalidating live object handles.
+            mem_capacity: 1024,
+            ssd_capacity: 1024,
+            decoded_cache: umzi_storage::DecodedCacheConfig {
+                capacity_bytes: 0,
+                ..umzi_storage::DecodedCacheConfig::default()
+            },
+            prefetch: PrefetchConfig {
+                depth: 2,
+                ..PrefetchConfig::default()
+            },
+            retry: RetryConfig {
+                max_retries: 2,
+                base_backoff: std::time::Duration::from_millis(5),
+                max_backoff: std::time::Duration::from_millis(10),
+            },
+            ..TieredConfig::default()
+        },
+    ));
+    let def = Arc::new(
+        IndexDef::builder("t")
+            .equality("device", ColumnType::Int64)
+            .sort("msg", ColumnType::Int64)
+            .build()
+            .unwrap(),
+    );
+    let mut cfg = UmziConfig::two_zone("prop-cancel");
+    cfg.scan.max_scan_partitions = partitions;
+    cfg.scan.parallel_row_threshold = if partitions > 1 { 1 } else { u64::MAX };
+    let index = UmziIndex::create(storage, def, cfg).unwrap();
+    for (r, entries) in raw_runs.iter().enumerate() {
+        let specs: BTreeSet<(i64, i64, u64)> = entries.iter().cloned().collect();
+        let run_entries: Vec<IndexEntry> = specs
+            .iter()
+            .map(|&(d, m, ts)| {
+                IndexEntry::new(
+                    index.layout(),
+                    &[Datum::Int64(d)],
+                    &[Datum::Int64(m)],
+                    ts,
+                    Rid::new(ZoneId::GROOMED, r as u64 + 1, (d * 16 + m) as u32),
+                    &[],
+                )
+                .unwrap()
+            })
+            .collect();
+        index
+            .build_groomed_run(run_entries, r as u64 + 1, r as u64 + 1)
+            .unwrap();
+    }
+    Fixture { index, faults }
+}
+
+fn flat(o: &[umzi_core::QueryOutput]) -> Vec<(Vec<u8>, Vec<u8>, u64)> {
+    o.iter()
+        .map(|x| (x.key.to_vec(), x.value.to_vec(), x.begin_ts))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cancel at the n-th cooperative checkpoint of a cold partitioned
+    /// scan: either the scan finished before the trip (byte-identical to
+    /// the oracle) or it aborted with a typed `Cancelled` error. The
+    /// follow-up uncancelled scan is byte-identical either way.
+    #[test]
+    fn cancel_at_arbitrary_checkpoint_is_typed_and_leaves_no_residue(
+        raw_runs in vec(vec((0i64..3, 0i64..16, 1u64..40), 8..40), 1..4),
+        p in 1usize..5,
+        trip in 0u32..64,
+        device in 0i64..3,
+    ) {
+        let fx = fixture(p, &raw_runs);
+        let query = RangeQuery {
+            equality: vec![Datum::Int64(device)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        let oracle = flat(&fx.index.range_scan(&query, ReconcileStrategy::PriorityQueue).unwrap());
+
+        let token = CancelToken::trip_after(trip as u64);
+        let out = {
+            let _g = context::enter(
+                QueryContext::unbounded().with_cancel(token.clone()),
+            );
+            fx.index.range_scan(&query, ReconcileStrategy::PriorityQueue)
+        };
+        match out {
+            Ok(hits) => prop_assert_eq!(flat(&hits), oracle.clone()),
+            Err(e) => {
+                prop_assert!(is_query_abort(&e), "untyped abort: {e}");
+                prop_assert!(token.is_cancelled());
+            }
+        }
+
+        // The immediately following uncancelled query sees the exact same
+        // data, whatever state the abort left caches and prefetch in.
+        let again = fx.index.range_scan(&query, ReconcileStrategy::PriorityQueue).unwrap();
+        prop_assert_eq!(flat(&again), oracle);
+    }
+
+    /// Deadline expiry against a *sick* store: every shared get faults, so
+    /// a cold scan lives inside retry backoff — the deadline must abort the
+    /// sleep (typed, promptly), and healing the store restores exact
+    /// results.
+    #[test]
+    fn deadline_mid_retry_backoff_is_typed_and_recoverable(
+        raw_runs in vec(vec((0i64..3, 0i64..16, 1u64..40), 8..30), 1..3),
+        p in 1usize..4,
+        budget_micros in 0u64..3000,
+    ) {
+        let fx = fixture(p, &raw_runs);
+        let query = RangeQuery {
+            equality: vec![Datum::Int64(0)],
+            lower: SortBound::Unbounded,
+            upper: SortBound::Unbounded,
+            query_ts: u64::MAX,
+        };
+        let oracle = flat(&fx.index.range_scan(&query, ReconcileStrategy::PriorityQueue).unwrap());
+
+        fx.faults.set_armed(true);
+        let out = {
+            let _g = context::enter(QueryContext::with_deadline(
+                std::time::Duration::from_micros(budget_micros),
+            ));
+            fx.index.range_scan(&query, ReconcileStrategy::PriorityQueue)
+        };
+        // With every get faulting, a scan that touches storage either dies
+        // on its deadline inside/around backoff (typed) or exhausts retries
+        // (also typed, but a storage failure, not an abort). A scan that
+        // needed no storage at all may still succeed.
+        match out {
+            Ok(hits) => prop_assert_eq!(flat(&hits), oracle.clone()),
+            Err(e) => {
+                // No panic, and the failure shape is from the known
+                // taxonomy: a query abort (deadline killed the backoff) or
+                // a storage/run error (the sick store exhausted retries
+                // before the deadline fired).
+                let typed = is_query_abort(&e)
+                    || matches!(
+                        &e,
+                        umzi_core::UmziError::Storage(_) | umzi_core::UmziError::Run(_)
+                    );
+                prop_assert!(typed, "unexpected failure shape: {e}");
+            }
+        }
+
+        fx.faults.set_armed(false);
+        let healed = fx.index.range_scan(&query, ReconcileStrategy::PriorityQueue).unwrap();
+        prop_assert_eq!(flat(&healed), oracle);
+    }
+}

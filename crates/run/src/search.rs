@@ -402,6 +402,12 @@ impl<'a> RunRangeIter<'a> {
         if self.prefetch_depth == 0 || self.end == 0 {
             return;
         }
+        // A cancelled or expired query must not keep staging readahead —
+        // abandon the refill; the demand path will surface the typed error
+        // at the next block boundary.
+        if umzi_storage::context::current_aborted() {
+            return;
+        }
         let next = cur.saturating_add(1);
         if next < self.prefetched_until {
             return; // staged blocks remain ahead of the consumer
@@ -429,8 +435,11 @@ impl<'a> RunRangeIter<'a> {
                 }
                 if ordinal == self.block_base + n_in_block && b + 1 < self.run.data_block_count() {
                     // Sequential advance: step into the next block without
-                    // re-deriving the position. Top the readahead pipeline
-                    // up first so the fetch below finds its block staged.
+                    // re-deriving the position. Block boundaries are the
+                    // scan's cooperative cancellation checkpoints.
+                    umzi_storage::context::check_current("run_block_advance")?;
+                    // Top the readahead pipeline up first so the fetch
+                    // below finds its block staged.
                     let next = b + 1;
                     self.block_base += n_in_block;
                     self.maybe_readahead(next);
@@ -440,6 +449,7 @@ impl<'a> RunRangeIter<'a> {
                 }
             }
             // First positioning (or a non-sequential jump): one locate().
+            umzi_storage::context::check_current("run_block_position")?;
             let (b, slot) = self.run.locate(ordinal)?;
             self.block_base = ordinal - u64::from(slot);
             self.maybe_readahead(b);

@@ -55,11 +55,25 @@ pub enum StorageError {
         detail: String,
     },
     /// The store is unavailable and every operation fails — e.g. a
-    /// fault-injected crash point poisoned it to simulate process death.
+    /// fault-injected crash point poisoned it to simulate process death,
+    /// or an open circuit breaker failing the op class fast.
     /// Permanent until the store is revived; retrying is pointless.
     Unavailable {
         /// Why the store went away.
         reason: String,
+    },
+    /// The query's deadline expired before the operation completed. The
+    /// operation left no side effects; retrying under a fresh deadline is
+    /// safe but pointless under the current one.
+    DeadlineExceeded {
+        /// The operation (or checkpoint) at which the budget ran out.
+        op: &'static str,
+    },
+    /// The query was cooperatively cancelled via its
+    /// [`CancelToken`](crate::context::CancelToken).
+    Cancelled {
+        /// The operation (or checkpoint) at which cancellation was observed.
+        op: &'static str,
     },
 }
 
@@ -80,6 +94,17 @@ impl StorageError {
             ),
             _ => false,
         }
+    }
+
+    /// Whether the error means the *query* gave up (deadline expiry or
+    /// cooperative cancellation) rather than storage failing. Callers must
+    /// not count these against store health (circuit breaker, retry
+    /// exhaustion) and must not retry them.
+    pub fn is_query_abort(&self) -> bool {
+        matches!(
+            self,
+            StorageError::DeadlineExceeded { .. } | StorageError::Cancelled { .. }
+        )
     }
 }
 
@@ -114,6 +139,10 @@ impl fmt::Display for StorageError {
             StorageError::Unavailable { reason } => {
                 write!(f, "object store unavailable: {reason}")
             }
+            StorageError::DeadlineExceeded { op } => {
+                write!(f, "query deadline exceeded at {op}")
+            }
+            StorageError::Cancelled { op } => write!(f, "query cancelled at {op}"),
         }
     }
 }

@@ -43,7 +43,9 @@
 //! ```
 
 pub mod block_cache;
+pub mod breaker;
 pub mod cache;
+pub mod context;
 pub mod error;
 pub mod fault;
 pub mod latency;
@@ -55,7 +57,9 @@ pub mod stats;
 pub mod tiered;
 
 pub use block_cache::{AccessPattern, CachePolicy, DecodedBlockCache, DecodedCacheConfig};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::CacheTier;
+pub use context::{CancelToken, ContextGuard, OpClass, Priority, QueryContext};
 pub use error::StorageError;
 pub use fault::{FaultEvent, FaultInjectingStore, FaultOp, FaultPlan, FaultStats};
 pub use latency::{LatencyMode, LatencyModel, TierLatency};

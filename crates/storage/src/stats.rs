@@ -197,6 +197,34 @@ pub struct StorageStats {
     /// Operations that kept failing transiently until the retry budget ran
     /// out (the error then propagated to the caller).
     pub retries_exhausted: u64,
+    /// `retries`, broken down per op class (indexed by
+    /// [`OpClass::index`](crate::OpClass::index): block fetch / manifest /
+    /// delta / GC) so breaker behavior is attributable.
+    pub retries_by_class: [u64; 4],
+    /// `retries_exhausted`, broken down per op class.
+    pub retries_exhausted_by_class: [u64; 4],
+    /// Retry sleeps clamped by a query deadline: the remaining budget was
+    /// shorter than the next backoff step, so the operation returned
+    /// `DeadlineExceeded` instead of sleeping past the deadline.
+    pub deadline_aborted_retries: u64,
+    /// Operations abandoned at a cooperative cancellation checkpoint inside
+    /// the retry loop.
+    pub cancelled_retries: u64,
+    /// GC delete attempts that exhausted retries; the object name is parked
+    /// in the leaked-object registry for the janitor to re-attempt.
+    pub gc_delete_failures: u64,
+    /// Leaked objects currently awaiting janitor re-delete.
+    pub gc_leaked_outstanding: u64,
+    /// Leaked objects the janitor successfully re-deleted (or found already
+    /// gone).
+    pub gc_leaked_reclaimed: u64,
+    /// Circuit-breaker state per op class (0 = closed, 1 = open,
+    /// 2 = half-open).
+    pub breaker_state: [u8; 4],
+    /// Cumulative breaker state transitions per op class.
+    pub breaker_transitions: [u64; 4],
+    /// Operations rejected fast by an open breaker, per op class.
+    pub breaker_rejections: [u64; 4],
     /// Chunks re-fetched from shared storage after a checksum mismatch, to
     /// distinguish in-transit bit flips from at-rest corruption.
     pub corruption_refetches: u64,

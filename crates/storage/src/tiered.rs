@@ -13,7 +13,8 @@
 //!   crash loses them, which is exactly the recovery scenario §6.1 designs
 //!   for via ancestor-run tracking.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,7 +26,9 @@ use rand::{Rng, SeedableRng};
 use umzi_telemetry::Telemetry;
 
 use crate::block_cache::{DecodedBlockCache, DecodedCacheConfig};
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::CacheTier;
+use crate::context::{self, OpClass};
 use crate::error::StorageError;
 use crate::latency::{LatencyMode, LatencyModel, TierLatency};
 use crate::shared::SharedStorage;
@@ -173,6 +176,9 @@ pub struct TieredConfig {
     pub retry: RetryConfig,
     /// Readahead pipelining for sequential scans (disabled by default).
     pub prefetch: PrefetchConfig,
+    /// Per-op-class circuit breaker over shared storage (disabled by
+    /// default; see [`BreakerConfig`]).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for TieredConfig {
@@ -187,6 +193,7 @@ impl Default for TieredConfig {
             decoded_cache: DecodedCacheConfig::default(),
             retry: RetryConfig::default(),
             prefetch: PrefetchConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -233,6 +240,23 @@ pub struct TieredStorage {
     retry_rng: Mutex<StdRng>,
     retries: std::sync::atomic::AtomicU64,
     retries_exhausted: std::sync::atomic::AtomicU64,
+    /// Per-op-class breakdown of `retries` / `retries_exhausted`, indexed by
+    /// [`OpClass::index`].
+    retries_by_class: [AtomicU64; OpClass::COUNT],
+    retries_exhausted_by_class: [AtomicU64; OpClass::COUNT],
+    /// Retry sleeps clamped by a query deadline (returned
+    /// `DeadlineExceeded` instead of sleeping past the budget).
+    deadline_aborted_retries: AtomicU64,
+    /// Retry loops abandoned at a cancellation checkpoint.
+    cancelled_retries: AtomicU64,
+    /// Per-op-class circuit breaker over shared storage.
+    breaker: CircuitBreaker,
+    /// GC deletes that exhausted retries; names parked in `leaked_gc`.
+    gc_delete_failures: AtomicU64,
+    /// Parked deletes the janitor later completed (or found already gone).
+    gc_leaked_reclaimed: AtomicU64,
+    /// Object names whose GC delete failed — awaiting janitor re-attempt.
+    leaked_gc: Mutex<BTreeSet<String>>,
     corruption_refetches: std::sync::atomic::AtomicU64,
     /// Readahead policy; reconfigurable like the retry policy.
     prefetch: RwLock<PrefetchConfig>,
@@ -286,6 +310,7 @@ impl TieredStorage {
         let decoded = DecodedBlockCache::new(config.decoded_cache.clone());
         let retry = config.retry;
         let prefetch = config.prefetch;
+        let breaker = CircuitBreaker::new(config.breaker);
         Self {
             config,
             shared,
@@ -298,6 +323,14 @@ impl TieredStorage {
             retry_rng: Mutex::new(StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15)),
             retries: std::sync::atomic::AtomicU64::new(0),
             retries_exhausted: std::sync::atomic::AtomicU64::new(0),
+            retries_by_class: Default::default(),
+            retries_exhausted_by_class: Default::default(),
+            deadline_aborted_retries: AtomicU64::new(0),
+            cancelled_retries: AtomicU64::new(0),
+            breaker,
+            gc_delete_failures: AtomicU64::new(0),
+            gc_leaked_reclaimed: AtomicU64::new(0),
+            leaked_gc: Mutex::new(BTreeSet::new()),
             corruption_refetches: std::sync::atomic::AtomicU64::new(0),
             prefetch: RwLock::new(prefetch),
             prefetched: Mutex::new(PrefetchWindow::default()),
@@ -416,7 +449,9 @@ impl TieredStorage {
             return Ok(Vec::new());
         }
         let t0 = self.telemetry.start();
-        let fetched = self.with_retry(|| self.shared.get_ranges(&meta.name, &ranges));
+        let fetched = self.with_retry_as(OpClass::BlockFetch, || {
+            self.shared.get_ranges(&meta.name, &ranges)
+        });
         self.telemetry
             .record_since(&self.telemetry.ops().prefetch_batch, t0);
         let fetched = fetched?;
@@ -494,8 +529,34 @@ impl TieredStorage {
     ///
     /// Public so callers that go to [`Self::shared`] directly (manifest IO,
     /// sidecar delta objects, recovery listings) stay under the same policy
-    /// and counters as the chunk paths.
+    /// and counters as the chunk paths. Attributes to
+    /// [`OpClass::BlockFetch`]; prefer [`Self::with_retry_as`] so retries
+    /// and breaker state land in the right class.
     pub fn with_retry<T>(&self, op: impl Fn() -> Result<T>) -> Result<T> {
+        self.with_retry_as(OpClass::BlockFetch, op)
+    }
+
+    /// [`Self::with_retry`] with explicit op-class attribution, plus the
+    /// deadline/cancellation/breaker semantics of the read SLO machinery:
+    ///
+    /// * An **open circuit breaker** for `class` fails fast with
+    ///   [`StorageError::Unavailable`] before touching shared storage.
+    /// * The **ambient query context** ([`crate::context`]) is checked
+    ///   before the first attempt and after every backoff sleep; a sleep
+    ///   that would overrun the remaining deadline budget is never taken —
+    ///   the op returns [`StorageError::DeadlineExceeded`] immediately, so
+    ///   deadline overshoot is bounded by one attempt plus one backoff step.
+    /// * Retry **exhaustion** (and hard `Unavailable` from the store)
+    ///   counts as a breaker failure; any answered operation — success or
+    ///   permanent error like `NotFound` — counts as breaker success.
+    ///   Query aborts (deadline/cancel) are neutral: they say nothing
+    ///   about store health.
+    pub fn with_retry_as<T>(&self, class: OpClass, op: impl Fn() -> Result<T>) -> Result<T> {
+        self.breaker.admit(class)?;
+        if let Err(e) = context::check_current(class.label()) {
+            self.breaker.record_neutral(class);
+            return Err(e);
+        }
         let retry = *self.retry.read();
         let mut prev = retry.base_backoff;
         let mut attempt = 0u32;
@@ -505,25 +566,107 @@ impl TieredStorage {
                     attempt += 1;
                     self.retries
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.retries_by_class[class.index()].fetch_add(1, Ordering::Relaxed);
                     // Decorrelated jitter: uniform in [base, 3 × previous],
                     // capped. Degenerates to the base when base is 0.
                     let base = retry.base_backoff.as_nanos() as u64;
                     let ceiling = (prev.as_nanos() as u64).saturating_mul(3).max(base + 1);
                     let jittered = self.retry_rng.lock().random_range(base..ceiling);
                     let delay = Duration::from_nanos(jittered).min(retry.max_backoff);
+                    // Never sleep past the remaining deadline budget.
+                    if let Some(remaining) = context::current_remaining() {
+                        if delay >= remaining {
+                            self.deadline_aborted_retries
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.breaker.record_neutral(class);
+                            return Err(StorageError::DeadlineExceeded { op: class.label() });
+                        }
+                    }
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
+                    }
+                    // Cancellation fired mid-backoff: abandon the loop here
+                    // instead of issuing another attempt.
+                    if let Err(e) = context::check_current(class.label()) {
+                        if matches!(e, StorageError::Cancelled { .. }) {
+                            self.cancelled_retries.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.deadline_aborted_retries
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.breaker.record_neutral(class);
+                        return Err(e);
                     }
                     prev = delay.max(retry.base_backoff);
                 }
                 Err(e) if e.is_transient() => {
                     self.retries_exhausted
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.retries_exhausted_by_class[class.index()].fetch_add(1, Ordering::Relaxed);
+                    self.breaker.record_failure(class);
                     return Err(e);
                 }
-                other => return other,
+                Err(e) => {
+                    if matches!(e, StorageError::Unavailable { .. }) {
+                        // The store itself is gone — breaker-relevant even
+                        // without burning the retry budget.
+                        self.breaker.record_failure(class);
+                    } else if e.is_query_abort() {
+                        self.breaker.record_neutral(class);
+                    } else {
+                        // The store answered (NotFound, AlreadyExists, …):
+                        // healthy as far as the breaker is concerned.
+                        self.breaker.record_success(class);
+                    }
+                    return Err(e);
+                }
+                Ok(v) => {
+                    self.breaker.record_success(class);
+                    return Ok(v);
+                }
             }
         }
+    }
+
+    /// The per-op-class circuit breaker (state inspection / telemetry).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Record a GC delete whose retries exhausted: counts the failure and
+    /// parks `name` in the leaked-object registry so the janitor's next
+    /// pass can re-attempt it ([`Self::retry_leaked_deletes`]). Leaked
+    /// runs/deltas are thereby observable and eventually reclaimed instead
+    /// of silently orphaned on shared storage.
+    pub fn note_gc_delete_failure(&self, name: &str) {
+        self.gc_delete_failures.fetch_add(1, Ordering::Relaxed);
+        self.leaked_gc.lock().insert(name.to_owned());
+    }
+
+    /// Object names currently parked for janitor re-delete.
+    pub fn leaked_gc_objects(&self) -> Vec<String> {
+        self.leaked_gc.lock().iter().cloned().collect()
+    }
+
+    /// Re-attempt up to `max` parked GC deletes (oldest names first, in
+    /// lexicographic order). `NotFound` counts as reclaimed — someone else
+    /// already deleted it. Returns `(reclaimed, still_outstanding)`.
+    pub fn retry_leaked_deletes(&self, max: usize) -> (usize, usize) {
+        let batch: Vec<String> = self.leaked_gc.lock().iter().take(max).cloned().collect();
+        let mut reclaimed = 0usize;
+        for name in &batch {
+            match self.with_retry_as(OpClass::Gc, || self.shared.delete(name)) {
+                Ok(()) | Err(StorageError::NotFound { .. }) => {
+                    self.leaked_gc.lock().remove(name);
+                    self.gc_leaked_reclaimed.fetch_add(1, Ordering::Relaxed);
+                    reclaimed += 1;
+                }
+                // Still sick (or breaker open): stays parked for the next
+                // janitor pass.
+                Err(_) => {}
+            }
+        }
+        (reclaimed, self.leaked_gc.lock().len())
     }
 
     /// Create an immutable object and register it.
@@ -541,7 +684,7 @@ impl TieredStorage {
         write_through: bool,
     ) -> Result<ObjectHandle> {
         if durability == Durability::Persisted {
-            self.with_retry(|| self.shared.put(name, data.clone()))?;
+            self.with_retry_as(OpClass::BlockFetch, || self.shared.put(name, data.clone()))?;
         } else if self.registry.read().by_name.contains_key(name) {
             return Err(StorageError::AlreadyExists {
                 name: name.to_owned(),
@@ -576,7 +719,7 @@ impl TieredStorage {
         if let Some(&h) = self.registry.read().by_name.get(name) {
             return Ok(ObjectHandle(h));
         }
-        let len = self.with_retry(|| self.shared.len(name))?;
+        let len = self.with_retry_as(OpClass::BlockFetch, || self.shared.len(name))?;
         let handle = self.register(name, len, Durability::Persisted, header_chunks);
         for c in 0..header_chunks.min(self.chunk_count_for_len(len)) {
             let chunk = self.fetch_from_shared(handle, c)?;
@@ -671,7 +814,9 @@ impl TieredStorage {
         }
         let len = cs.min(meta.len - offset) as usize;
         let t0 = self.telemetry.start();
-        let out = self.with_retry(|| self.shared.get_range(&meta.name, offset, len));
+        let out = self.with_retry_as(OpClass::BlockFetch, || {
+            self.shared.get_range(&meta.name, offset, len)
+        });
         self.telemetry
             .record_since(&self.telemetry.ops().block_fetch, t0);
         out
@@ -802,7 +947,15 @@ impl TieredStorage {
             reg.by_name.remove(&meta.name);
         }
         if meta.durability == Durability::Persisted {
-            self.with_retry(|| self.shared.delete(&meta.name))?;
+            if let Err(e) = self.with_retry_as(OpClass::Gc, || self.shared.delete(&meta.name)) {
+                // The registry entry is already gone, so nothing will retry
+                // this name through the normal path — park it for the
+                // janitor unless the query merely gave up.
+                if !e.is_query_abort() && !matches!(e, StorageError::NotFound { .. }) {
+                    self.note_gc_delete_failure(&meta.name);
+                }
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -842,6 +995,20 @@ impl TieredStorage {
             retries_exhausted: self
                 .retries_exhausted
                 .load(std::sync::atomic::Ordering::Relaxed),
+            retries_by_class: std::array::from_fn(|i| {
+                self.retries_by_class[i].load(Ordering::Relaxed)
+            }),
+            retries_exhausted_by_class: std::array::from_fn(|i| {
+                self.retries_exhausted_by_class[i].load(Ordering::Relaxed)
+            }),
+            deadline_aborted_retries: self.deadline_aborted_retries.load(Ordering::Relaxed),
+            cancelled_retries: self.cancelled_retries.load(Ordering::Relaxed),
+            gc_delete_failures: self.gc_delete_failures.load(Ordering::Relaxed),
+            gc_leaked_outstanding: self.leaked_gc.lock().len() as u64,
+            gc_leaked_reclaimed: self.gc_leaked_reclaimed.load(Ordering::Relaxed),
+            breaker_state: self.breaker.states(),
+            breaker_transitions: self.breaker.transitions(),
+            breaker_rejections: self.breaker.rejections(),
             corruption_refetches: self
                 .corruption_refetches
                 .load(std::sync::atomic::Ordering::Relaxed),
@@ -1210,5 +1377,142 @@ mod tests {
         // An aged-out chunk read later is just a normal cache hit.
         ts.read_chunk(h, 0).unwrap();
         assert_eq!(ts.stats().prefetch_hits, 0);
+    }
+
+    #[test]
+    fn retry_sleep_never_overruns_deadline() {
+        use crate::context::{self, QueryContext};
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            FaultPlan::transient_only(u64::MAX, 1.0),
+        ));
+        let mut cfg = small_config();
+        cfg.retry.max_retries = 100;
+        cfg.retry.base_backoff = Duration::from_millis(20);
+        cfg.retry.max_backoff = Duration::from_millis(40);
+        let ts = TieredStorage::new(SharedStorage::new(store, LatencyModel::off()), cfg);
+        let _g = context::enter(QueryContext::with_deadline(Duration::from_millis(5)));
+        let t0 = std::time::Instant::now();
+        let err = ts
+            .create_object("r", payload(64), Durability::Persisted, 0, false)
+            .unwrap_err();
+        assert!(
+            matches!(err, StorageError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+        // The first 20ms+ backoff exceeded the 5ms budget, so the loop
+        // returned instead of sleeping — not even one full backoff elapsed.
+        assert!(
+            t0.elapsed() < Duration::from_millis(20),
+            "slept past budget"
+        );
+        let s = ts.stats();
+        assert_eq!(s.deadline_aborted_retries, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(
+            s.retries_by_class[crate::OpClass::BlockFetch.index()],
+            1,
+            "attributed to block_fetch"
+        );
+    }
+
+    #[test]
+    fn cancelled_context_aborts_before_first_attempt() {
+        use crate::context::{self, CancelToken, QueryContext};
+        let ts = TieredStorage::in_memory();
+        let _g = context::enter(QueryContext::unbounded().with_cancel(CancelToken::trip_after(0)));
+        let writes_before = ts.stats().shared.writes;
+        let err = ts
+            .create_object("r", payload(64), Durability::Persisted, 0, false)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Cancelled { .. }), "got {err:?}");
+        assert_eq!(ts.stats().shared.writes, writes_before, "never issued");
+    }
+
+    #[test]
+    fn gc_delete_failure_parks_object_and_janitor_reclaims() {
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            FaultPlan::transient_only(u64::MAX, 1.0),
+        ));
+        let mut cfg = small_config();
+        cfg.retry.max_retries = 1;
+        cfg.retry.base_backoff = Duration::ZERO;
+        let ts = TieredStorage::new(SharedStorage::new(store.clone(), LatencyModel::off()), cfg);
+        store.set_armed(false);
+        let h = ts
+            .create_object("runs/leaky", payload(64), Durability::Persisted, 0, false)
+            .unwrap();
+        store.set_armed(true);
+        assert!(ts.delete_object(h).is_err());
+        let s = ts.stats();
+        assert_eq!(s.gc_delete_failures, 1);
+        assert_eq!(s.gc_leaked_outstanding, 1);
+        assert_eq!(
+            s.retries_exhausted_by_class[crate::OpClass::Gc.index()],
+            1,
+            "exhaustion attributed to the gc class"
+        );
+        assert_eq!(ts.leaked_gc_objects(), vec!["runs/leaky".to_string()]);
+        // Store heals: the janitor pass reclaims the parked name.
+        store.set_armed(false);
+        assert_eq!(ts.retry_leaked_deletes(16), (1, 0));
+        assert!(!ts.shared().exists("runs/leaky"));
+        let s = ts.stats();
+        assert_eq!(s.gc_leaked_outstanding, 0);
+        assert_eq!(s.gc_leaked_reclaimed, 1);
+    }
+
+    #[test]
+    fn breaker_fails_fast_then_recovers_via_probe() {
+        use crate::breaker::BreakerState;
+        use crate::fault::{FaultInjectingStore, FaultPlan};
+        let store = Arc::new(FaultInjectingStore::new(
+            Arc::new(crate::object_store::InMemoryObjectStore::new()),
+            FaultPlan::transient_only(u64::MAX, 1.0),
+        ));
+        let mut cfg = small_config();
+        cfg.retry.max_retries = 0;
+        cfg.retry.base_backoff = Duration::ZERO;
+        // The cooldown must comfortably outlast the trip → fail-fast
+        // assertion gap (a few statements), or a scheduler stall lets the
+        // "open" read through as an early half-open probe.
+        cfg.breaker = crate::BreakerConfig {
+            failure_threshold: 2,
+            window: Duration::from_secs(10),
+            cooldown: Duration::from_millis(150),
+            half_open_probes: 1,
+        };
+        let ts = TieredStorage::new(SharedStorage::new(store.clone(), LatencyModel::off()), cfg);
+        store.set_armed(false);
+        let h = ts
+            .create_object("r", payload(128), Durability::Persisted, 0, false)
+            .unwrap();
+        ts.purge_object(h).unwrap();
+        store.set_armed(true);
+        // Two exhaustions trip the block-fetch breaker.
+        assert!(ts.read_chunk(h, 1).unwrap_err().is_transient());
+        assert!(ts.read_chunk(h, 1).unwrap_err().is_transient());
+        assert_eq!(
+            ts.breaker().state(crate::OpClass::BlockFetch),
+            BreakerState::Open
+        );
+        // Open: fails fast without touching the store, even once healthy.
+        store.set_armed(false);
+        let reads_before = ts.stats().shared.reads;
+        let err = ts.read_chunk(h, 1).unwrap_err();
+        assert!(matches!(err, StorageError::Unavailable { .. }), "{err:?}");
+        assert_eq!(ts.stats().shared.reads, reads_before, "no store traffic");
+        assert!(ts.stats().breaker_rejections[crate::OpClass::BlockFetch.index()] >= 1);
+        // Cooldown elapses; the half-open probe succeeds and closes it.
+        std::thread::sleep(Duration::from_millis(200));
+        ts.read_chunk(h, 1).unwrap();
+        assert_eq!(
+            ts.breaker().state(crate::OpClass::BlockFetch),
+            BreakerState::Closed
+        );
+        assert!(ts.stats().breaker_transitions[crate::OpClass::BlockFetch.index()] >= 3);
     }
 }

@@ -25,8 +25,10 @@ use umzi_core::{
 };
 use umzi_encoding::Datum;
 use umzi_run::{Rid, SortBound};
-use umzi_storage::{AccessPattern, TieredStorage};
+use umzi_storage::telemetry::{Counter, Histogram, Registry};
+use umzi_storage::{context, AccessPattern, BreakerState, OpClass, QueryContext, TieredStorage};
 
+use crate::admission::{AdmissionConfig, ReadAdmission, ScanPermit};
 use crate::maintenance::EngineExecutor;
 use crate::shard::{Shard, ShardConfig};
 use crate::table::TableDef;
@@ -52,6 +54,9 @@ pub struct EngineConfig {
     /// janitor); `None` disables all background work (manual
     /// [`WildfireEngine::quiesce`]).
     pub maintenance: Option<MaintenanceConfig>,
+    /// Read admission control for analytical scans (disabled by default —
+    /// `max_concurrent_scans == 0` admits everything immediately).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +68,7 @@ impl Default for EngineConfig {
             post_groom_interval: Duration::from_secs(20),
             groom_trigger_rows: 4096,
             maintenance: Some(MaintenanceConfig::default()),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -116,11 +122,57 @@ pub struct EngineHealth {
     pub backpressure_timeouts: u64,
     /// Whether the ingest gate is currently stalled.
     pub ingest_stalled: bool,
+    /// GC deletes that exhausted their retry budget and parked the object
+    /// name for janitor re-attempt.
+    pub gc_delete_failures: u64,
+    /// Leaked GC objects still awaiting reclamation.
+    pub gc_leaked_outstanding: u64,
+    /// Queries that failed with a deadline-exceeded error.
+    pub query_timeouts: u64,
+    /// Queries that ended by cooperative cancellation.
+    pub query_cancellations: u64,
+    /// Analytical scans shed by read admission control.
+    pub query_sheds: u64,
+    /// Whether any storage circuit breaker is currently not closed (open or
+    /// half-open) — reads are failing fast or probing.
+    pub breaker_tripped: bool,
     /// Fault-injection counters, when the engine runs on a
     /// [`umzi_storage::FaultInjectingStore`] (torture harnesses); `None` on
     /// production storage. Folding them here puts injected faults next to
     /// the retry pressure they caused.
     pub fault: Option<umzi_storage::FaultStats>,
+}
+
+/// Pre-resolved handles for the query SLO metrics, looked up once at engine
+/// construction (registering by name per query would take the registry
+/// lock on the hot path).
+#[derive(Debug)]
+struct QueryMetrics {
+    /// `umzi_query_timeouts_total` — queries that died on their deadline.
+    timeouts: Arc<Counter>,
+    /// `umzi_query_cancellations_total` — cooperative cancellations.
+    cancellations: Arc<Counter>,
+    /// `umzi_query_sheds_total` — scans shed by admission control.
+    sheds: Arc<Counter>,
+    /// `umzi_query_degraded_hits_total` — point lookups answered from the
+    /// warm tiers/cache while the block-fetch breaker was tripped.
+    degraded_hits: Arc<Counter>,
+    /// `umzi_query_deadline_overshoot_nanos` — how far past its deadline a
+    /// query ran before the cooperative checks caught it (recorded for both
+    /// aborted and late-succeeding queries).
+    overshoot: Arc<Histogram>,
+}
+
+impl QueryMetrics {
+    fn new(reg: &Registry) -> Self {
+        QueryMetrics {
+            timeouts: reg.counter("umzi_query_timeouts_total"),
+            cancellations: reg.counter("umzi_query_cancellations_total"),
+            sheds: reg.counter("umzi_query_sheds_total"),
+            degraded_hits: reg.counter("umzi_query_degraded_hits_total"),
+            overshoot: reg.histogram("umzi_query_deadline_overshoot_nanos"),
+        }
+    }
 }
 
 /// The Wildfire engine.
@@ -133,6 +185,10 @@ pub struct WildfireEngine {
     /// the ingest path reads it to enqueue jobs and pass the backpressure
     /// gate.
     daemon: RwLock<Option<Arc<MaintenanceDaemon>>>,
+    /// Read admission control for analytical scans.
+    admission: Arc<ReadAdmission>,
+    /// SLO counters and the deadline-overshoot histogram.
+    qmetrics: QueryMetrics,
 }
 
 impl std::fmt::Debug for WildfireEngine {
@@ -166,12 +222,16 @@ impl WildfireEngine {
                 sc,
             )?);
         }
+        let admission = Arc::new(ReadAdmission::new(config.admission));
+        let qmetrics = QueryMetrics::new(storage.telemetry().registry());
         Ok(Arc::new(WildfireEngine {
             table,
             shards,
             storage,
             config,
             daemon: RwLock::new(None),
+            admission,
+            qmetrics,
         }))
     }
 
@@ -195,12 +255,16 @@ impl WildfireEngine {
                 sc,
             )?);
         }
+        let admission = Arc::new(ReadAdmission::new(config.admission));
+        let qmetrics = QueryMetrics::new(storage.telemetry().registry());
         Ok(Arc::new(WildfireEngine {
             table,
             shards,
             storage,
             config,
             daemon: RwLock::new(None),
+            admission,
+            qmetrics,
         }))
     }
 
@@ -234,6 +298,12 @@ impl WildfireEngine {
         self.daemon().map(|d| d.stats())
     }
 
+    /// The analytical-scan admission controller (its stats expose
+    /// admitted/shed/queued counts).
+    pub fn admission(&self) -> &Arc<ReadAdmission> {
+        &self.admission
+    }
+
     /// Decoded-block cache statistics (shared across all shards' indexes),
     /// including the per-access-pattern counters that show whether scan and
     /// groom traffic is staying out of the point-lookup working set.
@@ -251,6 +321,15 @@ impl WildfireEngine {
             storage_retries_exhausted: st.retries_exhausted,
             corruption_refetches: st.corruption_refetches,
             fault: self.storage.fault_stats(),
+            gc_delete_failures: st.gc_delete_failures,
+            gc_leaked_outstanding: st.gc_leaked_outstanding,
+            query_timeouts: self.qmetrics.timeouts.get(),
+            query_cancellations: self.qmetrics.cancellations.get(),
+            query_sheds: self.qmetrics.sheds.get(),
+            breaker_tripped: st
+                .breaker_state
+                .iter()
+                .any(|s| *s != BreakerState::Closed.as_u8()),
             ..EngineHealth::default()
         };
         if let Some(daemon) = self.daemon() {
@@ -315,7 +394,16 @@ impl WildfireEngine {
             });
             daemon.enqueue(Job::Evolve { shard: si });
         }
-        match gate.admit_timeout(&current, daemon.config().stall_timeout) {
+        // A caller-supplied deadline (ambient query context) caps the stall:
+        // a writer with 50ms of budget left never waits out a 10s stall
+        // timeout — it gets `Backpressure` as soon as its own budget is
+        // spent, with the duration it actually waited.
+        let timeout = match (context::current_remaining(), daemon.config().stall_timeout) {
+            (Some(rem), Some(stall)) => Some(rem.min(stall)),
+            (Some(rem), None) => Some(rem),
+            (None, stall) => stall,
+        };
+        match gate.admit_timeout(&current, timeout) {
             Ok(_) => Ok(()),
             Err(waited) => Err(crate::error::WildfireError::Backpressure {
                 waited,
@@ -338,11 +426,20 @@ impl WildfireEngine {
 
     /// Upsert one row (routed by sharding key).
     pub fn upsert(&self, row: Vec<Datum>) -> Result<()> {
+        self.upsert_with(&QueryContext::unbounded(), row)
+    }
+
+    /// [`WildfireEngine::upsert`] under an explicit [`QueryContext`]: a
+    /// deadline shorter than the maintenance stall timeout caps how long
+    /// the writer blocks on the backpressure gate, and cancellation /
+    /// deadline expiry abort storage retry backoff inside the write path.
+    pub fn upsert_with(&self, ctx: &QueryContext, row: Vec<Datum>) -> Result<()> {
+        let _g = context::enter(ctx.clone());
         let tel = self.storage.telemetry();
         let t0 = tel.start();
         let out = self.upsert_impl(row);
         tel.record_since(&tel.ops().ingest, t0);
-        out
+        self.observe_query(ctx, out)
     }
 
     fn upsert_impl(&self, row: Vec<Datum>) -> Result<()> {
@@ -356,11 +453,19 @@ impl WildfireEngine {
     /// Upsert a batch, grouped per shard (each shard's group commits as one
     /// transaction). The ingest histogram records one sample per batch.
     pub fn upsert_many(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
+        self.upsert_many_with(&QueryContext::unbounded(), rows)
+    }
+
+    /// [`WildfireEngine::upsert_many`] under an explicit [`QueryContext`]
+    /// (deadline-capped backpressure stall, as in
+    /// [`WildfireEngine::upsert_with`]).
+    pub fn upsert_many_with(&self, ctx: &QueryContext, rows: Vec<Vec<Datum>>) -> Result<()> {
+        let _g = context::enter(ctx.clone());
         let tel = self.storage.telemetry();
         let t0 = tel.start();
         let out = self.upsert_many_impl(rows);
         tel.record_since(&tel.ops().ingest, t0);
-        out
+        self.observe_query(ctx, out)
     }
 
     fn upsert_many_impl(&self, rows: Vec<Vec<Datum>>) -> Result<()> {
@@ -456,9 +561,66 @@ impl WildfireEngine {
         Err(last_err.expect("loop only exhausts after a dangling RID"))
     }
 
+    /// Fold a finished query into the SLO metrics: deadline overshoot (how
+    /// far past the deadline the cooperative checks let it run, recorded
+    /// whether it aborted or squeaked through late) and the typed-abort
+    /// counters.
+    fn observe_query<T>(&self, ctx: &QueryContext, out: Result<T>) -> Result<T> {
+        if let Some(deadline) = ctx.deadline() {
+            let now = std::time::Instant::now();
+            if now > deadline {
+                self.qmetrics
+                    .overshoot
+                    .record((now - deadline).as_nanos() as u64);
+            }
+        }
+        if let Err(e) = &out {
+            if e.is_cancelled() {
+                self.qmetrics.cancellations.inc();
+            } else if e.is_deadline_exceeded() {
+                self.qmetrics.timeouts.inc();
+            } else if matches!(e, crate::error::WildfireError::Overloaded { .. }) {
+                self.qmetrics.sheds.inc();
+            }
+        }
+        out
+    }
+
     /// Point lookup by full index key (equality + sort values), resolving
     /// the record row.
     pub fn get(
+        &self,
+        eq: &[Datum],
+        sort: &[Datum],
+        freshness: Freshness,
+    ) -> Result<Option<RecordView>> {
+        self.get_with(&QueryContext::unbounded(), eq, sort, freshness)
+    }
+
+    /// [`WildfireEngine::get`] under an explicit [`QueryContext`]: the
+    /// deadline and cancellation token propagate through every layer the
+    /// lookup touches (index search, block fetches, retry backoff). Point
+    /// lookups are never queued by read admission — under an open
+    /// block-fetch circuit breaker they degrade gracefully, answering from
+    /// the mem/ssd tiers and the decoded cache (counted as degraded hits)
+    /// and failing fast only when the answer truly needs shared storage.
+    pub fn get_with(
+        &self,
+        ctx: &QueryContext,
+        eq: &[Datum],
+        sort: &[Datum],
+        freshness: Freshness,
+    ) -> Result<Option<RecordView>> {
+        let _g = context::enter(ctx.clone());
+        let out = self.get_inner(eq, sort, freshness);
+        if out.is_ok() && self.storage.breaker().state(OpClass::BlockFetch) != BreakerState::Closed
+        {
+            self.qmetrics.degraded_hits.inc();
+        }
+        self.observe_query(ctx, out)
+    }
+
+    fn get_inner(
         &self,
         eq: &[Datum],
         sort: &[Datum],
@@ -530,6 +692,46 @@ impl WildfireEngine {
         freshness: Freshness,
         strategy: ReconcileStrategy,
     ) -> Result<Vec<QueryOutput>> {
+        self.scan_index_with(
+            &QueryContext::unbounded(),
+            eq,
+            lower,
+            upper,
+            freshness,
+            strategy,
+        )
+    }
+
+    /// [`WildfireEngine::scan_index`] under an explicit [`QueryContext`]:
+    /// the scan passes read admission first (it may be shed with
+    /// [`crate::WildfireError::Overloaded`] under load), and the deadline /
+    /// cancellation token is honored at every block boundary of the
+    /// reconcile, in prefetch refills, and inside storage retry backoff.
+    pub fn scan_index_with(
+        &self,
+        ctx: &QueryContext,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+        strategy: ReconcileStrategy,
+    ) -> Result<Vec<QueryOutput>> {
+        let permit = self.admission.admit(ctx);
+        let out = permit.and_then(|_permit: Option<ScanPermit>| {
+            let _g = context::enter(ctx.clone());
+            self.scan_index_inner(eq, lower, upper, freshness, strategy)
+        });
+        self.observe_query(ctx, out)
+    }
+
+    fn scan_index_inner(
+        &self,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+        strategy: ReconcileStrategy,
+    ) -> Result<Vec<QueryOutput>> {
         let ts = self.resolve_ts(freshness);
         let query = RangeQuery {
             equality: eq,
@@ -567,11 +769,40 @@ impl WildfireEngine {
         upper: SortBound,
         freshness: Freshness,
     ) -> Result<Vec<RecordView>> {
+        self.scan_records_with(&QueryContext::unbounded(), eq, lower, upper, freshness)
+    }
+
+    /// [`WildfireEngine::scan_records`] under an explicit [`QueryContext`]
+    /// (admission + end-to-end deadline/cancellation, as in
+    /// [`WildfireEngine::scan_index_with`]).
+    pub fn scan_records_with(
+        &self,
+        ctx: &QueryContext,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+    ) -> Result<Vec<RecordView>> {
+        let permit = self.admission.admit(ctx);
+        let out = permit.and_then(|_permit: Option<ScanPermit>| {
+            let _g = context::enter(ctx.clone());
+            self.scan_records_inner(eq, lower, upper, freshness)
+        });
+        self.observe_query(ctx, out)
+    }
+
+    fn scan_records_inner(
+        &self,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+    ) -> Result<Vec<RecordView>> {
         // The whole scan retries on a dangling RID: the index snapshot and
         // the RID resolutions must come from the same side of an evolve.
         let ts = self.resolve_ts(freshness);
         Self::retry_dangling(|| {
-            let outs = self.scan_index(
+            let outs = self.scan_index_inner(
                 eq.clone(),
                 lower.clone(),
                 upper.clone(),
@@ -619,6 +850,44 @@ impl WildfireEngine {
     /// — sorted probes, one synopsis check per run, shared block reads —
     /// instead of a full point lookup per hit.
     pub fn scan_secondary(
+        &self,
+        index_name: &str,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+    ) -> Result<Vec<RecordView>> {
+        self.scan_secondary_with(
+            &QueryContext::unbounded(),
+            index_name,
+            eq,
+            lower,
+            upper,
+            freshness,
+        )
+    }
+
+    /// [`WildfireEngine::scan_secondary`] under an explicit
+    /// [`QueryContext`] (admission + end-to-end deadline/cancellation, as in
+    /// [`WildfireEngine::scan_index_with`]).
+    pub fn scan_secondary_with(
+        &self,
+        ctx: &QueryContext,
+        index_name: &str,
+        eq: Vec<Datum>,
+        lower: SortBound,
+        upper: SortBound,
+        freshness: Freshness,
+    ) -> Result<Vec<RecordView>> {
+        let permit = self.admission.admit(ctx);
+        let out = permit.and_then(|_permit: Option<ScanPermit>| {
+            let _g = context::enter(ctx.clone());
+            self.scan_secondary_inner(index_name, eq, lower, upper, freshness)
+        });
+        self.observe_query(ctx, out)
+    }
+
+    fn scan_secondary_inner(
         &self,
         index_name: &str,
         eq: Vec<Datum>,
@@ -1216,6 +1485,146 @@ mod tests {
         assert!(h.backpressure_timeouts >= 1, "{h:?}");
         assert!(h.ingest_stalled, "timed-out gate stays stalled");
         daemons.shutdown();
+    }
+
+    /// Tentpole regression: deadlines and cancellation tokens passed at the
+    /// engine API surface as typed errors (never panics or partial
+    /// results), the SLO counters advance, and an immediately following
+    /// uncancelled query is unaffected.
+    #[test]
+    fn deadline_and_cancellation_yield_typed_errors() {
+        use umzi_storage::CancelToken;
+
+        let e = engine(1);
+        for m in 0..300 {
+            e.upsert(row(1, m, 100, m)).unwrap();
+        }
+        e.quiesce().unwrap();
+        let full = |e: &WildfireEngine| {
+            e.scan_records(
+                vec![Datum::Int64(1)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+            )
+        };
+        let want = full(&e).unwrap();
+        assert_eq!(want.len(), 300);
+
+        // A token tripped at the very first cooperative checkpoint.
+        let ctx = QueryContext::unbounded().with_cancel(CancelToken::trip_after(0));
+        let err = e
+            .scan_records_with(
+                &ctx,
+                vec![Datum::Int64(1)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+            )
+            .unwrap_err();
+        assert!(err.is_cancelled(), "got {err}");
+        assert!(err.is_query_abort());
+
+        // A deadline that was already over when the query arrived.
+        let ctx = QueryContext::deadline_at(std::time::Instant::now() - Duration::from_millis(1));
+        let err = e
+            .scan_records_with(
+                &ctx,
+                vec![Datum::Int64(1)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+            )
+            .unwrap_err();
+        assert!(err.is_deadline_exceeded(), "got {err}");
+
+        // The aborted queries left no residue: same results, and the SLO
+        // counters recorded one of each abort kind.
+        assert_eq!(full(&e).unwrap(), want);
+        let h = e.health();
+        assert_eq!(h.query_cancellations, 1, "{h:?}");
+        assert_eq!(h.query_timeouts, 1, "{h:?}");
+        let snap = e.telemetry();
+        let overshoot = snap
+            .histogram("umzi_query_deadline_overshoot_nanos")
+            .expect("overshoot histogram registered");
+        assert!(
+            overshoot.count() >= 1,
+            "expired deadline recorded overshoot"
+        );
+        // A get under a healthy breaker is not a degraded hit.
+        e.get_with(
+            &QueryContext::unbounded(),
+            &[Datum::Int64(1)],
+            &[Datum::Int64(3)],
+            Freshness::Latest,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(snap
+            .to_prometheus()
+            .contains("umzi_query_degraded_hits_total 0"));
+    }
+
+    /// Admission control at the engine surface: with one scan slot held and
+    /// a zero-depth queue, a second scan is shed with a typed
+    /// [`WildfireError::Overloaded`] and the shed counter advances.
+    #[test]
+    fn engine_sheds_scans_when_admission_queue_full() {
+        let storage = Arc::new(TieredStorage::in_memory());
+        let e = WildfireEngine::create(
+            storage,
+            Arc::new(iot_table()),
+            EngineConfig {
+                n_shards: 1,
+                maintenance: None,
+                admission: AdmissionConfig {
+                    max_concurrent_scans: 1,
+                    max_queue_depth: 0,
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for m in 0..50 {
+            e.upsert(row(1, m, 100, m)).unwrap();
+        }
+        e.quiesce().unwrap();
+        // Hold the only slot directly, then scan through the engine.
+        let _held = e
+            .admission()
+            .admit(&QueryContext::unbounded())
+            .unwrap()
+            .unwrap();
+        let err = e
+            .scan_records_with(
+                &QueryContext::unbounded(),
+                vec![Datum::Int64(1)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::error::WildfireError::Overloaded { .. }),
+            "got {err}"
+        );
+        assert!(err.is_query_abort());
+        assert_eq!(e.health().query_sheds, 1);
+        drop(_held);
+        // Slot free again: the same scan succeeds.
+        assert_eq!(
+            e.scan_records_with(
+                &QueryContext::unbounded(),
+                vec![Datum::Int64(1)],
+                SortBound::Unbounded,
+                SortBound::Unbounded,
+                Freshness::Latest,
+            )
+            .unwrap()
+            .len(),
+            50
+        );
     }
 
     #[test]

@@ -32,8 +32,57 @@ pub enum WildfireError {
         /// stall is unlikely to clear on its own soon.
         degraded: bool,
     },
+    /// The read admission controller shed this query: the scan queue's
+    /// estimated wait exceeded the query's remaining deadline budget, or
+    /// the bounded queue was full. Retrying later (or with a larger
+    /// budget) is the caller's call; the engine itself is healthy.
+    Overloaded {
+        /// Estimated wait the query would have faced in the scan queue.
+        estimated_wait: std::time::Duration,
+        /// Queued scans ahead of it at shed time.
+        queue_depth: usize,
+    },
     /// The engine is shutting down.
     ShuttingDown,
+}
+
+impl WildfireError {
+    /// The underlying storage error, however deeply wrapped (directly, via
+    /// the run layer, or via the index layer).
+    pub fn storage_cause(&self) -> Option<&umzi_storage::StorageError> {
+        match self {
+            WildfireError::Storage(e) => Some(e),
+            WildfireError::Run(umzi_run::RunError::Storage(e)) => Some(e),
+            WildfireError::Index(umzi_core::UmziError::Storage(e)) => Some(e),
+            WildfireError::Index(umzi_core::UmziError::Run(umzi_run::RunError::Storage(e))) => {
+                Some(e)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the query failed because its deadline expired.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(umzi_storage::StorageError::DeadlineExceeded { .. })
+        )
+    }
+
+    /// Whether the query was cooperatively cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(umzi_storage::StorageError::Cancelled { .. })
+        )
+    }
+
+    /// Whether the error is an SLO give-up — deadline expiry, cancellation,
+    /// or an admission shed — rather than an engine/storage failure.
+    pub fn is_query_abort(&self) -> bool {
+        matches!(self, WildfireError::Overloaded { .. })
+            || self.storage_cause().is_some_and(|e| e.is_query_abort())
+    }
 }
 
 impl fmt::Display for WildfireError {
@@ -58,6 +107,14 @@ impl fmt::Display for WildfireError {
                 } else {
                     ""
                 }
+            ),
+            WildfireError::Overloaded {
+                estimated_wait,
+                queue_depth,
+            } => write!(
+                f,
+                "query shed by read admission control: estimated wait {estimated_wait:?} \
+                 exceeds the remaining deadline budget ({queue_depth} scans queued)"
             ),
             WildfireError::ShuttingDown => write!(f, "engine is shutting down"),
         }

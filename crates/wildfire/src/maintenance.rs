@@ -220,6 +220,12 @@ impl JobExecutor for EngineExecutor {
                     reclaimed += idx.collect_garbage()? as u64;
                 }
                 reclaimed += shard.retire_deprecated_blocks()? as u64;
+                // Re-attempt GC deletes that previously exhausted their
+                // retries — leaked run/delta objects parked by
+                // `note_gc_delete_failure` are eventually reclaimed here.
+                let (leaked_reclaimed, _outstanding) =
+                    shard.index().storage().retry_leaked_deletes(64);
+                reclaimed += leaked_reclaimed as u64;
                 if self.adaptive_cache {
                     shard.index().cache_maintain()?;
                 }

@@ -465,7 +465,9 @@ impl Shard {
             let name = format!("{}/deltas/d-{psn:020}", self.prefix);
             let payload = serialize_deltas(&deltas);
             self.storage
-                .with_retry(|| self.storage.shared().put(&name, payload.clone()))?;
+                .with_retry_as(umzi_storage::OpClass::Delta, || {
+                    self.storage.shared().put(&name, payload.clone())
+                })?;
         }
 
         // Index entries over the post-groomed rows (same beginTS, new RIDs).
@@ -722,15 +724,26 @@ impl Shard {
         let mut registry = Registry::default();
         let mut groomed_max = 0u64;
         let mut pg_max = 0u64;
-        for object in storage.with_retry(|| storage.shared().list(&format!("{prefix}/blocks/")))? {
-            let data = storage.with_retry(|| storage.shared().get(&object))?;
+        for object in storage.with_retry_as(umzi_storage::OpClass::BlockFetch, || {
+            storage.shared().list(&format!("{prefix}/blocks/"))
+        })? {
+            let data = storage.with_retry_as(umzi_storage::OpClass::BlockFetch, || {
+                storage.shared().get(&object)
+            })?;
             let block = match ColumnBlock::deserialize(&data) {
                 Ok(b) => Arc::new(b),
                 Err(_) => {
                     // Torn put from a groom that died mid-write: nothing
                     // references it (the groom never committed a run), and
                     // storage is create-once, so delete it to free the name.
-                    let _ = storage.with_retry(|| storage.shared().delete(&object));
+                    // A failed delete is counted and parked for the janitor.
+                    if let Err(e) = storage.with_retry_as(umzi_storage::OpClass::Gc, || {
+                        storage.shared().delete(&object)
+                    }) {
+                        if !matches!(e, umzi_storage::StorageError::NotFound { .. }) {
+                            storage.note_gc_delete_failure(&object);
+                        }
+                    }
                     continue;
                 }
             };
@@ -759,14 +772,26 @@ impl Shard {
                 .insert((zone, id), BlockEntry { block, object });
         }
         // Replay endTS closures.
-        for object in storage.with_retry(|| storage.shared().list(&format!("{prefix}/deltas/")))? {
-            let data = storage.with_retry(|| storage.shared().get(&object))?;
+        for object in storage.with_retry_as(umzi_storage::OpClass::Delta, || {
+            storage.shared().list(&format!("{prefix}/deltas/"))
+        })? {
+            let data = storage.with_retry_as(umzi_storage::OpClass::Delta, || {
+                storage.shared().get(&object)
+            })?;
             let deltas = match crate::colblock::deserialize_deltas(&data) {
                 Ok(d) => d,
                 Err(_) => {
                     // Torn delta sidecar: the post-groom that wrote it
-                    // failed, so its PSN was never published. Free the name.
-                    let _ = storage.with_retry(|| storage.shared().delete(&object));
+                    // failed, so its PSN was never published. Free the name
+                    // — counting and parking a failed delete for the
+                    // janitor instead of leaking it.
+                    if let Err(e) = storage.with_retry_as(umzi_storage::OpClass::Gc, || {
+                        storage.shared().delete(&object)
+                    }) {
+                        if !matches!(e, umzi_storage::StorageError::NotFound { .. }) {
+                            storage.note_gc_delete_failure(&object);
+                        }
+                    }
                     continue;
                 }
             };

@@ -197,6 +197,24 @@ fn prom_health(out: &mut String, h: &EngineHealth) {
     );
     prom_line(out, "umzi_health_degraded", h.degraded as u64);
     prom_line(out, "umzi_health_ingest_stalled", h.ingest_stalled as u64);
+    prom_line(
+        out,
+        "umzi_health_gc_delete_failures_total",
+        h.gc_delete_failures,
+    );
+    prom_line(
+        out,
+        "umzi_health_gc_leaked_outstanding",
+        h.gc_leaked_outstanding,
+    );
+    prom_line(out, "umzi_health_query_timeouts_total", h.query_timeouts);
+    prom_line(
+        out,
+        "umzi_health_query_cancellations_total",
+        h.query_cancellations,
+    );
+    prom_line(out, "umzi_health_query_sheds_total", h.query_sheds);
+    prom_line(out, "umzi_health_breaker_tripped", h.breaker_tripped as u64);
     if let Some(f) = &h.fault {
         prom_line(out, "umzi_fault_injected_total", f.total_injected());
         prom_line(out, "umzi_fault_torn_writes_total", f.torn_writes);
@@ -329,7 +347,10 @@ fn json_health(h: &EngineHealth) -> String {
         "{{\"storage_retries\":{},\"storage_retries_exhausted\":{},\
          \"corruption_refetches\":{},\"maintenance_retries\":{},\
          \"quarantined_jobs\":{},\"degraded\":{},\"backpressure_timeouts\":{},\
-         \"ingest_stalled\":{},\"fault\":{}}}",
+         \"ingest_stalled\":{},\"gc_delete_failures\":{},\
+         \"gc_leaked_outstanding\":{},\"query_timeouts\":{},\
+         \"query_cancellations\":{},\"query_sheds\":{},\
+         \"breaker_tripped\":{},\"fault\":{}}}",
         h.storage_retries,
         h.storage_retries_exhausted,
         h.corruption_refetches,
@@ -338,6 +359,12 @@ fn json_health(h: &EngineHealth) -> String {
         h.degraded,
         h.backpressure_timeouts,
         h.ingest_stalled,
+        h.gc_delete_failures,
+        h.gc_leaked_outstanding,
+        h.query_timeouts,
+        h.query_cancellations,
+        h.query_sheds,
+        h.breaker_tripped,
         fault
     )
 }
@@ -368,6 +395,61 @@ impl TelemetrySnapshot {
             &mut out,
             "umzi_storage_retries_exhausted_total",
             self.storage.retries_exhausted,
+        );
+        // Per-op-class retry breakdown and circuit-breaker state (0=closed,
+        // 1=open, 2=half-open), one series per class.
+        for (i, class) in umzi_storage::OpClass::ALL.iter().enumerate() {
+            let op = class.label();
+            prom_line(
+                &mut out,
+                &format!("umzi_storage_class_retries_total{{op=\"{op}\"}}"),
+                self.storage.retries_by_class[i],
+            );
+            prom_line(
+                &mut out,
+                &format!("umzi_storage_class_retries_exhausted_total{{op=\"{op}\"}}"),
+                self.storage.retries_exhausted_by_class[i],
+            );
+            prom_line(
+                &mut out,
+                &format!("umzi_storage_breaker_state{{op=\"{op}\"}}"),
+                self.storage.breaker_state[i] as u64,
+            );
+            prom_line(
+                &mut out,
+                &format!("umzi_storage_breaker_transitions_total{{op=\"{op}\"}}"),
+                self.storage.breaker_transitions[i],
+            );
+            prom_line(
+                &mut out,
+                &format!("umzi_storage_breaker_rejections_total{{op=\"{op}\"}}"),
+                self.storage.breaker_rejections[i],
+            );
+        }
+        prom_line(
+            &mut out,
+            "umzi_storage_deadline_aborted_retries_total",
+            self.storage.deadline_aborted_retries,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_cancelled_retries_total",
+            self.storage.cancelled_retries,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_gc_delete_failures_total",
+            self.storage.gc_delete_failures,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_gc_leaked_outstanding",
+            self.storage.gc_leaked_outstanding,
+        );
+        prom_line(
+            &mut out,
+            "umzi_storage_gc_leaked_reclaimed_total",
+            self.storage.gc_leaked_reclaimed,
         );
         prom_line(
             &mut out,
@@ -433,9 +515,24 @@ impl TelemetrySnapshot {
             Some(m) => json_maintenance(m),
             None => "null".to_string(),
         };
+        // Per-op-class breakdowns keyed by class label, e.g.
+        // {"block_fetch":3,"manifest":0,...}.
+        let by_class = |vals: &dyn Fn(usize) -> u64| {
+            let fields: Vec<String> = umzi_storage::OpClass::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("\"{}\":{}", c.label(), vals(i)))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        };
         format!(
             "{{\"metrics\":{},\"slow_queries\":{},\"slow_queries_evicted\":{},\
              \"storage\":{{\"chunk_reads\":{},\"retries\":{},\"retries_exhausted\":{},\
+             \"retries_by_class\":{},\"retries_exhausted_by_class\":{},\
+             \"breaker_state\":{},\"breaker_transitions\":{},\
+             \"breaker_rejections\":{},\"deadline_aborted_retries\":{},\
+             \"cancelled_retries\":{},\"gc_delete_failures\":{},\
+             \"gc_leaked_outstanding\":{},\"gc_leaked_reclaimed\":{},\
              \"corruption_refetches\":{},\"blocks_prefetched\":{},\
              \"prefetch_hits\":{},\"prefetch_wasted\":{},\"mem\":{},\"ssd\":{},\
              \"shared\":{{\"reads\":{},\"writes\":{},\"bytes_read\":{},\
@@ -447,6 +544,16 @@ impl TelemetrySnapshot {
             self.storage.chunk_reads,
             self.storage.retries,
             self.storage.retries_exhausted,
+            by_class(&|i| self.storage.retries_by_class[i]),
+            by_class(&|i| self.storage.retries_exhausted_by_class[i]),
+            by_class(&|i| self.storage.breaker_state[i] as u64),
+            by_class(&|i| self.storage.breaker_transitions[i]),
+            by_class(&|i| self.storage.breaker_rejections[i]),
+            self.storage.deadline_aborted_retries,
+            self.storage.cancelled_retries,
+            self.storage.gc_delete_failures,
+            self.storage.gc_leaked_outstanding,
+            self.storage.gc_leaked_reclaimed,
             self.storage.corruption_refetches,
             self.storage.blocks_prefetched,
             self.storage.prefetch_hits,

@@ -47,6 +47,7 @@ fn stress_config() -> EngineConfig {
             adaptive_cache: false,
             ..MaintenanceConfig::default()
         }),
+        ..EngineConfig::default()
     }
 }
 
